@@ -1,0 +1,58 @@
+// Ablation (ours): value-compare reuse test vs the simpler
+// invalidation/valid-bit test (§3.3 describes both options; the paper
+// evaluates only value-compare for the finite tables). The valid-bit
+// scheme needs just one bit per test but kills an entry on *any* write
+// to an input location, even a silent one — this bench quantifies how
+// much reuse that costs.
+#include "bench_common.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  core::SuiteConfig config = bench::config_from_env(/*default_length=*/150000);
+
+  TextTable table(
+      "Ablation: reuse-test flavour (I4 EXP heuristic, 4K-entry RTM)");
+  table.set_columns({"benchmark", "value-compare %", "valid-bit %",
+                     "retained"});
+  std::vector<double> ratios;
+  std::vector<std::array<double, 2>> rows;
+  for (const std::string_view name : workloads::workload_names()) {
+    const auto stream = core::collect_workload_stream(name, config);
+    double frac[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      reuse::RtmSimConfig sim_config;
+      sim_config.geometry = reuse::RtmGeometry::rtm4k();
+      sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
+      sim_config.fixed_n = 4;
+      sim_config.reuse_test = mode == 0 ? reuse::ReuseTestKind::kValueCompare
+                                        : reuse::ReuseTestKind::kValidBit;
+      frac[mode] = reuse::RtmSimulator(sim_config).run(stream)
+                       .reuse_fraction();
+    }
+    table.begin_row();
+    table.add_cell(std::string(name));
+    table.add_percent(frac[0]);
+    table.add_percent(frac[1]);
+    table.add_cell(frac[0] > 0
+                       ? std::to_string(static_cast<int>(
+                             100.0 * frac[1] / frac[0])) + "%"
+                       : "-");
+    if (frac[0] > 0) ratios.push_back(frac[1] / frac[0]);
+
+    benchmark::RegisterBenchmark(
+        ("ablation_reuse_test/" + std::string(name)).c_str(),
+        [frac0 = frac[0], frac1 = frac[1]](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(frac0);
+          state.counters["value_compare_pct"] = frac0 * 100.0;
+          state.counters["valid_bit_pct"] = frac1 * 100.0;
+        })
+        ->Iterations(1);
+  }
+  std::cout << table.to_string() << "valid-bit retains "
+            << static_cast<int>(100.0 * tlr::arithmetic_mean(ratios))
+            << "% of value-compare reuse on average (silent writes and "
+               "register churn invalidate aggressively)\n\n";
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,89 @@
+// Ablation (ours): RTM organisation at a fixed 4K-entry budget —
+// how the split between sets, PC ways and traces-per-PC, and the
+// per-trace I/O limits, affect reuse. DESIGN.md decodes the paper's
+// geometry descriptions; this bench shows the design space around that
+// decoding.
+#include "bench_common.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  core::SuiteConfig config = bench::config_from_env(/*default_length=*/150000);
+
+  // A representative mixed subset keeps this ablation affordable.
+  static const char* kPrograms[] = {"compress", "li", "vortex", "hydro2d",
+                                    "turb3d"};
+
+  struct Shape {
+    const char* label;
+    reuse::RtmGeometry geometry;
+  };
+  const Shape shapes[] = {
+      {"128x4x8 (paper)", {128, 4, 8}},
+      {"256x4x4", {256, 4, 4}},
+      {"64x4x16", {64, 4, 16}},
+      {"512x8x1", {512, 8, 1}},
+      {"32x8x16", {32, 8, 16}},
+  };
+
+  TextTable table("Ablation: RTM shape at a fixed 4096-entry budget "
+                  "(I4 EXP, mean over 5 programs)");
+  table.set_columns({"sets x ways x traces/pc", "reused %", "avg trace"});
+  for (const Shape& shape : shapes) {
+    std::vector<double> fracs, sizes;
+    for (const char* name : kPrograms) {
+      const auto stream = core::collect_workload_stream(name, config);
+      reuse::RtmSimConfig sim_config;
+      sim_config.geometry = shape.geometry;
+      sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
+      sim_config.fixed_n = 4;
+      const auto result = reuse::RtmSimulator(sim_config).run(stream);
+      fracs.push_back(result.reuse_fraction());
+      sizes.push_back(result.avg_reused_trace_size());
+    }
+    table.begin_row();
+    table.add_cell(shape.label);
+    table.add_percent(arithmetic_mean(fracs));
+    table.add_number(arithmetic_mean(sizes));
+    benchmark::RegisterBenchmark(
+        (std::string("ablation_geometry/") + shape.label).c_str(),
+        [v = arithmetic_mean(fracs)](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(v);
+          state.counters["reused_pct"] = v * 100.0;
+        })
+        ->Iterations(1);
+  }
+  std::cout << table.to_string() << "\n";
+
+  // I/O limit sweep at the paper geometry.
+  TextTable limits_table(
+      "Ablation: per-trace I/O limits (paper: 8 reg / 4 mem)");
+  limits_table.set_columns({"reg/mem limit", "reused %", "avg trace"});
+  const std::pair<u32, u32> limit_points[] = {{4, 2}, {8, 4}, {16, 8},
+                                              {32, 16}};
+  for (const auto& [reg_limit, mem_limit] : limit_points) {
+    std::vector<double> fracs, sizes;
+    for (const char* name : kPrograms) {
+      const auto stream = core::collect_workload_stream(name, config);
+      reuse::RtmSimConfig sim_config;
+      sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
+      sim_config.fixed_n = 8;
+      sim_config.limits.max_reg_inputs = reg_limit;
+      sim_config.limits.max_reg_outputs = reg_limit;
+      sim_config.limits.max_mem_inputs = mem_limit;
+      sim_config.limits.max_mem_outputs = mem_limit;
+      const auto result = reuse::RtmSimulator(sim_config).run(stream);
+      fracs.push_back(result.reuse_fraction());
+      sizes.push_back(result.avg_reused_trace_size());
+    }
+    limits_table.begin_row();
+    limits_table.add_cell(std::to_string(reg_limit) + "/" +
+                          std::to_string(mem_limit));
+    limits_table.add_percent(arithmetic_mean(fracs));
+    limits_table.add_number(arithmetic_mean(sizes));
+  }
+  std::cout << limits_table.to_string() << "\n";
+
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,71 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every binary prints the same rows/series its paper figure plots (as
+// aligned text tables) and registers google-benchmark entries whose
+// counters carry the headline values, so both humans and tooling can
+// consume the results. Stream parameters can be overridden without
+// rebuilding:
+//   TLR_LENGTH  instructions measured per program (default 400000)
+//   TLR_SKIP    warm-up instructions skipped      (default 50000)
+//   TLR_SEED    workload data seed
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/figures.hpp"
+#include "core/study.hpp"
+
+namespace tlr::bench {
+
+inline u64 env_u64(const char* name, u64 fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+inline core::SuiteConfig config_from_env(u64 default_length = 400000) {
+  core::SuiteConfig config;
+  config.length = env_u64("TLR_LENGTH", default_length);
+  config.skip = env_u64("TLR_SKIP", 50000);
+  config.seed = env_u64("TLR_SEED", config.seed);
+  return config;
+}
+
+/// Computes the suite metrics once per process (the figure tables and
+/// the benchmark counters share them).
+inline const std::vector<core::WorkloadMetrics>& suite_metrics(
+    const core::MetricOptions& options = {}) {
+  static const std::vector<core::WorkloadMetrics> metrics =
+      core::analyze_suite(config_from_env(), options);
+  return metrics;
+}
+
+/// Registers one no-op benchmark per suite entry that reports `value`
+/// extracted from the cached metrics, so `--benchmark_format=json`
+/// exports the figure's series.
+inline void register_series(const std::string& prefix,
+                            double (*extract)(const core::WorkloadMetrics&)) {
+  for (const core::WorkloadMetrics& m : suite_metrics()) {
+    benchmark::RegisterBenchmark(
+        (prefix + "/" + m.name).c_str(),
+        [extract, &m](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(extract(m));
+          }
+          state.counters["value"] = extract(m);
+        })
+        ->Iterations(1);
+  }
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tlr::bench

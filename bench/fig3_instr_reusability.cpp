@@ -1,0 +1,18 @@
+// Figure 3: instruction-level reusability (%) under a perfect
+// (infinite-history) reuse engine, per benchmark with FP/INT/overall
+// arithmetic means.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  const auto& suite = bench::suite_metrics();
+  std::cout << core::fig3_reusability(suite).to_table("reusable %", 1)
+                   .to_string()
+            << "\n(paper: most programs >90%, average 88%, range 53-99%; "
+               "applu lowest, hydro2d highest)\n\n";
+  bench::register_series("fig3/reusability_pct",
+                         [](const core::WorkloadMetrics& m) {
+                           return m.reusability * 100.0;
+                         });
+  return bench::run_benchmarks(argc, argv);
+}

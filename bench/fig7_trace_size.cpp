@@ -1,0 +1,20 @@
+// Figure 7: average maximal-trace size per benchmark (the paper plots
+// this on a log axis: INT programs 14.5-36.7 instructions; FP bimodal —
+// applu/apsi/fpppp tiny, hydro2d up to ~203).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  const auto& suite = bench::suite_metrics();
+
+  std::cout << core::fig7_trace_size(suite).to_table("avg trace size", 1)
+                   .to_string()
+            << "(paper: larger traces correlate with higher Fig 6b "
+               "speed-ups)\n\n";
+
+  bench::register_series("fig7/avg_trace_size",
+                         [](const core::WorkloadMetrics& m) {
+                           return m.trace_stats.avg_size;
+                         });
+  return bench::run_benchmarks(argc, argv);
+}

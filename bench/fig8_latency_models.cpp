@@ -1,0 +1,63 @@
+// Figure 8: sensitivity of trace-level reuse (256-entry window) to the
+// reuse latency model. (a) constant latency 1..4 cycles; (b) latency
+// proportional to (inputs + outputs): K * (n_in + n_out), K = 1/BW.
+// Also reports the §4.5 per-trace input/output statistics (the paper:
+// 6.5 inputs = 2.7 reg + 3.8 mem; 5.0 outputs = 3.3 reg + 1.7 mem;
+// 15.0 instructions -> 0.43 reads and 0.33 writes per reused
+// instruction).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  const auto& suite = bench::suite_metrics();
+
+  TextTable a("Figure 8a: trace speed-up vs constant reuse latency "
+              "(256-entry window)");
+  a.set_columns({"latency (cycles)", "speed-up (harmonic mean)"});
+  const auto constants = core::fig8a_latency_sweep(suite);
+  for (usize i = 0; i < constants.size(); ++i) {
+    a.begin_row();
+    a.add_integer(i + 1);
+    a.add_number(constants[i]);
+  }
+  std::cout << a.to_string()
+            << "(paper: unlike ILR, barely degraded up to 4 cycles)\n\n";
+
+  TextTable b("Figure 8b: trace speed-up vs proportional latency "
+              "K*(inputs+outputs)");
+  b.set_columns({"K", "speed-up (harmonic mean)"});
+  static const char* kLabels[] = {"1/32", "1/16", "1/8", "1/4", "1/2", "1"};
+  const auto props = core::fig8b_proportional_sweep(suite);
+  for (usize i = 0; i < props.size() && i < 6; ++i) {
+    b.begin_row();
+    b.add_cell(kLabels[i]);
+    b.add_number(props[i]);
+  }
+  std::cout << b.to_string()
+            << "(paper: ~2.7 at K=1/16, the bandwidth of a near-future "
+               "processor)\n\n";
+
+  const core::TraceIoStats io = core::trace_io_stats(suite);
+  TextTable stats("Section 4.5 statistics: per-trace inputs/outputs");
+  stats.set_columns({"metric", "measured", "paper"});
+  auto row = [&](const char* name, double measured, const char* paper) {
+    stats.begin_row();
+    stats.add_cell(name);
+    stats.add_number(measured);
+    stats.add_cell(paper);
+  };
+  row("avg trace size", io.avg_size, "15.0");
+  row("register inputs", io.reg_inputs, "2.7");
+  row("memory inputs", io.mem_inputs, "3.8");
+  row("register outputs", io.reg_outputs, "3.3");
+  row("memory outputs", io.mem_outputs, "1.7");
+  row("reads / reused inst", io.reads_per_inst, "0.43");
+  row("writes / reused inst", io.writes_per_inst, "0.33");
+  std::cout << stats.to_string() << "\n";
+
+  bench::register_series("fig8/trace_speedup_k16",
+                         [](const core::WorkloadMetrics& m) {
+                           return m.trace_speedup_prop(1);  // K = 1/16
+                         });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,42 @@
+// Figure 9: the realistic implementation — finite Reuse Trace Memory
+// (512 / 4K / 32K / 256K entries) with the dynamic trace-collection
+// heuristics ILR NE, ILR EXP and I(1)..I(8) EXP. (a) percentage of
+// dynamic instructions reused; (b) average reused-trace size.
+//
+// This is the most expensive experiment (10 heuristics x 4 capacities x
+// 14 benchmarks); it defaults to a shorter window than the limit-study
+// benches. Override with TLR_LENGTH.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  core::SuiteConfig config = bench::config_from_env(/*default_length=*/150000);
+
+  const core::Fig9Result result = core::fig9_finite_rtm(config);
+  std::cout << result.reusability_table().to_string()
+            << "(paper: ~25% reused at 4K entries with ~6-inst traces, "
+               "~60% at 256K; expansion grows traces at near-constant "
+               "reusability)\n\n"
+            << result.trace_size_table().to_string()
+            << "(paper: I(n) trace size grows with n; reusability falls "
+               "as traces grow — the overhead/coverage trade-off)\n\n";
+
+  // Counters: one benchmark per (heuristic, geometry) cell.
+  const auto heuristics = core::fig9_heuristics();
+  const auto geometries = core::fig9_geometries();
+  for (usize h = 0; h < heuristics.size(); ++h) {
+    for (usize g = 0; g < geometries.size(); ++g) {
+      const core::Fig9Cell cell = result.cells[h][g];
+      benchmark::RegisterBenchmark(
+          ("fig9/" + heuristics[h].label + "/" + geometries[g].first)
+              .c_str(),
+          [cell](benchmark::State& state) {
+            for (auto _ : state) benchmark::DoNotOptimize(cell);
+            state.counters["reused_pct"] = cell.reuse_fraction * 100.0;
+            state.counters["avg_trace_size"] = cell.avg_trace_size;
+          })
+          ->Iterations(1);
+    }
+  }
+  return bench::run_benchmarks(argc, argv);
+}

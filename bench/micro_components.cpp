@@ -1,0 +1,105 @@
+// Microbenchmarks of the library's hot components: interpreter
+// throughput, dataflow-timer throughput, reusability analysis, and RTM
+// lookup/insert. These are genuine google-benchmark timing loops (the
+// figure benches above report reproduced values instead).
+#include <benchmark/benchmark.h>
+
+#include "core/study.hpp"
+#include "reuse/instr_table.hpp"
+#include "reuse/reusability.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "timing/timer.hpp"
+#include "vm/interpreter.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr {
+namespace {
+
+const std::vector<isa::DynInst>& sample_stream() {
+  static const std::vector<isa::DynInst> stream = [] {
+    vm::RunLimits limits;
+    limits.skip = 10000;
+    limits.max_emitted = 100000;
+    return vm::collect_stream(workloads::make_compress({}).program, limits);
+  }();
+  return stream;
+}
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  const workloads::Workload w = workloads::make_compress({});
+  for (auto _ : state) {
+    vm::Interpreter interp(w.program);
+    vm::RunLimits limits;
+    limits.max_emitted = static_cast<u64>(state.range(0));
+    u64 sink = 0;
+    interp.run(limits, [&sink](const isa::DynInst& inst) {
+      sink += inst.pc;
+      return true;
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpreterThroughput)->Arg(50000);
+
+void BM_ReusabilityAnalysis(benchmark::State& state) {
+  const auto& stream = sample_stream();
+  for (auto _ : state) {
+    const auto result = reuse::analyze_reusability(stream);
+    benchmark::DoNotOptimize(result.reusable_count);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_ReusabilityAnalysis);
+
+void BM_InfiniteWindowTimer(benchmark::State& state) {
+  const auto& stream = sample_stream();
+  for (auto _ : state) {
+    const auto result = timing::compute_timing(stream, nullptr, {});
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_InfiniteWindowTimer);
+
+void BM_WindowedTimer(benchmark::State& state) {
+  const auto& stream = sample_stream();
+  timing::TimerConfig config;
+  config.window = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    const auto result = timing::compute_timing(stream, nullptr, config);
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_WindowedTimer)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RtmSimulator(benchmark::State& state) {
+  const auto& stream = sample_stream();
+  for (auto _ : state) {
+    reuse::RtmSimConfig config;
+    config.fixed_n = static_cast<u32>(state.range(0));
+    reuse::RtmSimulator sim(config);
+    const auto result = sim.run(stream);
+    benchmark::DoNotOptimize(result.reused_instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_RtmSimulator)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_FiniteInstrTable(benchmark::State& state) {
+  const auto& stream = sample_stream();
+  for (auto _ : state) {
+    reuse::FiniteInstrTable table(4096);
+    u64 hits = 0;
+    for (const auto& inst : stream) hits += table.lookup_insert(inst);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_FiniteInstrTable);
+
+}  // namespace
+}  // namespace tlr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// Bring your own workload: write a program against the ProgramBuilder
+// API, then push it through the same analysis pipeline the suite uses.
+//
+// The program here is a toy spell-checker: words from a small
+// vocabulary are looked up in a trie stored in memory; hot words repeat
+// (Zipf), so the walk repeats — a natural trace-reuse candidate.
+#include <cstdio>
+#include <vector>
+
+#include "reuse/reusability.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "reuse/trace_builder.hpp"
+#include "timing/timer.hpp"
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace tlr;
+using isa::r;
+
+vm::Program build_spellchecker() {
+  Rng rng(0xBEEF);
+  vm::ProgramBuilder b("spellcheck");
+
+  // Trie: nodes of 28 words (26 child pointers + terminal flag + pad),
+  // built host-side over a 64-word vocabulary.
+  struct Node {
+    u64 child[26] = {0};
+    bool terminal = false;
+  };
+  std::vector<Node> trie(1);
+  std::vector<std::vector<u64>> vocab;
+  for (int w = 0; w < 64; ++w) {
+    std::vector<u64> word;
+    const usize len = 3 + rng.below(6);
+    usize node = 0;
+    for (usize c = 0; c < len; ++c) {
+      const u64 ch = rng.below(26);
+      word.push_back(ch);
+      if (trie[node].child[ch] == 0) {
+        trie[node].child[ch] = trie.size();
+        trie.emplace_back();
+      }
+      node = trie[node].child[ch];
+    }
+    trie[node].terminal = true;
+    vocab.push_back(std::move(word));
+  }
+
+  const Addr trie_base = b.alloc(trie.size() * 28);
+  for (usize n = 0; n < trie.size(); ++n) {
+    for (int c = 0; c < 26; ++c) {
+      // Children stored as absolute node base addresses (0 = none).
+      const u64 child = trie[n].child[c];
+      b.init_word(trie_base + (n * 28 + c) * 8,
+                  child ? trie_base + child * 28 * 8 : 0);
+    }
+    b.init_word(trie_base + (n * 28 + 26) * 8, trie[n].terminal);
+  }
+
+  // Text: 512 length-prefixed words, Zipf over the vocabulary.
+  std::vector<u64> text;
+  ZipfDraw pick(vocab.size(), 1.1, rng.next());
+  for (int i = 0; i < 512; ++i) {
+    const auto& word = vocab[pick.next()];
+    text.push_back(word.size());
+    for (u64 ch : word) text.push_back(ch);
+  }
+  const Addr text_base = b.alloc(text.size());
+  for (usize i = 0; i < text.size(); ++i) {
+    b.init_word(text_base + i * 8, text[i]);
+  }
+
+  constexpr auto kPtr = r(1);
+  constexpr auto kEnd = r(2);
+  constexpr auto kLen = r(3);
+  constexpr auto kNode = r(4);
+  constexpr auto kCh = r(5);
+  constexpr auto kHits = r(6);
+  constexpr auto kTmp = r(7);
+  constexpr auto kWEnd = r(8);
+  constexpr auto kOuter = r(9);
+
+  b.ldi(kOuter, 1 << 20);
+  vm::Label outer = b.here();
+  b.ldi(kPtr, static_cast<i64>(text_base));
+  b.ldi(kEnd, static_cast<i64>(text_base + text.size() * 8));
+  b.ldi(kHits, 0);
+
+  vm::Label word_loop = b.here();
+  b.ldq(kLen, kPtr, 0);
+  b.addi(kPtr, kPtr, 8);
+  b.slli(kWEnd, kLen, 3);
+  b.add(kWEnd, kWEnd, kPtr);
+  b.ldi(kNode, static_cast<i64>(trie_base));
+
+  vm::Label walk = b.here();
+  vm::Label word_done = b.label();
+  b.ldq(kCh, kPtr, 0);
+  b.slli(kTmp, kCh, 3);
+  b.add(kTmp, kTmp, kNode);
+  b.ldq(kNode, kTmp, 0);        // follow the child pointer
+  b.addi(kPtr, kPtr, 8);
+  b.beqz(kNode, word_done);     // not in the dictionary
+  b.cmpult(kTmp, kPtr, kWEnd);
+  b.bnez(kTmp, walk);
+  b.ldq(kTmp, kNode, 26 * 8);   // terminal flag
+  b.add(kHits, kHits, kTmp);
+  b.bind(word_done);
+  b.mov(kPtr, kWEnd);           // skip any remainder
+  b.cmpult(kTmp, kPtr, kEnd);
+  b.bnez(kTmp, word_loop);
+
+  b.subi(kOuter, kOuter, 1);
+  b.bnez(kOuter, outer);
+  b.halt();
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  const vm::Program program = build_spellchecker();
+  std::printf("spell-checker: %zu static instructions\n", program.size());
+
+  vm::RunLimits limits;
+  limits.skip = 20000;
+  limits.max_emitted = 150000;
+  const auto stream = vm::collect_stream(program, limits);
+
+  const auto reusable = reuse::analyze_reusability(stream);
+  const auto trace_plan =
+      reuse::build_max_trace_plan(stream, reusable.reusable);
+  const auto stats = reuse::compute_trace_stats(trace_plan);
+
+  timing::TimerConfig win;
+  win.window = 256;
+  const auto base = timing::compute_timing(stream, nullptr, win);
+  const auto trace = timing::compute_timing(stream, &trace_plan, win);
+
+  std::printf("reusable instructions : %.1f%%\n", reusable.fraction() * 100);
+  std::printf("avg maximal trace     : %.1f instructions\n", stats.avg_size);
+  std::printf("trace-reuse speed-up  : %.2fx (256-entry window)\n",
+              timing::speedup(base, trace));
+
+  reuse::RtmSimConfig sim_config;
+  sim_config.geometry = reuse::RtmGeometry::rtm4k();
+  const auto realistic = reuse::RtmSimulator(sim_config).run(stream);
+  std::printf("realistic 4K-entry RTM: %.1f%% reused, avg trace %.1f\n",
+              realistic.reuse_fraction() * 100,
+              realistic.avg_reused_trace_size());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: analyse one benchmark end-to-end and print the numbers
+// the paper's study revolves around.
+//
+//   ./quickstart [workload] [length]
+//
+// Runs the workload's interpreter, measures perfect-engine
+// instruction-level reusability (Fig 3), prices instruction- and
+// trace-level reuse with the dataflow timers (Figs 4-6), and shows the
+// maximal-trace statistics (Fig 7).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+
+  const std::string name = argc > 1 ? argv[1] : "compress";
+  core::SuiteConfig config;
+  if (argc > 2) config.length = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("analysing '%s' (%llu instructions after %llu skipped)...\n",
+              name.c_str(),
+              static_cast<unsigned long long>(config.length),
+              static_cast<unsigned long long>(config.skip));
+
+  const core::WorkloadMetrics m = core::analyze_workload(name, config);
+
+  std::printf("\n-- reusability (perfect engine) --\n");
+  std::printf("reusable instructions : %.1f%%\n", m.reusability * 100.0);
+
+  std::printf("\n-- dataflow timing --\n");
+  std::printf("base IPC, infinite window : %.2f\n",
+              double(m.instructions) / double(m.base_inf));
+  std::printf("base IPC, 256-entry window: %.2f\n",
+              double(m.instructions) / double(m.base_win));
+  std::printf("ILR speed-up   (inf / 256): %.2f / %.2f\n",
+              m.ilr_speedup_inf(0), m.ilr_speedup_win(0));
+  std::printf("trace speed-up (inf / 256): %.2f / %.2f\n",
+              m.trace_speedup_inf(), m.trace_speedup_win(0));
+
+  std::printf("\n-- maximal traces --\n");
+  std::printf("traces: %llu, avg size %.1f insts\n",
+              static_cast<unsigned long long>(m.trace_stats.traces),
+              m.trace_stats.avg_size);
+  std::printf("avg inputs %.1f (%.1f reg + %.1f mem), outputs %.1f "
+              "(%.1f reg + %.1f mem)\n",
+              m.trace_stats.avg_inputs(), m.trace_stats.avg_reg_inputs,
+              m.trace_stats.avg_mem_inputs, m.trace_stats.avg_outputs(),
+              m.trace_stats.avg_reg_outputs, m.trace_stats.avg_mem_outputs);
+  return 0;
+}

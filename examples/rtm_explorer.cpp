@@ -1,0 +1,77 @@
+// RTM design-space explorer: sweep the realistic implementation's
+// knobs (capacity, collection heuristic, reuse-test flavour) for one
+// workload and print the coverage/granularity trade-off.
+//
+//   ./rtm_explorer [workload] [length]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/study.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+
+  const std::string name = argc > 1 ? argv[1] : "li";
+  core::SuiteConfig config;
+  config.length = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+  std::printf("collecting %llu instructions of '%s'...\n\n",
+              static_cast<unsigned long long>(config.length), name.c_str());
+  const auto stream = core::collect_workload_stream(name, config);
+
+  const std::pair<const char*, reuse::RtmGeometry> geometries[] = {
+      {"512", reuse::RtmGeometry::rtm512()},
+      {"4K", reuse::RtmGeometry::rtm4k()},
+      {"32K", reuse::RtmGeometry::rtm32k()},
+      {"256K", reuse::RtmGeometry::rtm256k()},
+  };
+
+  TextTable table("RTM design space for '" + name + "'");
+  table.set_columns({"heuristic", "RTM", "reused %", "avg trace",
+                     "reuse ops", "insertions", "evictions"});
+  for (const auto& [label, heuristic, n] :
+       {std::tuple{"ILR NE", reuse::CollectHeuristic::kIlrNoExpand, 0u},
+        std::tuple{"ILR EXP", reuse::CollectHeuristic::kIlrExpand, 0u},
+        std::tuple{"I2 EXP", reuse::CollectHeuristic::kFixedExpand, 2u},
+        std::tuple{"I4 EXP", reuse::CollectHeuristic::kFixedExpand, 4u},
+        std::tuple{"I8 EXP", reuse::CollectHeuristic::kFixedExpand, 8u}}) {
+    for (const auto& [geo_label, geometry] : geometries) {
+      reuse::RtmSimConfig sim_config;
+      sim_config.geometry = geometry;
+      sim_config.heuristic = heuristic;
+      sim_config.fixed_n = n == 0 ? 4 : n;
+      const auto result = reuse::RtmSimulator(sim_config).run(stream);
+      table.begin_row();
+      table.add_cell(label);
+      table.add_cell(geo_label);
+      table.add_percent(result.reuse_fraction());
+      table.add_number(result.avg_reused_trace_size());
+      table.add_integer(result.reuse_operations);
+      table.add_integer(result.rtm.insertions);
+      table.add_integer(result.rtm.way_evictions +
+                        result.rtm.trace_evictions);
+    }
+  }
+  std::cout << table.to_string();
+
+  // Reuse-test flavour comparison at the paper's 4K-entry point.
+  TextTable flavours("Reuse test flavour (4K entries, I4 EXP)");
+  flavours.set_columns({"test", "reused %", "invalidations"});
+  for (const auto& [label, test] :
+       {std::pair{"value-compare", reuse::ReuseTestKind::kValueCompare},
+        std::pair{"valid-bit", reuse::ReuseTestKind::kValidBit}}) {
+    reuse::RtmSimConfig sim_config;
+    sim_config.reuse_test = test;
+    const auto result = reuse::RtmSimulator(sim_config).run(stream);
+    flavours.begin_row();
+    flavours.add_cell(label);
+    flavours.add_percent(result.reuse_fraction());
+    flavours.add_integer(result.rtm.invalidations);
+  }
+  std::cout << '\n' << flavours.to_string();
+  return 0;
+}

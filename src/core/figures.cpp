@@ -1,0 +1,281 @@
+#include "core/figures.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "vm/interpreter.hpp"
+
+namespace tlr::core {
+
+TextTable BenchSeries::to_table(const std::string& value_header,
+                                int precision) const {
+  TextTable table(title);
+  table.set_columns({"benchmark", value_header});
+  for (usize i = 0; i < names.size(); ++i) {
+    table.begin_row();
+    table.add_cell(names[i]);
+    table.add_number(values[i], precision);
+  }
+  auto add_avg = [&](const char* label, double value) {
+    table.begin_row();
+    table.add_cell(label);
+    table.add_number(value, precision);
+  };
+  add_avg("AVG_FP", avg_fp);
+  add_avg("AVG_INT", avg_int);
+  add_avg("AVERAGE", avg_all);
+  return table;
+}
+
+BenchSeries make_series(std::string title,
+                        const std::vector<WorkloadMetrics>& suite,
+                        double (*extract)(const WorkloadMetrics&),
+                        Aggregate aggregate) {
+  BenchSeries series;
+  series.title = std::move(title);
+  std::vector<double> fp_values, int_values, all_values;
+  for (const WorkloadMetrics& metrics : suite) {
+    const double value = extract(metrics);
+    series.names.push_back(metrics.name);
+    series.is_fp.push_back(metrics.is_fp);
+    series.values.push_back(value);
+    (metrics.is_fp ? fp_values : int_values).push_back(value);
+    all_values.push_back(value);
+  }
+  const auto mean = [aggregate](std::span<const double> xs) {
+    return aggregate == Aggregate::kHarmonic ? harmonic_mean(xs)
+                                             : arithmetic_mean(xs);
+  };
+  series.avg_fp = mean(fp_values);
+  series.avg_int = mean(int_values);
+  series.avg_all = mean(all_values);
+  return series;
+}
+
+BenchSeries fig3_reusability(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 3: instruction-level reusability (%), perfect engine", suite,
+      [](const WorkloadMetrics& m) { return m.reusability * 100.0; },
+      Aggregate::kArithmetic);
+}
+
+BenchSeries fig4a_ilr_speedup_inf(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 4a: ILR speed-up, infinite window, 1-cycle reuse latency",
+      suite, [](const WorkloadMetrics& m) { return m.ilr_speedup_inf(0); },
+      Aggregate::kHarmonic);
+}
+
+BenchSeries fig5a_ilr_speedup_win(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 5a: ILR speed-up, 256-entry window, 1-cycle reuse latency",
+      suite, [](const WorkloadMetrics& m) { return m.ilr_speedup_win(0); },
+      Aggregate::kHarmonic);
+}
+
+namespace {
+
+std::vector<double> latency_sweep(const std::vector<WorkloadMetrics>& suite,
+                                  usize points,
+                                  double (*extract)(const WorkloadMetrics&,
+                                                    usize)) {
+  std::vector<double> sweep;
+  for (usize lat = 0; lat < points; ++lat) {
+    std::vector<double> speedups;
+    speedups.reserve(suite.size());
+    for (const WorkloadMetrics& metrics : suite) {
+      speedups.push_back(extract(metrics, lat));
+    }
+    sweep.push_back(harmonic_mean(speedups));
+  }
+  return sweep;
+}
+
+}  // namespace
+
+std::vector<double> fig4b_ilr_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite) {
+  TLR_ASSERT(!suite.empty());
+  return latency_sweep(suite, suite.front().ilr_inf.size(),
+                       [](const WorkloadMetrics& m, usize lat) {
+                         return m.ilr_speedup_inf(lat);
+                       });
+}
+
+std::vector<double> fig5b_ilr_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite) {
+  TLR_ASSERT(!suite.empty());
+  return latency_sweep(suite, suite.front().ilr_win.size(),
+                       [](const WorkloadMetrics& m, usize lat) {
+                         return m.ilr_speedup_win(lat);
+                       });
+}
+
+BenchSeries fig6a_trace_speedup_inf(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 6a: trace-level reuse speed-up, infinite window, 1-cycle "
+      "latency",
+      suite, [](const WorkloadMetrics& m) { return m.trace_speedup_inf(); },
+      Aggregate::kHarmonic);
+}
+
+BenchSeries fig6b_trace_speedup_win(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 6b: trace-level reuse speed-up, 256-entry window, 1-cycle "
+      "latency",
+      suite, [](const WorkloadMetrics& m) { return m.trace_speedup_win(0); },
+      Aggregate::kHarmonic);
+}
+
+BenchSeries fig7_trace_size(const std::vector<WorkloadMetrics>& suite) {
+  return make_series(
+      "Figure 7: average maximal trace size (instructions)", suite,
+      [](const WorkloadMetrics& m) { return m.trace_stats.avg_size; },
+      Aggregate::kArithmetic);
+}
+
+std::vector<double> fig8a_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite) {
+  TLR_ASSERT(!suite.empty());
+  return latency_sweep(suite, suite.front().trace_win.size(),
+                       [](const WorkloadMetrics& m, usize lat) {
+                         return m.trace_speedup_win(lat);
+                       });
+}
+
+std::vector<double> fig8b_proportional_sweep(
+    const std::vector<WorkloadMetrics>& suite) {
+  TLR_ASSERT(!suite.empty());
+  return latency_sweep(suite, suite.front().trace_win_prop.size(),
+                       [](const WorkloadMetrics& m, usize k) {
+                         return m.trace_speedup_prop(k);
+                       });
+}
+
+TraceIoStats trace_io_stats(const std::vector<WorkloadMetrics>& suite) {
+  TraceIoStats stats;
+  std::vector<double> size, reg_in, mem_in, reg_out, mem_out;
+  for (const WorkloadMetrics& metrics : suite) {
+    size.push_back(metrics.trace_stats.avg_size);
+    reg_in.push_back(metrics.trace_stats.avg_reg_inputs);
+    mem_in.push_back(metrics.trace_stats.avg_mem_inputs);
+    reg_out.push_back(metrics.trace_stats.avg_reg_outputs);
+    mem_out.push_back(metrics.trace_stats.avg_mem_outputs);
+  }
+  stats.avg_size = arithmetic_mean(size);
+  stats.reg_inputs = arithmetic_mean(reg_in);
+  stats.mem_inputs = arithmetic_mean(mem_in);
+  stats.reg_outputs = arithmetic_mean(reg_out);
+  stats.mem_outputs = arithmetic_mean(mem_out);
+  if (stats.avg_size > 0) {
+    stats.reads_per_inst =
+        (stats.reg_inputs + stats.mem_inputs) / stats.avg_size;
+    stats.writes_per_inst =
+        (stats.reg_outputs + stats.mem_outputs) / stats.avg_size;
+  }
+  return stats;
+}
+
+// ---- Figure 9 --------------------------------------------------------
+
+std::vector<Fig9Heuristic> fig9_heuristics() {
+  std::vector<Fig9Heuristic> heuristics;
+  heuristics.push_back({"ILR NE", reuse::CollectHeuristic::kIlrNoExpand, 0});
+  heuristics.push_back({"ILR EXP", reuse::CollectHeuristic::kIlrExpand, 0});
+  for (u32 n = 1; n <= 8; ++n) {
+    heuristics.push_back({"I" + std::to_string(n) + " EXP",
+                          reuse::CollectHeuristic::kFixedExpand, n});
+  }
+  return heuristics;
+}
+
+std::vector<std::pair<std::string, reuse::RtmGeometry>> fig9_geometries() {
+  return {
+      {"512", reuse::RtmGeometry::rtm512()},
+      {"4K", reuse::RtmGeometry::rtm4k()},
+      {"32K", reuse::RtmGeometry::rtm32k()},
+      {"256K", reuse::RtmGeometry::rtm256k()},
+  };
+}
+
+namespace {
+
+TextTable fig9_table(const Fig9Result& result, const std::string& title,
+                     double (*pick)(const Fig9Cell&), int precision) {
+  TextTable table(title);
+  std::vector<std::string> headers = {"heuristic"};
+  for (const auto& [label, geometry] : fig9_geometries()) {
+    headers.push_back(label + " traces");
+  }
+  table.set_columns(std::move(headers));
+  const auto heuristics = fig9_heuristics();
+  for (usize h = 0; h < heuristics.size(); ++h) {
+    table.begin_row();
+    table.add_cell(heuristics[h].label);
+    for (usize g = 0; g < result.cells[h].size(); ++g) {
+      table.add_number(pick(result.cells[h][g]), precision);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+TextTable Fig9Result::reusability_table() const {
+  return fig9_table(
+      *this, "Figure 9a: reused instructions (%), realistic RTM",
+      [](const Fig9Cell& cell) { return cell.reuse_fraction * 100.0; }, 1);
+}
+
+TextTable Fig9Result::trace_size_table() const {
+  return fig9_table(
+      *this, "Figure 9b: average reused trace size, realistic RTM",
+      [](const Fig9Cell& cell) { return cell.avg_trace_size; }, 2);
+}
+
+Fig9Result fig9_finite_rtm(const SuiteConfig& config,
+                           reuse::ReuseTestKind test) {
+  const auto heuristics = fig9_heuristics();
+  const auto geometries = fig9_geometries();
+
+  Fig9Result result;
+  result.cells.assign(heuristics.size(),
+                      std::vector<Fig9Cell>(geometries.size()));
+  // Accumulators: per (heuristic, geometry), per-benchmark values.
+  std::vector<std::vector<std::vector<double>>> fracs(
+      heuristics.size(),
+      std::vector<std::vector<double>>(geometries.size()));
+  auto sizes = fracs;
+
+  // One stream at a time (memory), reused across all 40 configurations.
+  for (const std::string_view name : workloads::workload_names()) {
+    const std::vector<isa::DynInst> stream =
+        collect_workload_stream(name, config);
+    for (usize h = 0; h < heuristics.size(); ++h) {
+      for (usize g = 0; g < geometries.size(); ++g) {
+        reuse::RtmSimConfig sim_config;
+        sim_config.geometry = geometries[g].second;
+        sim_config.heuristic = heuristics[h].heuristic;
+        sim_config.fixed_n = heuristics[h].fixed_n == 0
+                                 ? 4
+                                 : heuristics[h].fixed_n;
+        sim_config.reuse_test = test;
+        reuse::RtmSimulator simulator(sim_config);
+        const reuse::RtmSimResult sim = simulator.run(stream);
+        fracs[h][g].push_back(sim.reuse_fraction());
+        sizes[h][g].push_back(sim.avg_reused_trace_size());
+      }
+    }
+  }
+
+  for (usize h = 0; h < heuristics.size(); ++h) {
+    for (usize g = 0; g < geometries.size(); ++g) {
+      result.cells[h][g].reuse_fraction = arithmetic_mean(fracs[h][g]);
+      result.cells[h][g].avg_trace_size = arithmetic_mean(sizes[h][g]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tlr::core

@@ -1,0 +1,105 @@
+// Figure runners: assemble the exact series each paper figure plots,
+// with the paper's aggregation discipline (§4.1: speed-ups average with
+// harmonic means, percentages with arithmetic means) and render them as
+// tables. One bench binary per figure calls into these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "util/table.hpp"
+
+namespace tlr::core {
+
+/// One per-benchmark series (a bar chart in the paper): values for the
+/// 14 programs plus AVG_FP / AVG_INT / AVERAGE aggregates.
+struct BenchSeries {
+  std::string title;
+  std::vector<std::string> names;  // 14 benchmarks, figure order
+  std::vector<bool> is_fp;
+  std::vector<double> values;
+  double avg_fp = 0.0;
+  double avg_int = 0.0;
+  double avg_all = 0.0;
+
+  TextTable to_table(const std::string& value_header,
+                     int precision = 2) const;
+};
+
+/// Aggregation discipline for BenchSeries construction.
+enum class Aggregate { kArithmetic, kHarmonic };
+
+BenchSeries make_series(std::string title,
+                        const std::vector<WorkloadMetrics>& suite,
+                        double (*extract)(const WorkloadMetrics&),
+                        Aggregate aggregate);
+
+// ---- Figure 3: instruction-level reusability, perfect engine ---------
+BenchSeries fig3_reusability(const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figures 4a/5a: ILR speed-up at 1-cycle latency -------------------
+BenchSeries fig4a_ilr_speedup_inf(const std::vector<WorkloadMetrics>& suite);
+BenchSeries fig5a_ilr_speedup_win(const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figures 4b/5b: average ILR speed-up vs reuse latency -------------
+/// Returns one harmonic-mean speed-up per configured latency.
+std::vector<double> fig4b_ilr_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite);
+std::vector<double> fig5b_ilr_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figure 6: trace-level reuse speed-up ------------------------------
+BenchSeries fig6a_trace_speedup_inf(const std::vector<WorkloadMetrics>& suite);
+BenchSeries fig6b_trace_speedup_win(const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figure 7: average maximal trace size ------------------------------
+BenchSeries fig7_trace_size(const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figure 8: trace reuse latency sensitivity (finite window) --------
+std::vector<double> fig8a_latency_sweep(
+    const std::vector<WorkloadMetrics>& suite);
+std::vector<double> fig8b_proportional_sweep(
+    const std::vector<WorkloadMetrics>& suite);
+
+/// §4.5 text statistics: average trace inputs/outputs and per-
+/// instruction read/write bandwidth.
+struct TraceIoStats {
+  double avg_size = 0.0;
+  double reg_inputs = 0.0, mem_inputs = 0.0;
+  double reg_outputs = 0.0, mem_outputs = 0.0;
+  double reads_per_inst = 0.0, writes_per_inst = 0.0;
+};
+TraceIoStats trace_io_stats(const std::vector<WorkloadMetrics>& suite);
+
+// ---- Figure 9: realistic implementation (finite RTM) -------------------
+/// The heuristics on Fig 9's X axis, in order.
+struct Fig9Heuristic {
+  std::string label;  // "ILR NE", "ILR EXP", "I1 EXP" ... "I8 EXP"
+  reuse::CollectHeuristic heuristic;
+  u32 fixed_n = 0;
+};
+std::vector<Fig9Heuristic> fig9_heuristics();
+
+/// The RTM capacities on Fig 9's legend, in order.
+std::vector<std::pair<std::string, reuse::RtmGeometry>> fig9_geometries();
+
+struct Fig9Cell {
+  double reuse_fraction = 0.0;      // Fig 9a (suite arithmetic mean)
+  double avg_trace_size = 0.0;      // Fig 9b
+};
+struct Fig9Result {
+  // result[h][g]: heuristic h under geometry g.
+  std::vector<std::vector<Fig9Cell>> cells;
+  TextTable reusability_table() const;
+  TextTable trace_size_table() const;
+};
+
+/// Runs the finite-RTM simulation matrix over the suite. This is the
+/// most expensive experiment; `config.length` governs its cost.
+Fig9Result fig9_finite_rtm(const SuiteConfig& config,
+                           reuse::ReuseTestKind test =
+                               reuse::ReuseTestKind::kValueCompare);
+
+}  // namespace tlr::core

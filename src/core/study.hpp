@@ -1,0 +1,106 @@
+// ReuseStudy core: runs one workload through the full analysis stack
+// (interpreter -> reusability -> plans -> dataflow timing) and collects
+// every number the paper's figures need. This is the primary public
+// entry point of the library; the figure runners (figures.hpp), the
+// benches and the examples are all built on it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/latency.hpp"
+#include "reuse/trace_builder.hpp"
+#include "timing/timer.hpp"
+#include "util/types.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::core {
+
+/// Stream extraction parameters shared by a whole study. The paper
+/// skips 25M instructions and measures 50M; the library defaults are
+/// laptop-scale (see DESIGN.md §6) and every bench accepts overrides.
+struct SuiteConfig {
+  u64 skip = 50'000;
+  u64 length = 400'000;
+  u64 seed = 0xC0FFEE;
+  u32 window = 256;  // the paper's finite instruction window
+};
+
+/// Which (potentially expensive) analyses to run per workload.
+struct MetricOptions {
+  bool timing = true;
+  bool trace_stats = true;
+  std::vector<Cycle> ilr_latencies = {1, 2, 3, 4};
+  std::vector<Cycle> trace_latencies = {1, 2, 3, 4};
+  std::vector<double> proportional_ks = {1.0 / 32, 1.0 / 16, 1.0 / 8,
+                                         1.0 / 4,  1.0 / 2,  1.0};
+};
+
+/// Everything the limit-study figures need for one benchmark.
+struct WorkloadMetrics {
+  std::string name;
+  bool is_fp = false;
+  u64 instructions = 0;
+
+  /// Fig 3: fraction of dynamic instructions reusable under a perfect
+  /// engine.
+  double reusability = 0.0;
+
+  // Base-machine cycle counts (infinite window / finite window).
+  Cycle base_inf = 0;
+  Cycle base_win = 0;
+
+  // Instruction-level reuse cycle counts per reuse latency (Fig 4/5).
+  std::vector<Cycle> ilr_inf;
+  std::vector<Cycle> ilr_win;
+
+  // Trace-level reuse cycle counts (Fig 6/8a): infinite window at
+  // 1-cycle latency; finite window per constant latency.
+  Cycle trace_inf = 0;
+  std::vector<Cycle> trace_win;
+
+  // Finite window, proportional latency per k (Fig 8b).
+  std::vector<Cycle> trace_win_prop;
+
+  /// Maximal-trace statistics (Fig 7, §4.5 bandwidth discussion).
+  reuse::TraceStats trace_stats;
+
+  double ilr_speedup_inf(usize lat_index) const {
+    return ratio(base_inf, ilr_inf[lat_index]);
+  }
+  double ilr_speedup_win(usize lat_index) const {
+    return ratio(base_win, ilr_win[lat_index]);
+  }
+  double trace_speedup_inf() const { return ratio(base_inf, trace_inf); }
+  double trace_speedup_win(usize lat_index) const {
+    return ratio(base_win, trace_win[lat_index]);
+  }
+  double trace_speedup_prop(usize k_index) const {
+    return ratio(base_win, trace_win_prop[k_index]);
+  }
+
+ private:
+  static double ratio(Cycle base, Cycle other) {
+    return other == 0 ? 0.0
+                      : static_cast<double>(base) /
+                            static_cast<double>(other);
+  }
+};
+
+/// Full analysis of one workload. The dynamic stream is materialised,
+/// analysed and released before returning.
+WorkloadMetrics analyze_workload(std::string_view workload_name,
+                                 const SuiteConfig& config,
+                                 const MetricOptions& options = {});
+
+/// Analyse the whole 14-benchmark suite (figure order).
+std::vector<WorkloadMetrics> analyze_suite(const SuiteConfig& config,
+                                           const MetricOptions& options = {});
+
+/// Collect the dynamic stream for a workload under `config` (exposed
+/// for tests, examples and custom experiments).
+std::vector<isa::DynInst> collect_workload_stream(
+    std::string_view workload_name, const SuiteConfig& config);
+
+}  // namespace tlr::core

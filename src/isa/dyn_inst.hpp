@@ -1,0 +1,62 @@
+// Dynamic instruction record: the unit of the simulated dynamic stream.
+//
+// This is the exact information the paper's methodology extracts with
+// ATOM (§4.1): for each executed instruction, the storage locations it
+// read with their values, the location it wrote with its value, and the
+// next PC. Everything downstream — the reusability analyses, the
+// dataflow timers, the RTM simulator — consumes only this record.
+//
+// Reads of the hard-wired zero registers are *not* recorded as inputs
+// (their value is a constant, so they can never distinguish two dynamic
+// instances), and writes to them are discarded, mirroring how Alpha
+// reuse studies treat r31/f31.
+#pragma once
+
+#include "isa/instruction.hpp"
+#include "isa/op.hpp"
+#include "isa/reg.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr::isa {
+
+/// One operand read: which location and what value it held.
+struct OperandRead {
+  Loc loc;
+  u64 value = 0;
+};
+
+struct DynInst {
+  Pc pc = kInvalidPc;
+  Pc next_pc = kInvalidPc;
+  Op op = Op::kHalt;
+
+  /// Input reads in program-defined order (register operands first,
+  /// then — for loads — the memory word). At most 3 (store: addr reg,
+  /// data reg; load: addr reg, memory word).
+  u8 num_inputs = 0;
+  OperandRead inputs[3];
+
+  /// Output write, if any (register for most ops, memory word for
+  /// stores). Branches produce no output (their effect is next_pc).
+  bool has_output = false;
+  Loc output;
+  u64 output_value = 0;
+
+  void add_input(Loc loc, u64 value) {
+    TLR_ASSERT(num_inputs < 3);
+    inputs[num_inputs++] = OperandRead{loc, value};
+  }
+
+  void set_output(Loc loc, u64 value) {
+    has_output = true;
+    output = loc;
+    output_value = value;
+  }
+
+  bool is_load() const { return isa::is_load(op); }
+  bool is_store() const { return isa::is_store(op); }
+  bool is_control() const { return isa::is_control(op); }
+};
+
+}  // namespace tlr::isa

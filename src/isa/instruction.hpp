@@ -1,0 +1,33 @@
+// Static instruction encoding.
+//
+// `Instruction` is what programs are made of; `DynInst` (dyn_inst.hpp)
+// is what executing one produces. Branch/call targets are absolute
+// instruction indices resolved by the ProgramBuilder.
+#pragma once
+
+#include "isa/op.hpp"
+#include "isa/reg.hpp"
+#include "util/types.hpp"
+
+namespace tlr::isa {
+
+/// Static instruction index inside a Program ("the PC").
+using Pc = u32;
+
+inline constexpr Pc kInvalidPc = ~Pc{0};
+
+struct Instruction {
+  Op op = Op::kHalt;
+  Reg ra = kIntZero;  // first source (also address base for memory ops)
+  Reg rb = kIntZero;  // second source (also store data)
+  Reg rc = kIntZero;  // destination
+  /// Immediate operand / memory displacement / branch target / FP bits,
+  /// depending on op.
+  i64 imm = 0;
+  /// For 2-source integer ops: use imm instead of rb as second operand.
+  bool use_imm = false;
+};
+
+static_assert(sizeof(Instruction) <= 24);
+
+}  // namespace tlr::isa

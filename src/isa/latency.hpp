@@ -1,0 +1,53 @@
+// Instruction latencies, borrowed (like the paper, §4) from the Alpha
+// 21164 Hardware Reference Manual. One latency per operation class; the
+// dataflow timing model charges this many cycles between the readiness
+// of an instruction's inputs and the availability of its result.
+#pragma once
+
+#include "isa/op.hpp"
+#include "util/types.hpp"
+
+namespace tlr::isa {
+
+/// Latency table, indexable by OpClass and overridable per experiment
+/// (the default constructor loads the 21164 numbers).
+class LatencyTable {
+ public:
+  constexpr LatencyTable() = default;
+
+  constexpr Cycle get(OpClass cls) const {
+    return cycles_[static_cast<usize>(cls)];
+  }
+  Cycle get(Op op) const { return get(op_class(op)); }
+
+  constexpr void set(OpClass cls, Cycle cycles) {
+    cycles_[static_cast<usize>(cls)] = cycles;
+  }
+
+ private:
+  // Alpha 21164: integer ALU ops 1 cycle; MULQ 8..16 (we use 12, the
+  // 64x64 latency); loads 2 (D-cache hit); FP add/sub/cmp/cvt 4; FP mul
+  // 4; FP div 22..60 for T-format (we use 31, the worst-case divt);
+  // sqrt has no hardware unit on the 21164 — we model a 30-cycle unit.
+  // Integer divide is synthesized in software on Alpha; modeled as a
+  // 40-cycle unit so it stays a "long-latency op" like the paper's
+  // related work (result caches) assumes.
+  Cycle cycles_[11] = {
+      /*kIntAlu=*/1,
+      /*kIntMul=*/12,
+      /*kIntDiv=*/40,
+      /*kLoad=*/2,
+      /*kStore=*/1,
+      /*kBranch=*/1,
+      /*kFpAdd=*/4,
+      /*kFpMul=*/4,
+      /*kFpDiv=*/31,
+      /*kFpSqrt=*/30,
+      /*kNop=*/1,
+  };
+};
+
+/// The default 21164-derived table used throughout the evaluation.
+inline constexpr LatencyTable kAlpha21164Latencies{};
+
+}  // namespace tlr::isa

@@ -1,0 +1,153 @@
+#include "isa/op.hpp"
+
+#include "util/assert.hpp"
+
+namespace tlr::isa {
+
+OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAndNot:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kCmpEq:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpULt:
+    case Op::kLdi:
+    case Op::kMov:
+      return OpClass::kIntAlu;
+    case Op::kMul:
+      return OpClass::kIntMul;
+    case Op::kDiv:
+    case Op::kRem:
+      return OpClass::kIntDiv;
+    case Op::kLdq:
+    case Op::kLdt:
+      return OpClass::kLoad;
+    case Op::kStq:
+    case Op::kStt:
+      return OpClass::kStore;
+    case Op::kBr:
+    case Op::kBeqz:
+    case Op::kBnez:
+    case Op::kBltz:
+    case Op::kBgez:
+    case Op::kCall:
+    case Op::kJmp:
+    case Op::kRet:
+      return OpClass::kBranch;
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFNeg:
+    case Op::kFAbs:
+    case Op::kFCmpLt:
+    case Op::kFCmpEq:
+    case Op::kFLdi:
+    case Op::kCvtQT:
+    case Op::kCvtTQ:
+      return OpClass::kFpAdd;
+    case Op::kFMul:
+      return OpClass::kFpMul;
+    case Op::kFDiv:
+      return OpClass::kFpDiv;
+    case Op::kFSqrt:
+      return OpClass::kFpSqrt;
+    case Op::kHalt:
+      return OpClass::kNop;
+  }
+  TLR_ASSERT_MSG(false, "unknown op");
+  return OpClass::kNop;
+}
+
+bool is_load(Op op) { return op == Op::kLdq || op == Op::kLdt; }
+
+bool is_store(Op op) { return op == Op::kStq || op == Op::kStt; }
+
+bool is_control(Op op) { return op_class(op) == OpClass::kBranch; }
+
+bool is_cond_branch(Op op) {
+  switch (op) {
+    case Op::kBeqz:
+    case Op::kBnez:
+    case Op::kBltz:
+    case Op::kBgez:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_fp(Op op) {
+  switch (op) {
+    case Op::kLdt:
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+    case Op::kFSqrt:
+    case Op::kFNeg:
+    case Op::kFAbs:
+    case Op::kFLdi:
+    case Op::kCvtQT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kAndNot: return "andnot";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kCmpLe: return "cmple";
+    case Op::kCmpULt: return "cmpult";
+    case Op::kLdi: return "ldi";
+    case Op::kMov: return "mov";
+    case Op::kLdq: return "ldq";
+    case Op::kStq: return "stq";
+    case Op::kLdt: return "ldt";
+    case Op::kStt: return "stt";
+    case Op::kBr: return "br";
+    case Op::kBeqz: return "beqz";
+    case Op::kBnez: return "bnez";
+    case Op::kBltz: return "bltz";
+    case Op::kBgez: return "bgez";
+    case Op::kCall: return "call";
+    case Op::kJmp: return "jmp";
+    case Op::kRet: return "ret";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kFSqrt: return "fsqrt";
+    case Op::kFNeg: return "fneg";
+    case Op::kFAbs: return "fabs";
+    case Op::kFCmpLt: return "fcmplt";
+    case Op::kFCmpEq: return "fcmpeq";
+    case Op::kFLdi: return "fldi";
+    case Op::kCvtQT: return "cvtqt";
+    case Op::kCvtTQ: return "cvttq";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace tlr::isa

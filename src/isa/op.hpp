@@ -1,0 +1,105 @@
+// Operation set of the simulated machine.
+//
+// A compact load/store RISC ISA sufficient to express the fourteen
+// SPEC95-analog workloads: integer ALU/mul/div, logical and shift ops,
+// compares, 64-bit loads/stores (integer and FP views), conditional
+// branches on a register, direct and indirect jumps, call/return, and
+// the usual FP arithmetic. Operation *classes* carry the timing model's
+// latency class and drive the interpreter's operand decoding.
+#pragma once
+
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace tlr::isa {
+
+enum class Op : u8 {
+  // Integer arithmetic / logic (rc <- ra OP rb|imm).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,   // synthesized on real Alphas; modeled as a long-latency unit
+  kRem,   // likewise
+  kAnd,
+  kOr,
+  kXor,
+  kAndNot,
+  kSll,
+  kSrl,
+  kSra,
+  kCmpEq,   // rc <- (ra == rb|imm) ? 1 : 0
+  kCmpLt,   // signed <
+  kCmpLe,   // signed <=
+  kCmpULt,  // unsigned <
+
+  // Immediate materialisation / moves.
+  kLdi,    // rc <- imm (64-bit)
+  kMov,    // rc <- ra
+
+  // Memory (effective address = ra + imm; 8-byte aligned words).
+  kLdq,    // rc(int) <- mem[ea]
+  kStq,    // mem[ea] <- rb(int)
+  kLdt,    // rc(fp)  <- mem[ea] (bit pattern)
+  kStt,    // mem[ea] <- rb(fp)  (bit pattern)
+
+  // Control (targets are absolute instruction indices in imm).
+  kBr,     // unconditional
+  kBeqz,   // branch if ra == 0
+  kBnez,
+  kBltz,   // signed
+  kBgez,
+  kCall,   // link reg <- pc+1; jump to imm
+  kJmp,    // jump to instruction index in ra (indirect)
+  kRet,    // jump to instruction index in ra (alias of kJmp, reads link)
+
+  // Floating point (doubles held as bit patterns).
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFSqrt,  // rc <- sqrt(ra)
+  kFNeg,
+  kFAbs,
+  kFCmpLt,  // rc(int) <- (fa < fb) ? 1 : 0
+  kFCmpEq,
+  kFLdi,    // rc(fp) <- imm bit pattern
+  kCvtQT,   // rc(fp) <- double(ra as signed int)
+  kCvtTQ,   // rc(int) <- trunc(ra as double)
+
+  kHalt,   // stop execution
+};
+
+inline constexpr usize kNumOps = static_cast<usize>(Op::kHalt) + 1;
+
+/// Latency classes; one Alpha-21164-derived latency per class.
+enum class OpClass : u8 {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kLoad,
+  kStore,
+  kBranch,
+  kFpAdd,   // add/sub/compare/convert class
+  kFpMul,
+  kFpDiv,
+  kFpSqrt,
+  kNop,
+};
+
+OpClass op_class(Op op);
+
+/// True for kLdq/kLdt.
+bool is_load(Op op);
+/// True for kStq/kStt.
+bool is_store(Op op);
+/// True for every control-transfer op (branches, jumps, call, ret).
+bool is_control(Op op);
+/// True if the op conditionally diverges (kBeqz..kBgez).
+bool is_cond_branch(Op op);
+/// True if the destination is an FP register.
+bool writes_fp(Op op);
+/// Mnemonic for disassembly and error messages.
+std::string_view op_name(Op op);
+
+}  // namespace tlr::isa

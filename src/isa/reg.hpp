@@ -1,0 +1,125 @@
+// Register-file and storage-location naming.
+//
+// The simulated machine is Alpha-flavoured: 32 integer registers
+// (R0..R31, with R31 hard-wired to zero) and 32 floating-point registers
+// (F0..F31, F31 hard-wired to zero). FP values are stored as IEEE-754
+// double bit patterns in 64-bit cells, so the whole architectural state
+// is uniform u64 words — which is exactly what the reuse machinery needs
+// to compare and hash.
+//
+// `Loc` is the unified storage-location name used by the reuse engines
+// and the dataflow timers: a register index, or a memory word address
+// with the top bit set. The paper defines trace inputs/outputs as sets
+// of registers *and* memory locations; a single comparable/hashable
+// 64-bit name keeps the live-in/live-out machinery simple.
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr::isa {
+
+/// Register index: 0..31 integer, 32..63 floating point.
+using Reg = u8;
+
+inline constexpr Reg kNumIntRegs = 32;
+inline constexpr Reg kNumFpRegs = 32;
+inline constexpr Reg kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/// Integer register i (0..31).
+constexpr Reg r(unsigned i) {
+  TLR_ASSERT(i < kNumIntRegs);
+  return static_cast<Reg>(i);
+}
+
+/// Floating-point register i (0..31), mapped into [32, 64).
+constexpr Reg f(unsigned i) {
+  TLR_ASSERT(i < kNumFpRegs);
+  return static_cast<Reg>(kNumIntRegs + i);
+}
+
+/// Hard-wired zero registers: reads yield 0, writes are discarded.
+inline constexpr Reg kIntZero = r(31);
+inline constexpr Reg kFpZero = f(31);
+
+/// Conventional link register written by CALL and read by RET.
+inline constexpr Reg kLinkReg = r(26);
+/// Conventional stack pointer (pure convention; the ISA does not treat
+/// it specially).
+inline constexpr Reg kStackReg = r(30);
+
+constexpr bool is_int_reg(Reg reg) { return reg < kNumIntRegs; }
+constexpr bool is_fp_reg(Reg reg) {
+  return reg >= kNumIntRegs && reg < kNumRegs;
+}
+constexpr bool is_zero_reg(Reg reg) {
+  return reg == kIntZero || reg == kFpZero;
+}
+
+/// Unified storage-location name: register or aligned memory word.
+/// Encoding: registers are their index; memory word at byte address A
+/// (A % 8 == 0) is (A | kMemTag). The tag bit cannot collide with real
+/// addresses because the simulated address space is < 2^48.
+class Loc {
+ public:
+  static constexpr u64 kMemTag = u64{1} << 63;
+
+  constexpr Loc() : raw_(~u64{0}) {}
+
+  static constexpr Loc reg(Reg r) {
+    TLR_ASSERT(r < kNumRegs);
+    Loc loc;
+    loc.raw_ = r;
+    return loc;
+  }
+
+  /// Rebuild a Loc from a raw() value (e.g. out of an RTM entry).
+  static constexpr Loc from_raw(u64 raw) {
+    Loc loc;
+    loc.raw_ = raw;
+    return loc;
+  }
+
+  static constexpr Loc mem(Addr byte_addr) {
+    TLR_ASSERT_MSG((byte_addr & 7) == 0, "memory locations are 8-byte words");
+    TLR_ASSERT(byte_addr < kMemTag);
+    Loc loc;
+    loc.raw_ = byte_addr | kMemTag;
+    return loc;
+  }
+
+  constexpr bool is_mem() const { return (raw_ & kMemTag) != 0; }
+  constexpr bool is_reg() const { return !is_mem(); }
+
+  constexpr Reg reg_index() const {
+    TLR_ASSERT(is_reg());
+    return static_cast<Reg>(raw_);
+  }
+
+  constexpr Addr mem_addr() const {
+    TLR_ASSERT(is_mem());
+    return raw_ & ~kMemTag;
+  }
+
+  /// Raw 64-bit name; stable, hashable, order-comparable.
+  constexpr u64 raw() const { return raw_; }
+
+  friend constexpr bool operator==(Loc, Loc) = default;
+  friend constexpr auto operator<=>(Loc, Loc) = default;
+
+ private:
+  u64 raw_;
+};
+
+struct LocHash {
+  usize operator()(Loc loc) const noexcept {
+    // mix so that dense register indices and aligned addresses spread.
+    u64 x = loc.raw();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<usize>(x);
+  }
+};
+
+}  // namespace tlr::isa

@@ -1,0 +1,180 @@
+#include "reuse/accumulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace tlr::reuse {
+
+using isa::DynInst;
+using isa::Loc;
+
+bool TraceAccumulator::written(u64 raw_loc) const {
+  for (const LocVal& out : outputs_) {
+    if (out.loc == raw_loc) return true;
+  }
+  return false;
+}
+
+const LocVal* TraceAccumulator::find_input(u64 raw_loc) const {
+  for (const LocVal& in : inputs_) {
+    if (in.loc == raw_loc) return &in;
+  }
+  return nullptr;
+}
+
+bool TraceAccumulator::try_add(const DynInst& inst) {
+  // Dry-run the limit checks before mutating anything.
+  u32 new_reg_in = 0, new_mem_in = 0;
+  for (u8 k = 0; k < inst.num_inputs; ++k) {
+    const u64 raw = inst.inputs[k].loc.raw();
+    if (written(raw) || find_input(raw) != nullptr) continue;
+    // Count duplicates within this instruction only once.
+    bool dup = false;
+    for (u8 j = 0; j < k; ++j) {
+      if (inst.inputs[j].loc.raw() == raw) dup = true;
+    }
+    if (dup) continue;
+    if (inst.inputs[k].loc.is_reg()) {
+      ++new_reg_in;
+    } else {
+      ++new_mem_in;
+    }
+  }
+  u32 new_reg_out = 0, new_mem_out = 0;
+  if (inst.has_output && !written(inst.output.raw())) {
+    if (inst.output.is_reg()) {
+      ++new_reg_out;
+    } else {
+      ++new_mem_out;
+    }
+  }
+
+  if (reg_in_ + new_reg_in > limits_.max_reg_inputs) return false;
+  if (mem_in_ + new_mem_in > limits_.max_mem_inputs) return false;
+  if (reg_out_ + new_reg_out > limits_.max_reg_outputs) return false;
+  if (mem_out_ + new_mem_out > limits_.max_mem_outputs) return false;
+
+  // Commit.
+  if (length_ == 0) start_pc_ = inst.pc;
+  for (u8 k = 0; k < inst.num_inputs; ++k) {
+    const u64 raw = inst.inputs[k].loc.raw();
+    if (written(raw) || find_input(raw) != nullptr) continue;
+    inputs_.push_back(LocVal{raw, inst.inputs[k].value});
+    if (inst.inputs[k].loc.is_reg()) {
+      ++reg_in_;
+    } else {
+      ++mem_in_;
+    }
+  }
+  if (inst.has_output) {
+    bool rewritten = false;
+    for (LocVal& out : outputs_) {
+      if (out.loc == inst.output.raw()) {
+        out.value = inst.output_value;  // later write wins
+        rewritten = true;
+        break;
+      }
+    }
+    if (!rewritten) {
+      outputs_.push_back(LocVal{inst.output.raw(), inst.output_value});
+      if (inst.output.is_reg()) {
+        ++reg_out_;
+      } else {
+        ++mem_out_;
+      }
+    }
+  }
+  next_pc_ = inst.next_pc;
+  ++length_;
+  return true;
+}
+
+StoredTrace TraceAccumulator::finalize() {
+  TLR_ASSERT(length_ > 0);
+  StoredTrace trace;
+  trace.start_pc = start_pc_;
+  trace.next_pc = next_pc_;
+  trace.length = length_;
+  trace.inputs = std::move(inputs_);
+  trace.outputs = std::move(outputs_);
+  trace.reg_inputs = reg_in_;
+  trace.mem_inputs = mem_in_;
+  trace.reg_outputs = reg_out_;
+  trace.mem_outputs = mem_out_;
+  reset();
+  return trace;
+}
+
+void TraceAccumulator::reset() {
+  start_pc_ = isa::kInvalidPc;
+  next_pc_ = isa::kInvalidPc;
+  length_ = 0;
+  inputs_.clear();
+  outputs_.clear();
+  reg_in_ = mem_in_ = reg_out_ = mem_out_ = 0;
+}
+
+std::optional<StoredTrace> TraceAccumulator::merge(const StoredTrace& a,
+                                                   const StoredTrace& b,
+                                                   const TraceLimits& limits) {
+  StoredTrace merged;
+  merged.start_pc = a.start_pc;
+  merged.next_pc = b.next_pc;
+  merged.length = a.length + b.length;
+  merged.inputs = a.inputs;
+  merged.outputs = a.outputs;
+  merged.reg_inputs = a.reg_inputs;
+  merged.mem_inputs = a.mem_inputs;
+  merged.reg_outputs = a.reg_outputs;
+  merged.mem_outputs = a.mem_outputs;
+
+  auto has_loc = [](const SmallVector<LocVal, 12>& list, u64 raw) {
+    for (const LocVal& lv : list) {
+      if (lv.loc == raw) return true;
+    }
+    return false;
+  };
+
+  // b's live-ins that a does not produce become live-ins of the merge.
+  for (const LocVal& in : b.inputs) {
+    if (has_loc(merged.outputs, in.loc) || has_loc(merged.inputs, in.loc)) {
+      continue;
+    }
+    merged.inputs.push_back(in);
+    const bool is_reg = (in.loc & isa::Loc::kMemTag) == 0;
+    if (is_reg) {
+      ++merged.reg_inputs;
+    } else {
+      ++merged.mem_inputs;
+    }
+  }
+  // b's outputs override a's for the same location.
+  for (const LocVal& out : b.outputs) {
+    bool overridden = false;
+    for (LocVal& existing : merged.outputs) {
+      if (existing.loc == out.loc) {
+        existing.value = out.value;
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) {
+      merged.outputs.push_back(out);
+      const bool is_reg = (out.loc & isa::Loc::kMemTag) == 0;
+      if (is_reg) {
+        ++merged.reg_outputs;
+      } else {
+        ++merged.mem_outputs;
+      }
+    }
+  }
+
+  if (merged.reg_inputs > limits.max_reg_inputs ||
+      merged.mem_inputs > limits.max_mem_inputs ||
+      merged.reg_outputs > limits.max_reg_outputs ||
+      merged.mem_outputs > limits.max_mem_outputs) {
+    return std::nullopt;
+  }
+  return merged;
+}
+
+}  // namespace tlr::reuse

@@ -1,0 +1,52 @@
+// TraceAccumulator: incremental live-in/live-out construction for a
+// trace being collected (§3.2), enforcing the per-trace input/output
+// limits. When adding an instruction would overflow a limit the caller
+// finalises the current trace and starts a new one — this is how the
+// realistic implementation keeps RTM entries bounded (§4.6).
+#pragma once
+
+#include "isa/dyn_inst.hpp"
+#include "reuse/rtm.hpp"
+#include "util/small_vector.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+class TraceAccumulator {
+ public:
+  explicit TraceAccumulator(const TraceLimits& limits) : limits_(limits) {}
+
+  /// Try to extend the trace with `inst`. Returns false — leaving the
+  /// accumulator unchanged — if a limit would be exceeded.
+  bool try_add(const isa::DynInst& inst);
+
+  bool empty() const { return length_ == 0; }
+  u32 length() const { return length_; }
+  isa::Pc start_pc() const { return start_pc_; }
+
+  /// Produce the StoredTrace and reset the accumulator.
+  StoredTrace finalize();
+
+  void reset();
+
+  /// Merge a stored trace A with a stored trace B that immediately
+  /// followed it dynamically (ILR EXP trace merging, §4.6). Returns
+  /// nullopt if the merged trace would exceed `limits`.
+  static std::optional<StoredTrace> merge(const StoredTrace& a,
+                                          const StoredTrace& b,
+                                          const TraceLimits& limits);
+
+ private:
+  bool written(u64 raw_loc) const;
+  const LocVal* find_input(u64 raw_loc) const;
+
+  TraceLimits limits_;
+  isa::Pc start_pc_ = isa::kInvalidPc;
+  isa::Pc next_pc_ = isa::kInvalidPc;
+  u32 length_ = 0;
+  SmallVector<LocVal, 12> inputs_;
+  SmallVector<LocVal, 12> outputs_;  // current (latest) values
+  u32 reg_in_ = 0, mem_in_ = 0, reg_out_ = 0, mem_out_ = 0;
+};
+
+}  // namespace tlr::reuse

@@ -1,0 +1,68 @@
+// Instruction-level reuse history tables.
+//
+// InfiniteInstrTable is the "perfect engine" of the limit study
+// (Fig 3): it remembers every distinct input tuple each static
+// instruction has ever executed with.
+//
+// FiniteInstrTable is the bounded table the realistic RTM experiment
+// (§4.6) pairs with the ILR collection heuristics: "a different reuse
+// memory used for testing instruction-level reusability is also
+// needed. This memory has as many entries as the RTM." Each entry
+// records one (static instruction, input signature) instance;
+// set-associative with LRU replacement.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "reuse/signature.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+class InfiniteInstrTable {
+ public:
+  /// Returns true iff this exact (pc, inputs) instance was seen before;
+  /// records the instance either way.
+  bool lookup_insert(const isa::DynInst& inst);
+
+  u64 distinct_pcs() const { return table_.size(); }
+  u64 stored_instances() const { return instances_; }
+
+ private:
+  std::unordered_map<isa::Pc,
+                     std::unordered_set<Digest128, Digest128Hash>>
+      table_;
+  u64 instances_ = 0;
+};
+
+class FiniteInstrTable {
+ public:
+  /// `entries` is rounded up to a multiple of the associativity.
+  explicit FiniteInstrTable(u64 entries, u32 assoc = 4);
+
+  /// Returns true on hit; inserts (evicting LRU) on miss.
+  bool lookup_insert(const isa::DynInst& inst);
+
+  u64 entries() const { return ways_.size(); }
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+
+ private:
+  struct Way {
+    isa::Pc pc = isa::kInvalidPc;
+    Digest128 signature;
+    u64 stamp = 0;
+  };
+
+  u64 set_count_;
+  u32 assoc_;
+  std::vector<Way> ways_;  // sets * assoc, set-major
+  u64 clock_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace tlr::reuse

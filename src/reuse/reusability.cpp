@@ -1,0 +1,21 @@
+#include "reuse/reusability.hpp"
+
+#include "reuse/instr_table.hpp"
+
+namespace tlr::reuse {
+
+ReusabilityResult analyze_reusability(std::span<const isa::DynInst> stream) {
+  ReusabilityResult result;
+  result.reusable.resize(stream.size());
+  result.total = stream.size();
+
+  InfiniteInstrTable table;
+  for (usize i = 0; i < stream.size(); ++i) {
+    const bool hit = table.lookup_insert(stream[i]);
+    result.reusable[i] = hit;
+    if (hit) ++result.reusable_count;
+  }
+  return result;
+}
+
+}  // namespace tlr::reuse

@@ -1,0 +1,29 @@
+// Instruction-level reusability limit study (paper §4.2, Figure 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+struct ReusabilityResult {
+  /// Per-instruction flags: was this instance reusable under a perfect
+  /// (infinite-history) engine?
+  std::vector<bool> reusable;
+  u64 total = 0;
+  u64 reusable_count = 0;
+
+  double fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(reusable_count) /
+                            static_cast<double>(total);
+  }
+};
+
+/// One pass with an InfiniteInstrTable over the stream.
+ReusabilityResult analyze_reusability(std::span<const isa::DynInst> stream);
+
+}  // namespace tlr::reuse

@@ -1,0 +1,229 @@
+#include "reuse/rtm.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace tlr::reuse {
+
+namespace {
+
+/// True if the trace overwrites one of its own live-in locations with
+/// a different value — such an entry can never be legally reused under
+/// the valid-bit test (see Rtm::insert).
+bool self_invalidating(const StoredTrace& trace) {
+  for (const LocVal& in : trace.inputs) {
+    for (const LocVal& out : trace.outputs) {
+      if (out.loc == in.loc && out.value != in.value) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Rtm::Rtm(const RtmGeometry& geometry, ReuseTestKind test)
+    : geometry_(geometry), test_(test) {
+  TLR_ASSERT_MSG(std::has_single_bit(geometry.sets),
+                 "RTM set count must be a power of two (PC-indexed)");
+  TLR_ASSERT(geometry.pc_ways >= 1);
+  TLR_ASSERT(geometry.traces_per_pc >= 1);
+  ways_.resize(u64{geometry.sets} * geometry.pc_ways);
+  for (Way& way : ways_) {
+    way.slots.resize(geometry.traces_per_pc);
+  }
+}
+
+Rtm::Way* Rtm::find_way(u32 set, isa::Pc pc) {
+  Way* base = &ways_[u64{set} * geometry_.pc_ways];
+  for (u32 w = 0; w < geometry_.pc_ways; ++w) {
+    if (base[w].valid && base[w].pc == pc) return &base[w];
+  }
+  return nullptr;
+}
+
+std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
+                                             const ArchShadow& state) {
+  ++stats_.lookups;
+  const u32 set = set_index(pc);
+  Way* way = find_way(set, pc);
+  if (way == nullptr) return std::nullopt;
+
+  // Scan stored traces MRU-first so the freshest expansion wins.
+  u32 best_slot = 0;
+  const StoredTrace* best = nullptr;
+  u64 best_stamp = 0;
+  for (u32 s = 0; s < geometry_.traces_per_pc; ++s) {
+    Slot& slot = way->slots[s];
+    if (!slot.valid || slot.stamp < best_stamp) continue;
+    bool match;
+    if (test_ == ReuseTestKind::kValidBit) {
+      // Single-bit test: live means no input location was written
+      // since the trace was stored (§3.3, second approach).
+      match = slot.live;
+    } else {
+      match = true;
+      for (const LocVal& in : slot.trace.inputs) {
+        const auto current = state.value(in.loc);
+        if (!current.has_value() || *current != in.value) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match) {
+      best = &slot.trace;
+      best_slot = s;
+      best_stamp = slot.stamp;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  ++clock_;
+  way->stamp = clock_;
+  way->slots[best_slot].stamp = clock_;
+  ++stats_.hits;
+
+  LookupResult result;
+  result.trace = best;
+  result.handle =
+      Handle{set, static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]),
+             best_slot, pc, best->length};
+  return result;
+}
+
+void Rtm::insert(const StoredTrace& trace) {
+  TLR_ASSERT(trace.length > 0);
+  const u32 set = set_index(trace.start_pc);
+  Way* way = find_way(set, trace.start_pc);
+  ++clock_;
+
+  if (way == nullptr) {
+    // Allocate the LRU way of the set for this PC.
+    Way* base = &ways_[u64{set} * geometry_.pc_ways];
+    Way* victim = base;
+    for (u32 w = 0; w < geometry_.pc_ways; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].stamp < victim->stamp) victim = &base[w];
+    }
+    if (victim->valid) ++stats_.way_evictions;
+    victim->pc = trace.start_pc;
+    victim->valid = true;
+    for (Slot& slot : victim->slots) slot.valid = false;
+    way = victim;
+  }
+  way->stamp = clock_;
+
+  // Duplicate content refreshes LRU and — in valid-bit mode — restores
+  // the entry's validity (re-collection after invalidation).
+  for (Slot& slot : way->slots) {
+    if (slot.valid && slot.trace.same_content(trace)) {
+      slot.stamp = clock_;
+      ++stats_.duplicate_insertions;
+      if (test_ == ReuseTestKind::kValidBit && !slot.live &&
+          !self_invalidating(slot.trace)) {
+        slot.live = true;
+        ++slot.generation;
+        const u32 way_index =
+            static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]);
+        const u32 slot_index = static_cast<u32>(&slot - way->slots.data());
+        register_inputs(
+            SlotRef{set, way_index, slot_index, slot.generation},
+            slot.trace);
+      }
+      return;
+    }
+  }
+
+  Slot* victim = &way->slots[0];
+  for (Slot& slot : way->slots) {
+    if (!slot.valid) {
+      victim = &slot;
+      break;
+    }
+    if (slot.stamp < victim->stamp) victim = &slot;
+  }
+  if (victim->valid) ++stats_.trace_evictions;
+  victim->trace = trace;
+  victim->stamp = clock_;
+  victim->valid = true;
+  victim->live = true;
+  ++victim->generation;
+  ++stats_.insertions;
+
+  if (test_ == ReuseTestKind::kValidBit) {
+    // A trace that overwrites one of its own live-in locations with a
+    // different value invalidates itself: by the time the entry exists
+    // the location no longer holds the recorded input value, and under
+    // the valid-bit test (which compares no values) reusing it would
+    // be incorrect. Hardware gets this for free — the trace's own
+    // writeback clears the bit it just set.
+    if (self_invalidating(victim->trace)) {
+      victim->live = false;
+      ++stats_.invalidations;
+    }
+    if (victim->live) {
+      const u32 way_index =
+          static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]);
+      const u32 slot_index =
+          static_cast<u32>(victim - way->slots.data());
+      register_inputs(
+          SlotRef{set, way_index, slot_index, victim->generation},
+          victim->trace);
+    }
+  }
+}
+
+void Rtm::register_inputs(const SlotRef& ref, const StoredTrace& trace) {
+  for (const LocVal& in : trace.inputs) {
+    watchers_[in.loc].push_back(ref);
+  }
+}
+
+void Rtm::notify_write(u64 raw_loc) {
+  if (test_ != ReuseTestKind::kValidBit) return;
+  const auto it = watchers_.find(raw_loc);
+  if (it == watchers_.end()) return;
+  for (const SlotRef& ref : it->second) {
+    Slot& slot = slot_at(ref);
+    if (slot.generation != ref.generation) continue;  // since recycled
+    if (slot.live) {
+      slot.live = false;
+      ++stats_.invalidations;
+    }
+  }
+  watchers_.erase(it);
+}
+
+bool Rtm::replace(const Handle& handle, const StoredTrace& expanded) {
+  TLR_ASSERT(expanded.start_pc == handle.start_pc);
+  Way& way = ways_[u64{handle.set} * geometry_.pc_ways + handle.way];
+  if (!way.valid || way.pc != handle.start_pc) {
+    ++stats_.stale_replacements;
+    return false;
+  }
+  Slot& slot = way.slots[handle.slot];
+  if (!slot.valid || slot.trace.length != handle.length ||
+      slot.trace.start_pc != handle.start_pc) {
+    ++stats_.stale_replacements;
+    return false;
+  }
+  ++clock_;
+  slot.trace = expanded;
+  slot.stamp = clock_;
+  slot.live = true;
+  ++slot.generation;
+  way.stamp = clock_;
+  ++stats_.replacements;
+  if (test_ == ReuseTestKind::kValidBit) {
+    register_inputs(SlotRef{handle.set, handle.way, handle.slot,
+                            slot.generation},
+                    slot.trace);
+  }
+  return true;
+}
+
+}  // namespace tlr::reuse

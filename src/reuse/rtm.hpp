@@ -1,0 +1,236 @@
+// The Reuse Trace Memory (paper §3.1 and §4.6).
+//
+// Geometry decoded from §4.6 (see DESIGN.md): the RTM is organised as
+//   sets x pc_ways x traces_per_pc
+// where each *way* holds one initial-PC tag plus up to `traces_per_pc`
+// stored traces beginning at that PC ("4 entries per initial PC").
+// Indexing uses the least-significant bits of the PC; replacement is
+// LRU at both levels (ways within a set, traces within a way).
+//
+// A stored trace is identified by its input: the live-in locations and
+// their values (§3.1). The reuse test (§3.3, value-compare flavour)
+// matches every stored input value against the current architectural
+// state; the invalidation-bit flavour lives in invalidation.hpp.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "util/small_vector.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+/// (location, value) pair as stored in an RTM entry.
+struct LocVal {
+  u64 loc = 0;  // Loc::raw()
+  u64 value = 0;
+
+  friend bool operator==(const LocVal&, const LocVal&) = default;
+};
+
+/// A trace as stored in the RTM: input and output sections plus the
+/// next PC (Fig 1 of the paper).
+struct StoredTrace {
+  isa::Pc start_pc = isa::kInvalidPc;
+  isa::Pc next_pc = isa::kInvalidPc;
+  u32 length = 0;  // dynamic instructions covered
+
+  SmallVector<LocVal, 12> inputs;   // live-in locations with values
+  SmallVector<LocVal, 12> outputs;  // written locations with final values
+
+  u32 reg_inputs = 0;
+  u32 mem_inputs = 0;
+  u32 reg_outputs = 0;
+  u32 mem_outputs = 0;
+
+  bool same_content(const StoredTrace& other) const {
+    return start_pc == other.start_pc && next_pc == other.next_pc &&
+           length == other.length && inputs == other.inputs &&
+           outputs == other.outputs;
+  }
+};
+
+/// Per-trace input/output limits (§4.6: "the number of inputs and
+/// outputs have been limited to 8 registers and 4 memory values").
+struct TraceLimits {
+  u32 max_reg_inputs = 8;
+  u32 max_mem_inputs = 4;
+  u32 max_reg_outputs = 8;
+  u32 max_mem_outputs = 4;
+};
+
+/// RTM sizing. total_entries() = sets * pc_ways * traces_per_pc.
+struct RtmGeometry {
+  u32 sets = 128;
+  u32 pc_ways = 4;
+  u32 traces_per_pc = 8;
+
+  u64 total_entries() const {
+    return u64{sets} * pc_ways * traces_per_pc;
+  }
+
+  // The four configurations evaluated in §4.6.
+  static RtmGeometry rtm512() { return {32, 4, 4}; }
+  static RtmGeometry rtm4k() { return {128, 4, 8}; }
+  static RtmGeometry rtm32k() { return {256, 8, 16}; }
+  static RtmGeometry rtm256k() { return {2048, 8, 16}; }
+};
+
+/// Tracks the values the simulated fetch engine can know: registers
+/// and memory words whose contents have been observed (read or
+/// written) so far. The reuse test reads current values from here.
+class ArchShadow {
+ public:
+  ArchShadow() {
+    reg_known_.fill(false);
+    mem_.reserve(1 << 12);
+  }
+
+  std::optional<u64> value(u64 raw_loc) const {
+    if ((raw_loc & isa::Loc::kMemTag) == 0) {
+      const auto reg = static_cast<usize>(raw_loc);
+      if (!reg_known_[reg]) return std::nullopt;
+      return reg_value_[reg];
+    }
+    const auto it = mem_.find(raw_loc);
+    if (it == mem_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void set(u64 raw_loc, u64 value) {
+    if ((raw_loc & isa::Loc::kMemTag) == 0) {
+      const auto reg = static_cast<usize>(raw_loc);
+      reg_known_[reg] = true;
+      reg_value_[reg] = value;
+    } else {
+      mem_[raw_loc] = value;
+    }
+  }
+
+  /// Record everything an executed instruction reveals: its input
+  /// values (pre-state of the locations it read) and its output.
+  void observe(const isa::DynInst& inst) {
+    for (u8 k = 0; k < inst.num_inputs; ++k) {
+      set(inst.inputs[k].loc.raw(), inst.inputs[k].value);
+    }
+    if (inst.has_output) set(inst.output.raw(), inst.output_value);
+  }
+
+ private:
+  std::array<u64, isa::kNumRegs> reg_value_{};
+  std::array<bool, isa::kNumRegs> reg_known_{};
+  std::unordered_map<u64, u64> mem_;
+};
+
+/// Which reuse test the RTM implements (§3.3 describes both):
+/// value-compare reads the current values of all trace inputs and
+/// compares; valid-bit invalidates entries whenever any of their input
+/// locations is written, making the test a single bit check (simpler
+/// hardware, strictly less reuse — our ablation quantifies the gap).
+enum class ReuseTestKind : u8 {
+  kValueCompare,
+  kValidBit,
+};
+
+class Rtm {
+ public:
+  /// Stable-enough reference to a stored trace, used to replace an
+  /// entry after dynamic expansion. Validated on use (the slot may
+  /// have been evicted in between).
+  struct Handle {
+    u32 set = 0;
+    u32 way = 0;
+    u32 slot = 0;
+    isa::Pc start_pc = isa::kInvalidPc;
+    u32 length = 0;
+  };
+
+  struct LookupResult {
+    const StoredTrace* trace = nullptr;
+    Handle handle;
+  };
+
+  struct Stats {
+    u64 lookups = 0;
+    u64 hits = 0;
+    u64 insertions = 0;
+    u64 duplicate_insertions = 0;  // content already present
+    u64 way_evictions = 0;
+    u64 trace_evictions = 0;
+    u64 replacements = 0;          // successful expansions
+    u64 stale_replacements = 0;    // expansion target was evicted
+    u64 invalidations = 0;         // valid-bit mode only
+  };
+
+  explicit Rtm(const RtmGeometry& geometry,
+               ReuseTestKind test = ReuseTestKind::kValueCompare);
+
+  /// Reuse test at fetch: search the traces stored for `pc` (MRU
+  /// first) for one whose every input matches the current state.
+  std::optional<LookupResult> lookup(isa::Pc pc, const ArchShadow& state);
+
+  /// Store a collected trace (LRU replacement at both levels). A trace
+  /// with identical content to a stored one only refreshes LRU.
+  void insert(const StoredTrace& trace);
+
+  /// Replace the trace behind `handle` with an expanded version.
+  /// Returns false (and inserts nothing) if the slot no longer holds
+  /// the original trace.
+  bool replace(const Handle& handle, const StoredTrace& expanded);
+
+  /// Valid-bit mode: a write to `raw_loc` invalidates every stored
+  /// trace with that location in its input list. No-op in
+  /// value-compare mode.
+  void notify_write(u64 raw_loc);
+
+  const Stats& stats() const { return stats_; }
+  const RtmGeometry& geometry() const { return geometry_; }
+  ReuseTestKind test_kind() const { return test_; }
+
+ private:
+  struct Slot {
+    StoredTrace trace;
+    u64 stamp = 0;
+    bool valid = false;
+    bool live = false;  // valid-bit mode reuse test
+    u32 generation = 0; // guards stale reverse-index references
+  };
+
+  struct SlotRef {
+    u32 set = 0;
+    u32 way = 0;
+    u32 slot = 0;
+    u32 generation = 0;
+  };
+
+  Slot& slot_at(const SlotRef& ref) {
+    return ways_[u64{ref.set} * geometry_.pc_ways + ref.way].slots[ref.slot];
+  }
+
+  void register_inputs(const SlotRef& ref, const StoredTrace& trace);
+
+  struct Way {
+    isa::Pc pc = isa::kInvalidPc;
+    u64 stamp = 0;
+    bool valid = false;
+    std::vector<Slot> slots;
+  };
+
+  u32 set_index(isa::Pc pc) const { return pc & (geometry_.sets - 1); }
+  Way* find_way(u32 set, isa::Pc pc);
+
+  RtmGeometry geometry_;
+  ReuseTestKind test_;
+  std::vector<Way> ways_;  // sets * pc_ways, set-major
+  u64 clock_ = 0;
+  Stats stats_;
+  /// Valid-bit mode reverse index: input location -> traces to kill on
+  /// write. Entries are validated against slot generations lazily.
+  std::unordered_map<u64, std::vector<SlotRef>> watchers_;
+};
+
+}  // namespace tlr::reuse

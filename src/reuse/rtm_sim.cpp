@@ -1,0 +1,210 @@
+#include "reuse/rtm_sim.hpp"
+
+#include <optional>
+
+#include "reuse/accumulator.hpp"
+#include "reuse/instr_table.hpp"
+#include "util/assert.hpp"
+
+namespace tlr::reuse {
+
+using isa::DynInst;
+using isa::Loc;
+
+RtmSimulator::RtmSimulator(const RtmSimConfig& config) : config_(config) {}
+
+namespace {
+
+/// Determinism cross-check: the stored trace must describe exactly the
+/// instructions sitting in the stream at the match point.
+void verify_match(std::span<const DynInst> stream, u64 index,
+                  const StoredTrace& trace) {
+  TLR_ASSERT(stream[index].pc == trace.start_pc);
+  const u64 last = index + trace.length - 1;
+  TLR_ASSERT(last < stream.size());
+  TLR_ASSERT_MSG(stream[last].next_pc == trace.next_pc,
+                 "matched trace diverges from the dynamic stream");
+}
+
+timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index) {
+  timing::PlanTrace plan_trace;
+  plan_trace.first_index = first_index;
+  plan_trace.length = trace.length;
+  for (const LocVal& in : trace.inputs) {
+    plan_trace.live_in.push_back(Loc::from_raw(in.loc));
+  }
+  plan_trace.reg_inputs = trace.reg_inputs;
+  plan_trace.mem_inputs = trace.mem_inputs;
+  plan_trace.reg_outputs = trace.reg_outputs;
+  plan_trace.mem_outputs = trace.mem_outputs;
+  return plan_trace;
+}
+
+}  // namespace
+
+RtmSimResult RtmSimulator::run(std::span<const DynInst> stream) {
+  RtmSimResult result;
+  result.instructions = stream.size();
+
+  Rtm rtm(config_.geometry, config_.reuse_test);
+  const bool uses_ilr = config_.heuristic != CollectHeuristic::kFixedExpand;
+  std::optional<FiniteInstrTable> ilr;
+  if (uses_ilr) {
+    // "This memory has as many entries as the RTM" (§4.6).
+    ilr.emplace(config_.geometry.total_entries());
+  }
+
+  ArchShadow shadow;
+  TraceAccumulator acc(config_.limits);
+
+  // Dynamic-expansion state: after a reuse hit under an EXP heuristic,
+  // subsequently executed instructions accumulate into `ext_acc`; the
+  // merged (longer) trace is stored as an additional RTM entry.
+  const bool expands = config_.heuristic != CollectHeuristic::kIlrNoExpand;
+  bool ext_active = false;
+  StoredTrace ext_base;
+  TraceAccumulator ext_acc(config_.limits);
+  u32 ext_budget = 0;
+
+  if (config_.build_plan) {
+    result.plan.kind.assign(stream.size(), timing::InstKind::kNormal);
+    result.plan.trace_of.assign(stream.size(), 0);
+  }
+
+  auto flush_ext = [&] {
+    if (!ext_active) return;
+    if (!ext_acc.empty()) {
+      const StoredTrace tail = ext_acc.finalize();
+      if (auto merged =
+              TraceAccumulator::merge(ext_base, tail, config_.limits)) {
+        // Store the expanded trace as an additional entry: the shorter
+        // original keeps matching when the longer one cannot, so
+        // expansion grows trace sizes without sacrificing reusability
+        // (the paper's Fig 9 observation).
+        rtm.insert(*merged);
+        ++result.expansions;
+      }
+    }
+    ext_acc.reset();
+    ext_active = false;
+  };
+
+  auto flush_acc = [&] {
+    if (!acc.empty()) rtm.insert(acc.finalize());
+  };
+
+  // Collection step for an executed instruction. For the ILR
+  // heuristics the instruction's reuse-table outcome may have been
+  // consumed already by the extension path; it is then handed down.
+  auto collect = [&](const DynInst& inst, std::optional<bool> pre_tested) {
+    if (config_.heuristic == CollectHeuristic::kFixedExpand) {
+      if (!acc.try_add(inst)) {
+        flush_acc();
+        const bool ok = acc.try_add(inst);
+        TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
+      }
+      if (acc.length() >= config_.fixed_n) flush_acc();
+      return;
+    }
+    const bool reusable =
+        pre_tested.has_value() ? *pre_tested : ilr->lookup_insert(inst);
+    if (!reusable) {
+      // First non-reusable instruction terminates the trace (§3.2).
+      flush_acc();
+      return;
+    }
+    if (!acc.try_add(inst)) {
+      flush_acc();
+      const bool ok = acc.try_add(inst);
+      TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
+    }
+  };
+
+  u64 i = 0;
+  while (i < stream.size()) {
+    const DynInst& inst = stream[i];
+
+    // ---- reuse test at every fetch (§4.6) -----------------------------
+    auto hit = rtm.lookup(inst.pc, shadow);
+    if (hit.has_value() && i + hit->trace->length <= stream.size()) {
+      StoredTrace trace = *hit->trace;  // copy: the RTM may mutate below
+      if (config_.verify_matches) verify_match(stream, i, trace);
+
+      // Back-to-back reuse under ILR EXP: merge the two traces (§4.6
+      // "traces can be dynamically expanded when two consecutive
+      // traces are reused").
+      if (config_.heuristic == CollectHeuristic::kIlrExpand && ext_active &&
+          ext_acc.empty()) {
+        if (auto merged =
+                TraceAccumulator::merge(ext_base, trace, config_.limits)) {
+          rtm.insert(*merged);
+          ++result.merges;
+        }
+      }
+      flush_ext();
+      flush_acc();
+
+      ++result.reuse_operations;
+      result.reused_instructions += trace.length;
+      if (config_.build_plan) {
+        const u32 trace_id = static_cast<u32>(result.plan.traces.size());
+        result.plan.traces.push_back(to_plan_trace(trace, i));
+        for (u64 j = i; j < i + trace.length; ++j) {
+          result.plan.kind[j] = timing::InstKind::kTraceReuse;
+          result.plan.trace_of[j] = trace_id;
+        }
+      }
+
+      // Processor state update (§3.3): write the recorded outputs.
+      for (const LocVal& out : trace.outputs) {
+        shadow.set(out.loc, out.value);
+        rtm.notify_write(out.loc);
+      }
+
+      i += trace.length;
+
+      if (expands) {
+        ext_active = true;
+        ext_base = std::move(trace);
+        ext_budget = config_.fixed_n;
+      }
+      continue;
+    }
+
+    // ---- executed instruction -----------------------------------------
+    if (ext_active) {
+      bool consumed = false;
+      if (config_.heuristic == CollectHeuristic::kIlrExpand) {
+        const bool reusable = ilr->lookup_insert(inst);
+        if (reusable && ext_acc.try_add(inst)) {
+          consumed = true;
+        } else {
+          flush_ext();
+          collect(inst, reusable);
+        }
+      } else {  // kFixedExpand
+        if (ext_budget > 0 && ext_acc.try_add(inst)) {
+          consumed = true;
+          if (--ext_budget == 0) flush_ext();
+        } else {
+          flush_ext();
+          collect(inst, std::nullopt);
+        }
+      }
+      (void)consumed;
+    } else {
+      collect(inst, std::nullopt);
+    }
+
+    shadow.observe(inst);
+    if (inst.has_output) rtm.notify_write(inst.output.raw());
+    ++i;
+  }
+
+  flush_ext();
+  flush_acc();
+  result.rtm = rtm.stats();
+  return result;
+}
+
+}  // namespace tlr::reuse

@@ -1,0 +1,86 @@
+// Sequential simulator of the realistic trace-reuse implementation
+// (paper §4.6): finite RTM, per-fetch reuse test, and the three dynamic
+// trace-collection heuristics —
+//   ILR NE : traces are maximal runs of instructions that hit in a
+//            finite instruction-level reuse table; no expansion.
+//   ILR EXP: same, plus dynamic expansion (a reused trace grows over
+//            the instruction-level-reusable instructions that follow
+//            it, and two back-to-back reused traces merge).
+//   I(n) EXP: traces are fixed groups of n instructions of any kind;
+//            a reused trace is expanded with n more instructions.
+//
+// The simulator can also emit a timing::ReusePlan so the finite-table
+// configurations can be priced with the same dataflow timers as the
+// limit study (our extension; the paper reports only reusability and
+// trace size for finite tables).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "reuse/rtm.hpp"
+#include "timing/plan.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+enum class CollectHeuristic : u8 {
+  kIlrNoExpand,   // "ILR NE"
+  kIlrExpand,     // "ILR EXP"
+  kFixedExpand,   // "I(n) EXP"
+};
+
+struct RtmSimConfig {
+  RtmGeometry geometry = RtmGeometry::rtm4k();
+  TraceLimits limits;
+  CollectHeuristic heuristic = CollectHeuristic::kFixedExpand;
+  u32 fixed_n = 4;  // the n of I(n) EXP
+
+  /// Reuse test flavour (§3.3): full value compare (default) or the
+  /// simpler invalidation/valid-bit scheme (ablation).
+  ReuseTestKind reuse_test = ReuseTestKind::kValueCompare;
+
+  /// Debug cross-check: verify that a matched trace is consistent with
+  /// the instructions actually in the stream (determinism check).
+  bool verify_matches = false;
+
+  /// Also build a timing::ReusePlan for the reused regions.
+  bool build_plan = false;
+};
+
+struct RtmSimResult {
+  u64 instructions = 0;
+  u64 reused_instructions = 0;
+  u64 reuse_operations = 0;
+  u64 expansions = 0;   // successful entry growths (EXP heuristics)
+  u64 merges = 0;       // back-to-back trace merges (ILR EXP)
+  Rtm::Stats rtm;
+
+  double reuse_fraction() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(reused_instructions) /
+                                   static_cast<double>(instructions);
+  }
+  /// Average reused-trace size (per reuse operation) — Fig 9b.
+  double avg_reused_trace_size() const {
+    return reuse_operations == 0
+               ? 0.0
+               : static_cast<double>(reused_instructions) /
+                     static_cast<double>(reuse_operations);
+  }
+
+  timing::ReusePlan plan;  // populated when config.build_plan
+};
+
+class RtmSimulator {
+ public:
+  explicit RtmSimulator(const RtmSimConfig& config);
+
+  RtmSimResult run(std::span<const isa::DynInst> stream);
+
+ private:
+  RtmSimConfig config_;
+};
+
+}  // namespace tlr::reuse

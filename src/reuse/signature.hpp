@@ -1,0 +1,27 @@
+// Input signatures.
+//
+// An instruction instance is reusable iff a previous instance of the
+// same static instruction read the same locations with the same values
+// (paper §4.2 and appendix: IL and IV sequences must match). We encode
+// the ordered (location, value) sequence as a 128-bit digest; identical
+// sequences produce identical digests and distinct ones collide with
+// probability < 2^-64 — negligible against our stream sizes.
+#pragma once
+
+#include "isa/dyn_inst.hpp"
+#include "util/hash.hpp"
+
+namespace tlr::reuse {
+
+/// Digest of the ordered input (location, value) sequence.
+inline Digest128 input_signature(const isa::DynInst& inst) {
+  Digest128 digest;
+  digest.feed(inst.num_inputs);
+  for (u8 k = 0; k < inst.num_inputs; ++k) {
+    digest.feed(inst.inputs[k].loc.raw());
+    digest.feed(inst.inputs[k].value);
+  }
+  return digest;
+}
+
+}  // namespace tlr::reuse

@@ -1,0 +1,131 @@
+#include "reuse/trace_builder.hpp"
+
+#include <unordered_set>
+
+#include "isa/reg.hpp"
+#include "util/assert.hpp"
+
+namespace tlr::reuse {
+
+using isa::DynInst;
+using isa::Loc;
+using timing::InstKind;
+using timing::PlanTrace;
+using timing::ReusePlan;
+
+namespace {
+
+/// Extracts live-in locations and input/output counts for the stream
+/// window [first, first+length). A location is live-in if read before
+/// being written inside the window (paper appendix definition); every
+/// written location is an output (counted once).
+PlanTrace extract_trace(std::span<const DynInst> stream, u64 first,
+                        u32 length) {
+  PlanTrace trace;
+  trace.first_index = first;
+  trace.length = length;
+
+  std::unordered_set<u64> written;
+  std::unordered_set<u64> live_in;
+  written.reserve(length * 2);
+  u32 reg_out = 0, mem_out = 0;
+
+  for (u64 i = first; i < first + length; ++i) {
+    const DynInst& inst = stream[i];
+    for (u8 k = 0; k < inst.num_inputs; ++k) {
+      const Loc loc = inst.inputs[k].loc;
+      if (!written.contains(loc.raw()) && live_in.insert(loc.raw()).second) {
+        trace.live_in.push_back(loc);
+        if (loc.is_reg()) {
+          ++trace.reg_inputs;
+        } else {
+          ++trace.mem_inputs;
+        }
+      }
+    }
+    if (inst.has_output && written.insert(inst.output.raw()).second) {
+      if (inst.output.is_reg()) {
+        ++reg_out;
+      } else {
+        ++mem_out;
+      }
+    }
+  }
+  trace.reg_outputs = reg_out;
+  trace.mem_outputs = mem_out;
+  return trace;
+}
+
+}  // namespace
+
+ReusePlan build_max_trace_plan(std::span<const DynInst> stream,
+                               const std::vector<bool>& reusable) {
+  TLR_ASSERT(reusable.size() == stream.size());
+  ReusePlan plan;
+  plan.kind.assign(stream.size(), InstKind::kNormal);
+  plan.trace_of.assign(stream.size(), 0);
+
+  u64 i = 0;
+  while (i < stream.size()) {
+    if (!reusable[i]) {
+      ++i;
+      continue;
+    }
+    u64 end = i;
+    while (end < stream.size() && reusable[end]) ++end;
+    const u32 length = static_cast<u32>(end - i);
+    const u32 trace_id = static_cast<u32>(plan.traces.size());
+    plan.traces.push_back(extract_trace(stream, i, length));
+    for (u64 j = i; j < end; ++j) {
+      plan.kind[j] = InstKind::kTraceReuse;
+      plan.trace_of[j] = trace_id;
+    }
+    i = end;
+  }
+  return plan;
+}
+
+ReusePlan build_instr_plan(std::span<const DynInst> stream,
+                           const std::vector<bool>& reusable) {
+  TLR_ASSERT(reusable.size() == stream.size());
+  ReusePlan plan;
+  plan.kind.assign(stream.size(), InstKind::kNormal);
+  plan.trace_of.assign(stream.size(), 0);
+  for (usize i = 0; i < stream.size(); ++i) {
+    if (reusable[i]) plan.kind[i] = InstKind::kInstReuse;
+  }
+  return plan;
+}
+
+double TraceStats::reads_per_instruction() const {
+  return avg_size == 0.0 ? 0.0 : avg_inputs() / avg_size;
+}
+
+double TraceStats::writes_per_instruction() const {
+  return avg_size == 0.0 ? 0.0 : avg_outputs() / avg_size;
+}
+
+TraceStats compute_trace_stats(const ReusePlan& plan) {
+  TraceStats stats;
+  stats.traces = plan.traces.size();
+  if (stats.traces == 0) return stats;
+
+  double size = 0, reg_in = 0, mem_in = 0, reg_out = 0, mem_out = 0;
+  for (const PlanTrace& trace : plan.traces) {
+    size += trace.length;
+    reg_in += trace.reg_inputs;
+    mem_in += trace.mem_inputs;
+    reg_out += trace.reg_outputs;
+    mem_out += trace.mem_outputs;
+    stats.covered_instructions += trace.length;
+  }
+  const double n = static_cast<double>(stats.traces);
+  stats.avg_size = size / n;
+  stats.avg_reg_inputs = reg_in / n;
+  stats.avg_mem_inputs = mem_in / n;
+  stats.avg_reg_outputs = reg_out / n;
+  stats.avg_mem_outputs = mem_out / n;
+  return stats;
+}
+
+}  // namespace tlr::reuse

@@ -1,0 +1,55 @@
+// Trace construction: live-in / live-out extraction and the
+// maximal-trace partitioner used by the limit study.
+//
+// Theorem 1 (paper appendix) says a trace can only be reusable if every
+// instruction in it is reusable; Theorem 2 says the converse need not
+// hold. Partitioning the stream into *maximal runs of reusable
+// instructions* therefore upper-bounds the reusable-instruction count
+// of any trace partition while minimising the number of reuse
+// operations — exactly the upper-bound construction of §4.4. The
+// resulting ReusePlan drives the trace-level timing of Figures 6-8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "timing/plan.hpp"
+#include "util/types.hpp"
+
+namespace tlr::reuse {
+
+/// Aggregate statistics over the traces of a plan (Fig 7 and the §4.5
+/// input/output bandwidth discussion).
+struct TraceStats {
+  u64 traces = 0;
+  u64 covered_instructions = 0;
+  double avg_size = 0.0;
+  double avg_reg_inputs = 0.0;
+  double avg_mem_inputs = 0.0;
+  double avg_reg_outputs = 0.0;
+  double avg_mem_outputs = 0.0;
+
+  double avg_inputs() const { return avg_reg_inputs + avg_mem_inputs; }
+  double avg_outputs() const { return avg_reg_outputs + avg_mem_outputs; }
+  /// Reads (inputs) per reused instruction — paper reports 0.43.
+  double reads_per_instruction() const;
+  /// Writes (outputs) per reused instruction — paper reports 0.33.
+  double writes_per_instruction() const;
+};
+
+/// Builds the maximal-trace plan: every maximal run of instructions
+/// flagged reusable becomes one kTraceReuse trace; everything else is
+/// kNormal. `reusable` must have one flag per stream element.
+timing::ReusePlan build_max_trace_plan(std::span<const isa::DynInst> stream,
+                                       const std::vector<bool>& reusable);
+
+/// Builds the instruction-level plan: each reusable instruction is
+/// individually annotated kInstReuse (Figures 4/5).
+timing::ReusePlan build_instr_plan(std::span<const isa::DynInst> stream,
+                                   const std::vector<bool>& reusable);
+
+/// Statistics over a plan's traces.
+TraceStats compute_trace_stats(const timing::ReusePlan& plan);
+
+}  // namespace tlr::reuse

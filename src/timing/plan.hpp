@@ -1,0 +1,65 @@
+// ReusePlan: the interface between the reuse analyses and the timing
+// models.
+//
+// A plan annotates every dynamic instruction of a stream as executed
+// normally, reused individually (instruction-level reuse), or covered
+// by a reused trace; trace annotations carry the trace's live-in
+// location set (whose producers gate the reuse operation) and its
+// input/output counts (which price the proportional-latency model of
+// Fig 8b and decide how many instruction-window slots the reused trace
+// occupies).
+#pragma once
+
+#include <vector>
+
+#include "isa/reg.hpp"
+#include "util/small_vector.hpp"
+#include "util/types.hpp"
+
+namespace tlr::timing {
+
+enum class InstKind : u8 {
+  kNormal,
+  kInstReuse,
+  kTraceReuse,
+};
+
+/// One reusable trace in the plan.
+struct PlanTrace {
+  u64 first_index = 0;  // dynamic index of the trace's first instruction
+  u32 length = 0;       // instructions covered
+
+  /// Live-in locations: read before written inside the trace. Their
+  /// producers' completion times gate the trace reuse operation.
+  SmallVector<isa::Loc, 8> live_in;
+
+  u32 reg_inputs = 0;
+  u32 mem_inputs = 0;
+  u32 reg_outputs = 0;
+  u32 mem_outputs = 0;
+
+  u32 inputs() const { return reg_inputs + mem_inputs; }
+  u32 outputs() const { return reg_outputs + mem_outputs; }
+};
+
+/// Per-stream reuse annotation. `kind.size()` equals the stream length;
+/// `trace_of[i]` indexes `traces` when `kind[i] == kTraceReuse`.
+struct ReusePlan {
+  std::vector<InstKind> kind;
+  std::vector<u32> trace_of;
+  std::vector<PlanTrace> traces;
+
+  bool empty() const { return kind.empty(); }
+
+  /// Fraction of instructions covered by any reuse annotation.
+  double reuse_coverage() const {
+    if (kind.empty()) return 0.0;
+    u64 covered = 0;
+    for (InstKind k : kind) {
+      if (k != InstKind::kNormal) ++covered;
+    }
+    return static_cast<double>(covered) / static_cast<double>(kind.size());
+  }
+};
+
+}  // namespace tlr::timing

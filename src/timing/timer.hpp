@@ -1,0 +1,74 @@
+// Dataflow timing models (paper §4, extending Austin & Sohi's dynamic
+// dependence analysis).
+//
+// Base machine, infinite window:
+//   C(i) = max over producers p of inputs(i) of C(p) + lat(i)
+// Base machine, window of W instructions:
+//   G(i) = max_{j <= i} C(j)    (graduation time)
+//   C(i) = max(producer times, G(i - W)) + lat(i)
+// Instruction-level reuse (oracle rule):
+//   C(i) = readiness + min(lat(i), reuse_latency)      if i is reusable
+// Trace-level reuse:
+//   every output of a reusable trace completes at
+//   max over producers of the trace's live-ins (+ window constraint at
+//   the trace's first slot) + trace reuse latency; per instruction the
+//   better of normal/reused execution is chosen (oracle rule, §4.5).
+//   Instructions of reused traces do not occupy window slots; the
+//   reuse operation occupies `trace_slots(outputs)` slots (§3.3 writes
+//   the outputs through the window for precise exceptions).
+//
+// Functional units are infinite throughout (§4: "limited instruction
+// window but infinite number of functional units").
+#pragma once
+
+#include <span>
+
+#include "isa/dyn_inst.hpp"
+#include "isa/latency.hpp"
+#include "timing/plan.hpp"
+#include "util/types.hpp"
+
+namespace tlr::timing {
+
+/// How many window slots a reused trace's state update occupies.
+enum class TraceSlotPolicy : u8 {
+  kNone,     // idealised: reuse is free of window cost
+  kOne,      // the reuse operation itself takes one slot
+  kOutputs,  // one slot per output value written (default; §3.3)
+};
+
+struct TimerConfig {
+  isa::LatencyTable latencies = isa::kAlpha21164Latencies;
+
+  /// Instruction window size in instructions; 0 means infinite.
+  u32 window = 0;
+
+  /// Latency charged per instruction-level reuse operation.
+  Cycle inst_reuse_latency = 1;
+
+  /// Trace reuse latency: constant, or proportional to (inputs +
+  /// outputs) with factor `k` (Fig 8b; k = 1/bandwidth). When
+  /// `proportional` is set, `trace_reuse_latency` is ignored.
+  Cycle trace_reuse_latency = 1;
+  bool proportional_trace_latency = false;
+  double trace_latency_k = 1.0 / 16.0;
+
+  TraceSlotPolicy trace_slots = TraceSlotPolicy::kOutputs;
+};
+
+struct TimerResult {
+  u64 instructions = 0;
+  Cycle cycles = 0;
+  double ipc = 0.0;
+};
+
+/// Computes execution time of `stream` under `config`; `plan` may be
+/// null (base machine) or annotate reuse. Single forward pass,
+/// O(stream) time, O(distinct locations + W) space.
+TimerResult compute_timing(std::span<const isa::DynInst> stream,
+                           const ReusePlan* plan, const TimerConfig& config);
+
+/// speed-up = base.cycles / with_reuse.cycles for the same stream.
+double speedup(const TimerResult& base, const TimerResult& with_reuse);
+
+}  // namespace tlr::timing

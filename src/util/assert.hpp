@@ -1,0 +1,30 @@
+// Lightweight always-on assertion macro. Simulator correctness bugs are
+// silent-result bugs, so invariant checks stay on in release builds; the
+// checks on hot paths are cheap (integer compares).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlr::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "tlr: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tlr::detail
+
+#define TLR_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::tlr::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+  } while (0)
+
+#define TLR_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::tlr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+  } while (0)

@@ -1,0 +1,59 @@
+// Hashing utilities shared by the reuse tables.
+//
+// Input signatures of instructions and traces are (location, value)
+// tuples; the infinite-history limit study keys hash sets by a 128-bit
+// digest so that collisions are statistically impossible at our stream
+// sizes (< 2^-64 per pair) while storage stays O(16 bytes) per distinct
+// input instead of the full tuple.
+#pragma once
+
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace tlr {
+
+/// Strong 64-bit mixer (Stafford variant 13 of the MurmurHash3 finalizer).
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 128-bit accumulating digest. Order-sensitive: feeding the same words
+/// in a different order yields a different digest, which is what input
+/// *sequences* (paper appendix: IL(T)/IV(T) are sequences) require.
+class Digest128 {
+ public:
+  constexpr void feed(u64 word) {
+    lo_ = mix64(lo_ ^ word);
+    hi_ = mix64(hi_ + word + 0x9e3779b97f4a7c15ULL);
+  }
+
+  constexpr u64 lo() const { return lo_; }
+  constexpr u64 hi() const { return hi_; }
+
+  friend constexpr bool operator==(const Digest128&, const Digest128&) =
+      default;
+
+ private:
+  u64 lo_ = 0x6a09e667f3bcc908ULL;
+  u64 hi_ = 0xbb67ae8584caa73bULL;
+};
+
+struct Digest128Hash {
+  usize operator()(const Digest128& d) const noexcept {
+    return static_cast<usize>(d.lo() ^ mix64(d.hi()));
+  }
+};
+
+/// Combine helper for composite keys in ordinary hash maps.
+constexpr u64 hash_combine(u64 seed, u64 value) {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace tlr

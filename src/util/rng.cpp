@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tlr {
+
+ZipfDraw::ZipfDraw(u64 n, double s, u64 seed) : n_(n), rng_(seed) {
+  TLR_ASSERT(n >= 1);
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (u64 i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[i] = sum;
+  }
+  for (u64 i = 0; i < n; ++i) cdf[i] /= sum;
+  // Invert the CDF into fixed buckets: bucket b covers quantile
+  // (b+0.5)/4096 and maps to the first index whose CDF exceeds it.
+  u64 idx = 0;
+  for (usize b = 0; b < bucket_.size(); ++b) {
+    const double q = (static_cast<double>(b) + 0.5) / 4096.0;
+    while (idx + 1 < n && cdf[idx] < q) ++idx;
+    bucket_[b] = static_cast<u32>(idx);
+  }
+}
+
+u64 ZipfDraw::next() { return bucket_[rng_.below(bucket_.size())]; }
+
+}  // namespace tlr

@@ -1,0 +1,110 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Workload generators must be bit-reproducible across runs and platforms:
+// the reuse statistics we report depend on the exact data the synthetic
+// programs touch. std::mt19937 would work but its distributions are not
+// portable; we implement xoshiro256** + splitmix64 (public-domain
+// algorithms by Blackman & Vigna) and our own bounded-draw helpers.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr {
+
+/// splitmix64: used to expand a single 64-bit seed into a full
+/// xoshiro256** state. Also a decent standalone mixer.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 256-bit state.
+class Rng {
+ public:
+  explicit constexpr Rng(u64 seed = 0x1234567890abcdefULL) { reseed(seed); }
+
+  constexpr void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit draw.
+  constexpr u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound). bound == 0 is invalid.
+  constexpr u64 below(u64 bound) {
+    TLR_ASSERT(bound != 0);
+    // Multiply-shift bounded draw (Lemire); bias is negligible for the
+    // bounds used by workload generators (<< 2^32).
+    const u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform draw in [lo, hi] inclusive.
+  constexpr u64 range(u64 lo, u64 hi) {
+    TLR_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw: true with probability num/den.
+  constexpr bool chance(u64 num, u64 den) {
+    TLR_ASSERT(den != 0);
+    return below(den) < num;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * unit();
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+/// Zipf-like skewed index generator over [0, n): index i is drawn with
+/// probability roughly proportional to 1/(i+1)^s. Workloads use this to
+/// model hot/cold data (hot table slots, frequent opcodes, common
+/// characters), which is the origin of much of the value locality the
+/// paper exploits.
+class ZipfDraw {
+ public:
+  ZipfDraw(u64 n, double s, u64 seed);
+
+  u64 next();
+  u64 size() const { return n_; }
+
+ private:
+  u64 n_;
+  Rng rng_;
+  // Inverse-CDF table with 4096 buckets; coarse but fully deterministic.
+  std::array<u32, 4096> bucket_{};
+};
+
+}  // namespace tlr

@@ -1,0 +1,156 @@
+// SmallVector<T, N>: a vector with inline storage for N elements.
+//
+// Trace live-in/live-out sets are tiny (the realistic RTM caps them at 8
+// registers + 4 memory values), and the RTM simulator creates and
+// destroys millions of them; inline storage removes the allocation from
+// the hot path. Only the operations the library needs are provided.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr {
+
+template <typename T, usize N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is specialised for trivially copyable "
+                "payloads (location/value records)");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow();
+    data()[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+    return back();
+  }
+
+  void pop_back() {
+    TLR_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(usize n) {
+    while (capacity_ < n) grow();
+    if (n > size_) std::fill(data() + size_, data() + n, T{});
+    size_ = n;
+  }
+
+  T& operator[](usize i) {
+    TLR_ASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](usize i) const {
+    TLR_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return heap_ ? heap_ : reinterpret_cast<T*>(inline_); }
+  const T* data() const {
+    return heap_ ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  usize capacity() const { return capacity_; }
+  bool on_heap() const { return heap_ != nullptr; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void grow() {
+    const usize new_cap = capacity_ * 2;
+    T* fresh = new T[new_cap];
+    std::copy(data(), data() + size_, fresh);
+    if (heap_) delete[] heap_;
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void copy_from(const SmallVector& other) {
+    size_ = 0;
+    for (const T& v : other) push_back(v);
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      size_ = 0;
+      for (const T& v : other) push_back(v);
+      other.size_ = 0;
+    }
+  }
+
+  void clear_storage() {
+    if (heap_) {
+      delete[] heap_;
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+    size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[sizeof(T) * N];
+  T* heap_ = nullptr;
+  usize size_ = 0;
+  usize capacity_ = N;
+};
+
+}  // namespace tlr

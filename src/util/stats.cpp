@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace tlr {
+
+double arithmetic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double inv = 0.0;
+  for (double x : xs) {
+    TLR_ASSERT_MSG(x > 0.0, "harmonic mean requires positive values");
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    TLR_ASSERT_MSG(x > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+Histogram::Histogram(usize buckets, double limit)
+    : limit_(limit), counts_(buckets, 0) {
+  TLR_ASSERT(buckets >= 1);
+  TLR_ASSERT(limit > 0.0);
+}
+
+void Histogram::add(double x) {
+  const double frac = x / limit_;
+  usize idx = frac >= 1.0 ? counts_.size() - 1
+                          : static_cast<usize>(frac *
+                                static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (usize i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      return limit_ * static_cast<double>(i + 1) /
+             static_cast<double>(counts_.size());
+    }
+  }
+  return limit_;
+}
+
+}  // namespace tlr

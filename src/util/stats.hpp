@@ -1,0 +1,57 @@
+// Statistics helpers.
+//
+// The paper reports average speed-ups as harmonic means and average
+// percentages as arithmetic means (§4.1); these helpers are used by the
+// figure runners so the aggregation discipline matches the paper's.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tlr {
+
+double arithmetic_mean(std::span<const double> xs);
+double harmonic_mean(std::span<const double> xs);
+double geometric_mean(std::span<const double> xs);
+
+/// Single-pass accumulator for count / mean / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  u64 count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  u64 n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, limit); the last bucket absorbs
+/// overflow. Used for trace-size distributions.
+class Histogram {
+ public:
+  Histogram(usize buckets, double limit);
+
+  void add(double x);
+  u64 bucket_count(usize i) const { return counts_[i]; }
+  usize buckets() const { return counts_.size(); }
+  u64 total() const { return total_; }
+  /// Smallest x such that at least `q` (0..1) of the mass lies at or
+  /// below x's bucket upper edge.
+  double quantile(double q) const;
+
+ private:
+  double limit_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace tlr

@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tlr {
+
+void TextTable::set_columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TextTable::begin_row() { cells_.emplace_back(); }
+
+void TextTable::add_cell(std::string text) {
+  TLR_ASSERT_MSG(!cells_.empty(), "begin_row() before add_cell()");
+  cells_.back().push_back(std::move(text));
+}
+
+void TextTable::add_number(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  add_cell(buf);
+}
+
+void TextTable::add_integer(u64 value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  add_cell(buf);
+}
+
+void TextTable::add_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  add_cell(buf);
+}
+
+const std::string& TextTable::cell(usize row, usize col) const {
+  TLR_ASSERT(row < cells_.size());
+  TLR_ASSERT(col < cells_[row].size());
+  return cells_[row][col];
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<usize> widths(headers_.size(), 0);
+  for (usize c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (usize c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto pad = [&](const std::string& s, usize w) {
+    os << s;
+    for (usize i = s.size(); i < w; ++i) os << ' ';
+  };
+  for (usize c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    pad(headers_[c], widths[c]);
+  }
+  os << '\n';
+  for (usize c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      pad(row[c], c < widths.size() ? widths[c] : row[c].size());
+    }
+    os << '\n';
+  }
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  os << "# " << title_ << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (usize c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : cells_) emit_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+}  // namespace tlr

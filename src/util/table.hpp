@@ -1,0 +1,44 @@
+// Plain-text and CSV table rendering for the figure/ table reproduction
+// harness. Every bench binary prints the same rows the paper's figures
+// plot; this keeps the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tlr {
+
+/// A rectangular table: a title, column headers, and string cells.
+/// Numeric convenience setters format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> headers);
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  void begin_row();
+  void add_cell(std::string text);
+  void add_number(double value, int precision = 2);
+  void add_integer(u64 value);
+  void add_percent(double fraction, int precision = 1);
+
+  usize rows() const { return cells_.size(); }
+  usize columns() const { return headers_.size(); }
+  const std::string& cell(usize row, usize col) const;
+
+  /// Render as an aligned ASCII table.
+  void render(std::ostream& os) const;
+  /// Render as CSV (title as a comment line).
+  void render_csv(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace tlr

@@ -1,0 +1,54 @@
+// Minimal task-based thread pool.
+//
+// Figure reproduction runs 14 independent per-benchmark simulations; the
+// harness dispatches them across hardware threads. Each simulation is
+// fully self-contained (own interpreter, own tables), so the only shared
+// state is the queue itself.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tlr {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(usize threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (the simulator reports errors
+  /// through its own result channels); an escaping exception aborts.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  usize thread_count() const { return workers_.size(); }
+
+  /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  void parallel_for(usize n, const std::function<void(usize)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  usize in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace tlr

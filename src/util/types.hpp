@@ -1,0 +1,27 @@
+// Fundamental fixed-width type aliases used across the trace-level reuse
+// library. Kept in one place so every subsystem shares the same vocabulary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tlr {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulated cycle count. 64 bits: streams of hundreds of millions of
+/// instructions with latencies up to ~60 cycles never overflow.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated machine's memory space.
+using Addr = std::uint64_t;
+
+}  // namespace tlr

@@ -1,0 +1,203 @@
+#include "vm/builder.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tlr::vm {
+
+using isa::Instruction;
+using isa::Op;
+using isa::Reg;
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+Label ProgramBuilder::label() {
+  label_pos_.push_back(isa::kInvalidPc);
+  return Label{static_cast<u32>(label_pos_.size() - 1)};
+}
+
+void ProgramBuilder::bind(Label l) {
+  TLR_ASSERT(l.id < label_pos_.size());
+  TLR_ASSERT_MSG(label_pos_[l.id] == isa::kInvalidPc,
+                 "label bound twice");
+  label_pos_[l.id] = pc();
+}
+
+Label ProgramBuilder::here() {
+  Label l = label();
+  bind(l);
+  return l;
+}
+
+Addr ProgramBuilder::alloc(usize words) {
+  const Addr base = next_data_;
+  next_data_ += static_cast<Addr>(words) * 8;
+  return base;
+}
+
+void ProgramBuilder::init_word(Addr addr, u64 value) {
+  TLR_ASSERT((addr & 7) == 0);
+  data_.push_back(DataWord{addr, value});
+}
+
+void ProgramBuilder::init_double(Addr addr, double value) {
+  init_word(addr, std::bit_cast<u64>(value));
+}
+
+void ProgramBuilder::emit(Instruction inst) {
+  TLR_ASSERT(!built_);
+  code_.push_back(inst);
+}
+
+void ProgramBuilder::emit3(Op op, Reg rc, Reg ra, Reg rb) {
+  emit(Instruction{op, ra, rb, rc, 0, false});
+}
+
+void ProgramBuilder::emit3i(Op op, Reg rc, Reg ra, i64 imm) {
+  emit(Instruction{op, ra, isa::kIntZero, rc, imm, true});
+}
+
+void ProgramBuilder::emit_branch(Op op, Reg ra, Label target) {
+  TLR_ASSERT(target.id < label_pos_.size());
+  fixups_.emplace_back(pc(), target.id);
+  emit(Instruction{op, ra, isa::kIntZero, isa::kIntZero, 0, false});
+}
+
+// ---- integer -------------------------------------------------------
+
+void ProgramBuilder::add(Reg rc, Reg ra, Reg rb) { emit3(Op::kAdd, rc, ra, rb); }
+void ProgramBuilder::addi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kAdd, rc, ra, imm); }
+void ProgramBuilder::sub(Reg rc, Reg ra, Reg rb) { emit3(Op::kSub, rc, ra, rb); }
+void ProgramBuilder::subi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSub, rc, ra, imm); }
+void ProgramBuilder::mul(Reg rc, Reg ra, Reg rb) { emit3(Op::kMul, rc, ra, rb); }
+void ProgramBuilder::muli(Reg rc, Reg ra, i64 imm) { emit3i(Op::kMul, rc, ra, imm); }
+void ProgramBuilder::div(Reg rc, Reg ra, Reg rb) { emit3(Op::kDiv, rc, ra, rb); }
+void ProgramBuilder::rem(Reg rc, Reg ra, Reg rb) { emit3(Op::kRem, rc, ra, rb); }
+void ProgramBuilder::remi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kRem, rc, ra, imm); }
+void ProgramBuilder::and_(Reg rc, Reg ra, Reg rb) { emit3(Op::kAnd, rc, ra, rb); }
+void ProgramBuilder::andi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kAnd, rc, ra, imm); }
+void ProgramBuilder::or_(Reg rc, Reg ra, Reg rb) { emit3(Op::kOr, rc, ra, rb); }
+void ProgramBuilder::ori(Reg rc, Reg ra, i64 imm) { emit3i(Op::kOr, rc, ra, imm); }
+void ProgramBuilder::xor_(Reg rc, Reg ra, Reg rb) { emit3(Op::kXor, rc, ra, rb); }
+void ProgramBuilder::xori(Reg rc, Reg ra, i64 imm) { emit3i(Op::kXor, rc, ra, imm); }
+void ProgramBuilder::sll(Reg rc, Reg ra, Reg rb) { emit3(Op::kSll, rc, ra, rb); }
+void ProgramBuilder::slli(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSll, rc, ra, imm); }
+void ProgramBuilder::srl(Reg rc, Reg ra, Reg rb) { emit3(Op::kSrl, rc, ra, rb); }
+void ProgramBuilder::srli(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSrl, rc, ra, imm); }
+void ProgramBuilder::srai(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSra, rc, ra, imm); }
+void ProgramBuilder::cmpeq(Reg rc, Reg ra, Reg rb) { emit3(Op::kCmpEq, rc, ra, rb); }
+void ProgramBuilder::cmpeqi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kCmpEq, rc, ra, imm); }
+void ProgramBuilder::cmplt(Reg rc, Reg ra, Reg rb) { emit3(Op::kCmpLt, rc, ra, rb); }
+void ProgramBuilder::cmplti(Reg rc, Reg ra, i64 imm) { emit3i(Op::kCmpLt, rc, ra, imm); }
+void ProgramBuilder::cmple(Reg rc, Reg ra, Reg rb) { emit3(Op::kCmpLe, rc, ra, rb); }
+void ProgramBuilder::cmpult(Reg rc, Reg ra, Reg rb) { emit3(Op::kCmpULt, rc, ra, rb); }
+
+void ProgramBuilder::ldi(Reg rc, i64 imm) {
+  emit(Instruction{Op::kLdi, isa::kIntZero, isa::kIntZero, rc, imm, true});
+}
+
+void ProgramBuilder::mov(Reg rc, Reg ra) {
+  emit(Instruction{Op::kMov, ra, isa::kIntZero, rc, 0, false});
+}
+
+// ---- memory --------------------------------------------------------
+
+void ProgramBuilder::ldq(Reg rc, Reg base, i64 disp) {
+  emit(Instruction{Op::kLdq, base, isa::kIntZero, rc, disp, false});
+}
+
+void ProgramBuilder::stq(Reg value, Reg base, i64 disp) {
+  emit(Instruction{Op::kStq, base, value, isa::kIntZero, disp, false});
+}
+
+void ProgramBuilder::ldt(Reg fc, Reg base, i64 disp) {
+  TLR_ASSERT(isa::is_fp_reg(fc));
+  emit(Instruction{Op::kLdt, base, isa::kIntZero, fc, disp, false});
+}
+
+void ProgramBuilder::stt(Reg fvalue, Reg base, i64 disp) {
+  TLR_ASSERT(isa::is_fp_reg(fvalue));
+  emit(Instruction{Op::kStt, base, fvalue, isa::kIntZero, disp, false});
+}
+
+// ---- control -------------------------------------------------------
+
+void ProgramBuilder::br(Label target) {
+  emit_branch(Op::kBr, isa::kIntZero, target);
+}
+void ProgramBuilder::beqz(Reg ra, Label target) {
+  emit_branch(Op::kBeqz, ra, target);
+}
+void ProgramBuilder::bnez(Reg ra, Label target) {
+  emit_branch(Op::kBnez, ra, target);
+}
+void ProgramBuilder::bltz(Reg ra, Label target) {
+  emit_branch(Op::kBltz, ra, target);
+}
+void ProgramBuilder::bgez(Reg ra, Label target) {
+  emit_branch(Op::kBgez, ra, target);
+}
+void ProgramBuilder::call(Label target) {
+  emit_branch(Op::kCall, isa::kIntZero, target);
+}
+void ProgramBuilder::jmp(Reg ra) {
+  emit(Instruction{Op::kJmp, ra, isa::kIntZero, isa::kIntZero, 0, false});
+}
+void ProgramBuilder::ret() {
+  emit(Instruction{Op::kRet, isa::kLinkReg, isa::kIntZero, isa::kIntZero, 0,
+                   false});
+}
+void ProgramBuilder::halt() { emit(Instruction{Op::kHalt}); }
+
+// ---- floating point --------------------------------------------------
+
+void ProgramBuilder::fadd(Reg fc, Reg fa, Reg fb) { emit3(Op::kFAdd, fc, fa, fb); }
+void ProgramBuilder::fsub(Reg fc, Reg fa, Reg fb) { emit3(Op::kFSub, fc, fa, fb); }
+void ProgramBuilder::fmul(Reg fc, Reg fa, Reg fb) { emit3(Op::kFMul, fc, fa, fb); }
+void ProgramBuilder::fdiv(Reg fc, Reg fa, Reg fb) { emit3(Op::kFDiv, fc, fa, fb); }
+void ProgramBuilder::fsqrt(Reg fc, Reg fa) {
+  emit(Instruction{Op::kFSqrt, fa, isa::kFpZero, fc, 0, false});
+}
+void ProgramBuilder::fneg(Reg fc, Reg fa) {
+  emit(Instruction{Op::kFNeg, fa, isa::kFpZero, fc, 0, false});
+}
+void ProgramBuilder::fabs_(Reg fc, Reg fa) {
+  emit(Instruction{Op::kFAbs, fa, isa::kFpZero, fc, 0, false});
+}
+void ProgramBuilder::fcmplt(Reg rc, Reg fa, Reg fb) {
+  TLR_ASSERT(isa::is_int_reg(rc));
+  emit3(Op::kFCmpLt, rc, fa, fb);
+}
+void ProgramBuilder::fcmpeq(Reg rc, Reg fa, Reg fb) {
+  TLR_ASSERT(isa::is_int_reg(rc));
+  emit3(Op::kFCmpEq, rc, fa, fb);
+}
+void ProgramBuilder::fldi(Reg fc, double value) {
+  TLR_ASSERT(isa::is_fp_reg(fc));
+  emit(Instruction{Op::kFLdi, isa::kFpZero, isa::kFpZero, fc,
+                   static_cast<i64>(std::bit_cast<u64>(value)), true});
+}
+void ProgramBuilder::cvtqt(Reg fc, Reg ra) {
+  TLR_ASSERT(isa::is_fp_reg(fc) && isa::is_int_reg(ra));
+  emit(Instruction{Op::kCvtQT, ra, isa::kIntZero, fc, 0, false});
+}
+void ProgramBuilder::cvttq(Reg rc, Reg fa) {
+  TLR_ASSERT(isa::is_int_reg(rc) && isa::is_fp_reg(fa));
+  emit(Instruction{Op::kCvtTQ, fa, isa::kFpZero, rc, 0, false});
+}
+
+Program ProgramBuilder::build(isa::Pc entry) {
+  TLR_ASSERT(!built_);
+  built_ = true;
+  for (const auto& [inst_idx, label_id] : fixups_) {
+    const isa::Pc target = label_pos_[label_id];
+    TLR_ASSERT_MSG(target != isa::kInvalidPc, "unbound label referenced");
+    code_[inst_idx].imm = static_cast<i64>(target);
+  }
+  TLR_ASSERT(entry < code_.size());
+  return Program{std::move(name_), std::move(code_), std::move(data_), entry};
+}
+
+}  // namespace tlr::vm

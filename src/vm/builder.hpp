@@ -1,0 +1,131 @@
+// ProgramBuilder: a small in-memory assembler with labels, backpatching
+// and a bump allocator for the data segment. The fourteen workload
+// generators are written directly against this API.
+#pragma once
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/reg.hpp"
+#include "vm/program.hpp"
+
+namespace tlr::vm {
+
+/// Opaque forward-referenceable code label.
+struct Label {
+  u32 id = ~u32{0};
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ---- labels -----------------------------------------------------
+  /// Create an unbound label (usable as a branch target immediately).
+  Label label();
+  /// Bind `l` to the current emission position.
+  void bind(Label l);
+  /// Create a label already bound to the current position.
+  Label here();
+
+  // ---- data segment -----------------------------------------------
+  /// Reserve `words` consecutive 8-byte words; returns the base byte
+  /// address. Memory is zero-initialised unless poked.
+  Addr alloc(usize words);
+  /// Set the initial value of the word at `addr`.
+  void init_word(Addr addr, u64 value);
+  /// Set the initial value to a double's bit pattern.
+  void init_double(Addr addr, double value);
+
+  // ---- integer ops (rc <- ra OP rb / imm) ---------------------------
+  void add(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void addi(isa::Reg rc, isa::Reg ra, i64 imm);
+  void sub(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void subi(isa::Reg rc, isa::Reg ra, i64 imm);
+  void mul(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void muli(isa::Reg rc, isa::Reg ra, i64 imm);
+  void div(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void rem(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void remi(isa::Reg rc, isa::Reg ra, i64 imm);
+  void and_(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void andi(isa::Reg rc, isa::Reg ra, i64 imm);
+  void or_(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void ori(isa::Reg rc, isa::Reg ra, i64 imm);
+  void xor_(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void xori(isa::Reg rc, isa::Reg ra, i64 imm);
+  void sll(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void slli(isa::Reg rc, isa::Reg ra, i64 imm);
+  void srl(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void srli(isa::Reg rc, isa::Reg ra, i64 imm);
+  void srai(isa::Reg rc, isa::Reg ra, i64 imm);
+  void cmpeq(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void cmpeqi(isa::Reg rc, isa::Reg ra, i64 imm);
+  void cmplt(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void cmplti(isa::Reg rc, isa::Reg ra, i64 imm);
+  void cmple(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void cmpult(isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void ldi(isa::Reg rc, i64 imm);
+  void mov(isa::Reg rc, isa::Reg ra);
+
+  // ---- memory -------------------------------------------------------
+  void ldq(isa::Reg rc, isa::Reg base, i64 disp = 0);
+  void stq(isa::Reg value, isa::Reg base, i64 disp = 0);
+  void ldt(isa::Reg fc, isa::Reg base, i64 disp = 0);
+  void stt(isa::Reg fvalue, isa::Reg base, i64 disp = 0);
+
+  // ---- control ------------------------------------------------------
+  void br(Label target);
+  void beqz(isa::Reg ra, Label target);
+  void bnez(isa::Reg ra, Label target);
+  void bltz(isa::Reg ra, Label target);
+  void bgez(isa::Reg ra, Label target);
+  void call(Label target);
+  void jmp(isa::Reg ra);
+  void ret();
+  void halt();
+
+  // ---- floating point ------------------------------------------------
+  void fadd(isa::Reg fc, isa::Reg fa, isa::Reg fb);
+  void fsub(isa::Reg fc, isa::Reg fa, isa::Reg fb);
+  void fmul(isa::Reg fc, isa::Reg fa, isa::Reg fb);
+  void fdiv(isa::Reg fc, isa::Reg fa, isa::Reg fb);
+  void fsqrt(isa::Reg fc, isa::Reg fa);
+  void fneg(isa::Reg fc, isa::Reg fa);
+  void fabs_(isa::Reg fc, isa::Reg fa);
+  void fcmplt(isa::Reg rc, isa::Reg fa, isa::Reg fb);
+  void fcmpeq(isa::Reg rc, isa::Reg fa, isa::Reg fb);
+  void fldi(isa::Reg fc, double value);
+  void cvtqt(isa::Reg fc, isa::Reg ra);
+  void cvttq(isa::Reg rc, isa::Reg fa);
+
+  /// Generic three-register emitter (rc <- ra OP rb). Useful for
+  /// parameterised tests and custom workload generators.
+  void op3(isa::Op op, isa::Reg rc, isa::Reg ra, isa::Reg rb) {
+    emit3(op, rc, ra, rb);
+  }
+
+  /// Current emission position.
+  isa::Pc pc() const { return static_cast<isa::Pc>(code_.size()); }
+
+  /// Resolve all labels and produce the Program. The builder must not
+  /// be reused afterwards. Every referenced label must be bound.
+  Program build(isa::Pc entry = 0);
+
+ private:
+  void emit(isa::Instruction inst);
+  void emit_branch(isa::Op op, isa::Reg ra, Label target);
+  void emit3(isa::Op op, isa::Reg rc, isa::Reg ra, isa::Reg rb);
+  void emit3i(isa::Op op, isa::Reg rc, isa::Reg ra, i64 imm);
+
+  std::string name_;
+  std::vector<isa::Instruction> code_;
+  std::vector<DataWord> data_;
+  std::vector<isa::Pc> label_pos_;             // kInvalidPc if unbound
+  std::vector<std::pair<isa::Pc, u32>> fixups_;  // (inst index, label id)
+  Addr next_data_ = 0x10000;  // data segment base; leaves page 0 unused
+  bool built_ = false;
+};
+
+}  // namespace tlr::vm

@@ -1,0 +1,242 @@
+#include "vm/interpreter.hpp"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace tlr::vm {
+
+using isa::DynInst;
+using isa::Instruction;
+using isa::Loc;
+using isa::Op;
+
+Interpreter::Interpreter(Program program) : program_(std::move(program)) {}
+
+RunResult Interpreter::run(const RunLimits& limits, const InstSink& sink) {
+  state_ = MachineState{};
+  for (const DataWord& w : program_.initial_data()) {
+    state_.store(w.addr, w.value);
+  }
+  pc_ = program_.entry();
+
+  RunResult result;
+  DynInst inst;
+  while (result.executed < limits.max_executed &&
+         result.emitted < limits.max_emitted) {
+    if (!step(inst)) {
+      result.halted = true;
+      break;
+    }
+    ++result.executed;
+    if (result.executed > limits.skip) {
+      ++result.emitted;
+      if (!sink(inst)) break;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Records a register read on the DynInst (zero registers excluded; see
+/// dyn_inst.hpp) and returns the value.
+u64 read_src(MachineState& state, DynInst& inst, isa::Reg reg) {
+  const u64 value = state.read_reg(reg);
+  if (!isa::is_zero_reg(reg)) inst.add_input(Loc::reg(reg), value);
+  return value;
+}
+
+/// Register write + output record (discarded for zero registers).
+void write_dest(MachineState& state, DynInst& inst, isa::Reg reg, u64 value) {
+  state.write_reg(reg, value);
+  if (!isa::is_zero_reg(reg)) inst.set_output(Loc::reg(reg), value);
+}
+
+double as_fp(u64 bits) { return std::bit_cast<double>(bits); }
+u64 fp_bits(double value) { return std::bit_cast<u64>(value); }
+
+}  // namespace
+
+bool Interpreter::step(DynInst& out) {
+  if (pc_ >= program_.size()) return false;
+  const Instruction& si = program_.at(pc_);
+  if (si.op == Op::kHalt) return false;
+
+  out = DynInst{};
+  out.pc = pc_;
+  out.op = si.op;
+  isa::Pc next = pc_ + 1;
+
+  auto binary_int = [&](auto fn) {
+    const u64 a = read_src(state_, out, si.ra);
+    const u64 b = si.use_imm ? static_cast<u64>(si.imm)
+                             : read_src(state_, out, si.rb);
+    write_dest(state_, out, si.rc, fn(a, b));
+  };
+  auto binary_fp = [&](auto fn) {
+    const double a = as_fp(read_src(state_, out, si.ra));
+    const double b = as_fp(read_src(state_, out, si.rb));
+    write_dest(state_, out, si.rc, fp_bits(fn(a, b)));
+  };
+  auto unary_fp = [&](auto fn) {
+    const double a = as_fp(read_src(state_, out, si.ra));
+    write_dest(state_, out, si.rc, fp_bits(fn(a)));
+  };
+
+  switch (si.op) {
+    case Op::kAdd: binary_int([](u64 a, u64 b) { return a + b; }); break;
+    case Op::kSub: binary_int([](u64 a, u64 b) { return a - b; }); break;
+    case Op::kMul: binary_int([](u64 a, u64 b) { return a * b; }); break;
+    case Op::kDiv:
+      // Division by zero is defined to produce 0 (the ISA has no traps).
+      binary_int([](u64 a, u64 b) {
+        if (b == 0) return u64{0};
+        return static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+      });
+      break;
+    case Op::kRem:
+      binary_int([](u64 a, u64 b) {
+        if (b == 0) return u64{0};
+        return static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+      });
+      break;
+    case Op::kAnd: binary_int([](u64 a, u64 b) { return a & b; }); break;
+    case Op::kOr: binary_int([](u64 a, u64 b) { return a | b; }); break;
+    case Op::kXor: binary_int([](u64 a, u64 b) { return a ^ b; }); break;
+    case Op::kAndNot: binary_int([](u64 a, u64 b) { return a & ~b; }); break;
+    case Op::kSll: binary_int([](u64 a, u64 b) { return a << (b & 63); }); break;
+    case Op::kSrl: binary_int([](u64 a, u64 b) { return a >> (b & 63); }); break;
+    case Op::kSra:
+      binary_int([](u64 a, u64 b) {
+        return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+      });
+      break;
+    case Op::kCmpEq:
+      binary_int([](u64 a, u64 b) { return static_cast<u64>(a == b); });
+      break;
+    case Op::kCmpLt:
+      binary_int([](u64 a, u64 b) {
+        return static_cast<u64>(static_cast<i64>(a) < static_cast<i64>(b));
+      });
+      break;
+    case Op::kCmpLe:
+      binary_int([](u64 a, u64 b) {
+        return static_cast<u64>(static_cast<i64>(a) <= static_cast<i64>(b));
+      });
+      break;
+    case Op::kCmpULt:
+      binary_int([](u64 a, u64 b) { return static_cast<u64>(a < b); });
+      break;
+
+    case Op::kLdi:
+      write_dest(state_, out, si.rc, static_cast<u64>(si.imm));
+      break;
+    case Op::kMov:
+      write_dest(state_, out, si.rc, read_src(state_, out, si.ra));
+      break;
+
+    case Op::kLdq:
+    case Op::kLdt: {
+      const u64 base = read_src(state_, out, si.ra);
+      const Addr ea = base + static_cast<u64>(si.imm);
+      const u64 value = state_.load(ea);
+      out.add_input(Loc::mem(ea), value);
+      write_dest(state_, out, si.rc, value);
+      break;
+    }
+    case Op::kStq:
+    case Op::kStt: {
+      const u64 base = read_src(state_, out, si.ra);
+      const u64 value = read_src(state_, out, si.rb);
+      const Addr ea = base + static_cast<u64>(si.imm);
+      state_.store(ea, value);
+      out.set_output(Loc::mem(ea), value);
+      break;
+    }
+
+    case Op::kBr:
+      next = static_cast<isa::Pc>(si.imm);
+      break;
+    case Op::kBeqz:
+      if (read_src(state_, out, si.ra) == 0) next = static_cast<isa::Pc>(si.imm);
+      break;
+    case Op::kBnez:
+      if (read_src(state_, out, si.ra) != 0) next = static_cast<isa::Pc>(si.imm);
+      break;
+    case Op::kBltz:
+      if (static_cast<i64>(read_src(state_, out, si.ra)) < 0) {
+        next = static_cast<isa::Pc>(si.imm);
+      }
+      break;
+    case Op::kBgez:
+      if (static_cast<i64>(read_src(state_, out, si.ra)) >= 0) {
+        next = static_cast<isa::Pc>(si.imm);
+      }
+      break;
+    case Op::kCall:
+      write_dest(state_, out, isa::kLinkReg, pc_ + 1);
+      next = static_cast<isa::Pc>(si.imm);
+      break;
+    case Op::kJmp:
+    case Op::kRet:
+      next = static_cast<isa::Pc>(read_src(state_, out, si.ra));
+      break;
+
+    case Op::kFAdd: binary_fp([](double a, double b) { return a + b; }); break;
+    case Op::kFSub: binary_fp([](double a, double b) { return a - b; }); break;
+    case Op::kFMul: binary_fp([](double a, double b) { return a * b; }); break;
+    case Op::kFDiv: binary_fp([](double a, double b) { return a / b; }); break;
+    case Op::kFSqrt: unary_fp([](double a) { return std::sqrt(a); }); break;
+    case Op::kFNeg: unary_fp([](double a) { return -a; }); break;
+    case Op::kFAbs: unary_fp([](double a) { return std::fabs(a); }); break;
+    case Op::kFCmpLt: {
+      const double a = as_fp(read_src(state_, out, si.ra));
+      const double b = as_fp(read_src(state_, out, si.rb));
+      write_dest(state_, out, si.rc, static_cast<u64>(a < b));
+      break;
+    }
+    case Op::kFCmpEq: {
+      const double a = as_fp(read_src(state_, out, si.ra));
+      const double b = as_fp(read_src(state_, out, si.rb));
+      write_dest(state_, out, si.rc, static_cast<u64>(a == b));
+      break;
+    }
+    case Op::kFLdi:
+      write_dest(state_, out, si.rc, static_cast<u64>(si.imm));
+      break;
+    case Op::kCvtQT:
+      write_dest(state_, out, si.rc,
+                 fp_bits(static_cast<double>(
+                     static_cast<i64>(read_src(state_, out, si.ra)))));
+      break;
+    case Op::kCvtTQ: {
+      const double a = as_fp(read_src(state_, out, si.ra));
+      write_dest(state_, out, si.rc, static_cast<u64>(static_cast<i64>(a)));
+      break;
+    }
+
+    case Op::kHalt:
+      return false;
+  }
+
+  out.next_pc = next;
+  pc_ = next;
+  return true;
+}
+
+std::vector<isa::DynInst> collect_stream(const Program& program,
+                                         const RunLimits& limits) {
+  std::vector<isa::DynInst> stream;
+  if (limits.max_emitted != ~u64{0}) stream.reserve(limits.max_emitted);
+  Interpreter interp(program);
+  interp.run(limits, [&stream](const isa::DynInst& inst) {
+    stream.push_back(inst);
+    return true;
+  });
+  return stream;
+}
+
+}  // namespace tlr::vm

@@ -1,0 +1,66 @@
+// The interpreter executes a Program over a MachineState and streams
+// one DynInst per executed instruction to a caller-provided sink.
+//
+// This plays the role ATOM instrumentation plays in the paper (§4.1):
+// it exposes the dynamic instruction stream together with every operand
+// location and value. Like the paper we support skipping a warm-up
+// prefix (their 25M) and emitting a bounded window (their 50M).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "vm/program.hpp"
+#include "vm/state.hpp"
+
+namespace tlr::vm {
+
+struct RunLimits {
+  /// Instructions to execute *without* emitting (warm-up skip).
+  u64 skip = 0;
+  /// Maximum instructions to emit after the skip.
+  u64 max_emitted = ~u64{0};
+  /// Absolute safety cap on total executed instructions.
+  u64 max_executed = u64{1} << 33;
+};
+
+struct RunResult {
+  u64 executed = 0;   // total instructions executed (incl. skipped)
+  u64 emitted = 0;    // instructions delivered to the sink
+  bool halted = false;  // program reached kHalt / fell off the end
+};
+
+/// Per-instruction sink. Return false to stop the run early.
+using InstSink = std::function<bool(const isa::DynInst&)>;
+
+class Interpreter {
+ public:
+  /// The interpreter owns a copy of the program: callers may pass
+  /// temporaries (e.g. `Interpreter interp(builder.build());`) without
+  /// lifetime hazards. Programs are small (instruction vector + data
+  /// image), so the copy is cheap relative to any run.
+  explicit Interpreter(Program program);
+
+  /// Execute from the program's entry point. The machine state is reset
+  /// and the initial data image applied.
+  RunResult run(const RunLimits& limits, const InstSink& sink);
+
+  /// Final architectural state of the last run (for tests and examples).
+  const MachineState& state() const { return state_; }
+
+ private:
+  /// Executes one instruction at pc_, filling `out`. Returns false when
+  /// the program halts.
+  bool step(isa::DynInst& out);
+
+  Program program_;
+  MachineState state_;
+  isa::Pc pc_ = 0;
+};
+
+/// Convenience: run `program` and materialise the emitted window.
+std::vector<isa::DynInst> collect_stream(const Program& program,
+                                         const RunLimits& limits);
+
+}  // namespace tlr::vm

@@ -1,0 +1,48 @@
+// A Program is the static artifact the interpreter executes: the
+// instruction sequence plus the initial memory image (the "data
+// segment") and entry point. Programs are built with ProgramBuilder.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "util/types.hpp"
+
+namespace tlr::vm {
+
+struct DataWord {
+  Addr addr = 0;  // byte address, 8-aligned
+  u64 value = 0;
+};
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<isa::Instruction> code,
+          std::vector<DataWord> data, isa::Pc entry)
+      : name_(std::move(name)),
+        code_(std::move(code)),
+        data_(std::move(data)),
+        entry_(entry) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<isa::Instruction>& code() const { return code_; }
+  const std::vector<DataWord>& initial_data() const { return data_; }
+  isa::Pc entry() const { return entry_; }
+
+  usize size() const { return code_.size(); }
+  const isa::Instruction& at(isa::Pc pc) const {
+    TLR_ASSERT(pc < code_.size());
+    return code_[pc];
+  }
+
+ private:
+  std::string name_;
+  std::vector<isa::Instruction> code_;
+  std::vector<DataWord> data_;
+  isa::Pc entry_ = 0;
+};
+
+}  // namespace tlr::vm

@@ -1,0 +1,81 @@
+// Architectural machine state: the 64 register cells plus a sparse,
+// page-granular memory image. Registers hold raw u64 words; FP values
+// are double bit patterns (helpers convert).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/reg.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr::vm {
+
+class MachineState {
+ public:
+  static constexpr usize kPageWords = 512;  // 4 KiB pages
+  static constexpr Addr kPageBytes = kPageWords * 8;
+
+  MachineState() { regs_.fill(0); }
+
+  // ---- registers ----------------------------------------------------
+  u64 read_reg(isa::Reg reg) const {
+    TLR_ASSERT(reg < isa::kNumRegs);
+    if (isa::is_zero_reg(reg)) return 0;
+    return regs_[reg];
+  }
+
+  void write_reg(isa::Reg reg, u64 value) {
+    TLR_ASSERT(reg < isa::kNumRegs);
+    if (isa::is_zero_reg(reg)) return;  // writes to r31/f31 are discarded
+    regs_[reg] = value;
+  }
+
+  double read_fp(isa::Reg reg) const {
+    return std::bit_cast<double>(read_reg(reg));
+  }
+
+  void write_fp(isa::Reg reg, double value) {
+    write_reg(reg, std::bit_cast<u64>(value));
+  }
+
+  // ---- memory (8-byte aligned word access) ---------------------------
+  u64 load(Addr addr) const {
+    TLR_ASSERT_MSG((addr & 7) == 0, "unaligned load");
+    const auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end()) return 0;
+    return (*it->second)[(addr % kPageBytes) / 8];
+  }
+
+  void store(Addr addr, u64 value) {
+    TLR_ASSERT_MSG((addr & 7) == 0, "unaligned store");
+    page(addr / kPageBytes)[(addr % kPageBytes) / 8] = value;
+  }
+
+  double load_fp(Addr addr) const { return std::bit_cast<double>(load(addr)); }
+  void store_fp(Addr addr, double value) {
+    store(addr, std::bit_cast<u64>(value));
+  }
+
+  usize resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<u64, kPageWords>;
+
+  Page& page(u64 page_index) {
+    auto& slot = pages_[page_index];
+    if (!slot) {
+      slot = std::make_unique<Page>();
+      slot->fill(0);
+    }
+    return *slot;
+  }
+
+  std::array<u64, isa::kNumRegs> regs_;
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace tlr::vm

@@ -1,0 +1,175 @@
+// `applu` analog: SSOR-style sweeps over an always-evolving 3D field.
+//
+// SPECfp95 110.applu is the paper's *least* reusable program (Fig 3:
+// ~53%): its solver keeps refining the solution, so the FP values seen
+// by each sweep are fresh every time. What remains reusable is the
+// integer scaffolding (index arithmetic, loop control) and the metric/
+// coefficient computations over the static grid geometry. Its traces
+// are tiny (Fig 7) and its speed-ups small but nonzero (Figs 5/6):
+// reuse frees fetch/window resources for the evolving FP work even
+// though it cannot shorten it.
+//
+// Analog structure, per sweep:
+//   Phase A (evolving): ping-pong Jacobi update of a 10x10x5 field
+//     with a per-sweep time-varying source term -> FP work never
+//     repeats (but carries no long serial chain: the window, not the
+//     dataflow, limits it).
+//   Phase B (static metrics): recompute flux coefficients from the
+//     static coordinate array -> repeats exactly from sweep 2, broken
+//     into short runs by a multiplicative residual accumulator.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::f;
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_applu(const WorkloadParams& params) {
+  ProgramBuilder b("applu");
+  Rng rng(params.seed ^ 0x6170706cULL);
+
+  constexpr usize kNx = 10, kNy = 10, kNz = 5;
+  constexpr usize kCells = kNx * kNy * kNz;
+  const usize metric_cells = 420 * params.scale;
+
+  // --- data segment --------------------------------------------------
+  const Addr field_a = b.alloc(kCells);
+  const Addr field_b = b.alloc(kCells);
+  const Addr coords = b.alloc(metric_cells + 2);  // static geometry
+  const Addr coeffs = b.alloc(metric_cells);      // metric outputs
+  const Addr time_cell = b.alloc(2);              // evolving source term
+
+  detail::init_array_fp(b, field_a, kCells,
+                        [&](usize) { return rng.uniform(0.5, 2.0); });
+  detail::init_array_fp(b, field_b, kCells,
+                        [&](usize) { return rng.uniform(0.5, 2.0); });
+  detail::init_array_fp(b, coords, metric_cells + 2,
+                        [&](usize i) { return 0.25 + 0.001 * double(i); });
+  b.init_double(time_cell, 1.0);
+
+  // --- registers -----------------------------------------------------
+  constexpr auto kOff = r(1);    // byte offset of the current cell
+  constexpr auto kEnd = r(2);
+  constexpr auto kTmp = r(3);
+  constexpr auto kOuter = r(4);
+  constexpr auto kTimeB = r(5);
+  constexpr auto kCoefP = r(6);
+  constexpr auto kCrdP = r(7);
+  constexpr auto kMod = r(8);    // cells-since-last-residual counter
+  constexpr auto kSrcB = r(9);   // ping-pong source buffer base
+  constexpr auto kDstB = r(10);  // ping-pong destination buffer base
+  constexpr auto kAddr = r(11);
+
+  constexpr auto kV = f(1);      // centre value
+  constexpr auto kSum = f(2);
+  constexpr auto kT = f(3);
+  constexpr auto kOmega = f(4);
+  constexpr auto kSrc = f(5);    // per-sweep source term
+  constexpr auto kSix = f(6);
+  constexpr auto kRes = f(7);    // multiplicative residual accumulator
+  constexpr auto kDrift = f(8);
+
+  constexpr i64 kRowB = kNx * 8;           // +/- y neighbour
+  constexpr i64 kPlaneB = kNx * kNy * 8;   // +/- z neighbour
+
+  b.ldi(kTimeB, static_cast<i64>(time_cell));
+  b.fldi(kOmega, 0.121);
+  b.fldi(kSix, 6.0);
+  b.fldi(kDrift, 1.0009765625);  // exactly representable drift factor
+  b.fldi(kRes, 1.0);
+  b.ldi(kSrcB, static_cast<i64>(field_a));
+  b.ldi(kDstB, static_cast<i64>(field_b));
+
+  detail::OuterLoop outer(b, kOuter);
+
+  // Advance the source term: src *= drift, then re-centre it so the
+  // field stays bounded while the *value* never repeats.
+  b.ldt(kSrc, kTimeB, 0);
+  b.fmul(kSrc, kSrc, kDrift);
+  b.stt(kSrc, kTimeB, 0);
+
+  // ---- Phase A: evolving Jacobi sweep (ping-pong buffers) -------------
+  b.ldi(kOff, kPlaneB);
+  b.ldi(kEnd, static_cast<i64>(kCells * 8 - kPlaneB));
+  Label sweep = b.here();
+  b.add(kAddr, kSrcB, kOff);
+  b.ldt(kV, kAddr, 0);
+  b.ldt(kSum, kAddr, -8);
+  b.ldt(kT, kAddr, 8);
+  b.fadd(kSum, kSum, kT);
+  b.ldt(kT, kAddr, -kRowB);
+  b.fadd(kSum, kSum, kT);
+  b.ldt(kT, kAddr, kRowB);
+  b.fadd(kSum, kSum, kT);
+  b.ldt(kT, kAddr, -kPlaneB);
+  b.fadd(kSum, kSum, kT);
+  b.ldt(kT, kAddr, kPlaneB);
+  b.fadd(kSum, kSum, kT);
+  b.fmul(kT, kV, kSix);
+  b.fsub(kSum, kSum, kT);        // residual = sum(neigh) - 6v
+  b.fmul(kSum, kSum, kOmega);
+  b.fadd(kV, kV, kSum);
+  b.fmul(kV, kV, kOmega);        // damping keeps the field bounded
+  b.fadd(kV, kV, kSrc);          // time-varying forcing
+  b.add(kAddr, kDstB, kOff);
+  b.stt(kV, kAddr, 0);
+  b.addi(kOff, kOff, 8);
+  b.cmpult(kTmp, kOff, kEnd);
+  b.bnez(kTmp, sweep);
+
+  // Swap the ping-pong buffers (values alternate A/B -> reusable).
+  b.mov(kTmp, kSrcB);
+  b.mov(kSrcB, kDstB);
+  b.mov(kDstB, kTmp);
+
+  // ---- Phase B: metric coefficients from static geometry -------------
+  b.ldi(kCrdP, static_cast<i64>(coords));
+  b.ldi(kCoefP, static_cast<i64>(coeffs));
+  b.ldi(kEnd, static_cast<i64>(coords + metric_cells * 8));
+  b.ldi(kMod, 0);
+  Label metrics = b.here();
+  b.ldt(kV, kCrdP, 0);
+  b.ldt(kT, kCrdP, 8);
+  b.fsub(kSum, kT, kV);          // dx
+  b.ldt(kT, kCrdP, 16);
+  b.fadd(kT, kT, kV);
+  b.fmul(kSum, kSum, kT);        // dx * (x[i+2]+x[i])
+  b.fmul(kT, kSum, kSum);
+  b.fadd(kT, kT, kOmega);
+  b.fdiv(kT, kSix, kT);          // 6 / (m^2 + w): a real metric shape
+  b.stt(kT, kCoefP, 0);
+
+  // Every 8th cell, fold into the never-repeating residual spine.
+  b.addi(kMod, kMod, 1);
+  b.andi(kMod, kMod, 7);
+  {
+    Label skip = b.label();
+    b.bnez(kMod, skip);
+    b.fmul(kRes, kRes, kDrift);  // evolves forever -> non-reusable
+    b.fadd(kRes, kRes, kT);
+    b.bind(skip);
+  }
+
+  b.addi(kCrdP, kCrdP, 8);
+  b.addi(kCoefP, kCoefP, 8);
+  b.cmpult(kTmp, kCrdP, kEnd);
+  b.bnez(kTmp, metrics);
+
+  outer.close();
+
+  Workload w;
+  w.name = "applu";
+  w.is_fp = true;
+  w.description =
+      "SSOR-style sweeps: evolving ping-pong Jacobi field (never-"
+      "repeating FP) plus static metric recomputation in short runs";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

@@ -1,0 +1,138 @@
+// `apsi` analog: mesoscale weather kernel with mixed static/evolving
+// fields.
+//
+// SPECfp95 141.apsi advances temperature/wind fields but spends much of
+// its time on quasi-invariant work: vertical coefficient profiles,
+// boundary relaxation and diagnostics over fields that change slowly.
+// The paper places apsi between applu (always-fresh FP) and the highly
+// reusable codes: moderate reusability, short traces.
+//
+// Analog structure, per timestep:
+//   Phase A (evolving, ~1/3 of work): advect a 1-D moisture column with
+//     a time-varying inflow -> non-repeating FP.
+//   Phase B (quasi-invariant): recompute vertical diffusion
+//     coefficients from the static height profile and relax the static
+//     boundary ring, with a residual spine every 6 cells keeping
+//     reusable runs short.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::f;
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_apsi(const WorkloadParams& params) {
+  ProgramBuilder b("apsi");
+  Rng rng(params.seed ^ 0x61707369ULL);
+
+  const usize column = 128 * params.scale;       // evolving moisture column
+  const usize profile = 512 * params.scale;      // static height profile
+
+  const Addr moisture = b.alloc(column + 2);
+  const Addr heights = b.alloc(profile + 2);
+  const Addr diffusion = b.alloc(profile);
+  const Addr inflow_cell = b.alloc(1);
+
+  detail::init_array_fp(b, moisture, column + 2,
+                        [&](usize) { return rng.uniform(0.0, 1.0); });
+  detail::init_array_fp(b, heights, profile + 2, [&](usize i) {
+    return 10.0 + 0.5 * static_cast<double>(i);
+  });
+  b.init_double(inflow_cell, 0.3);
+
+  constexpr auto kPtr = r(1);
+  constexpr auto kEnd = r(2);
+  constexpr auto kTmp = r(3);
+  constexpr auto kMod = r(4);
+  constexpr auto kInB = r(5);
+  constexpr auto kOutP = r(6);
+  constexpr auto kOuter = r(7);
+
+  constexpr auto kV = f(1);
+  constexpr auto kT = f(2);
+  constexpr auto kC = f(3);
+  constexpr auto kInflow = f(4);
+  constexpr auto kHalf = f(5);
+  constexpr auto kDrift = f(6);
+  constexpr auto kRes = f(7);
+  constexpr auto kKappa = f(8);
+
+  b.ldi(kInB, static_cast<i64>(inflow_cell));
+  b.fldi(kHalf, 0.5);
+  b.fldi(kDrift, 1.00048828125);  // exact binary fraction
+  b.fldi(kKappa, 0.875);
+  b.fldi(kRes, 1.0);
+
+  detail::OuterLoop outer(b, kOuter);
+
+  // Time-varying inflow: the evolving part of the model state.
+  b.ldt(kInflow, kInB, 0);
+  b.fmul(kInflow, kInflow, kDrift);
+  b.stt(kInflow, kInB, 0);
+
+  // ---- Phase A: upwind advection of the moisture column --------------
+  b.ldi(kPtr, static_cast<i64>(moisture + 8));
+  b.ldi(kEnd, static_cast<i64>(moisture + (column + 1) * 8));
+  Label advect = b.here();
+  b.ldt(kV, kPtr, 0);
+  b.ldt(kT, kPtr, -8);
+  b.fsub(kT, kT, kV);           // upwind difference
+  b.fmul(kT, kT, kHalf);
+  b.fadd(kV, kV, kT);
+  b.fadd(kV, kV, kInflow);      // fresh every step
+  b.fmul(kV, kV, kKappa);       // decay keeps values bounded
+  b.stt(kV, kPtr, 0);
+  b.addi(kPtr, kPtr, 8);
+  b.cmpult(kTmp, kPtr, kEnd);
+  b.bnez(kTmp, advect);
+
+  // ---- Phase B: static vertical-diffusion coefficients ----------------
+  b.ldi(kPtr, static_cast<i64>(heights));
+  b.ldi(kOutP, static_cast<i64>(diffusion));
+  b.ldi(kEnd, static_cast<i64>(heights + profile * 8));
+  b.ldi(kMod, 0);
+  Label coeff = b.here();
+  b.ldt(kV, kPtr, 0);
+  b.ldt(kT, kPtr, 8);
+  b.fsub(kC, kT, kV);           // dz
+  b.ldt(kT, kPtr, 16);
+  b.fadd(kT, kT, kV);
+  b.fdiv(kC, kT, kC);           // (z[i+2]+z[i]) / dz
+  b.fmul(kC, kC, kHalf);
+  b.stt(kC, kOutP, 0);
+
+  // Every 6th cell, fold into the never-repeating residual spine.
+  b.addi(kMod, kMod, 1);
+  b.cmplti(kTmp, kMod, 6);
+  {
+    Label skip = b.label();
+    b.bnez(kTmp, skip);
+    b.ldi(kMod, 0);
+    b.fmul(kRes, kRes, kDrift);
+    b.fadd(kRes, kRes, kC);
+    b.bind(skip);
+  }
+
+  b.addi(kPtr, kPtr, 8);
+  b.addi(kOutP, kOutP, 8);
+  b.cmpult(kTmp, kPtr, kEnd);
+  b.bnez(kTmp, coeff);
+
+  outer.close();
+
+  Workload w;
+  w.name = "apsi";
+  w.is_fp = true;
+  w.description =
+      "mesoscale kernel: evolving advection column plus quasi-invariant "
+      "vertical-coefficient recomputation with a frequent residual spine";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

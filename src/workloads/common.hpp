@@ -1,0 +1,59 @@
+// Internal helpers shared by the workload generators. Not part of the
+// public API.
+#pragma once
+
+#include "isa/reg.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "vm/builder.hpp"
+
+namespace tlr::workloads::detail {
+
+/// Emit a loop prologue/epilogue that repeats the code between
+/// `begin_outer` and `end_outer` a practically unbounded number of
+/// times (2^31 passes); streams are cut off by the interpreter's emit
+/// limit long before that. The pass counter lives in `counter_reg`.
+/// Its decrement and test are the only instructions whose inputs never
+/// repeat, mirroring the once-per-iteration bookkeeping real programs
+/// have.
+class OuterLoop {
+ public:
+  OuterLoop(vm::ProgramBuilder& builder, isa::Reg counter_reg)
+      : builder_(builder), counter_(counter_reg) {
+    builder_.ldi(counter_, i64{1} << 31);
+    top_ = builder_.here();
+  }
+
+  /// Close the loop: decrement, branch back, then halt.
+  void close() {
+    builder_.subi(counter_, counter_, 1);
+    builder_.bnez(counter_, top_);
+    builder_.halt();
+  }
+
+ private:
+  vm::ProgramBuilder& builder_;
+  isa::Reg counter_;
+  vm::Label top_;
+};
+
+/// Fill `words` consecutive memory words starting at `base` with values
+/// produced by `gen(i)`.
+template <typename Gen>
+void init_array(vm::ProgramBuilder& builder, Addr base, usize words,
+                Gen&& gen) {
+  for (usize i = 0; i < words; ++i) {
+    builder.init_word(base + i * 8, gen(i));
+  }
+}
+
+/// Same, for doubles.
+template <typename Gen>
+void init_array_fp(vm::ProgramBuilder& builder, Addr base, usize words,
+                   Gen&& gen) {
+  for (usize i = 0; i < words; ++i) {
+    builder.init_double(base + i * 8, gen(i));
+  }
+}
+
+}  // namespace tlr::workloads::detail

@@ -1,0 +1,151 @@
+// `fpppp` analog: two-electron integral blocks feeding global
+// accumulator chains.
+//
+// SPECfp95 145.fpppp evaluates enormous straight-line FP blocks per
+// atom-pair and folds every block's contributions into running energy
+// sums. The pair data is static, so from the second visit onward the
+// per-pair block repeats exactly — high instruction-level reusability —
+// yet the paper measures essentially *no* speed-up for fpppp (Fig 4a/6a):
+// the critical path is the accumulator chains, whose values never
+// repeat, and the reusable work hangs off that spine. The accumulates
+// are also interleaved throughout the block, so reusable runs (traces)
+// stay very short (Fig 7).
+//
+// Analog structure: for each pair in a static pair list, an unrolled
+// ~40-op FP block computes four partial "integrals"; after every
+// partial, the value is folded into one of four global energy sums
+// (serial FP chains that never repeat).
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::f;
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_fpppp(const WorkloadParams& params) {
+  ProgramBuilder b("fpppp");
+  Rng rng(params.seed ^ 0x66707070ULL);
+
+  const usize n_pairs = 320 * params.scale;
+
+  // Static pair table: 6 doubles per pair (exponents, centres, weights).
+  const Addr pairs = b.alloc(n_pairs * 6);
+  const Addr energies = b.alloc(4);
+
+  detail::init_array_fp(b, pairs, n_pairs * 6,
+                        [&](usize) { return rng.uniform(0.1, 1.9); });
+
+  constexpr auto kPtr = r(1);
+  constexpr auto kEnd = r(2);
+  constexpr auto kTmp = r(3);
+  constexpr auto kEnB = r(4);
+  constexpr auto kOuter = r(5);
+
+  constexpr auto kA = f(1);
+  constexpr auto kB = f(2);
+  constexpr auto kC = f(3);
+  constexpr auto kD = f(4);
+  constexpr auto kE = f(5);
+  constexpr auto kW = f(6);
+  constexpr auto kT0 = f(7);
+  constexpr auto kT1 = f(8);
+  constexpr auto kSum0 = f(9);   // the four never-repeating spines
+  constexpr auto kSum1 = f(10);
+  constexpr auto kSum2 = f(11);
+  constexpr auto kSum3 = f(12);
+  constexpr auto kDamp = f(13);
+
+  b.ldi(kEnB, static_cast<i64>(energies));
+  b.fldi(kSum0, 0.0);
+  b.fldi(kSum1, 0.0);
+  b.fldi(kSum2, 0.0);
+  b.fldi(kSum3, 0.0);
+  b.fldi(kDamp, 0.99951171875);  // keeps the sums bounded but moving
+
+  detail::OuterLoop outer(b, kOuter);
+
+  b.ldi(kPtr, static_cast<i64>(pairs));
+  b.ldi(kEnd, static_cast<i64>(pairs + n_pairs * 48));
+
+  Label pair_loop = b.here();
+  b.ldt(kA, kPtr, 0);
+  b.ldt(kB, kPtr, 8);
+  b.ldt(kC, kPtr, 16);
+  b.ldt(kD, kPtr, 24);
+  b.ldt(kE, kPtr, 32);
+  b.ldt(kW, kPtr, 40);
+
+  // Partial 1: overlap-like term  s = w / (a + b).
+  b.fadd(kT0, kA, kB);
+  b.fdiv(kT0, kW, kT0);
+  b.fmul(kT1, kT0, kT0);
+  b.fadd(kT1, kT1, kC);
+  // fold -> sum0 (serial spine, never repeats)
+  b.fmul(kSum0, kSum0, kDamp);
+  b.fadd(kSum0, kSum0, kT1);
+
+  // Partial 2: kinetic-like term  t = (a*b) / (a+b) * d.
+  b.fmul(kT0, kA, kB);
+  b.fadd(kT1, kA, kB);
+  b.fdiv(kT0, kT0, kT1);
+  b.fmul(kT0, kT0, kD);
+  b.fmul(kSum1, kSum1, kDamp);
+  b.fadd(kSum1, kSum1, kT0);
+
+  // Partial 3: gaussian-product distance term.
+  b.fsub(kT0, kC, kD);
+  b.fmul(kT0, kT0, kT0);
+  b.fmul(kT1, kA, kT0);
+  b.fadd(kT1, kT1, kE);
+  b.fsqrt(kT1, kT1);
+  b.fmul(kSum2, kSum2, kDamp);
+  b.fadd(kSum2, kSum2, kT1);
+
+  // Partial 4: weighted repulsion-like term (widened: fpppp's blocks
+  // are hundreds of FP ops between accumulator folds).
+  b.fmul(kT0, kE, kW);
+  b.fadd(kT1, kA, kC);
+  b.fdiv(kT0, kT0, kT1);
+  b.fmul(kT0, kT0, kB);
+  b.fadd(kT0, kT0, kD);
+  b.fmul(kT1, kT0, kT0);
+  b.fadd(kT1, kT1, kA);
+  b.fmul(kT1, kT1, kW);
+  b.fsub(kT1, kT1, kC);
+  b.fmul(kT0, kT0, kT1);
+  b.fadd(kT0, kT0, kE);
+  b.fmul(kT1, kB, kD);
+  b.fadd(kT1, kT1, kT0);
+  b.fmul(kT0, kT1, kW);
+  b.fadd(kT0, kT0, kA);
+  b.fmul(kSum3, kSum3, kDamp);
+  b.fadd(kSum3, kSum3, kT0);
+
+  b.addi(kPtr, kPtr, 48);
+  b.cmpult(kTmp, kPtr, kEnd);
+  b.bnez(kTmp, pair_loop);
+
+  // Publish the energies once per pass.
+  b.stt(kSum0, kEnB, 0);
+  b.stt(kSum1, kEnB, 8);
+  b.stt(kSum2, kEnB, 16);
+  b.stt(kSum3, kEnB, 24);
+
+  outer.close();
+
+  Workload w;
+  w.name = "fpppp";
+  w.is_fp = true;
+  w.description =
+      "two-electron integral blocks over a static pair table; four "
+      "interleaved serial energy chains defeat reuse on the critical path";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

@@ -1,0 +1,179 @@
+// `go` analog: board-scan position evaluator.
+//
+// SPECint95 099.go repeatedly evaluates a 19x19 board that changes by
+// one stone per move: between consecutive evaluations almost all of
+// the board — and therefore almost all loads, neighbour sums and
+// branch conditions — carry the values they had before. The evaluation
+// accumulators are the non-repeating part: each changed stone breaks
+// the running-score chain from that point in scan order.
+//
+// Analog structure: a 19x19 board (stored with a sentinel border so
+// the stencil needs no bounds checks) is mutated by one move per
+// iteration from a long precomputed move list, then fully evaluated
+// with a 5-point influence stencil feeding two colour scores.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_go(const WorkloadParams& params) {
+  ProgramBuilder b("go");
+  Rng rng(params.seed ^ 0x676f6f6fULL);
+
+  constexpr usize kSide = 19;
+  constexpr usize kRow = kSide + 2;  // sentinel border
+  const usize n_moves = 512 * params.scale;
+
+  // --- data segment --------------------------------------------------
+  const Addr board = b.alloc(kRow * kRow);
+  const Addr moves = b.alloc(n_moves);  // packed: cell_offset*4 | color
+  const Addr scores = b.alloc(4);
+
+  // Sparse opening position.
+  for (usize i = 1; i <= kSide; ++i) {
+    for (usize j = 1; j <= kSide; ++j) {
+      const u64 stone = rng.chance(1, 4) ? 1 + rng.below(2) : 0;
+      b.init_word(board + (i * kRow + j) * 8, stone);
+    }
+  }
+  // Moves: interior cells only; color cycles 0 (capture), 1, 2.
+  for (usize m = 0; m < n_moves; ++m) {
+    const u64 i = 1 + rng.below(kSide);
+    const u64 j = 1 + rng.below(kSide);
+    const u64 color = m % 3;
+    b.init_word(moves + m * 8, ((i * kRow + j) * 8) << 2 | color);
+  }
+
+  // --- registers -----------------------------------------------------
+  constexpr auto kBoard = r(1);
+  constexpr auto kMovePtr = r(2);
+  constexpr auto kMoveEnd = r(3);
+  constexpr auto kCell = r(4);    // cursor over board interior
+  constexpr auto kRowEnd = r(5);
+  constexpr auto kSelf = r(6);
+  constexpr auto kSum = r(7);
+  constexpr auto kScoreB = r(8);
+  constexpr auto kScoreW = r(9);
+  constexpr auto kTmp = r(10);
+  constexpr auto kTmp2 = r(11);
+  constexpr auto kRowIdx = r(12);
+  constexpr auto kScores = r(13);
+  constexpr auto kOuter = r(14);
+  constexpr auto kSpine = r(15);  // never-repeating game-history spine
+  constexpr auto kHist = r(16);   // per-eval position hash (reusable chain)
+
+  constexpr i64 kRowBytes = static_cast<i64>(kRow * 8);
+
+  b.ldi(kBoard, static_cast<i64>(board));
+  b.ldi(kScores, static_cast<i64>(scores));
+  b.ldi(kMovePtr, static_cast<i64>(moves));
+  b.ldi(kMoveEnd, static_cast<i64>(moves + n_moves * 8));
+  // Real go engines thread global state (move history, hash of the
+  // game) through every evaluation; this spine models it: one
+  // dependent 1-cycle op per cell whose value never repeats. It
+  // serialises successive evaluations (bounding the infinite-window
+  // parallelism) and breaks reusable runs at the ~1-cell scale.
+  b.ldi(kSpine, 0x9e3779b9);
+
+  detail::OuterLoop outer(b, kOuter);
+
+  // ---- play one move -------------------------------------------------
+  b.ldq(kTmp, kMovePtr, 0);
+  b.andi(kTmp2, kTmp, 3);        // color
+  b.srli(kTmp, kTmp, 2);         // cell byte offset
+  b.add(kTmp, kTmp, kBoard);
+  b.stq(kTmp2, kTmp, 0);
+  b.addi(kMovePtr, kMovePtr, 8);
+  b.cmpult(kTmp, kMovePtr, kMoveEnd);
+  {
+    Label no_wrap = b.label();
+    b.bnez(kTmp, no_wrap);
+    b.ldi(kMovePtr, static_cast<i64>(moves));  // cycle the move list
+    b.bind(no_wrap);
+  }
+
+  // ---- full-board evaluation ------------------------------------------
+  b.ldi(kScoreB, 0);
+  b.ldi(kScoreW, 0);
+  b.ldi(kHist, 11);  // per-eval reset: chain values repeat across evals
+  b.ldi(kRowIdx, static_cast<i64>(kSide));
+
+  Label row_loop = b.here();
+  // kCell = board + rowIdx*kRowBytes + 8 (start of interior row rowIdx).
+  b.muli(kCell, kRowIdx, kRowBytes);
+  b.add(kCell, kCell, kBoard);
+  b.addi(kCell, kCell, 8);
+  b.addi(kRowEnd, kCell, static_cast<i64>(kSide * 8));
+
+  Label cell_loop = b.here();
+  b.ldq(kSelf, kCell, 0);
+  b.ldq(kSum, kCell, -kRowBytes);      // north
+  b.ldq(kTmp, kCell, kRowBytes);       // south
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kCell, -8);              // west
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kCell, 8);               // east
+  b.add(kSum, kSum, kTmp);
+  b.slli(kTmp, kSelf, 2);              // influence = 4*self + neighbours
+  b.add(kSum, kSum, kTmp);
+
+  {
+    Label not_black = b.label();
+    Label next = b.label();
+    b.cmpeqi(kTmp, kSelf, 1);
+    b.beqz(kTmp, not_black);
+    b.add(kScoreB, kScoreB, kSum);
+    b.br(next);
+    b.bind(not_black);
+    b.cmpeqi(kTmp, kSelf, 2);
+    b.beqz(kTmp, next);
+    b.add(kScoreW, kScoreW, kSum);
+    b.bind(next);
+  }
+
+  // Position-hash chain (like Zobrist hashing): two dependent 1-cycle
+  // ops per cell, serial across the evaluation, reusable (resets per
+  // evaluation). ILR cannot shorten it; trace reuse can.
+  b.add(kHist, kHist, kSum);
+  b.xori(kHist, kHist, 0x55);
+  // History spine (never repeats), every 4th cell.
+  b.andi(kTmp, kCell, 24);
+  {
+    Label no_spine = b.label();
+    b.bnez(kTmp, no_spine);
+    b.add(kSpine, kSpine, kSum);
+    b.addi(kSpine, kSpine, 1);
+    b.bind(no_spine);
+  }
+
+  b.addi(kCell, kCell, 8);
+  b.cmpult(kTmp, kCell, kRowEnd);
+  b.bnez(kTmp, cell_loop);
+
+  b.subi(kRowIdx, kRowIdx, 1);
+  b.bnez(kRowIdx, row_loop);
+
+  // Publish the evaluation.
+  b.stq(kScoreB, kScores, 0);
+  b.stq(kScoreW, kScores, 8);
+  b.stq(kSpine, kScores, 16);
+
+  outer.close();
+
+  Workload w;
+  w.name = "go";
+  w.is_fp = false;
+  w.description =
+      "19x19 board evaluator: one stone changes per move, 5-point "
+      "influence stencil re-scanned over a mostly unchanged board";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

@@ -1,0 +1,256 @@
+// `li` analog: a small expression-tree interpreter (XLISP core loop).
+//
+// SPECint95 130.li evaluates s-expressions: pointer-chasing over cons
+// cells, a tag dispatch per node, and real recursion. The same small
+// set of expressions is evaluated over and over against an environment
+// that changes slowly — so whole eval() call trees repeat with
+// identical inputs, which is precisely the "subroutine-grain" reuse
+// the paper motivates trace-level reuse with.
+//
+// Analog structure: a heap of {tag, left, right, value} nodes encodes
+// 32 expression trees over 8 environment variables. The interpreter is
+// a genuinely recursive eval() (CALL/RET with a memory frame stack).
+// The main loop cycles a Zipf-ordered tree sequence, rebinding one
+// environment variable every 64 evaluations from a per-pass mutation
+// list (absolute rebinds, so passes repeat exactly from pass 2 on).
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+namespace {
+
+constexpr u64 kTagConst = 0;
+constexpr u64 kTagVar = 1;
+constexpr u64 kTagAdd = 2;
+constexpr u64 kTagSub = 3;
+constexpr u64 kTagMul = 4;
+
+struct Node {
+  u64 tag, left, right, value;
+};
+
+/// Builds random expression trees into a flat node arena; returns the
+/// arena index of the root.
+class TreeGen {
+ public:
+  explicit TreeGen(Rng& rng) : rng_(rng) {}
+
+  usize build(int max_depth) {
+    if (max_depth == 0 || rng_.chance(2, 5)) {
+      if (rng_.chance(1, 2)) {
+        return emit({kTagConst, 0, 0, rng_.below(64)});
+      }
+      return emit({kTagVar, 0, 0, rng_.below(8)});
+    }
+    const u64 tag = kTagAdd + rng_.below(3);
+    const usize left = build(max_depth - 1);
+    const usize right = build(max_depth - 1);
+    return emit({tag, left, right, 0});
+  }
+
+  const std::vector<Node>& arena() const { return arena_; }
+
+ private:
+  usize emit(Node n) {
+    arena_.push_back(n);
+    return arena_.size() - 1;
+  }
+
+  Rng& rng_;
+  std::vector<Node> arena_;
+};
+
+}  // namespace
+
+Workload make_li(const WorkloadParams& params) {
+  ProgramBuilder b("li");
+  Rng rng(params.seed ^ 0x6c697370ULL);
+
+  const usize n_trees = 32;
+  const usize seq_len = 256 * params.scale;
+  const usize mut_every = 64;
+
+  TreeGen gen(rng);
+  std::vector<usize> roots;
+  roots.reserve(n_trees);
+  for (usize t = 0; t < n_trees; ++t) roots.push_back(gen.build(4));
+  const auto& arena = gen.arena();
+
+  // --- data segment --------------------------------------------------
+  const Addr heap = b.alloc(arena.size() * 4);  // 32 bytes per node
+  const Addr env = b.alloc(8);
+  const Addr frames = b.alloc(256);             // recursion stack
+  const Addr seq = b.alloc(seq_len);            // tree pointers, in order
+  const Addr muts = b.alloc(seq_len / mut_every + 1);
+  const Addr result = b.alloc(1);
+
+  auto node_addr = [&](usize idx) { return heap + idx * 32; };
+  for (usize i = 0; i < arena.size(); ++i) {
+    const Node& n = arena[i];
+    b.init_word(node_addr(i) + 0, n.tag);
+    b.init_word(node_addr(i) + 8,
+                n.tag >= kTagAdd ? node_addr(n.left) : 0);
+    b.init_word(node_addr(i) + 16,
+                n.tag >= kTagAdd ? node_addr(n.right) : 0);
+    b.init_word(node_addr(i) + 24, n.value);
+  }
+  for (usize v = 0; v < 8; ++v) b.init_word(env + v * 8, rng.below(256));
+
+  ZipfDraw pick(n_trees, 1.0, rng.next());
+  for (usize s = 0; s < seq_len; ++s) {
+    b.init_word(seq + s * 8, node_addr(roots[pick.next()]));
+  }
+  // Mutation list: absolute rebinds env[var] = val, val from a small
+  // cycling set so bindings revisit old values.
+  for (usize m = 0; m <= seq_len / mut_every; ++m) {
+    const u64 var = rng.below(8);
+    const u64 val = 16 * (1 + m % 4);
+    b.init_word(muts + m * 8, (val << 3) | var);
+  }
+
+  // --- registers -----------------------------------------------------
+  constexpr auto kNode = r(4);   // eval() argument
+  constexpr auto kRet = r(5);    // eval() result
+  constexpr auto kTag = r(6);
+  constexpr auto kTmp = r(7);
+  constexpr auto kA = r(8);      // left-operand temporary
+  constexpr auto kEnvB = r(9);
+  constexpr auto kSeqP = r(10);
+  constexpr auto kSeqEnd = r(11);
+  constexpr auto kCount = r(12);
+  constexpr auto kMutP = r(13);
+  constexpr auto kResB = r(14);
+  constexpr auto kOuter = r(15);
+  constexpr auto kSpine = r(16); // never-repeating eval-count spine
+  constexpr auto kChk = r(17);   // per-pass result checksum (reusable)
+  constexpr auto kSp = isa::kStackReg;
+  constexpr auto kLink = isa::kLinkReg;
+
+  b.ldi(kEnvB, static_cast<i64>(env));
+  b.ldi(kResB, static_cast<i64>(result));
+  // Interpreter bookkeeping spine (GC allocation pointer / eval
+  // counter): one dependent 1-cycle op per eval() node, never
+  // repeating.
+  b.ldi(kSpine, 3);
+
+  Label eval = b.label();
+  Label main_top = b.label();
+  b.br(main_top);
+
+  // ---- eval(node) -> ret ------------------------------------------------
+  b.bind(eval);
+  b.addi(kSpine, kSpine, 3);     // eval-count spine (never repeats)
+  // Intern-hash chain: three dependent 1-cycle ops per visited node,
+  // fed by the (static) node address; serial within a pass, reusable
+  // because kChk resets each pass.
+  b.add(kChk, kChk, kNode);
+  b.srli(kTmp, kChk, 7);
+  b.xor_(kChk, kChk, kTmp);
+  b.ldq(kTag, kNode, 0);
+  {
+    Label not_const = b.label();
+    b.bnez(kTag, not_const);
+    b.ldq(kRet, kNode, 24);     // const: literal value
+    b.ret();
+    b.bind(not_const);
+  }
+  {
+    Label binop = b.label();
+    b.cmpeqi(kTmp, kTag, static_cast<i64>(kTagVar));
+    b.beqz(kTmp, binop);
+    b.ldq(kTmp, kNode, 24);     // var: env[index]
+    b.slli(kTmp, kTmp, 3);
+    b.add(kTmp, kTmp, kEnvB);
+    b.ldq(kRet, kTmp, 0);
+    b.ret();
+    b.bind(binop);
+  }
+  // Binary operator: push {link, node}, recurse on both children.
+  b.stq(kLink, kSp, 0);
+  b.stq(kNode, kSp, 8);
+  b.addi(kSp, kSp, 24);         // frame: link, node, saved-left
+  b.ldq(kNode, kNode, 8);       // left child
+  b.call(eval);
+  b.stq(kRet, kSp, -8);         // save left value
+  b.ldq(kNode, kSp, -16);
+  b.ldq(kNode, kNode, 16);      // right child
+  b.call(eval);
+  b.ldq(kA, kSp, -8);           // left value
+  b.ldq(kNode, kSp, -16);
+  b.ldq(kTag, kNode, 0);
+  b.subi(kSp, kSp, 24);
+  b.ldq(kLink, kSp, 0);
+  {
+    Label do_add = b.label();
+    Label do_sub = b.label();
+    b.cmpeqi(kTmp, kTag, static_cast<i64>(kTagAdd));
+    b.bnez(kTmp, do_add);
+    b.cmpeqi(kTmp, kTag, static_cast<i64>(kTagSub));
+    b.bnez(kTmp, do_sub);
+    b.mul(kRet, kA, kRet);      // mul case
+    b.ret();
+    b.bind(do_add);
+    b.add(kRet, kA, kRet);
+    b.ret();
+    b.bind(do_sub);
+    b.sub(kRet, kA, kRet);
+    b.ret();
+  }
+
+  // ---- main loop ---------------------------------------------------------
+  b.bind(main_top);
+  detail::OuterLoop outer(b, kOuter);
+
+  b.ldi(kSeqP, static_cast<i64>(seq));
+  b.ldi(kSeqEnd, static_cast<i64>(seq + seq_len * 8));
+  b.ldi(kMutP, static_cast<i64>(muts));
+  b.ldi(kCount, 0);
+  b.ldi(kChk, 1);  // per-pass reset: chain values repeat across passes
+
+  Label eval_loop = b.here();
+  b.ldi(kSp, static_cast<i64>(frames));  // reset recursion stack
+  b.ldq(kNode, kSeqP, 0);
+  b.call(eval);
+  b.stq(kRet, kResB, 0);
+
+  b.addi(kCount, kCount, 1);
+  b.andi(kTmp, kCount, static_cast<i64>(mut_every - 1));
+  {
+    Label no_mut = b.label();
+    b.bnez(kTmp, no_mut);
+    b.ldq(kTmp, kMutP, 0);      // packed (val<<3)|var
+    b.andi(kA, kTmp, 7);
+    b.slli(kA, kA, 3);
+    b.add(kA, kA, kEnvB);
+    b.srli(kTmp, kTmp, 3);
+    b.stq(kTmp, kA, 0);         // env[var] = val
+    b.addi(kMutP, kMutP, 8);
+    b.bind(no_mut);
+  }
+
+  b.addi(kSeqP, kSeqP, 8);
+  b.cmpult(kTmp, kSeqP, kSeqEnd);
+  b.bnez(kTmp, eval_loop);
+
+  outer.close();
+
+  Workload w;
+  w.name = "li";
+  w.is_fp = false;
+  w.description =
+      "recursive expression-tree interpreter: tag dispatch, pointer "
+      "chasing, call/return frames, slowly mutating environment";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

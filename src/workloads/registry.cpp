@@ -1,0 +1,54 @@
+#include <array>
+
+#include "util/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+namespace {
+
+constexpr std::array<std::string_view, 7> kFpNames = {
+    "applu", "apsi", "fpppp", "hydro2d", "su2cor", "tomcatv", "turb3d"};
+
+constexpr std::array<std::string_view, 7> kIntNames = {
+    "compress", "gcc", "go", "ijpeg", "li", "perl", "vortex"};
+
+constexpr std::array<std::string_view, 14> kAllNames = {
+    "applu",    "apsi", "fpppp", "hydro2d", "su2cor", "tomcatv", "turb3d",
+    "compress", "gcc",  "go",    "ijpeg",   "li",     "perl",    "vortex"};
+
+}  // namespace
+
+std::span<const std::string_view> workload_names() { return kAllNames; }
+std::span<const std::string_view> int_workload_names() { return kIntNames; }
+std::span<const std::string_view> fp_workload_names() { return kFpNames; }
+
+Workload make_workload(std::string_view name, const WorkloadParams& params) {
+  if (name == "compress") return make_compress(params);
+  if (name == "gcc") return make_gcc(params);
+  if (name == "go") return make_go(params);
+  if (name == "ijpeg") return make_ijpeg(params);
+  if (name == "li") return make_li(params);
+  if (name == "perl") return make_perl(params);
+  if (name == "vortex") return make_vortex(params);
+  if (name == "applu") return make_applu(params);
+  if (name == "apsi") return make_apsi(params);
+  if (name == "fpppp") return make_fpppp(params);
+  if (name == "hydro2d") return make_hydro2d(params);
+  if (name == "su2cor") return make_su2cor(params);
+  if (name == "tomcatv") return make_tomcatv(params);
+  if (name == "turb3d") return make_turb3d(params);
+  TLR_ASSERT_MSG(false, "unknown workload name");
+  return {};
+}
+
+std::vector<Workload> make_suite(const WorkloadParams& params) {
+  std::vector<Workload> suite;
+  suite.reserve(kAllNames.size());
+  for (std::string_view name : kAllNames) {
+    suite.push_back(make_workload(name, params));
+  }
+  return suite;
+}
+
+}  // namespace tlr::workloads

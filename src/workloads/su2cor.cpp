@@ -1,0 +1,131 @@
+// `su2cor` analog: lattice gauge matrix products over a quenched
+// configuration.
+//
+// SPECfp95 103.su2cor multiplies small gauge-link matrices along lattice
+// paths. In a quenched run the link configuration is frozen, and the
+// links take values from a limited set, so the same small-matrix
+// products recur constantly — both within a sweep (palette hits) and
+// across sweeps (identical traversal). The paper shows high reusability
+// and large traces for su2cor.
+//
+// Analog structure: 256 sites each reference one of 8 link matrices
+// (3x3 doubles) via a static index array and one of 4 propagator
+// matrices; per site a fully unrolled 3x3 matrix product (~90 FP ops)
+// runs with palette-resident operands, then one multiplicative
+// normalisation spine instruction pair bounds the reusable run.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::f;
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_su2cor(const WorkloadParams& params) {
+  ProgramBuilder b("su2cor");
+  Rng rng(params.seed ^ 0x73753263ULL);
+
+  const usize n_sites = 128 * params.scale;
+  constexpr usize kLinks = 8;    // distinct gauge matrices
+  constexpr usize kProps = 4;    // distinct propagators
+  constexpr usize kMat = 9;      // 3x3 doubles
+
+  const Addr links = b.alloc(kLinks * kMat);
+  const Addr props = b.alloc(kProps * kMat);
+  const Addr site_link = b.alloc(n_sites);  // palette index per site
+  const Addr out = b.alloc(n_sites * kMat);
+  const Addr norm_cell = b.alloc(1);
+
+  detail::init_array_fp(b, links, kLinks * kMat,
+                        [&](usize) { return rng.uniform(-1.0, 1.0); });
+  detail::init_array_fp(b, props, kProps * kMat,
+                        [&](usize) { return rng.uniform(-1.0, 1.0); });
+  ZipfDraw pick(kLinks, 0.9, rng.next());
+  detail::init_array(b, site_link, n_sites, [&](usize) { return pick.next(); });
+
+  constexpr auto kSiteP = r(1);   // cursor over site_link
+  constexpr auto kSiteEnd = r(2);
+  constexpr auto kABase = r(3);   // link matrix base
+  constexpr auto kBBase = r(4);   // propagator base
+  constexpr auto kOutP = r(5);
+  constexpr auto kTmp = r(6);
+  constexpr auto kSite = r(7);    // site counter (selects propagator)
+  constexpr auto kOuter = r(8);
+
+  constexpr auto kA0 = f(1);
+  constexpr auto kA1 = f(2);
+  constexpr auto kA2 = f(3);
+  constexpr auto kBv = f(4);
+  constexpr auto kAcc = f(5);
+  constexpr auto kT = f(6);
+  constexpr auto kChk = r(9);   // never-repeating audit spine (int)
+
+  b.ldi(kChk, 1);
+
+  detail::OuterLoop outer(b, kOuter);
+
+  b.ldi(kSiteP, static_cast<i64>(site_link));
+  b.ldi(kSiteEnd, static_cast<i64>(site_link + n_sites * 8));
+  b.ldi(kOutP, static_cast<i64>(out));
+  b.ldi(kSite, 0);
+
+  Label site_loop = b.here();
+  // A = links[site_link[s]]
+  b.ldq(kTmp, kSiteP, 0);
+  b.muli(kTmp, kTmp, kMat * 8);
+  b.addi(kABase, kTmp, static_cast<i64>(links));
+  // B = props[s & 3]
+  b.andi(kTmp, kSite, kProps - 1);
+  b.muli(kTmp, kTmp, kMat * 8);
+  b.addi(kBBase, kTmp, static_cast<i64>(props));
+
+  // C = A * B, fully unrolled 3x3.
+  for (int i = 0; i < 3; ++i) {
+    b.ldt(kA0, kABase, (i * 3 + 0) * 8);
+    b.ldt(kA1, kABase, (i * 3 + 1) * 8);
+    b.ldt(kA2, kABase, (i * 3 + 2) * 8);
+    for (int j = 0; j < 3; ++j) {
+      b.ldt(kBv, kBBase, (0 * 3 + j) * 8);
+      b.fmul(kAcc, kA0, kBv);
+      b.ldt(kBv, kBBase, (1 * 3 + j) * 8);
+      b.fmul(kT, kA1, kBv);
+      b.fadd(kAcc, kAcc, kT);
+      b.ldt(kBv, kBBase, (2 * 3 + j) * 8);
+      b.fmul(kT, kA2, kBv);
+      b.fadd(kAcc, kAcc, kT);
+      b.stt(kAcc, kOutP, (i * 3 + j) * 8);
+    }
+  }
+
+  // Audit spine: strictly increasing integer chain, two dependent
+  // 1-cycle ops per site (never repeats; breaks traces per site).
+  b.cvttq(kTmp, kAcc);
+  b.add(kChk, kChk, kTmp);
+  b.addi(kChk, kChk, 7);
+
+  b.addi(kSiteP, kSiteP, 8);
+  b.addi(kOutP, kOutP, kMat * 8);
+  b.addi(kSite, kSite, 1);
+  b.cmpult(kTmp, kSiteP, kSiteEnd);
+  b.bnez(kTmp, site_loop);
+
+  b.ldi(kTmp, static_cast<i64>(norm_cell));
+  b.stq(kChk, kTmp, 0);
+
+  outer.close();
+
+  Workload w;
+  w.name = "su2cor";
+  w.is_fp = true;
+  w.description =
+      "lattice gauge kernel: unrolled 3x3 matrix products with palette-"
+      "resident operands over a quenched (static) link configuration";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

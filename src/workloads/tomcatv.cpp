@@ -1,0 +1,135 @@
+// `tomcatv` analog: mesh relaxation that converges cell-by-cell.
+//
+// SPECfp95 101.tomcatv iterates a mesh smoother whose corrections
+// shrink toward zero; once a region converges its per-sweep work
+// repeats exactly. We model convergence with a threshold-gated update:
+// a cell whose correction magnitude falls below epsilon stops being
+// written, freezing its neighbourhood bit-for-bit, after which every
+// instruction touching it is reusable. The initial mesh is
+// near-converged with a perturbed band, so within the measured window
+// most sweeps run over frozen cells -> high reusability, long traces.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::f;
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_tomcatv(const WorkloadParams& params) {
+  ProgramBuilder b("tomcatv");
+  Rng rng(params.seed ^ 0x746f6d63ULL);
+
+  constexpr usize kSide = 32;
+  constexpr i64 kRowB = kSide * 8;
+
+  const Addr mesh = b.alloc(kSide * kSide);
+  const Addr resid_cell = b.alloc(1);
+
+  // Near-converged mesh: smooth bilinear surface + a perturbed band of
+  // rows that needs a few sweeps to settle.
+  for (usize i = 0; i < kSide; ++i) {
+    for (usize j = 0; j < kSide; ++j) {
+      double v = 1.0 + 0.002 * static_cast<double>(i + j);
+      if (i >= 13 && i < 18) v += rng.uniform(-0.02, 0.02);
+      b.init_double(mesh + (i * kSide + j) * 8, v);
+    }
+  }
+
+  constexpr auto kMesh = r(1);
+  constexpr auto kCell = r(2);
+  constexpr auto kRowEnd = r(3);
+  constexpr auto kRow = r(4);
+  constexpr auto kTmp = r(5);
+  constexpr auto kMod = r(6);
+  constexpr auto kOuter = r(7);
+
+  constexpr auto kV = f(1);
+  constexpr auto kT = f(2);
+  constexpr auto kAvg = f(3);
+  constexpr auto kDiff = f(4);
+  constexpr auto kQ = f(5);
+  constexpr auto kEps = f(6);
+  constexpr auto kOmega = f(7);
+  constexpr auto kRes = f(8);
+  constexpr auto kDrift = f(9);
+
+  b.ldi(kMesh, static_cast<i64>(mesh));
+  b.fldi(kQ, 0.25);
+  b.fldi(kEps, 1e-4);  // settles the perturbed band within ~10 sweeps
+  b.fldi(kOmega, 0.875);
+  b.fldi(kRes, 1.0);
+  b.fldi(kDrift, 1.000244140625);
+
+  detail::OuterLoop outer(b, kOuter);
+
+  b.ldi(kRow, 1);
+  b.ldi(kMod, 0);
+  Label row_loop = b.here();
+  b.muli(kCell, kRow, kRowB);
+  b.add(kCell, kCell, kMesh);
+  b.addi(kRowEnd, kCell, kRowB - 8);
+  b.addi(kCell, kCell, 8);
+
+  Label cell_loop = b.here();
+  b.ldt(kV, kCell, 0);
+  b.ldt(kAvg, kCell, -8);
+  b.ldt(kT, kCell, 8);
+  b.fadd(kAvg, kAvg, kT);
+  b.ldt(kT, kCell, -kRowB);
+  b.fadd(kAvg, kAvg, kT);
+  b.ldt(kT, kCell, kRowB);
+  b.fadd(kAvg, kAvg, kT);
+  b.fmul(kAvg, kAvg, kQ);
+  b.fsub(kDiff, kAvg, kV);
+  b.fabs_(kT, kDiff);
+  b.fcmplt(kTmp, kEps, kT);     // |diff| > eps ?
+  {
+    Label frozen = b.label();
+    b.beqz(kTmp, frozen);       // converged: no write -> cell freezes
+    b.fmul(kDiff, kDiff, kOmega);
+    b.fadd(kV, kV, kDiff);
+    b.stt(kV, kCell, 0);
+    b.bind(frozen);
+  }
+
+  // Residual spine every 10 cells keeps traces bounded.
+  b.addi(kMod, kMod, 1);
+  b.cmplti(kTmp, kMod, 10);
+  {
+    Label skip = b.label();
+    b.bnez(kTmp, skip);
+    b.ldi(kMod, 0);
+    b.fmul(kRes, kRes, kDrift);
+    b.fadd(kRes, kRes, kAvg);
+    b.bind(skip);
+  }
+
+  b.addi(kCell, kCell, 8);
+  b.cmpult(kTmp, kCell, kRowEnd);
+  b.bnez(kTmp, cell_loop);
+
+  b.addi(kRow, kRow, 1);
+  b.cmplti(kTmp, kRow, static_cast<i64>(kSide - 1));
+  b.bnez(kTmp, row_loop);
+
+  b.ldi(kTmp, static_cast<i64>(resid_cell));
+  b.stt(kRes, kTmp, 0);
+
+  outer.close();
+
+  Workload w;
+  w.name = "tomcatv";
+  w.is_fp = true;
+  w.description =
+      "mesh smoother with threshold-gated updates: cells freeze as they "
+      "converge, after which whole rows of work repeat bit-for-bit";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

@@ -1,0 +1,234 @@
+// `vortex` analog: an in-memory object database running a transaction
+// mix.
+//
+// SPECint95 147.vortex performs object lookups, integrity checks and
+// field updates against memory-resident tables. Reuse is plentiful
+// because the key distribution is skewed (hot objects are fetched
+// repeatedly between modifications) and the per-object work — hash,
+// probe, field copies, checksum validation — is identical whenever the
+// object's fields are unchanged. Updates inject fresh values at a
+// bounded rate, and updated fields cycle through a small domain, so
+// even modified objects eventually revisit earlier states.
+//
+// Analog structure: 1024 records x 8 fields with a 2048-slot hash
+// index; a 2048-transaction stream (92% lookup+validate+copy-out, 8%
+// field update with checksum maintenance), Zipf keys, re-run per pass.
+#include "util/rng.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+using isa::r;
+using vm::Label;
+using vm::ProgramBuilder;
+
+Workload make_vortex(const WorkloadParams& params) {
+  ProgramBuilder b("vortex");
+  Rng rng(params.seed ^ 0x766f7274ULL);
+
+  const usize n_records = 1024;
+  const usize n_slots = 2048;  // power of two
+  const usize n_txns = 2048 * params.scale;
+  const i64 slot_mask = static_cast<i64>(n_slots - 1);
+
+  // --- data segment --------------------------------------------------
+  const Addr records = b.alloc(n_records * 8);
+  const Addr index = b.alloc(n_slots * 2);  // {key+1, record addr}
+  const Addr txns = b.alloc(n_txns);
+  const Addr outbuf = b.alloc(8);
+  const Addr counters = b.alloc(2);
+
+  // Records: key + 6 payload fields + checksum.
+  std::vector<u64> payload(n_records * 8, 0);
+  for (usize rec = 0; rec < n_records; ++rec) {
+    payload[rec * 8 + 0] = rec;  // key == record number
+    u64 checksum = 0;
+    for (usize fld = 1; fld <= 6; ++fld) {
+      const u64 v = rng.below(64);
+      payload[rec * 8 + fld] = v;
+      checksum += v;
+    }
+    payload[rec * 8 + 7] = checksum;
+    for (usize fld = 0; fld < 8; ++fld) {
+      b.init_word(records + (rec * 8 + fld) * 8, payload[rec * 8 + fld]);
+    }
+  }
+
+  // Hash index built host-side with the same multiplicative hash the
+  // guest uses; linear probing.
+  {
+    std::vector<u64> slots(n_slots * 2, 0);
+    for (usize rec = 0; rec < n_records; ++rec) {
+      const u64 key = rec;
+      u64 h = ((key * 2654435761ULL) >> 21) & static_cast<u64>(slot_mask);
+      while (slots[h * 2] != 0) h = (h + 1) & static_cast<u64>(slot_mask);
+      slots[h * 2] = key + 1;
+      slots[h * 2 + 1] = records + rec * 64;
+    }
+    for (usize s = 0; s < n_slots * 2; ++s) {
+      b.init_word(index + s * 8, slots[s]);
+    }
+  }
+
+  // Transactions: packed (delta << 18) | (key << 2) | op.
+  ZipfDraw keys(n_records, 1.0, rng.next());
+  for (usize t = 0; t < n_txns; ++t) {
+    const u64 op = rng.chance(8, 100) ? 1 : 0;  // 8% updates
+    const u64 key = keys.next();
+    const u64 delta = 1 + rng.below(15);
+    b.init_word(txns + t * 8, (delta << 18) | (key << 2) | op);
+  }
+
+  // --- registers -----------------------------------------------------
+  constexpr auto kTxnP = r(1);
+  constexpr auto kTxnEnd = r(2);
+  constexpr auto kWordV = r(3);   // packed transaction word
+  constexpr auto kKey = r(4);
+  constexpr auto kHash = r(5);
+  constexpr auto kIdxB = r(6);
+  constexpr auto kRec = r(7);     // record base address
+  constexpr auto kSum = r(8);
+  constexpr auto kTmp = r(9);
+  constexpr auto kTmp2 = r(10);
+  constexpr auto kOutB = r(11);
+  constexpr auto kCntB = r(12);
+  constexpr auto kF = r(16);      // field temp
+  constexpr auto kOuter = r(13);
+  constexpr auto kSpine = r(14);  // never-repeating transaction-id spine
+  constexpr auto kVer = r(15);    // per-pass audit hash (reusable chain)
+
+  b.ldi(kIdxB, static_cast<i64>(index));
+  b.ldi(kOutB, static_cast<i64>(outbuf));
+  b.ldi(kCntB, static_cast<i64>(counters));
+  // Transaction-id spine: databases stamp every transaction with a
+  // monotonically increasing id; one dependent 1-cycle op per txn.
+  b.ldi(kSpine, 1);
+
+  detail::OuterLoop outer(b, kOuter);
+
+  b.ldi(kTxnP, static_cast<i64>(txns));
+  b.ldi(kTxnEnd, static_cast<i64>(txns + n_txns * 8));
+  b.ldi(kVer, 5);  // per-pass reset: audit-chain values repeat
+
+  Label txn_loop = b.here();
+  b.ldq(kWordV, kTxnP, 0);
+  b.srli(kKey, kWordV, 2);
+  b.andi(kKey, kKey, static_cast<i64>(n_records - 1));
+
+  // Probe the index.
+  b.muli(kHash, kKey, 2654435761);
+  b.srli(kHash, kHash, 21);
+  b.andi(kHash, kHash, slot_mask);
+  Label probe = b.here();
+  b.slli(kTmp, kHash, 4);
+  b.add(kTmp, kTmp, kIdxB);
+  b.ldq(kTmp2, kTmp, 0);          // stored key+1
+  b.addi(kF, kKey, 1);
+  b.cmpeq(kF, kTmp2, kF);
+  {
+    Label found = b.label();
+    b.bnez(kF, found);
+    b.addi(kHash, kHash, 1);
+    b.andi(kHash, kHash, slot_mask);
+    b.br(probe);
+    b.bind(found);
+  }
+  b.ldq(kRec, kTmp, 8);           // record base
+
+  b.andi(kTmp, kWordV, 1);
+  Label do_update = b.label();
+  Label next_txn = b.label();
+  b.bnez(kTmp, do_update);
+
+  // ---- lookup: validate checksum, copy fields out --------------------
+  b.ldq(kSum, kRec, 8);
+  b.ldq(kTmp, kRec, 16);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 24);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 32);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 40);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 48);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 56);          // stored checksum
+  b.cmpeq(kTmp, kSum, kTmp);
+  {
+    Label valid = b.label();
+    b.bnez(kTmp, valid);
+    b.stq(kSum, kCntB, 8);        // corruption sink (never reached)
+    b.bind(valid);
+  }
+  // Copy the object out (fixed staging buffer, like vortex's object
+  // materialisation).
+  b.ldq(kTmp, kRec, 8);
+  b.stq(kTmp, kOutB, 0);
+  b.ldq(kTmp, kRec, 16);
+  b.stq(kTmp, kOutB, 8);
+  b.ldq(kTmp, kRec, 24);
+  b.stq(kTmp, kOutB, 16);
+  b.ldq(kTmp, kRec, 32);
+  b.stq(kTmp, kOutB, 24);
+  b.ldq(kTmp, kRec, 40);
+  b.stq(kTmp, kOutB, 32);
+  b.ldq(kTmp, kRec, 48);
+  b.stq(kTmp, kOutB, 40);
+  b.stq(kSum, kOutB, 48);
+  b.br(next_txn);
+
+  // ---- update: mutate one field within a small domain, fix checksum --
+  b.bind(do_update);
+  b.andi(kTmp, kKey, 3);          // field 1..4
+  b.addi(kTmp, kTmp, 1);
+  b.slli(kTmp, kTmp, 3);
+  b.add(kTmp, kTmp, kRec);        // field address
+  b.ldq(kF, kTmp, 0);
+  b.srli(kTmp2, kWordV, 18);      // delta
+  b.add(kF, kF, kTmp2);
+  b.andi(kF, kF, 63);             // bounded domain -> values revisit
+  b.stq(kF, kTmp, 0);
+  // Recompute the checksum over fields 1..6.
+  b.ldq(kSum, kRec, 8);
+  b.ldq(kTmp, kRec, 16);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 24);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 32);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 40);
+  b.add(kSum, kSum, kTmp);
+  b.ldq(kTmp, kRec, 48);
+  b.add(kSum, kSum, kTmp);
+  b.stq(kSum, kRec, 56);
+
+  b.bind(next_txn);
+  // Audit-hash chain: databases fold every transaction into integrity
+  // digests. Five dependent 1-cycle ops per transaction, serial across
+  // the pass, reusable (resets per pass).
+  b.add(kVer, kVer, kKey);
+  b.srli(kTmp, kVer, 11);
+  b.xor_(kVer, kVer, kTmp);
+  b.addi(kVer, kVer, 5);
+  b.xori(kVer, kVer, 0x33);
+  b.add(kSpine, kSpine, kKey);   // txn-id spine (never repeats)
+  b.addi(kSpine, kSpine, 1);     // strictly increasing even for key 0
+  b.addi(kTxnP, kTxnP, 8);
+  b.cmpult(kTmp, kTxnP, kTxnEnd);
+  b.bnez(kTmp, txn_loop);
+
+  outer.close();
+
+  Workload w;
+  w.name = "vortex";
+  w.is_fp = false;
+  w.description =
+      "object database transaction mix: hash-index probes, checksum "
+      "validation, field copy-out, bounded-domain updates";
+  w.program = b.build();
+  return w;
+}
+
+}  // namespace tlr::workloads

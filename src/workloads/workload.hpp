@@ -1,0 +1,73 @@
+// SPEC95-analog workload suite.
+//
+// The paper evaluates on seven SPECint95 and seven SPECfp95 programs
+// (ATOM-instrumented Alpha binaries, reference inputs). Those binaries
+// and traces are not redistributable, so this library substitutes one
+// *synthetic analog per benchmark*: a real program for our mini-ISA
+// whose dynamic behaviour (instruction mix, value locality, loop
+// structure) is engineered to land in the band the paper reports for
+// its namesake. Crucially, the redundancy the reuse engines find arises
+// the same way it does in SPEC — from loops re-traversing slowly
+// changing data, repeated calls on a small set of arguments, quasi-
+// invariant fields — and never from replaying canned instruction
+// records. See DESIGN.md §2 for the substitution argument and the
+// per-workload .cpp files for what each analog computes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace tlr::workloads {
+
+struct Workload {
+  std::string name;        // paper benchmark name, e.g. "compress"
+  bool is_fp = false;      // SPECfp95 analog?
+  std::string description; // one-line summary of the analog program
+  vm::Program program;
+};
+
+/// Construction parameters. The defaults reproduce the library's
+/// published numbers; tests shrink them for speed.
+struct WorkloadParams {
+  u64 seed = 0xC0FFEE;  // seed for the workload's synthetic data
+  /// Rough scale knob (1 = default working sets). Scales table/grid
+  /// sizes, not the semantics.
+  u32 scale = 1;
+};
+
+// -- SPECint95 analogs ------------------------------------------------
+Workload make_compress(const WorkloadParams& params = {});
+Workload make_gcc(const WorkloadParams& params = {});
+Workload make_go(const WorkloadParams& params = {});
+Workload make_ijpeg(const WorkloadParams& params = {});
+Workload make_li(const WorkloadParams& params = {});
+Workload make_perl(const WorkloadParams& params = {});
+Workload make_vortex(const WorkloadParams& params = {});
+
+// -- SPECfp95 analogs -------------------------------------------------
+Workload make_applu(const WorkloadParams& params = {});
+Workload make_apsi(const WorkloadParams& params = {});
+Workload make_fpppp(const WorkloadParams& params = {});
+Workload make_hydro2d(const WorkloadParams& params = {});
+Workload make_su2cor(const WorkloadParams& params = {});
+Workload make_tomcatv(const WorkloadParams& params = {});
+Workload make_turb3d(const WorkloadParams& params = {});
+
+/// Names in the paper's figure order (FP first, then INT, matching the
+/// X axes of Figures 3-7).
+std::span<const std::string_view> workload_names();
+std::span<const std::string_view> int_workload_names();
+std::span<const std::string_view> fp_workload_names();
+
+/// Factory by name; asserts on unknown names.
+Workload make_workload(std::string_view name,
+                       const WorkloadParams& params = {});
+
+/// The whole suite in figure order.
+std::vector<Workload> make_suite(const WorkloadParams& params = {});
+
+}  // namespace tlr::workloads

@@ -1,0 +1,142 @@
+// Core facade tests: metric consistency, figure assembly, aggregation
+// discipline, and a small finite-RTM matrix smoke test.
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+#include "core/study.hpp"
+
+namespace tlr::core {
+namespace {
+
+SuiteConfig small_config() {
+  SuiteConfig config;
+  config.skip = 10000;
+  config.length = 50000;
+  return config;
+}
+
+TEST(StudyTest, MetricsAreInternallyConsistent) {
+  const WorkloadMetrics m = analyze_workload("compress", small_config());
+  EXPECT_EQ(m.name, "compress");
+  EXPECT_FALSE(m.is_fp);
+  EXPECT_EQ(m.instructions, 50000u);
+  EXPECT_GT(m.reusability, 0.0);
+  EXPECT_LT(m.reusability, 1.0);
+
+  // Reuse can only help (oracle rule): cycle counts never exceed base.
+  EXPECT_GT(m.base_inf, 0u);
+  EXPECT_GE(m.base_win, m.base_inf);  // a window never speeds things up
+  for (const Cycle c : m.ilr_inf) EXPECT_LE(c, m.base_inf);
+  for (const Cycle c : m.ilr_win) EXPECT_LE(c, m.base_win);
+  EXPECT_LE(m.trace_inf, m.base_inf);
+  for (const Cycle c : m.trace_win) EXPECT_LE(c, m.base_win);
+  for (const Cycle c : m.trace_win_prop) EXPECT_LE(c, m.base_win);
+
+  // Latency sweeps are monotone: higher reuse latency, no faster.
+  for (usize i = 1; i < m.ilr_inf.size(); ++i) {
+    EXPECT_GE(m.ilr_inf[i], m.ilr_inf[i - 1]);
+    EXPECT_GE(m.ilr_win[i], m.ilr_win[i - 1]);
+    EXPECT_GE(m.trace_win[i], m.trace_win[i - 1]);
+  }
+  for (usize i = 1; i < m.trace_win_prop.size(); ++i) {
+    EXPECT_GE(m.trace_win_prop[i], m.trace_win_prop[i - 1]);
+  }
+
+  // Speed-up accessors agree with the ratios.
+  EXPECT_DOUBLE_EQ(m.ilr_speedup_inf(0),
+                   double(m.base_inf) / double(m.ilr_inf[0]));
+  EXPECT_GE(m.trace_speedup_win(0), 1.0);
+}
+
+TEST(StudyTest, TraceReuseAtLeastInstructionReuse) {
+  // Theorem-1 grouping means trace reuse covers the same instructions
+  // with less overhead: at equal latency it can never be slower.
+  for (const char* name : {"compress", "hydro2d", "gcc"}) {
+    const WorkloadMetrics m = analyze_workload(name, small_config());
+    EXPECT_LE(m.trace_win[0], m.ilr_win[0]) << name;
+    EXPECT_LE(m.trace_inf, m.ilr_inf[0]) << name;
+  }
+}
+
+TEST(StudyTest, StreamCollectionMatchesLength) {
+  const auto stream = collect_workload_stream("perl", small_config());
+  EXPECT_EQ(stream.size(), 50000u);
+}
+
+TEST(FiguresTest, SeriesAssemblyAndAggregation) {
+  std::vector<WorkloadMetrics> suite(3);
+  suite[0].name = "a";
+  suite[0].is_fp = true;
+  suite[0].reusability = 0.5;
+  suite[1].name = "b";
+  suite[1].is_fp = false;
+  suite[1].reusability = 0.9;
+  suite[2].name = "c";
+  suite[2].is_fp = false;
+  suite[2].reusability = 0.7;
+
+  const BenchSeries series = fig3_reusability(suite);
+  ASSERT_EQ(series.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.values[0], 50.0);
+  EXPECT_DOUBLE_EQ(series.avg_fp, 50.0);
+  EXPECT_DOUBLE_EQ(series.avg_int, 80.0);       // arithmetic
+  EXPECT_DOUBLE_EQ(series.avg_all, 70.0);
+
+  const TextTable table = series.to_table("reusable %", 1);
+  EXPECT_EQ(table.rows(), 6u);  // 3 benchmarks + 3 aggregates
+  EXPECT_EQ(table.cell(3, 0), "AVG_FP");
+}
+
+TEST(FiguresTest, HarmonicAggregationForSpeedups) {
+  std::vector<WorkloadMetrics> suite(2);
+  for (auto& m : suite) {
+    m.base_inf = 100;
+    m.base_win = 100;
+    m.ilr_inf = {50};
+    m.ilr_win = {50};
+    m.trace_win = {50};
+    m.trace_win_prop = {50};
+    m.trace_inf = 50;
+  }
+  suite[0].ilr_inf[0] = 25;  // speed-up 4 vs 2: harmonic mean = 2.67
+  const BenchSeries series = fig4a_ilr_speedup_inf(suite);
+  EXPECT_NEAR(series.avg_all, 2.0 * 4.0 * 2.0 / (4.0 + 2.0), 1e-9);
+}
+
+TEST(FiguresTest, LatencySweepsHaveConfiguredPoints) {
+  SuiteConfig config = small_config();
+  MetricOptions options;
+  options.ilr_latencies = {1, 2};
+  options.trace_latencies = {1, 2, 3};
+  options.proportional_ks = {0.25, 1.0};
+  const WorkloadMetrics m = analyze_workload("go", config, options);
+  std::vector<WorkloadMetrics> suite = {m};
+  EXPECT_EQ(fig4b_ilr_latency_sweep(suite).size(), 2u);
+  EXPECT_EQ(fig8a_latency_sweep(suite).size(), 3u);
+  EXPECT_EQ(fig8b_proportional_sweep(suite).size(), 2u);
+}
+
+TEST(FiguresTest, TraceIoStatsSaneRanges) {
+  const WorkloadMetrics m = analyze_workload("vortex", small_config());
+  const TraceIoStats stats = trace_io_stats({m});
+  EXPECT_GT(stats.avg_size, 1.0);
+  EXPECT_GT(stats.reg_inputs, 0.0);
+  EXPECT_GT(stats.reg_outputs, 0.0);
+  // The paper's headline: far fewer reads/writes per reused instruction
+  // than the >=1 reads a normal execution needs.
+  EXPECT_LT(stats.reads_per_inst, 1.0);
+  EXPECT_LT(stats.writes_per_inst, 1.0);
+}
+
+TEST(FiguresTest, Fig9HeuristicsAndGeometries) {
+  const auto heuristics = fig9_heuristics();
+  ASSERT_EQ(heuristics.size(), 10u);
+  EXPECT_EQ(heuristics[0].label, "ILR NE");
+  EXPECT_EQ(heuristics[1].label, "ILR EXP");
+  EXPECT_EQ(heuristics[2].label, "I1 EXP");
+  EXPECT_EQ(heuristics[9].label, "I8 EXP");
+  EXPECT_EQ(fig9_geometries().size(), 4u);
+}
+
+}  // namespace
+}  // namespace tlr::core

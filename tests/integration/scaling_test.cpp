@@ -1,0 +1,44 @@
+// Scaling study (DESIGN.md §6): the reusability metrics the library
+// reports must be stable as the measured window grows, otherwise the
+// laptop-scale substitution for the paper's 50M-instruction windows
+// would be meaningless.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "reuse/reusability.hpp"
+#include "vm/interpreter.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr {
+namespace {
+
+double reusability_at(std::string_view name, u64 length) {
+  vm::RunLimits limits;
+  limits.skip = 50000;
+  limits.max_emitted = length;
+  const auto stream = vm::collect_stream(
+      workloads::make_workload(name, {}).program, limits);
+  return reuse::analyze_reusability(stream).fraction();
+}
+
+class ScalingStability : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(ScalingStability, ReusabilityGrowsThenStabilises) {
+  const double at_200k = reusability_at(GetParam(), 200000);
+  const double at_500k = reusability_at(GetParam(), 500000);
+  // Longer windows amortise the cold-table start: reusability must not
+  // drop, and must move by less than ~12 percentage points.
+  EXPECT_GE(at_500k + 0.02, at_200k) << GetParam();
+  EXPECT_LT(at_500k - at_200k, 0.12) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Representative, ScalingStability,
+                         ::testing::Values("compress", "hydro2d", "applu",
+                                           "li"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tlr

@@ -1,0 +1,127 @@
+// ISA model tests: registers, locations, op classification, latencies.
+#include <gtest/gtest.h>
+
+#include "isa/dyn_inst.hpp"
+#include "isa/latency.hpp"
+#include "isa/op.hpp"
+#include "isa/reg.hpp"
+
+namespace tlr::isa {
+namespace {
+
+TEST(RegTest, IntAndFpRanges) {
+  EXPECT_TRUE(is_int_reg(r(0)));
+  EXPECT_TRUE(is_int_reg(r(31)));
+  EXPECT_TRUE(is_fp_reg(f(0)));
+  EXPECT_TRUE(is_fp_reg(f(31)));
+  EXPECT_FALSE(is_fp_reg(r(5)));
+  EXPECT_FALSE(is_int_reg(f(5)));
+  EXPECT_EQ(f(0), kNumIntRegs);
+}
+
+TEST(RegTest, ZeroRegisters) {
+  EXPECT_TRUE(is_zero_reg(kIntZero));
+  EXPECT_TRUE(is_zero_reg(kFpZero));
+  EXPECT_FALSE(is_zero_reg(r(0)));
+  EXPECT_FALSE(is_zero_reg(f(0)));
+}
+
+TEST(LocTest, RegisterRoundTrip) {
+  for (unsigned i = 0; i < 32; ++i) {
+    const Loc loc = Loc::reg(r(i));
+    EXPECT_TRUE(loc.is_reg());
+    EXPECT_FALSE(loc.is_mem());
+    EXPECT_EQ(loc.reg_index(), r(i));
+  }
+}
+
+TEST(LocTest, MemoryRoundTrip) {
+  for (Addr addr : {Addr{0}, Addr{8}, Addr{0x10000}, Addr{1} << 40}) {
+    const Loc loc = Loc::mem(addr);
+    EXPECT_TRUE(loc.is_mem());
+    EXPECT_EQ(loc.mem_addr(), addr);
+  }
+}
+
+TEST(LocTest, RegAndMemNeverCollide) {
+  const Loc reg_loc = Loc::reg(r(8));
+  const Loc mem_loc = Loc::mem(8);
+  EXPECT_NE(reg_loc.raw(), mem_loc.raw());
+  EXPECT_FALSE(reg_loc == mem_loc);
+}
+
+TEST(LocTest, FromRawRestores) {
+  const Loc original = Loc::mem(0x12340);
+  EXPECT_EQ(Loc::from_raw(original.raw()), original);
+  const Loc reg_loc = Loc::reg(f(3));
+  EXPECT_EQ(Loc::from_raw(reg_loc.raw()), reg_loc);
+}
+
+TEST(OpTest, Classification) {
+  EXPECT_EQ(op_class(Op::kAdd), OpClass::kIntAlu);
+  EXPECT_EQ(op_class(Op::kMul), OpClass::kIntMul);
+  EXPECT_EQ(op_class(Op::kLdq), OpClass::kLoad);
+  EXPECT_EQ(op_class(Op::kStt), OpClass::kStore);
+  EXPECT_EQ(op_class(Op::kBeqz), OpClass::kBranch);
+  EXPECT_EQ(op_class(Op::kFMul), OpClass::kFpMul);
+  EXPECT_EQ(op_class(Op::kFDiv), OpClass::kFpDiv);
+  EXPECT_EQ(op_class(Op::kFSqrt), OpClass::kFpSqrt);
+}
+
+TEST(OpTest, Predicates) {
+  EXPECT_TRUE(is_load(Op::kLdq));
+  EXPECT_TRUE(is_load(Op::kLdt));
+  EXPECT_FALSE(is_load(Op::kStq));
+  EXPECT_TRUE(is_store(Op::kStt));
+  EXPECT_TRUE(is_control(Op::kBr));
+  EXPECT_TRUE(is_control(Op::kRet));
+  EXPECT_FALSE(is_control(Op::kAdd));
+  EXPECT_TRUE(is_cond_branch(Op::kBnez));
+  EXPECT_FALSE(is_cond_branch(Op::kBr));
+  EXPECT_TRUE(writes_fp(Op::kFAdd));
+  EXPECT_TRUE(writes_fp(Op::kLdt));
+  EXPECT_FALSE(writes_fp(Op::kLdq));
+}
+
+TEST(OpTest, EveryOpHasNameAndClass) {
+  for (usize i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    EXPECT_NE(op_name(op), "?");
+    // op_class asserts internally on unknown ops; calling it is the test.
+    (void)op_class(op);
+  }
+}
+
+TEST(LatencyTest, Alpha21164Values) {
+  const LatencyTable& lat = kAlpha21164Latencies;
+  EXPECT_EQ(lat.get(OpClass::kIntAlu), 1u);
+  EXPECT_EQ(lat.get(OpClass::kIntMul), 12u);
+  EXPECT_EQ(lat.get(OpClass::kLoad), 2u);
+  EXPECT_EQ(lat.get(OpClass::kFpAdd), 4u);
+  EXPECT_EQ(lat.get(OpClass::kFpDiv), 31u);
+  EXPECT_EQ(lat.get(Op::kMul), 12u);
+}
+
+TEST(LatencyTest, Overridable) {
+  LatencyTable lat;
+  lat.set(OpClass::kLoad, 10);
+  EXPECT_EQ(lat.get(Op::kLdq), 10u);
+  EXPECT_EQ(kAlpha21164Latencies.get(Op::kLdq), 2u);  // default untouched
+}
+
+TEST(DynInstTest, InputRecording) {
+  DynInst inst;
+  inst.add_input(Loc::reg(r(1)), 42);
+  inst.add_input(Loc::mem(0x100), 7);
+  ASSERT_EQ(inst.num_inputs, 2);
+  EXPECT_EQ(inst.inputs[0].loc, Loc::reg(r(1)));
+  EXPECT_EQ(inst.inputs[0].value, 42u);
+  EXPECT_EQ(inst.inputs[1].loc, Loc::mem(0x100));
+  EXPECT_FALSE(inst.has_output);
+  inst.set_output(Loc::reg(r(2)), 9);
+  EXPECT_TRUE(inst.has_output);
+  EXPECT_EQ(inst.output_value, 9u);
+}
+
+}  // namespace
+}  // namespace tlr::isa

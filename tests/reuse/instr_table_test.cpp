@@ -1,0 +1,130 @@
+// Instruction-reuse table tests: infinite limit-study table and the
+// finite LRU table used by the realistic collection heuristics.
+#include <gtest/gtest.h>
+
+#include "isa/dyn_inst.hpp"
+#include "reuse/instr_table.hpp"
+#include "reuse/reusability.hpp"
+#include "reuse/signature.hpp"
+
+namespace tlr::reuse {
+namespace {
+
+using isa::DynInst;
+using isa::Loc;
+using isa::r;
+
+DynInst make_inst(isa::Pc pc, u64 v1, u64 v2) {
+  DynInst inst;
+  inst.pc = pc;
+  inst.op = isa::Op::kAdd;
+  inst.add_input(Loc::reg(r(1)), v1);
+  inst.add_input(Loc::reg(r(2)), v2);
+  inst.set_output(Loc::reg(r(3)), v1 + v2);
+  return inst;
+}
+
+TEST(SignatureTest, SameInputsSameSignature) {
+  EXPECT_EQ(input_signature(make_inst(1, 2, 3)),
+            input_signature(make_inst(9, 2, 3)));  // pc not part of it
+}
+
+TEST(SignatureTest, ValueSensitive) {
+  EXPECT_FALSE(input_signature(make_inst(1, 2, 3)) ==
+               input_signature(make_inst(1, 2, 4)));
+}
+
+TEST(SignatureTest, LocationSensitive) {
+  DynInst a, b;
+  a.add_input(Loc::reg(r(1)), 5);
+  b.add_input(Loc::reg(r(2)), 5);
+  EXPECT_FALSE(input_signature(a) == input_signature(b));
+}
+
+TEST(SignatureTest, MemoryLocationMatters) {
+  DynInst a, b;
+  a.add_input(Loc::mem(0x100), 5);
+  b.add_input(Loc::mem(0x108), 5);
+  EXPECT_FALSE(input_signature(a) == input_signature(b));
+}
+
+TEST(InfiniteTableTest, FirstMissThenHit) {
+  InfiniteInstrTable table;
+  EXPECT_FALSE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_TRUE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_TRUE(table.lookup_insert(make_inst(1, 2, 3)));
+}
+
+TEST(InfiniteTableTest, DistinguishesPcAndInputs) {
+  InfiniteInstrTable table;
+  EXPECT_FALSE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_FALSE(table.lookup_insert(make_inst(2, 2, 3)));  // other pc
+  EXPECT_FALSE(table.lookup_insert(make_inst(1, 2, 4)));  // other value
+  EXPECT_TRUE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_EQ(table.distinct_pcs(), 2u);
+  EXPECT_EQ(table.stored_instances(), 3u);
+}
+
+TEST(InfiniteTableTest, RemembersForever) {
+  InfiniteInstrTable table;
+  for (u64 v = 0; v < 1000; ++v) table.lookup_insert(make_inst(1, v, 0));
+  for (u64 v = 0; v < 1000; ++v) {
+    EXPECT_TRUE(table.lookup_insert(make_inst(1, v, 0)));
+  }
+}
+
+TEST(FiniteTableTest, HitAfterInsert) {
+  FiniteInstrTable table(64);
+  EXPECT_FALSE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_TRUE(table.lookup_insert(make_inst(1, 2, 3)));
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(FiniteTableTest, CapacityEvictsOldEntries) {
+  FiniteInstrTable table(16, 4);
+  // Fill far beyond capacity with distinct instances.
+  for (u64 v = 0; v < 1000; ++v) table.lookup_insert(make_inst(1, v, 0));
+  // Early instances must mostly be gone.
+  u64 survivors = 0;
+  for (u64 v = 0; v < 100; ++v) {
+    if (table.lookup_insert(make_inst(1, v, 0))) ++survivors;
+  }
+  EXPECT_LT(survivors, 20u);
+}
+
+TEST(FiniteTableTest, LruKeepsHotEntry) {
+  FiniteInstrTable table(16, 4);
+  table.lookup_insert(make_inst(7, 1, 1));  // the hot entry
+  for (u64 v = 0; v < 200; ++v) {
+    table.lookup_insert(make_inst(7, 1, 1));      // keep it hot
+    table.lookup_insert(make_inst(1, v, 0));      // churn
+  }
+  EXPECT_TRUE(table.lookup_insert(make_inst(7, 1, 1)));
+}
+
+TEST(FiniteTableTest, EntriesRoundedToGeometry) {
+  FiniteInstrTable table(100, 4);  // rounds up to 128
+  EXPECT_GE(table.entries(), 100u);
+  EXPECT_EQ(table.entries() % 4, 0u);
+}
+
+TEST(ReusabilityTest, AllRepeatsAfterFirst) {
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 10; ++i) stream.push_back(make_inst(1, 2, 3));
+  const ReusabilityResult result = analyze_reusability(stream);
+  EXPECT_EQ(result.reusable_count, 9u);
+  EXPECT_FALSE(result.reusable[0]);
+  for (int i = 1; i < 10; ++i) EXPECT_TRUE(result.reusable[i]);
+  EXPECT_DOUBLE_EQ(result.fraction(), 0.9);
+}
+
+TEST(ReusabilityTest, FreshValuesNeverReusable) {
+  std::vector<DynInst> stream;
+  for (u64 i = 0; i < 10; ++i) stream.push_back(make_inst(1, i, 0));
+  const ReusabilityResult result = analyze_reusability(stream);
+  EXPECT_EQ(result.reusable_count, 0u);
+}
+
+}  // namespace
+}  // namespace tlr::reuse

@@ -1,0 +1,287 @@
+// RTM structure tests: geometry, two-level LRU, value-compare and
+// valid-bit reuse tests, expansion replacement, and the accumulator.
+#include <gtest/gtest.h>
+
+#include "reuse/accumulator.hpp"
+#include "reuse/rtm.hpp"
+
+namespace tlr::reuse {
+namespace {
+
+using isa::Loc;
+using isa::r;
+
+StoredTrace make_trace(isa::Pc pc, u64 in_loc, u64 in_val, u64 out_loc,
+                       u64 out_val, u32 length = 4) {
+  StoredTrace trace;
+  trace.start_pc = pc;
+  trace.next_pc = pc + length;
+  trace.length = length;
+  trace.inputs.push_back(LocVal{in_loc, in_val});
+  trace.outputs.push_back(LocVal{out_loc, out_val});
+  trace.reg_inputs = 1;
+  trace.reg_outputs = 1;
+  return trace;
+}
+
+TEST(RtmGeometryTest, PaperConfigurations) {
+  EXPECT_EQ(RtmGeometry::rtm512().total_entries(), 512u);
+  EXPECT_EQ(RtmGeometry::rtm4k().total_entries(), 4096u);
+  EXPECT_EQ(RtmGeometry::rtm32k().total_entries(), 32768u);
+  EXPECT_EQ(RtmGeometry::rtm256k().total_entries(), 262144u);
+}
+
+TEST(ArchShadowTest, UnknownThenKnown) {
+  ArchShadow shadow;
+  EXPECT_FALSE(shadow.value(Loc::reg(r(1)).raw()).has_value());
+  shadow.set(Loc::reg(r(1)).raw(), 42);
+  EXPECT_EQ(shadow.value(Loc::reg(r(1)).raw()).value(), 42u);
+  const u64 mem = Loc::mem(0x100).raw();
+  EXPECT_FALSE(shadow.value(mem).has_value());
+  shadow.set(mem, 7);
+  EXPECT_EQ(shadow.value(mem).value(), 7u);
+}
+
+TEST(ArchShadowTest, ObserveRevealsInputsAndOutput) {
+  isa::DynInst inst;
+  inst.add_input(Loc::reg(r(2)), 11);
+  inst.set_output(Loc::reg(r(3)), 12);
+  ArchShadow shadow;
+  shadow.observe(inst);
+  EXPECT_EQ(shadow.value(Loc::reg(r(2)).raw()).value(), 11u);
+  EXPECT_EQ(shadow.value(Loc::reg(r(3)).raw()).value(), 12u);
+}
+
+TEST(RtmTest, MissWhenEmptyHitAfterInsert) {
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 5);
+  EXPECT_FALSE(rtm.lookup(100, shadow).has_value());
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  const auto hit = rtm.lookup(100, shadow);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->trace->length, 4u);
+  EXPECT_EQ(rtm.stats().hits, 1u);
+}
+
+TEST(RtmTest, ValueMismatchMisses) {
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 6);  // wrong value
+  EXPECT_FALSE(rtm.lookup(100, shadow).has_value());
+  ArchShadow unknown;  // unknown value is a conservative miss
+  EXPECT_FALSE(rtm.lookup(100, unknown).has_value());
+}
+
+TEST(RtmTest, MultipleVariantsPerPc) {
+  Rtm rtm(RtmGeometry{8, 2, 4});
+  for (u64 v = 0; v < 3; ++v) {
+    rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), v,
+                          Loc::reg(r(2)).raw(), v * 10));
+  }
+  for (u64 v = 0; v < 3; ++v) {
+    ArchShadow shadow;
+    shadow.set(Loc::reg(r(1)).raw(), v);
+    const auto hit = rtm.lookup(100, shadow);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->trace->outputs[0].value, v * 10);
+  }
+}
+
+TEST(RtmTest, TraceLruEvictsOldestVariant) {
+  Rtm rtm(RtmGeometry{8, 2, 2});  // only 2 traces per PC
+  for (u64 v = 0; v < 3; ++v) {
+    rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), v,
+                          Loc::reg(r(2)).raw(), v));
+  }
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  EXPECT_FALSE(rtm.lookup(100, shadow0).has_value());  // evicted
+  ArchShadow shadow2;
+  shadow2.set(Loc::reg(r(1)).raw(), 2);
+  EXPECT_TRUE(rtm.lookup(100, shadow2).has_value());
+  EXPECT_EQ(rtm.stats().trace_evictions, 1u);
+}
+
+TEST(RtmTest, WayLruEvictsColdPc) {
+  Rtm rtm(RtmGeometry{1, 2, 1});  // one set, two PC ways
+  rtm.insert(make_trace(10, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  rtm.insert(make_trace(20, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  // Touch PC 10 to make PC 20 the LRU way.
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_TRUE(rtm.lookup(10, shadow).has_value());
+  rtm.insert(make_trace(30, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  EXPECT_TRUE(rtm.lookup(10, shadow).has_value());
+  EXPECT_FALSE(rtm.lookup(20, shadow).has_value());  // evicted way
+  EXPECT_TRUE(rtm.lookup(30, shadow).has_value());
+  EXPECT_EQ(rtm.stats().way_evictions, 1u);
+}
+
+TEST(RtmTest, DuplicateInsertOnlyRefreshesLru) {
+  Rtm rtm(RtmGeometry{8, 2, 4});
+  const StoredTrace trace =
+      make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9);
+  rtm.insert(trace);
+  rtm.insert(trace);
+  EXPECT_EQ(rtm.stats().insertions, 1u);
+  EXPECT_EQ(rtm.stats().duplicate_insertions, 1u);
+}
+
+TEST(RtmTest, ReplaceExpandsEntry) {
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 5);
+  const auto hit = rtm.lookup(100, shadow);
+  ASSERT_TRUE(hit.has_value());
+  StoredTrace bigger = *hit->trace;
+  bigger.length = 10;
+  bigger.next_pc = 110;
+  EXPECT_TRUE(rtm.replace(hit->handle, bigger));
+  const auto hit2 = rtm.lookup(100, shadow);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(hit2->trace->length, 10u);
+}
+
+TEST(RtmTest, StaleReplaceRejected) {
+  Rtm rtm(RtmGeometry{8, 2, 1});  // 1 trace per PC: insert evicts
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 5);
+  const auto hit = rtm.lookup(100, shadow);
+  ASSERT_TRUE(hit.has_value());
+  const Rtm::Handle handle = hit->handle;
+  // Evict the slot by inserting a different trace for the same PC.
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 6, Loc::reg(r(3)).raw(), 1,
+                        7));
+  StoredTrace bigger = make_trace(100, Loc::reg(r(1)).raw(), 5,
+                                  Loc::reg(r(2)).raw(), 9, 12);
+  EXPECT_FALSE(rtm.replace(handle, bigger));
+  EXPECT_EQ(rtm.stats().stale_replacements, 1u);
+}
+
+TEST(RtmValidBitTest, WriteToInputInvalidates) {
+  Rtm rtm(RtmGeometry{8, 2, 2}, ReuseTestKind::kValidBit);
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  ArchShadow shadow;  // valid-bit mode ignores values
+  EXPECT_TRUE(rtm.lookup(100, shadow).has_value());
+  rtm.notify_write(Loc::reg(r(1)).raw());
+  EXPECT_FALSE(rtm.lookup(100, shadow).has_value());
+  EXPECT_EQ(rtm.stats().invalidations, 1u);
+}
+
+TEST(RtmValidBitTest, WriteToUnrelatedLocationKeepsEntry) {
+  Rtm rtm(RtmGeometry{8, 2, 2}, ReuseTestKind::kValidBit);
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));
+  rtm.notify_write(Loc::reg(r(7)).raw());
+  ArchShadow shadow;
+  EXPECT_TRUE(rtm.lookup(100, shadow).has_value());
+}
+
+TEST(RtmValidBitTest, ReinsertionRevalidates) {
+  Rtm rtm(RtmGeometry{8, 2, 2}, ReuseTestKind::kValidBit);
+  const StoredTrace trace =
+      make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9);
+  rtm.insert(trace);
+  rtm.notify_write(Loc::reg(r(1)).raw());
+  ArchShadow shadow;
+  EXPECT_FALSE(rtm.lookup(100, shadow).has_value());
+  rtm.insert(trace);  // re-collected
+  EXPECT_TRUE(rtm.lookup(100, shadow).has_value());
+}
+
+// ---- TraceAccumulator -------------------------------------------------
+
+isa::DynInst acc_inst(isa::Pc pc, isa::Reg dst, isa::Reg src, u64 sval,
+                      u64 dval) {
+  isa::DynInst inst;
+  inst.pc = pc;
+  inst.next_pc = pc + 1;
+  inst.op = isa::Op::kAdd;
+  inst.add_input(Loc::reg(src), sval);
+  inst.set_output(Loc::reg(dst), dval);
+  return inst;
+}
+
+TEST(AccumulatorTest, LiveInAndOutputs) {
+  TraceAccumulator acc(TraceLimits{});
+  EXPECT_TRUE(acc.try_add(acc_inst(5, r(3), r(2), 7, 8)));
+  EXPECT_TRUE(acc.try_add(acc_inst(6, r(4), r(3), 8, 9)));  // r3 internal
+  const StoredTrace trace = acc.finalize();
+  EXPECT_EQ(trace.start_pc, 5u);
+  EXPECT_EQ(trace.next_pc, 7u);
+  EXPECT_EQ(trace.length, 2u);
+  EXPECT_EQ(trace.reg_inputs, 1u);
+  EXPECT_EQ(trace.inputs[0].value, 7u);
+  EXPECT_EQ(trace.reg_outputs, 2u);
+}
+
+TEST(AccumulatorTest, LaterWriteWins) {
+  TraceAccumulator acc(TraceLimits{});
+  acc.try_add(acc_inst(0, r(3), r(2), 1, 10));
+  acc.try_add(acc_inst(1, r(3), r(2), 1, 20));
+  const StoredTrace trace = acc.finalize();
+  EXPECT_EQ(trace.reg_outputs, 1u);
+  EXPECT_EQ(trace.outputs[0].value, 20u);
+}
+
+TEST(AccumulatorTest, RegisterInputLimitEnforced) {
+  TraceLimits limits;
+  limits.max_reg_inputs = 2;
+  TraceAccumulator acc(limits);
+  EXPECT_TRUE(acc.try_add(acc_inst(0, r(10), r(1), 1, 1)));
+  EXPECT_TRUE(acc.try_add(acc_inst(1, r(11), r(2), 2, 2)));
+  EXPECT_FALSE(acc.try_add(acc_inst(2, r(12), r(3), 3, 3)));  // 3rd live-in
+  EXPECT_EQ(acc.length(), 2u);  // unchanged by the rejected add
+}
+
+TEST(AccumulatorTest, MemoryLimitsEnforced) {
+  TraceLimits limits;
+  limits.max_mem_outputs = 1;
+  TraceAccumulator acc(limits);
+  auto store = [&](isa::Pc pc, Addr addr) {
+    isa::DynInst inst;
+    inst.pc = pc;
+    inst.next_pc = pc + 1;
+    inst.op = isa::Op::kStq;
+    inst.add_input(Loc::reg(r(1)), addr);
+    inst.add_input(Loc::reg(r(2)), 9);
+    inst.set_output(Loc::mem(addr), 9);
+    return inst;
+  };
+  EXPECT_TRUE(acc.try_add(store(0, 0x100)));
+  EXPECT_FALSE(acc.try_add(store(1, 0x108)));
+  EXPECT_TRUE(acc.try_add(store(2, 0x100)));  // same location: no new output
+}
+
+TEST(AccumulatorTest, MergeCombinesTraces) {
+  TraceAccumulator a(TraceLimits{}), b(TraceLimits{});
+  a.try_add(acc_inst(0, r(3), r(2), 7, 8));
+  b.try_add(acc_inst(1, r(4), r(3), 8, 9));  // consumes a's output
+  b.try_add(acc_inst(2, r(5), r(6), 1, 2));  // fresh live-in r6
+  const StoredTrace ta = a.finalize();
+  const StoredTrace tb = b.finalize();
+  const auto merged = TraceAccumulator::merge(ta, tb, TraceLimits{});
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->length, 3u);
+  EXPECT_EQ(merged->start_pc, 0u);
+  EXPECT_EQ(merged->next_pc, 3u);
+  EXPECT_EQ(merged->reg_inputs, 2u);   // r2 and r6 (r3 internal)
+  EXPECT_EQ(merged->reg_outputs, 3u);  // r3, r4, r5
+}
+
+TEST(AccumulatorTest, MergeRespectsLimits) {
+  TraceLimits tight;
+  tight.max_reg_outputs = 1;
+  TraceAccumulator a(TraceLimits{}), b(TraceLimits{});
+  a.try_add(acc_inst(0, r(3), r(2), 7, 8));
+  b.try_add(acc_inst(1, r(4), r(2), 7, 9));
+  const auto merged =
+      TraceAccumulator::merge(a.finalize(), b.finalize(), tight);
+  EXPECT_FALSE(merged.has_value());
+}
+
+}  // namespace
+}  // namespace tlr::reuse

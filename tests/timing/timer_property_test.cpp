@@ -1,0 +1,117 @@
+// Parameterised property sweeps over the dataflow timers, run against
+// real workload streams: invariants that must hold for any window size
+// and any reuse plan.
+#include <map>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "reuse/reusability.hpp"
+#include "reuse/trace_builder.hpp"
+#include "timing/timer.hpp"
+#include "vm/interpreter.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::timing {
+namespace {
+
+std::span<const isa::DynInst> stream_for(std::string_view name) {
+  static std::map<std::string, std::vector<isa::DynInst>> cache;
+  auto [it, fresh] = cache.try_emplace(std::string(name));
+  if (fresh) {
+    vm::RunLimits limits;
+    limits.skip = 5000;
+    limits.max_emitted = 25000;
+    it->second = vm::collect_stream(
+        workloads::make_workload(name, {}).program, limits);
+  }
+  return it->second;
+}
+
+const ReusePlan& plans_for(std::string_view name, bool trace) {
+  static std::map<std::string, std::pair<ReusePlan, ReusePlan>> cache;
+  auto [it, fresh] = cache.try_emplace(std::string(name));
+  if (fresh) {
+    const auto stream = stream_for(name);
+    const auto reusable = reuse::analyze_reusability(stream);
+    it->second.first = reuse::build_instr_plan(stream, reusable.reusable);
+    it->second.second = reuse::build_max_trace_plan(stream,
+                                                    reusable.reusable);
+  }
+  return trace ? it->second.second : it->second.first;
+}
+
+using Param = std::tuple<std::string_view, u32>;  // (workload, window)
+
+class TimerProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TimerProperties, WindowMonotoneAndReuseNeverHurts) {
+  const auto [name, window] = GetParam();
+  const auto stream = stream_for(name);
+
+  TimerConfig config;
+  config.window = window;
+  const Cycle base = compute_timing(stream, nullptr, config).cycles;
+
+  // Smaller windows can only slow execution down.
+  TimerConfig half = config;
+  half.window = window == 0 ? 0 : window / 2;
+  if (window != 0) {
+    const Cycle half_cycles = compute_timing(stream, nullptr, half).cycles;
+    EXPECT_GE(half_cycles, base);
+  }
+
+  // Oracle reuse rules: any plan is at most as slow as the base.
+  const Cycle ilr =
+      compute_timing(stream, &plans_for(name, false), config).cycles;
+  const Cycle trace =
+      compute_timing(stream, &plans_for(name, true), config).cycles;
+  EXPECT_LE(ilr, base);
+  EXPECT_LE(trace, base);
+  // Theorem-1 grouping: trace reuse covers the same instructions with
+  // fewer, cheaper operations — never slower than per-instruction reuse.
+  EXPECT_LE(trace, ilr);
+
+  // IPC bookkeeping is consistent.
+  const TimerResult result = compute_timing(stream, nullptr, config);
+  EXPECT_EQ(result.instructions, stream.size());
+  EXPECT_NEAR(result.ipc,
+              double(result.instructions) / double(result.cycles), 1e-9);
+}
+
+TEST_P(TimerProperties, TraceSlotPolicyOrdering) {
+  const auto [name, window] = GetParam();
+  if (window == 0) GTEST_SKIP() << "slot policies only matter windowed";
+  const auto stream = stream_for(name);
+  const ReusePlan& plan = plans_for(name, true);
+
+  Cycle previous = 0;
+  for (const TraceSlotPolicy policy :
+       {TraceSlotPolicy::kNone, TraceSlotPolicy::kOne,
+        TraceSlotPolicy::kOutputs}) {
+    TimerConfig config;
+    config.window = window;
+    config.trace_slots = policy;
+    const Cycle cycles = compute_timing(stream, &plan, config).cycles;
+    // Occupying more slots should not speed things up. The bound is not
+    // bitwise-strict: inserting early-completing slots shifts which
+    // prefix-max the W-back constraint consults, which can wobble the
+    // total by a fraction of a percent — hence the 1% tolerance.
+    EXPECT_GE(cycles + cycles / 100 + 1, previous);
+    previous = cycles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimerProperties,
+    ::testing::Combine(::testing::Values("compress", "hydro2d", "gcc",
+                                         "turb3d"),
+                       ::testing::Values(0u, 64u, 256u, 1024u)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tlr::timing

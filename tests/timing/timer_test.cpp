@@ -1,0 +1,244 @@
+// Unit tests for the dataflow timing models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/dyn_inst.hpp"
+#include "timing/timer.hpp"
+
+namespace tlr {
+namespace {
+
+using isa::DynInst;
+using isa::Loc;
+using isa::Op;
+using timing::TimerConfig;
+using timing::TimerResult;
+
+/// Builds a register-to-register ALU instruction reading `src` and
+/// writing `dst` (values are irrelevant to the timer).
+DynInst alu(isa::Pc pc, isa::Reg dst, std::initializer_list<isa::Reg> srcs,
+            Op op = Op::kAdd) {
+  DynInst inst;
+  inst.pc = pc;
+  inst.next_pc = pc + 1;
+  inst.op = op;
+  for (isa::Reg s : srcs) inst.add_input(Loc::reg(s), 0);
+  inst.set_output(Loc::reg(dst), 0);
+  return inst;
+}
+
+TEST(TimerTest, EmptyStream) {
+  const TimerResult result = timing::compute_timing({}, nullptr, {});
+  EXPECT_EQ(result.instructions, 0u);
+  EXPECT_EQ(result.cycles, 0u);
+}
+
+TEST(TimerTest, SerialChainIsSequential) {
+  // r1 = r1 + r1, N times: a pure dependence chain of 1-cycle adds.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 100; ++i) stream.push_back(alu(0, isa::r(1), {isa::r(1)}));
+  const TimerResult result = timing::compute_timing(stream, nullptr, {});
+  EXPECT_EQ(result.cycles, 100u);
+  EXPECT_DOUBLE_EQ(result.ipc, 1.0);
+}
+
+TEST(TimerTest, IndependentInstructionsAreParallel) {
+  // 100 instructions writing distinct registers from r2: all complete
+  // at cycle 1 under an infinite window.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 100; ++i) {
+    stream.push_back(alu(0, isa::r(1 + (i % 20)), {isa::kIntZero}));
+  }
+  const TimerResult result = timing::compute_timing(stream, nullptr, {});
+  EXPECT_EQ(result.cycles, 1u);
+}
+
+TEST(TimerTest, LatencyOfMultiplyIsCharged) {
+  std::vector<DynInst> stream;
+  stream.push_back(alu(0, isa::r(1), {isa::r(2)}, Op::kMul));
+  stream.push_back(alu(1, isa::r(3), {isa::r(1)}));  // dependent add
+  const TimerResult result = timing::compute_timing(stream, nullptr, {});
+  const Cycle mul_latency = isa::kAlpha21164Latencies.get(isa::OpClass::kIntMul);
+  EXPECT_EQ(result.cycles, mul_latency + 1);
+}
+
+TEST(TimerTest, MemoryDependenceThroughStoreLoad) {
+  // store r1 -> [A]; load [A] -> r2; add r2 -> r3. The load must wait
+  // for the store even though no register connects them.
+  const Addr addr = 0x1000;
+  std::vector<DynInst> stream;
+  // Serial chain making the store finish late: r1 = r1+r1 (x5).
+  for (int i = 0; i < 5; ++i) stream.push_back(alu(0, isa::r(1), {isa::r(1)}));
+  DynInst store;
+  store.pc = 1;
+  store.op = Op::kStq;
+  store.add_input(Loc::reg(isa::r(9)), 0);  // base
+  store.add_input(Loc::reg(isa::r(1)), 0);  // data (late)
+  store.set_output(Loc::mem(addr), 0);
+  stream.push_back(store);
+
+  DynInst load;
+  load.pc = 2;
+  load.op = Op::kLdq;
+  load.add_input(Loc::reg(isa::r(9)), 0);
+  load.add_input(Loc::mem(addr), 0);
+  load.set_output(Loc::reg(isa::r(2)), 0);
+  stream.push_back(load);
+  stream.push_back(alu(3, isa::r(3), {isa::r(2)}));
+
+  const TimerResult result = timing::compute_timing(stream, nullptr, {});
+  // 5 (chain) + 1 (store) + 2 (load) + 1 (add)
+  EXPECT_EQ(result.cycles, 9u);
+}
+
+TEST(TimerTest, WindowLimitsParallelism) {
+  // One long-latency op, then many independent ops. With W=4 the
+  // independents cannot all issue behind the divide.
+  std::vector<DynInst> stream;
+  stream.push_back(alu(0, isa::r(1), {isa::r(2)}, Op::kDiv));  // 40 cycles
+  for (int i = 0; i < 8; ++i) {
+    stream.push_back(alu(1 + i, isa::r(3 + i), {isa::kIntZero}));
+  }
+  TimerConfig infinite;
+  const TimerResult inf = timing::compute_timing(stream, nullptr, infinite);
+  EXPECT_EQ(inf.cycles, 40u);  // independents hide behind the divide
+
+  TimerConfig windowed;
+  windowed.window = 4;
+  const TimerResult win = timing::compute_timing(stream, nullptr, windowed);
+  // The 5th independent op must wait for the divide (the graduation
+  // time of the instruction W=4 slots earlier includes it).
+  EXPECT_GT(win.cycles, inf.cycles);
+}
+
+TEST(TimerTest, WindowedNeverFasterThanInfinite) {
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 200; ++i) {
+    stream.push_back(alu(i % 7, isa::r(1 + (i % 5)),
+                         {isa::r(1 + ((i + 1) % 5))},
+                         (i % 11 == 0) ? Op::kMul : Op::kAdd));
+  }
+  TimerConfig infinite;
+  TimerConfig windowed;
+  windowed.window = 16;
+  const Cycle inf = timing::compute_timing(stream, nullptr, infinite).cycles;
+  const Cycle win = timing::compute_timing(stream, nullptr, windowed).cycles;
+  EXPECT_GE(win, inf);
+}
+
+TEST(TimerTest, InstReuseShortensLongOps) {
+  // Serial chain of multiplies; reusing each at 1 cycle collapses the
+  // chain from 12N to N cycles.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 50; ++i) {
+    stream.push_back(alu(0, isa::r(1), {isa::r(1)}, Op::kMul));
+  }
+  timing::ReusePlan plan;
+  plan.kind.assign(stream.size(), timing::InstKind::kInstReuse);
+  plan.trace_of.assign(stream.size(), 0);
+
+  TimerConfig config;
+  const Cycle base = timing::compute_timing(stream, nullptr, config).cycles;
+  const Cycle reused = timing::compute_timing(stream, &plan, config).cycles;
+  EXPECT_EQ(base, 50u * 12);
+  EXPECT_EQ(reused, 50u);
+}
+
+TEST(TimerTest, InstReuseNeverHurts) {
+  // Oracle rule: reuse latency 4 on 1-cycle adds must not slow down.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 50; ++i) stream.push_back(alu(0, isa::r(1), {isa::r(1)}));
+  timing::ReusePlan plan;
+  plan.kind.assign(stream.size(), timing::InstKind::kInstReuse);
+  plan.trace_of.assign(stream.size(), 0);
+
+  TimerConfig config;
+  config.inst_reuse_latency = 4;
+  const Cycle base = timing::compute_timing(stream, nullptr, config).cycles;
+  const Cycle reused = timing::compute_timing(stream, &plan, config).cycles;
+  EXPECT_EQ(base, reused);
+}
+
+TEST(TimerTest, TraceReuseCollapsesDependentChain) {
+  // A serial chain of 20 multiplies covered by one reused trace
+  // completes in trace_latency cycles: beyond the dataflow limit.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 20; ++i) {
+    stream.push_back(alu(i, isa::r(1), {isa::r(1)}, Op::kMul));
+  }
+  timing::ReusePlan plan;
+  plan.kind.assign(stream.size(), timing::InstKind::kTraceReuse);
+  plan.trace_of.assign(stream.size(), 0);
+  timing::PlanTrace trace;
+  trace.first_index = 0;
+  trace.length = 20;
+  trace.live_in.push_back(Loc::reg(isa::r(1)));
+  trace.reg_inputs = 1;
+  trace.reg_outputs = 1;
+  plan.traces.push_back(trace);
+
+  TimerConfig config;
+  const Cycle base = timing::compute_timing(stream, nullptr, config).cycles;
+  const Cycle reused = timing::compute_timing(stream, &plan, config).cycles;
+  EXPECT_EQ(base, 240u);
+  EXPECT_EQ(reused, 1u);  // one reuse operation, 1-cycle latency
+}
+
+TEST(TimerTest, ProportionalTraceLatency) {
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 10; ++i) {
+    stream.push_back(alu(i, isa::r(1), {isa::r(1)}, Op::kMul));
+  }
+  timing::ReusePlan plan;
+  plan.kind.assign(stream.size(), timing::InstKind::kTraceReuse);
+  plan.trace_of.assign(stream.size(), 0);
+  timing::PlanTrace trace;
+  trace.first_index = 0;
+  trace.length = 10;
+  trace.reg_inputs = 6;
+  trace.reg_outputs = 2;  // 8 values, k = 1/2 -> latency 4
+  plan.traces.push_back(trace);
+
+  TimerConfig config;
+  config.proportional_trace_latency = true;
+  config.trace_latency_k = 0.5;
+  const Cycle reused = timing::compute_timing(stream, &plan, config).cycles;
+  EXPECT_EQ(reused, 4u);
+}
+
+TEST(TimerTest, TraceReuseFreesWindow) {
+  // With a tiny window, a reused trace occupying fewer slots than its
+  // instruction count must beat instruction-level reuse.
+  std::vector<DynInst> stream;
+  for (int i = 0; i < 400; ++i) {
+    stream.push_back(alu(i % 13, isa::r(1 + (i % 3)), {isa::r(1)}));
+  }
+  timing::ReusePlan trace_plan;
+  trace_plan.kind.assign(stream.size(), timing::InstKind::kTraceReuse);
+  trace_plan.trace_of.assign(stream.size(), 0);
+  for (usize t = 0; t < 400 / 20; ++t) {
+    timing::PlanTrace trace;
+    trace.first_index = t * 20;
+    trace.length = 20;
+    trace.live_in.push_back(Loc::reg(isa::r(1)));
+    trace.reg_inputs = 1;
+    trace.reg_outputs = 3;
+    trace_plan.traces.push_back(trace);
+    for (usize j = t * 20; j < (t + 1) * 20; ++j) {
+      trace_plan.trace_of[j] = static_cast<u32>(t);
+    }
+  }
+  timing::ReusePlan instr_plan;
+  instr_plan.kind.assign(stream.size(), timing::InstKind::kInstReuse);
+  instr_plan.trace_of.assign(stream.size(), 0);
+
+  TimerConfig config;
+  config.window = 8;
+  const Cycle ilr = timing::compute_timing(stream, &instr_plan, config).cycles;
+  const Cycle trace = timing::compute_timing(stream, &trace_plan, config).cycles;
+  EXPECT_LT(trace, ilr);
+}
+
+}  // namespace
+}  // namespace tlr

@@ -1,0 +1,147 @@
+// SmallVector, hashing and statistics tests.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/small_vector.hpp"
+#include "util/stats.hpp"
+
+namespace tlr {
+namespace {
+
+TEST(SmallVectorTest, InlineUntilCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.on_heap());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_TRUE(v.on_heap());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, GrowsFarBeyondInline) {
+  SmallVector<u64, 2> v;
+  for (u64 i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (u64 i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVectorTest, CopyPreservesAndIsolates) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(b[0], 99);
+  EXPECT_EQ(b.size(), a.size());
+}
+
+TEST(SmallVectorTest, MoveStealsHeap) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT: moved-from defined state
+}
+
+TEST(SmallVectorTest, EqualityComparesContents) {
+  SmallVector<int, 4> a{1, 2, 3};
+  SmallVector<int, 4> b{1, 2, 3};
+  SmallVector<int, 4> c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVectorTest, ClearAndReuse) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(5);
+  EXPECT_EQ(v[0], 5);
+}
+
+TEST(SmallVectorTest, ResizeZeroFills) {
+  SmallVector<u64, 4> v;
+  v.push_back(7);
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 7u);
+  for (usize i = 1; i < 6; ++i) EXPECT_EQ(v[i], 0u);
+}
+
+TEST(DigestTest, OrderSensitive) {
+  Digest128 a, b;
+  a.feed(1);
+  a.feed(2);
+  b.feed(2);
+  b.feed(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DigestTest, DeterministicAndSensitive) {
+  Digest128 a, b, c;
+  for (u64 x : {3ull, 1ull, 4ull, 1ull, 5ull}) {
+    a.feed(x);
+    b.feed(x);
+  }
+  for (u64 x : {3ull, 1ull, 4ull, 1ull, 6ull}) c.feed(x);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DigestTest, EmptyDiffersFromFed) {
+  Digest128 a, b;
+  b.feed(0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(StatsTest, Means) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(xs), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25));
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+}
+
+TEST(StatsTest, MeansOfEmptyAreZero) {
+  EXPECT_DOUBLE_EQ(arithmetic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+}
+
+TEST(StatsTest, HarmonicBelowArithmetic) {
+  const std::vector<double> xs = {1.5, 2.5, 9.0, 3.0};
+  EXPECT_LT(harmonic_mean(xs), arithmetic_mean(xs));
+}
+
+TEST(StatsTest, RunningStats) {
+  RunningStats s;
+  for (double x : {2.0, 8.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndQuantile) {
+  Histogram h(10, 100.0);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  h.add(1e9);  // overflow lands in the last bucket
+  EXPECT_EQ(h.bucket_count(9), 11u);
+}
+
+TEST(HashTest, Mix64AvalanchesAndIsStable) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+  // Note: 0 is the mixer's (only relevant) fixed point; inputs of 1 bit
+  // must still avalanche to dense outputs.
+  EXPECT_GT(std::popcount(mix64(1)), 20);
+}
+
+}  // namespace
+}  // namespace tlr

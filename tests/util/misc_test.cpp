@@ -1,0 +1,84 @@
+// TextTable and ThreadPool tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tlr {
+namespace {
+
+TEST(TextTableTest, CellsAndNumbers) {
+  TextTable t("demo");
+  t.set_columns({"name", "value", "pct"});
+  t.begin_row();
+  t.add_cell("alpha");
+  t.add_number(3.14159, 2);
+  t.add_percent(0.5);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "alpha");
+  EXPECT_EQ(t.cell(0, 1), "3.14");
+  EXPECT_EQ(t.cell(0, 2), "50.0%");
+}
+
+TEST(TextTableTest, RenderContainsHeadersAndTitle) {
+  TextTable t("my title");
+  t.set_columns({"a", "b"});
+  t.begin_row();
+  t.add_integer(7);
+  t.add_integer(9);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("my title"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvFormat) {
+  TextTable t("csv");
+  t.set_columns({"x", "y"});
+  t.begin_row();
+  t.add_integer(1);
+  t.add_integer(2);
+  std::ostringstream oss;
+  t.render_csv(oss);
+  EXPECT_EQ(oss.str(), "# csv\nx,y\n1,2\n");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&hits](usize i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace tlr

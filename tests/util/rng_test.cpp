@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tlr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(7);
+  std::vector<u64> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[i]);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (u64 bound : {1ull, 2ull, 7ull, 100ull, 12345ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 x = rng.range(5, 8);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 8u);
+    saw_lo |= (x == 5);
+    saw_hi |= (x == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.unit();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceZeroAndCertain) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(29);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.below(10)];
+  for (int count : buckets) {
+    EXPECT_GT(count, draws / 10 - draws / 50);
+    EXPECT_LT(count, draws / 10 + draws / 50);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursSmallIndices) {
+  ZipfDraw zipf(100, 1.2, 5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.next()];
+  // Index 0 must dominate the tail decisively.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 5000);
+}
+
+TEST(ZipfTest, CoversRangeAndIsDeterministic) {
+  ZipfDraw a(8, 1.0, 9), b(8, 1.0, 9);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 x = a.next();
+    EXPECT_EQ(x, b.next());
+    EXPECT_LT(x, 8u);
+    seen.insert(x);
+  }
+  EXPECT_GE(seen.size(), 6u);  // skewed but not degenerate
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfDraw zipf(1, 1.5, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf.next(), 0u);
+}
+
+}  // namespace
+}  // namespace tlr

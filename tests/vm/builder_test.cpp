@@ -1,0 +1,120 @@
+// ProgramBuilder: labels, backpatching, data segment allocation.
+#include <gtest/gtest.h>
+
+#include "vm/builder.hpp"
+#include "vm/state.hpp"
+
+namespace tlr::vm {
+namespace {
+
+using isa::Op;
+using isa::r;
+
+TEST(BuilderTest, ForwardLabelBackpatched) {
+  ProgramBuilder b("fwd");
+  Label target = b.label();
+  b.br(target);          // refers forward
+  b.ldi(r(1), 1);        // skipped at runtime
+  b.bind(target);
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).op, Op::kBr);
+  EXPECT_EQ(p.at(0).imm, 2);  // resolved to the halt's index
+}
+
+TEST(BuilderTest, BackwardLabelImmediate) {
+  ProgramBuilder b("bwd");
+  Label top = b.here();
+  b.addi(r(1), r(1), 1);
+  b.bnez(r(1), top);
+  b.halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(BuilderTest, MultipleReferencesToOneLabel) {
+  ProgramBuilder b("multi");
+  Label common = b.label();
+  b.beqz(r(1), common);
+  b.bnez(r(2), common);
+  b.br(common);
+  b.bind(common);
+  b.halt();
+  const Program p = b.build();
+  for (isa::Pc pc = 0; pc < 3; ++pc) EXPECT_EQ(p.at(pc).imm, 3);
+}
+
+TEST(BuilderTest, AllocationsAreDisjointAndAligned) {
+  ProgramBuilder b("alloc");
+  const Addr a = b.alloc(4);
+  const Addr c = b.alloc(1);
+  const Addr d = b.alloc(100);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_GE(c, a + 4 * 8);
+  EXPECT_GE(d, c + 8);
+  b.halt();
+  (void)b.build();
+}
+
+TEST(BuilderTest, InitialDataCarriedIntoProgram) {
+  ProgramBuilder b("data");
+  const Addr buf = b.alloc(2);
+  b.init_word(buf, 42);
+  b.init_double(buf + 8, 1.5);
+  b.halt();
+  const Program p = b.build();
+  ASSERT_EQ(p.initial_data().size(), 2u);
+  EXPECT_EQ(p.initial_data()[0].addr, buf);
+  EXPECT_EQ(p.initial_data()[0].value, 42u);
+}
+
+TEST(BuilderTest, ImmediateVariantsEncodeImm) {
+  ProgramBuilder b("imm");
+  b.addi(r(1), r(2), -5);
+  b.andi(r(1), r(2), 0xFF);
+  b.halt();
+  const Program p = b.build();
+  EXPECT_TRUE(p.at(0).use_imm);
+  EXPECT_EQ(p.at(0).imm, -5);
+  EXPECT_TRUE(p.at(1).use_imm);
+}
+
+TEST(BuilderTest, PcTracksEmission) {
+  ProgramBuilder b("pc");
+  EXPECT_EQ(b.pc(), 0u);
+  b.ldi(r(1), 1);
+  EXPECT_EQ(b.pc(), 1u);
+  b.mov(r(2), r(1));
+  EXPECT_EQ(b.pc(), 2u);
+  b.halt();
+  (void)b.build();
+}
+
+TEST(MachineStateTest, SparsePagesAndZeroDefault) {
+  MachineState state;
+  EXPECT_EQ(state.load(0x5000), 0u);  // untouched memory reads zero
+  state.store(0x5000, 7);
+  state.store(0x900000, 9);  // far-away page
+  EXPECT_EQ(state.load(0x5000), 7u);
+  EXPECT_EQ(state.load(0x900000), 9u);
+  EXPECT_EQ(state.resident_pages(), 2u);
+}
+
+TEST(MachineStateTest, ZeroRegistersPinned) {
+  MachineState state;
+  state.write_reg(isa::kIntZero, 99);
+  state.write_reg(isa::kFpZero, 99);
+  EXPECT_EQ(state.read_reg(isa::kIntZero), 0u);
+  EXPECT_EQ(state.read_reg(isa::kFpZero), 0u);
+}
+
+TEST(MachineStateTest, FpBitPatternRoundTrip) {
+  MachineState state;
+  state.write_fp(isa::f(3), -2.75);
+  EXPECT_DOUBLE_EQ(state.read_fp(isa::f(3)), -2.75);
+  state.store_fp(0x100, 3.25);
+  EXPECT_DOUBLE_EQ(state.load_fp(0x100), 3.25);
+}
+
+}  // namespace
+}  // namespace tlr::vm
