@@ -3,8 +3,13 @@
 // evaluates only value-compare for the finite tables). The valid-bit
 // scheme needs just one bit per test but kills an entry on *any* write
 // to an input location, even a silent one — this bench quantifies how
-// much reuse that costs.
+// much reuse that costs. Both flavours are simulated from one chunked
+// interpreter pass per workload, workloads in parallel.
+#include <array>
+#include <memory>
+
 #include "bench_common.hpp"
+#include "core/engine.hpp"
 #include "reuse/rtm_sim.hpp"
 #include "util/stats.hpp"
 
@@ -12,15 +17,13 @@ int main(int argc, char** argv) {
   using namespace tlr;
   core::SuiteConfig config = bench::config_from_env(/*default_length=*/150000);
 
-  TextTable table(
-      "Ablation: reuse-test flavour (I4 EXP heuristic, 4K-entry RTM)");
-  table.set_columns({"benchmark", "value-compare %", "valid-bit %",
-                     "retained"});
-  std::vector<double> ratios;
-  std::vector<std::array<double, 2>> rows;
-  for (const std::string_view name : workloads::workload_names()) {
-    const auto stream = core::collect_workload_stream(name, config);
-    double frac[2];
+  const auto names = workloads::workload_names();
+  std::vector<std::array<double, 2>> fracs(names.size());
+
+  core::StudyEngine engine(bench::engine_options_from_env());
+  engine.parallel_for(names.size(), [&](usize w) {
+    std::vector<std::unique_ptr<core::RtmSimConsumer>> sims;
+    std::vector<core::StreamConsumer*> consumers;
     for (int mode = 0; mode < 2; ++mode) {
       reuse::RtmSimConfig sim_config;
       sim_config.geometry = reuse::RtmGeometry::rtm4k();
@@ -28,11 +31,25 @@ int main(int argc, char** argv) {
       sim_config.fixed_n = 4;
       sim_config.reuse_test = mode == 0 ? reuse::ReuseTestKind::kValueCompare
                                         : reuse::ReuseTestKind::kValidBit;
-      frac[mode] = reuse::RtmSimulator(sim_config).run(stream)
-                       .reuse_fraction();
+      sims.push_back(std::make_unique<core::RtmSimConsumer>(sim_config));
+      consumers.push_back(sims.back().get());
     }
+    engine.run_workload_stream(names[w], config, consumers);
+    for (int mode = 0; mode < 2; ++mode) {
+      fracs[w][static_cast<usize>(mode)] =
+          sims[static_cast<usize>(mode)]->result().reuse_fraction();
+    }
+  });
+
+  TextTable table(
+      "Ablation: reuse-test flavour (I4 EXP heuristic, 4K-entry RTM)");
+  table.set_columns({"benchmark", "value-compare %", "valid-bit %",
+                     "retained"});
+  std::vector<double> ratios;
+  for (usize w = 0; w < names.size(); ++w) {
+    const double* frac = fracs[w].data();
     table.begin_row();
-    table.add_cell(std::string(name));
+    table.add_cell(std::string(names[w]));
     table.add_percent(frac[0]);
     table.add_percent(frac[1]);
     table.add_cell(frac[0] > 0
@@ -42,7 +59,7 @@ int main(int argc, char** argv) {
     if (frac[0] > 0) ratios.push_back(frac[1] / frac[0]);
 
     benchmark::RegisterBenchmark(
-        ("ablation_reuse_test/" + std::string(name)).c_str(),
+        ("ablation_reuse_test/" + std::string(names[w])).c_str(),
         [frac0 = frac[0], frac1 = frac[1]](benchmark::State& state) {
           for (auto _ : state) benchmark::DoNotOptimize(frac0);
           state.counters["value_compare_pct"] = frac0 * 100.0;

@@ -2,8 +2,12 @@
 // how the split between sets, PC ways and traces-per-PC, and the
 // per-trace I/O limits, affect reuse. DESIGN.md decodes the paper's
 // geometry descriptions; this bench shows the design space around that
-// decoding.
+// decoding. All nine simulator configurations per program ride on one
+// chunked interpreter pass, programs in parallel.
+#include <memory>
+
 #include "bench_common.hpp"
+#include "core/engine.hpp"
 #include "reuse/rtm_sim.hpp"
 #include "util/stats.hpp"
 
@@ -12,8 +16,9 @@ int main(int argc, char** argv) {
   core::SuiteConfig config = bench::config_from_env(/*default_length=*/150000);
 
   // A representative mixed subset keeps this ablation affordable.
-  static const char* kPrograms[] = {"compress", "li", "vortex", "hydro2d",
-                                    "turb3d"};
+  static constexpr std::string_view kPrograms[] = {"compress", "li", "vortex",
+                                                   "hydro2d", "turb3d"};
+  constexpr usize kNumPrograms = std::size(kPrograms);
 
   struct Shape {
     const char* label;
@@ -26,46 +31,31 @@ int main(int argc, char** argv) {
       {"512x8x1", {512, 8, 1}},
       {"32x8x16", {32, 8, 16}},
   };
+  constexpr usize kNumShapes = std::size(shapes);
 
-  TextTable table("Ablation: RTM shape at a fixed 4096-entry budget "
-                  "(I4 EXP, mean over 5 programs)");
-  table.set_columns({"sets x ways x traces/pc", "reused %", "avg trace"});
-  for (const Shape& shape : shapes) {
-    std::vector<double> fracs, sizes;
-    for (const char* name : kPrograms) {
-      const auto stream = core::collect_workload_stream(name, config);
+  // I/O limit sweep points at the paper geometry.
+  const std::pair<u32, u32> limit_points[] = {{4, 2}, {8, 4}, {16, 8},
+                                              {32, 16}};
+  constexpr usize kNumLimits = std::size(limit_points);
+
+  // result[config][program]: shapes first, then limit points.
+  std::vector<std::vector<double>> fracs(
+      kNumShapes + kNumLimits, std::vector<double>(kNumPrograms, 0.0));
+  auto sizes = fracs;
+
+  core::StudyEngine engine(bench::engine_options_from_env());
+  engine.parallel_for(kNumPrograms, [&](usize p) {
+    std::vector<std::unique_ptr<core::RtmSimConsumer>> sims;
+    std::vector<core::StreamConsumer*> consumers;
+    for (const Shape& shape : shapes) {
       reuse::RtmSimConfig sim_config;
       sim_config.geometry = shape.geometry;
       sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
       sim_config.fixed_n = 4;
-      const auto result = reuse::RtmSimulator(sim_config).run(stream);
-      fracs.push_back(result.reuse_fraction());
-      sizes.push_back(result.avg_reused_trace_size());
+      sims.push_back(std::make_unique<core::RtmSimConsumer>(sim_config));
+      consumers.push_back(sims.back().get());
     }
-    table.begin_row();
-    table.add_cell(shape.label);
-    table.add_percent(arithmetic_mean(fracs));
-    table.add_number(arithmetic_mean(sizes));
-    benchmark::RegisterBenchmark(
-        (std::string("ablation_geometry/") + shape.label).c_str(),
-        [v = arithmetic_mean(fracs)](benchmark::State& state) {
-          for (auto _ : state) benchmark::DoNotOptimize(v);
-          state.counters["reused_pct"] = v * 100.0;
-        })
-        ->Iterations(1);
-  }
-  std::cout << table.to_string() << "\n";
-
-  // I/O limit sweep at the paper geometry.
-  TextTable limits_table(
-      "Ablation: per-trace I/O limits (paper: 8 reg / 4 mem)");
-  limits_table.set_columns({"reg/mem limit", "reused %", "avg trace"});
-  const std::pair<u32, u32> limit_points[] = {{4, 2}, {8, 4}, {16, 8},
-                                              {32, 16}};
-  for (const auto& [reg_limit, mem_limit] : limit_points) {
-    std::vector<double> fracs, sizes;
-    for (const char* name : kPrograms) {
-      const auto stream = core::collect_workload_stream(name, config);
+    for (const auto& [reg_limit, mem_limit] : limit_points) {
       reuse::RtmSimConfig sim_config;
       sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
       sim_config.fixed_n = 8;
@@ -73,15 +63,43 @@ int main(int argc, char** argv) {
       sim_config.limits.max_reg_outputs = reg_limit;
       sim_config.limits.max_mem_inputs = mem_limit;
       sim_config.limits.max_mem_outputs = mem_limit;
-      const auto result = reuse::RtmSimulator(sim_config).run(stream);
-      fracs.push_back(result.reuse_fraction());
-      sizes.push_back(result.avg_reused_trace_size());
+      sims.push_back(std::make_unique<core::RtmSimConsumer>(sim_config));
+      consumers.push_back(sims.back().get());
     }
+    engine.run_workload_stream(kPrograms[p], config, consumers);
+    for (usize c = 0; c < sims.size(); ++c) {
+      fracs[c][p] = sims[c]->result().reuse_fraction();
+      sizes[c][p] = sims[c]->result().avg_reused_trace_size();
+    }
+  });
+
+  TextTable table("Ablation: RTM shape at a fixed 4096-entry budget "
+                  "(I4 EXP, mean over 5 programs)");
+  table.set_columns({"sets x ways x traces/pc", "reused %", "avg trace"});
+  for (usize s = 0; s < kNumShapes; ++s) {
+    table.begin_row();
+    table.add_cell(shapes[s].label);
+    table.add_percent(arithmetic_mean(fracs[s]));
+    table.add_number(arithmetic_mean(sizes[s]));
+    benchmark::RegisterBenchmark(
+        (std::string("ablation_geometry/") + shapes[s].label).c_str(),
+        [v = arithmetic_mean(fracs[s])](benchmark::State& state) {
+          for (auto _ : state) benchmark::DoNotOptimize(v);
+          state.counters["reused_pct"] = v * 100.0;
+        })
+        ->Iterations(1);
+  }
+  std::cout << table.to_string() << "\n";
+
+  TextTable limits_table(
+      "Ablation: per-trace I/O limits (paper: 8 reg / 4 mem)");
+  limits_table.set_columns({"reg/mem limit", "reused %", "avg trace"});
+  for (usize l = 0; l < kNumLimits; ++l) {
     limits_table.begin_row();
-    limits_table.add_cell(std::to_string(reg_limit) + "/" +
-                          std::to_string(mem_limit));
-    limits_table.add_percent(arithmetic_mean(fracs));
-    limits_table.add_number(arithmetic_mean(sizes));
+    limits_table.add_cell(std::to_string(limit_points[l].first) + "/" +
+                          std::to_string(limit_points[l].second));
+    limits_table.add_percent(arithmetic_mean(fracs[kNumShapes + l]));
+    limits_table.add_number(arithmetic_mean(sizes[kNumShapes + l]));
   }
   std::cout << limits_table.to_string() << "\n";
 

@@ -8,6 +8,8 @@
 //   TLR_LENGTH  instructions measured per program (default 400000)
 //   TLR_SKIP    warm-up instructions skipped      (default 50000)
 //   TLR_SEED    workload data seed
+//   TLR_THREADS worker threads for the study engine (default: all)
+//   TLR_CHUNK   stream chunk size in instructions
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -15,6 +17,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/engine.hpp"
 #include "core/figures.hpp"
 #include "core/study.hpp"
 
@@ -33,12 +36,22 @@ inline core::SuiteConfig config_from_env(u64 default_length = 400000) {
   return config;
 }
 
+inline core::EngineOptions engine_options_from_env() {
+  core::EngineOptions options;
+  options.threads = env_u64("TLR_THREADS", 0);
+  options.chunk_size =
+      env_u64("TLR_CHUNK", vm::StreamSource::kDefaultChunkSize);
+  return options;
+}
+
 /// Computes the suite metrics once per process (the figure tables and
-/// the benchmark counters share them).
+/// the benchmark counters share them): one chunked interpreter pass
+/// per workload, workloads fanned across the engine's thread pool.
 inline const std::vector<core::WorkloadMetrics>& suite_metrics(
     const core::MetricOptions& options = {}) {
   static const std::vector<core::WorkloadMetrics> metrics =
-      core::analyze_suite(config_from_env(), options);
+      core::StudyEngine(engine_options_from_env())
+          .analyze_suite(config_from_env(), options);
   return metrics;
 }
 

@@ -3,14 +3,14 @@
 // The paper prices only the limit study (infinite history tables,
 // Figs 4-8) and reports the finite-RTM configurations of Fig 9 purely
 // as coverage/granularity. This bench closes the loop: the
-// RtmSimulator emits a timing::ReusePlan for exactly the traces it
-// actually reused, and the §4 dataflow timer prices it — i.e. "what
-// does the 4K/256K-entry RTM of Fig 9 buy in Fig 6b terms?".
+// RtmSimulator's event stream drives the §4 dataflow timer directly —
+// i.e. "what does the 4K/256K-entry RTM of Fig 9 buy in Fig 6b
+// terms?". Everything — base timing, both RTM capacities with their
+// timers, and the limit-study reference — comes from one chunked
+// interpreter pass per workload, with workloads fanned across the
+// StudyEngine's thread pool.
 #include "bench_common.hpp"
-#include "reuse/reusability.hpp"
-#include "reuse/rtm_sim.hpp"
-#include "reuse/trace_builder.hpp"
-#include "timing/timer.hpp"
+#include "core/engine.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -22,6 +22,48 @@ int main(int argc, char** argv) {
       {"256K", reuse::RtmGeometry::rtm256k()},
   };
 
+  const auto names = workloads::workload_names();
+  struct Row {
+    double frac[2] = {0, 0};
+    double speedup[2] = {0, 0};
+    double limit_speedup = 0;
+  };
+  std::vector<Row> rows(names.size());
+
+  core::StudyEngine engine(bench::engine_options_from_env());
+  engine.parallel_for(names.size(), [&](usize w) {
+    timing::TimerConfig timer_config;
+    timer_config.window = config.window;
+
+    core::TimingConsumer base(core::TimingConsumer::Mode::kBase,
+                              timer_config);
+    std::vector<std::unique_ptr<core::RtmSimConsumer>> sims;
+    for (const auto& [label, geometry] : geometries) {
+      reuse::RtmSimConfig sim_config;
+      sim_config.geometry = geometry;
+      sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
+      sim_config.fixed_n = 4;
+      sims.push_back(
+          std::make_unique<core::RtmSimConsumer>(sim_config, timer_config));
+    }
+    // Limit-study reference for this stream length.
+    core::MaxTraceConsumer traces;
+    core::TraceTimingSink limit(timer_config);
+    traces.add_sink(&limit);
+
+    std::vector<core::StreamConsumer*> consumers = {&base, sims[0].get(),
+                                                    sims[1].get(), &traces};
+    engine.run_workload_stream(names[w], config, consumers);
+
+    const auto base_result = base.result();
+    for (int g = 0; g < 2; ++g) {
+      rows[w].frac[g] = sims[g]->result().reuse_fraction();
+      rows[w].speedup[g] =
+          timing::speedup(base_result, sims[g]->timing_result());
+    }
+    rows[w].limit_speedup = timing::speedup(base_result, limit.result());
+  });
+
   TextTable table(
       "Extension: realistic trace-reuse speed-up (I4 EXP, 256-entry "
       "window, 1-cycle reuse latency)");
@@ -29,43 +71,21 @@ int main(int argc, char** argv) {
                      "256K reused %", "256K speed-up", "limit (Fig 6b)"});
 
   std::vector<double> speed4k, speed256k;
-  for (const std::string_view name : workloads::workload_names()) {
-    const auto stream = core::collect_workload_stream(name, config);
-
-    timing::TimerConfig timer_config;
-    timer_config.window = config.window;
-    const auto base = timing::compute_timing(stream, nullptr, timer_config);
-
+  for (usize w = 0; w < names.size(); ++w) {
+    const Row& row = rows[w];
     table.begin_row();
-    table.add_cell(std::string(name));
-    double speedups[2];
+    table.add_cell(std::string(names[w]));
     for (int g = 0; g < 2; ++g) {
-      reuse::RtmSimConfig sim_config;
-      sim_config.geometry = geometries[g].second;
-      sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
-      sim_config.fixed_n = 4;
-      sim_config.build_plan = true;
-      const auto sim = reuse::RtmSimulator(sim_config).run(stream);
-      const auto timed =
-          timing::compute_timing(stream, &sim.plan, timer_config);
-      speedups[g] = timing::speedup(base, timed);
-      table.add_percent(sim.reuse_fraction());
-      table.add_number(speedups[g]);
+      table.add_percent(row.frac[g]);
+      table.add_number(row.speedup[g]);
     }
-    speed4k.push_back(speedups[0]);
-    speed256k.push_back(speedups[1]);
-
-    // Limit-study reference for this stream length.
-    const auto reusable = reuse::analyze_reusability(stream);
-    const auto limit_plan =
-        reuse::build_max_trace_plan(stream, reusable.reusable);
-    const auto limit = timing::compute_timing(stream, &limit_plan,
-                                              timer_config);
-    table.add_number(timing::speedup(base, limit));
+    table.add_number(row.limit_speedup);
+    speed4k.push_back(row.speedup[0]);
+    speed256k.push_back(row.speedup[1]);
 
     benchmark::RegisterBenchmark(
-        ("ext_realistic/" + std::string(name)).c_str(),
-        [s4 = speedups[0], s256 = speedups[1]](benchmark::State& state) {
+        ("ext_realistic/" + std::string(names[w])).c_str(),
+        [s4 = row.speedup[0], s256 = row.speedup[1]](benchmark::State& state) {
           for (auto _ : state) benchmark::DoNotOptimize(s4);
           state.counters["speedup_4k"] = s4;
           state.counters["speedup_256k"] = s256;

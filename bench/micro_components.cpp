@@ -4,6 +4,7 @@
 // figure benches above report reproduced values instead).
 #include <benchmark/benchmark.h>
 
+#include "core/engine.hpp"
 #include "core/study.hpp"
 #include "reuse/instr_table.hpp"
 #include "reuse/reusability.hpp"
@@ -98,6 +99,24 @@ void BM_FiniteInstrTable(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * stream.size());
 }
 BENCHMARK(BM_FiniteInstrTable);
+
+void BM_EngineSinglePassAnalyze(benchmark::State& state) {
+  // The full single-workload analysis (every metric from one chunked
+  // pass) at the given chunk size — the end-to-end hot path of suite
+  // runs.
+  core::SuiteConfig config;
+  config.skip = 10000;
+  config.length = 100000;
+  core::EngineOptions options;
+  options.chunk_size = static_cast<usize>(state.range(0));
+  for (auto _ : state) {
+    core::StudyEngine engine(options);
+    const auto metrics = engine.analyze("compress", config);
+    benchmark::DoNotOptimize(metrics.base_win);
+  }
+  state.SetItemsProcessed(state.iterations() * config.length);
+}
+BENCHMARK(BM_EngineSinglePassAnalyze)->Arg(4096)->Arg(32768);
 
 }  // namespace
 }  // namespace tlr

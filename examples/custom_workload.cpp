@@ -1,5 +1,7 @@
 // Bring your own workload: write a program against the ProgramBuilder
-// API, then push it through the same analysis pipeline the suite uses.
+// API, then push it through the same single-pass analysis engine the
+// suite uses — every metric below comes from one chunked interpreter
+// pass, without ever materialising the stream.
 //
 // The program here is a toy spell-checker: words from a small
 // vocabulary are looked up in a trie stored in memory; hot words repeat
@@ -7,9 +9,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "reuse/reusability.hpp"
+#include "core/engine.hpp"
 #include "reuse/rtm_sim.hpp"
-#include "reuse/trace_builder.hpp"
 #include "timing/timer.hpp"
 #include "util/rng.hpp"
 #include "vm/builder.hpp"
@@ -128,28 +129,37 @@ int main() {
   vm::RunLimits limits;
   limits.skip = 20000;
   limits.max_emitted = 150000;
-  const auto stream = vm::collect_stream(program, limits);
 
-  const auto reusable = reuse::analyze_reusability(stream);
-  const auto trace_plan =
-      reuse::build_max_trace_plan(stream, reusable.reusable);
-  const auto stats = reuse::compute_trace_stats(trace_plan);
+  // Wire up the consumers: perfect-engine reusability, base and
+  // trace-reuse timing, maximal-trace statistics, and a realistic
+  // finite-RTM simulation — all fed by the same pass.
+  core::ReusabilityConsumer reusable;
 
   timing::TimerConfig win;
   win.window = 256;
-  const auto base = timing::compute_timing(stream, nullptr, win);
-  const auto trace = timing::compute_timing(stream, &trace_plan, win);
-
-  std::printf("reusable instructions : %.1f%%\n", reusable.fraction() * 100);
-  std::printf("avg maximal trace     : %.1f instructions\n", stats.avg_size);
-  std::printf("trace-reuse speed-up  : %.2fx (256-entry window)\n",
-              timing::speedup(base, trace));
+  core::TimingConsumer base(core::TimingConsumer::Mode::kBase, win);
+  core::MaxTraceConsumer traces;
+  core::TraceTimingSink trace_timer(win);
+  core::TraceStatsSink trace_stats;
+  traces.add_sink(&trace_timer);
+  traces.add_sink(&trace_stats);
 
   reuse::RtmSimConfig sim_config;
   sim_config.geometry = reuse::RtmGeometry::rtm4k();
-  const auto realistic = reuse::RtmSimulator(sim_config).run(stream);
+  core::RtmSimConsumer realistic(sim_config);
+
+  std::vector<core::StreamConsumer*> consumers = {&reusable, &base, &traces,
+                                                  &realistic};
+  core::StudyEngine engine;
+  engine.run_stream(program, limits, consumers);
+
+  const auto stats = trace_stats.stats();
+  std::printf("reusable instructions : %.1f%%\n", reusable.fraction() * 100);
+  std::printf("avg maximal trace     : %.1f instructions\n", stats.avg_size);
+  std::printf("trace-reuse speed-up  : %.2fx (256-entry window)\n",
+              timing::speedup(base.result(), trace_timer.result()));
   std::printf("realistic 4K-entry RTM: %.1f%% reused, avg trace %.1f\n",
-              realistic.reuse_fraction() * 100,
-              realistic.avg_reused_trace_size());
+              realistic.result().reuse_fraction() * 100,
+              realistic.result().avg_reused_trace_size());
   return 0;
 }

@@ -10,10 +10,13 @@
 //   base machine      -> bound by the 12-cycle multiply chain
 //   instruction reuse -> still serial: one reuse per chain link
 //   trace reuse       -> whole chains collapse into single reuse ops
+//
+// All three timings come from one chunked interpreter pass through the
+// study engine's consumers.
 #include <cstdio>
+#include <vector>
 
-#include "reuse/reusability.hpp"
-#include "reuse/trace_builder.hpp"
+#include "core/engine.hpp"
 #include "timing/timer.hpp"
 #include "vm/builder.hpp"
 #include "vm/interpreter.hpp"
@@ -64,17 +67,24 @@ int main() {
   vm::RunLimits limits;
   limits.skip = 2000;
   limits.max_emitted = 60000;
-  const auto stream = vm::collect_stream(b.build(), limits);
-
-  const auto reusable = reuse::analyze_reusability(stream);
-  const auto instr_plan = reuse::build_instr_plan(stream, reusable.reusable);
-  const auto trace_plan =
-      reuse::build_max_trace_plan(stream, reusable.reusable);
 
   timing::TimerConfig config;  // infinite window: the pure dataflow limit
-  const auto base = timing::compute_timing(stream, nullptr, config);
-  const auto ilr = timing::compute_timing(stream, &instr_plan, config);
-  const auto trace = timing::compute_timing(stream, &trace_plan, config);
+  core::ReusabilityConsumer reusable;
+  core::TimingConsumer base_timer(core::TimingConsumer::Mode::kBase, config);
+  core::TimingConsumer ilr_timer(core::TimingConsumer::Mode::kInstReuse,
+                                 config);
+  core::MaxTraceConsumer traces;
+  core::TraceTimingSink trace_timer(config);
+  traces.add_sink(&trace_timer);
+
+  std::vector<core::StreamConsumer*> consumers = {&reusable, &base_timer,
+                                                  &ilr_timer, &traces};
+  core::StudyEngine engine;
+  engine.run_stream(b.build(), limits, consumers);
+
+  const auto base = base_timer.result();
+  const auto ilr = ilr_timer.result();
+  const auto trace = trace_timer.result();
 
   std::printf("program: Horner evaluation, 16 dependent multiplies per "
               "point, 8 repeating points\n");

@@ -1,13 +1,19 @@
 // RTM design-space explorer: sweep the realistic implementation's
 // knobs (capacity, collection heuristic, reuse-test flavour) for one
-// workload and print the coverage/granularity trade-off.
+// workload and print the coverage/granularity trade-off. All 22
+// simulator configurations consume one chunked interpreter pass — the
+// stream is never materialised.
 //
 //   ./rtm_explorer [workload] [length]
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <tuple>
+#include <vector>
 
+#include "core/engine.hpp"
 #include "core/study.hpp"
 #include "reuse/rtm_sim.hpp"
 #include "util/table.hpp"
@@ -19,32 +25,60 @@ int main(int argc, char** argv) {
   core::SuiteConfig config;
   config.length = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
 
-  std::printf("collecting %llu instructions of '%s'...\n\n",
-              static_cast<unsigned long long>(config.length), name.c_str());
-  const auto stream = core::collect_workload_stream(name, config);
-
   const std::pair<const char*, reuse::RtmGeometry> geometries[] = {
       {"512", reuse::RtmGeometry::rtm512()},
       {"4K", reuse::RtmGeometry::rtm4k()},
       {"32K", reuse::RtmGeometry::rtm32k()},
       {"256K", reuse::RtmGeometry::rtm256k()},
   };
+  const std::tuple<const char*, reuse::CollectHeuristic, u32> heuristics[] = {
+      {"ILR NE", reuse::CollectHeuristic::kIlrNoExpand, 0u},
+      {"ILR EXP", reuse::CollectHeuristic::kIlrExpand, 0u},
+      {"I2 EXP", reuse::CollectHeuristic::kFixedExpand, 2u},
+      {"I4 EXP", reuse::CollectHeuristic::kFixedExpand, 4u},
+      {"I8 EXP", reuse::CollectHeuristic::kFixedExpand, 8u},
+  };
 
-  TextTable table("RTM design space for '" + name + "'");
-  table.set_columns({"heuristic", "RTM", "reused %", "avg trace",
-                     "reuse ops", "insertions", "evictions"});
-  for (const auto& [label, heuristic, n] :
-       {std::tuple{"ILR NE", reuse::CollectHeuristic::kIlrNoExpand, 0u},
-        std::tuple{"ILR EXP", reuse::CollectHeuristic::kIlrExpand, 0u},
-        std::tuple{"I2 EXP", reuse::CollectHeuristic::kFixedExpand, 2u},
-        std::tuple{"I4 EXP", reuse::CollectHeuristic::kFixedExpand, 4u},
-        std::tuple{"I8 EXP", reuse::CollectHeuristic::kFixedExpand, 8u}}) {
+  // One consumer per (heuristic, geometry) cell plus the two reuse-test
+  // flavours, all fed from the same pass.
+  std::vector<std::unique_ptr<core::RtmSimConsumer>> sims;
+  std::vector<core::StreamConsumer*> consumers;
+  auto add_sim = [&](const reuse::RtmSimConfig& sim_config) {
+    sims.push_back(std::make_unique<core::RtmSimConsumer>(sim_config));
+    consumers.push_back(sims.back().get());
+  };
+
+  for (const auto& [label, heuristic, n] : heuristics) {
     for (const auto& [geo_label, geometry] : geometries) {
       reuse::RtmSimConfig sim_config;
       sim_config.geometry = geometry;
       sim_config.heuristic = heuristic;
       sim_config.fixed_n = n == 0 ? 4 : n;
-      const auto result = reuse::RtmSimulator(sim_config).run(stream);
+      add_sim(sim_config);
+    }
+  }
+  for (const auto test : {reuse::ReuseTestKind::kValueCompare,
+                          reuse::ReuseTestKind::kValidBit}) {
+    reuse::RtmSimConfig sim_config;
+    sim_config.reuse_test = test;
+    add_sim(sim_config);
+  }
+
+  std::printf("streaming %llu instructions of '%s' through %zu RTM "
+              "configurations (single pass)...\n\n",
+              static_cast<unsigned long long>(config.length), name.c_str(),
+              sims.size());
+
+  core::StudyEngine engine;
+  engine.run_workload_stream(name, config, consumers);
+
+  TextTable table("RTM design space for '" + name + "'");
+  table.set_columns({"heuristic", "RTM", "reused %", "avg trace",
+                     "reuse ops", "insertions", "evictions"});
+  usize next = 0;
+  for (const auto& [label, heuristic, n] : heuristics) {
+    for (const auto& [geo_label, geometry] : geometries) {
+      const reuse::RtmSimResult& result = sims[next++]->result();
       table.begin_row();
       table.add_cell(label);
       table.add_cell(geo_label);
@@ -61,12 +95,8 @@ int main(int argc, char** argv) {
   // Reuse-test flavour comparison at the paper's 4K-entry point.
   TextTable flavours("Reuse test flavour (4K entries, I4 EXP)");
   flavours.set_columns({"test", "reused %", "invalidations"});
-  for (const auto& [label, test] :
-       {std::pair{"value-compare", reuse::ReuseTestKind::kValueCompare},
-        std::pair{"valid-bit", reuse::ReuseTestKind::kValidBit}}) {
-    reuse::RtmSimConfig sim_config;
-    sim_config.reuse_test = test;
-    const auto result = reuse::RtmSimulator(sim_config).run(stream);
+  for (const char* label : {"value-compare", "valid-bit"}) {
+    const reuse::RtmSimResult& result = sims[next++]->result();
     flavours.begin_row();
     flavours.add_cell(label);
     flavours.add_percent(result.reuse_fraction());

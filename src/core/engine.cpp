@@ -1,0 +1,251 @@
+#include "core/engine.hpp"
+
+#include "reuse/instr_table.hpp"
+#include "util/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::core {
+
+using timing::TimerConfig;
+
+// ---- consumers -------------------------------------------------------
+
+void ReusabilityConsumer::consume(const ChunkView& chunk) {
+  TLR_ASSERT(chunk.reusable.size() == chunk.insts.size());
+  total_ += chunk.insts.size();
+  for (const u8 flag : chunk.reusable) reusable_ += flag;
+}
+
+void TimingConsumer::consume(const ChunkView& chunk) {
+  if (mode_ == Mode::kBase) {
+    for (const isa::DynInst& inst : chunk.insts) timer_.step_normal(inst);
+    return;
+  }
+  TLR_ASSERT(chunk.reusable.size() == chunk.insts.size());
+  for (usize i = 0; i < chunk.insts.size(); ++i) {
+    if (chunk.reusable[i] != 0) {
+      timer_.step_inst_reuse(chunk.insts[i]);
+    } else {
+      timer_.step_normal(chunk.insts[i]);
+    }
+  }
+}
+
+void TraceStatsSink::on_trace(std::span<const isa::DynInst> run,
+                              const timing::PlanTrace& trace) {
+  (void)run;
+  ++traces_;
+  covered_ += trace.length;
+  size_ += trace.length;
+  reg_in_ += trace.reg_inputs;
+  mem_in_ += trace.mem_inputs;
+  reg_out_ += trace.reg_outputs;
+  mem_out_ += trace.mem_outputs;
+}
+
+reuse::TraceStats TraceStatsSink::stats() const {
+  reuse::TraceStats stats;
+  stats.traces = traces_;
+  if (traces_ == 0) return stats;
+  stats.covered_instructions = covered_;
+  const double n = static_cast<double>(traces_);
+  stats.avg_size = size_ / n;
+  stats.avg_reg_inputs = reg_in_ / n;
+  stats.avg_mem_inputs = mem_in_ / n;
+  stats.avg_reg_outputs = reg_out_ / n;
+  stats.avg_mem_outputs = mem_out_ / n;
+  return stats;
+}
+
+void MaxTraceConsumer::consume(const ChunkView& chunk) {
+  TLR_ASSERT(chunk.reusable.size() == chunk.insts.size());
+  for (usize i = 0; i < chunk.insts.size(); ++i) {
+    streamer_.push(chunk.insts[i], chunk.reusable[i] != 0);
+  }
+}
+
+timing::TimerResult RtmSimConsumer::timing_result() const {
+  TLR_ASSERT_MSG(timer_.has_value(),
+                 "RtmSimConsumer was built without a timing config");
+  return timer_->result();
+}
+
+// ---- the engine ------------------------------------------------------
+
+vm::RunLimits suite_limits(const SuiteConfig& config) {
+  vm::RunLimits limits;
+  limits.skip = config.skip;
+  limits.max_emitted = config.length;
+  return limits;
+}
+
+StudyEngine::StudyEngine(const EngineOptions& options) : options_(options) {
+  TLR_ASSERT_MSG(options_.chunk_size > 0, "chunk size must be positive");
+}
+
+StudyEngine::~StudyEngine() = default;
+
+ThreadPool& StudyEngine::pool() {
+  if (!pool_.has_value()) pool_.emplace(options_.threads);
+  return *pool_;
+}
+
+usize StudyEngine::thread_count() { return pool().thread_count(); }
+
+void StudyEngine::parallel_for(usize n,
+                               const std::function<void(usize)>& job) {
+  pool().parallel_for(n, job);
+}
+
+u64 StudyEngine::run_stream(const vm::Program& program,
+                            const vm::RunLimits& limits,
+                            std::span<StreamConsumer* const> consumers) const {
+  bool want_flags = false;
+  for (StreamConsumer* consumer : consumers) {
+    want_flags = want_flags || consumer->wants_reusability();
+  }
+
+  vm::StreamSource source(program, limits, options_.chunk_size);
+  reuse::InfiniteInstrTable table;
+  std::vector<u8> flags;
+  vm::StreamChunk chunk;
+  while (source.next(chunk)) {
+    ChunkView view;
+    view.insts = chunk.view();
+    view.first_index = chunk.first_index;
+    if (want_flags) {
+      flags.resize(chunk.insts.size());
+      for (usize i = 0; i < chunk.insts.size(); ++i) {
+        flags[i] = table.lookup_insert(chunk.insts[i]) ? 1 : 0;
+      }
+      view.reusable = std::span<const u8>(flags.data(), flags.size());
+    }
+    for (StreamConsumer* consumer : consumers) consumer->consume(view);
+  }
+  const u64 total = source.emitted();
+  for (StreamConsumer* consumer : consumers) consumer->finish(total);
+  return total;
+}
+
+u64 StudyEngine::run_workload_stream(
+    std::string_view workload_name, const SuiteConfig& config,
+    std::span<StreamConsumer* const> consumers) const {
+  workloads::WorkloadParams params;
+  params.seed = config.seed;
+  const workloads::Workload workload =
+      workloads::make_workload(workload_name, params);
+  return run_stream(workload.program, suite_limits(config), consumers);
+}
+
+WorkloadMetrics StudyEngine::analyze(std::string_view workload_name,
+                                     const SuiteConfig& config,
+                                     const MetricOptions& options) const {
+  workloads::WorkloadParams params;
+  params.seed = config.seed;
+  const workloads::Workload workload =
+      workloads::make_workload(workload_name, params);
+
+  std::vector<StreamConsumer*> consumers;
+
+  // Perfect-engine reusability (Fig 3).
+  ReusabilityConsumer reusability;
+  consumers.push_back(&reusability);
+
+  // The shared maximal-trace partition and its sinks.
+  MaxTraceConsumer traces;
+  TraceStatsSink trace_stats;
+  if (options.trace_stats) traces.add_sink(&trace_stats);
+
+  std::optional<TimingConsumer> base_inf, base_win;
+  std::vector<std::unique_ptr<TimingConsumer>> ilr_inf, ilr_win;
+  std::optional<TraceTimingSink> trace_inf;
+  std::vector<std::unique_ptr<TraceTimingSink>> trace_win, trace_prop;
+
+  if (options.timing) {
+    TimerConfig base_cfg;
+    base_cfg.window = 0;
+    base_inf.emplace(TimingConsumer::Mode::kBase, base_cfg);
+    consumers.push_back(&*base_inf);
+    base_cfg.window = config.window;
+    base_win.emplace(TimingConsumer::Mode::kBase, base_cfg);
+    consumers.push_back(&*base_win);
+
+    for (const Cycle latency : options.ilr_latencies) {
+      TimerConfig cfg;
+      cfg.inst_reuse_latency = latency;
+      cfg.window = 0;
+      ilr_inf.push_back(std::make_unique<TimingConsumer>(
+          TimingConsumer::Mode::kInstReuse, cfg));
+      consumers.push_back(ilr_inf.back().get());
+      cfg.window = config.window;
+      ilr_win.push_back(std::make_unique<TimingConsumer>(
+          TimingConsumer::Mode::kInstReuse, cfg));
+      consumers.push_back(ilr_win.back().get());
+    }
+
+    {
+      TimerConfig cfg;
+      cfg.trace_reuse_latency = 1;
+      cfg.window = 0;
+      trace_inf.emplace(cfg);
+      traces.add_sink(&*trace_inf);
+    }
+    for (const Cycle latency : options.trace_latencies) {
+      TimerConfig cfg;
+      cfg.trace_reuse_latency = latency;
+      cfg.window = config.window;
+      trace_win.push_back(std::make_unique<TraceTimingSink>(cfg));
+      traces.add_sink(trace_win.back().get());
+    }
+    for (const double k : options.proportional_ks) {
+      TimerConfig cfg;
+      cfg.proportional_trace_latency = true;
+      cfg.trace_latency_k = k;
+      cfg.window = config.window;
+      trace_prop.push_back(std::make_unique<TraceTimingSink>(cfg));
+      traces.add_sink(trace_prop.back().get());
+    }
+  }
+  if (traces.has_sinks()) consumers.push_back(&traces);
+
+  const u64 total =
+      run_stream(workload.program, suite_limits(config), consumers);
+  TLR_ASSERT_MSG(total > 0, "workload produced no instructions");
+
+  WorkloadMetrics metrics;
+  metrics.name = workload.name;
+  metrics.is_fp = workload.is_fp;
+  metrics.instructions = total;
+  metrics.reusability = reusability.fraction();
+  if (options.trace_stats) metrics.trace_stats = trace_stats.stats();
+  if (options.timing) {
+    metrics.base_inf = base_inf->result().cycles;
+    metrics.base_win = base_win->result().cycles;
+    for (const auto& consumer : ilr_inf) {
+      metrics.ilr_inf.push_back(consumer->result().cycles);
+    }
+    for (const auto& consumer : ilr_win) {
+      metrics.ilr_win.push_back(consumer->result().cycles);
+    }
+    metrics.trace_inf = trace_inf->result().cycles;
+    for (const auto& sink : trace_win) {
+      metrics.trace_win.push_back(sink->result().cycles);
+    }
+    for (const auto& sink : trace_prop) {
+      metrics.trace_win_prop.push_back(sink->result().cycles);
+    }
+  }
+  return metrics;
+}
+
+std::vector<WorkloadMetrics> StudyEngine::analyze_suite(
+    const SuiteConfig& config, const MetricOptions& options) {
+  const auto names = workloads::workload_names();
+  std::vector<WorkloadMetrics> all(names.size());
+  parallel_for(names.size(), [&](usize i) {
+    all[i] = analyze(names[i], config, options);
+  });
+  return all;
+}
+
+}  // namespace tlr::core

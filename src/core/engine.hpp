@@ -1,0 +1,263 @@
+// StudyEngine: single-pass, multi-consumer, parallel analysis over
+// chunked instruction streams.
+//
+// The limit study needs many numbers per workload (reusability, a
+// dozen timing configurations, trace statistics, finite-RTM
+// simulations). Materialising the dynamic stream and re-walking it per
+// analysis costs O(stream) memory and N passes; at the paper's scale
+// (50M instructions per benchmark) neither is acceptable. The engine
+// instead drives one interpreter pass per (workload, SuiteConfig)
+// through a chunked vm::StreamSource and fans every chunk out to a set
+// of StreamConsumers, so all metrics are computed simultaneously with
+// O(chunk) stream storage (plus the currently open maximal-trace run,
+// bounded by the longest reusable run, when trace consumers are
+// registered — see MaxTraceStreamer). Workload-level jobs are dispatched across
+// util::thread_pool with deterministic result slots: the engine
+// produces bit-identical results for any thread count and any chunk
+// size (see tests/core/engine_test.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/study.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "reuse/trace_builder.hpp"
+#include "timing/timer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+#include "vm/interpreter.hpp"
+
+namespace tlr::core {
+
+/// One chunk of the dynamic stream as seen by consumers: the
+/// instruction records plus — when any registered consumer asked for
+/// it — the perfect-engine reusability flag per instruction, computed
+/// once by the engine's shared InfiniteInstrTable stage. Spans are
+/// valid only for the duration of the consume() call.
+struct ChunkView {
+  std::span<const isa::DynInst> insts;
+  std::span<const u8> reusable;  // 0/1 per instruction; may be empty
+  u64 first_index = 0;
+};
+
+/// A metric computed incrementally over a chunked stream. Consumers
+/// receive consecutive chunks in stream order, then one finish() call
+/// with the final stream length.
+class StreamConsumer {
+ public:
+  virtual ~StreamConsumer() = default;
+
+  /// Whether this consumer needs ChunkView::reusable populated.
+  virtual bool wants_reusability() const { return false; }
+
+  virtual void consume(const ChunkView& chunk) = 0;
+  virtual void finish(u64 total_instructions) = 0;
+};
+
+// ---- concrete consumers ----------------------------------------------
+
+/// Fig 3 front-end: counts perfect-engine reusable instructions.
+class ReusabilityConsumer final : public StreamConsumer {
+ public:
+  bool wants_reusability() const override { return true; }
+  void consume(const ChunkView& chunk) override;
+  void finish(u64) override {}
+
+  u64 total() const { return total_; }
+  u64 reusable_count() const { return reusable_; }
+  double fraction() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(reusable_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  u64 total_ = 0;
+  u64 reusable_ = 0;
+};
+
+/// Base-machine or instruction-level-reuse dataflow timing: the
+/// streaming equivalent of compute_timing with a null plan or a
+/// build_instr_plan annotation.
+class TimingConsumer final : public StreamConsumer {
+ public:
+  enum class Mode : u8 { kBase, kInstReuse };
+
+  TimingConsumer(Mode mode, const timing::TimerConfig& config)
+      : mode_(mode), timer_(config) {}
+
+  bool wants_reusability() const override {
+    return mode_ == Mode::kInstReuse;
+  }
+  void consume(const ChunkView& chunk) override;
+  void finish(u64) override {}
+
+  timing::TimerResult result() const { return timer_.result(); }
+
+ private:
+  Mode mode_;
+  timing::StreamingTimer timer_;
+};
+
+/// Trace-level-reuse timing fed by a MaxTraceConsumer: the streaming
+/// equivalent of compute_timing over a build_max_trace_plan annotation.
+class TraceTimingSink final : public reuse::TraceRunSink {
+ public:
+  explicit TraceTimingSink(const timing::TimerConfig& config)
+      : timer_(config) {}
+
+  void on_normal(const isa::DynInst& inst) override {
+    timer_.step_normal(inst);
+  }
+  void on_trace(std::span<const isa::DynInst> run,
+                const timing::PlanTrace& trace) override {
+    timer_.step_trace(run, trace);
+  }
+
+  timing::TimerResult result() const { return timer_.result(); }
+
+ private:
+  timing::StreamingTimer timer_;
+};
+
+/// Incremental maximal-trace statistics (Fig 7): the streaming
+/// equivalent of compute_trace_stats over a build_max_trace_plan.
+class TraceStatsSink final : public reuse::TraceRunSink {
+ public:
+  void on_normal(const isa::DynInst&) override {}
+  void on_trace(std::span<const isa::DynInst> run,
+                const timing::PlanTrace& trace) override;
+
+  reuse::TraceStats stats() const;
+
+ private:
+  u64 traces_ = 0;
+  u64 covered_ = 0;
+  double size_ = 0, reg_in_ = 0, mem_in_ = 0, reg_out_ = 0, mem_out_ = 0;
+};
+
+/// The shared maximal-trace partition stage: one run buffer and one
+/// live-in extraction serving every registered TraceRunSink (trace
+/// timers for all latency configurations plus the statistics sink).
+class MaxTraceConsumer final : public StreamConsumer {
+ public:
+  void add_sink(reuse::TraceRunSink* sink) {
+    streamer_.add_sink(sink);
+    ++sink_count_;
+  }
+  bool has_sinks() const { return sink_count_ > 0; }
+
+  bool wants_reusability() const override { return true; }
+  void consume(const ChunkView& chunk) override;
+  void finish(u64) override { streamer_.finish(); }
+
+ private:
+  reuse::MaxTraceStreamer streamer_;
+  usize sink_count_ = 0;
+};
+
+/// Finite-RTM simulation as a stream consumer (Fig 9 and the realistic
+/// timing extension). Optionally prices the simulated fetch stream
+/// with a dataflow timer riding on the simulator's event stream — no
+/// materialised plan needed.
+class RtmSimConsumer final : public StreamConsumer,
+                             private reuse::RtmEventSink {
+ public:
+  explicit RtmSimConsumer(const reuse::RtmSimConfig& config)
+      : sim_(config) {}
+  RtmSimConsumer(const reuse::RtmSimConfig& config,
+                 const timing::TimerConfig& timing_config)
+      : sim_(config), timer_(timing_config) {
+    sim_.set_event_sink(this);
+  }
+
+  // The simulator holds a pointer back to this object as its event
+  // sink; copying or moving would leave that pointer dangling.
+  RtmSimConsumer(const RtmSimConsumer&) = delete;
+  RtmSimConsumer& operator=(const RtmSimConsumer&) = delete;
+
+  void consume(const ChunkView& chunk) override { sim_.feed(chunk.insts); }
+  void finish(u64) override { result_ = sim_.finish(); }
+
+  const reuse::RtmSimResult& result() const { return result_; }
+  timing::TimerResult timing_result() const;
+
+ private:
+  void on_executed(const isa::DynInst& inst) override {
+    timer_->step_normal(inst);
+  }
+  void on_reused(std::span<const isa::DynInst> insts,
+                 const timing::PlanTrace& trace) override {
+    timer_->step_trace(insts, trace);
+  }
+
+  reuse::RtmSimulator sim_;
+  std::optional<timing::StreamingTimer> timer_;
+  reuse::RtmSimResult result_;
+};
+
+// ---- the engine ------------------------------------------------------
+
+struct EngineOptions {
+  /// Worker threads for workload-level fan-out; 0 means
+  /// std::thread::hardware_concurrency.
+  usize threads = 0;
+  /// Instructions per stream chunk. Results are chunk-size invariant;
+  /// this only trades peak memory against per-chunk overhead.
+  usize chunk_size = vm::StreamSource::kDefaultChunkSize;
+};
+
+class StudyEngine {
+ public:
+  explicit StudyEngine(const EngineOptions& options = {});
+  ~StudyEngine();
+
+  StudyEngine(const StudyEngine&) = delete;
+  StudyEngine& operator=(const StudyEngine&) = delete;
+
+  /// One chunked interpreter pass over `program`, fanning every chunk
+  /// out to `consumers` (with the shared reusability stage when any of
+  /// them asks for it). Returns the stream length.
+  u64 run_stream(const vm::Program& program, const vm::RunLimits& limits,
+                 std::span<StreamConsumer* const> consumers) const;
+
+  /// Same, for a registry workload under a SuiteConfig.
+  u64 run_workload_stream(std::string_view workload_name,
+                          const SuiteConfig& config,
+                          std::span<StreamConsumer* const> consumers) const;
+
+  /// Full single-workload analysis — every WorkloadMetrics field from
+  /// exactly one interpreter pass.
+  WorkloadMetrics analyze(std::string_view workload_name,
+                          const SuiteConfig& config,
+                          const MetricOptions& options = {}) const;
+
+  /// Whole-suite analysis: one job per workload across the pool,
+  /// results in figure order regardless of completion order.
+  std::vector<WorkloadMetrics> analyze_suite(
+      const SuiteConfig& config, const MetricOptions& options = {});
+
+  /// Deterministic parallel map: runs job(i) for i in [0, n) across
+  /// the pool and waits. Jobs must write only into their own result
+  /// slots. The pool is spawned lazily on first use.
+  void parallel_for(usize n, const std::function<void(usize)>& job);
+
+  const EngineOptions& options() const { return options_; }
+  usize thread_count();
+
+ private:
+  ThreadPool& pool();
+
+  EngineOptions options_;
+  std::optional<ThreadPool> pool_;
+};
+
+/// vm::RunLimits for the stream window a SuiteConfig describes.
+vm::RunLimits suite_limits(const SuiteConfig& config);
+
+}  // namespace tlr::core

@@ -1,10 +1,11 @@
 #include "core/figures.hpp"
 
+#include <memory>
 #include <utility>
 
+#include "core/engine.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
-#include "vm/interpreter.hpp"
 
 namespace tlr::core {
 
@@ -238,36 +239,49 @@ Fig9Result fig9_finite_rtm(const SuiteConfig& config,
                            reuse::ReuseTestKind test) {
   const auto heuristics = fig9_heuristics();
   const auto geometries = fig9_geometries();
+  const auto names = workloads::workload_names();
 
   Fig9Result result;
   result.cells.assign(heuristics.size(),
                       std::vector<Fig9Cell>(geometries.size()));
-  // Accumulators: per (heuristic, geometry), per-benchmark values.
+  // Accumulators: per (heuristic, geometry), per-benchmark values in
+  // workload order — fixed slots keep the aggregation deterministic
+  // whatever order the parallel jobs complete in.
   std::vector<std::vector<std::vector<double>>> fracs(
       heuristics.size(),
-      std::vector<std::vector<double>>(geometries.size()));
+      std::vector<std::vector<double>>(
+          geometries.size(), std::vector<double>(names.size(), 0.0)));
   auto sizes = fracs;
 
-  // One stream at a time (memory), reused across all 40 configurations.
-  for (const std::string_view name : workloads::workload_names()) {
-    const std::vector<isa::DynInst> stream =
-        collect_workload_stream(name, config);
-    for (usize h = 0; h < heuristics.size(); ++h) {
-      for (usize g = 0; g < geometries.size(); ++g) {
-        reuse::RtmSimConfig sim_config;
-        sim_config.geometry = geometries[g].second;
-        sim_config.heuristic = heuristics[h].heuristic;
-        sim_config.fixed_n = heuristics[h].fixed_n == 0
-                                 ? 4
-                                 : heuristics[h].fixed_n;
-        sim_config.reuse_test = test;
-        reuse::RtmSimulator simulator(sim_config);
-        const reuse::RtmSimResult sim = simulator.run(stream);
-        fracs[h][g].push_back(sim.reuse_fraction());
-        sizes[h][g].push_back(sim.avg_reused_trace_size());
-      }
+  // Fan (workload x heuristic) jobs across the pool; within a job one
+  // chunked interpreter pass feeds all four RTM capacities at once.
+  // (Grouping by heuristic rather than running all 40 simulators off
+  // one pass bounds the number of live RTMs — a 256K-entry RTM is
+  // ~100MB — while still never materialising a stream.)
+  StudyEngine engine;
+  engine.parallel_for(names.size() * heuristics.size(), [&](usize job) {
+    const usize w = job / heuristics.size();
+    const usize h = job % heuristics.size();
+    std::vector<std::unique_ptr<RtmSimConsumer>> sims;
+    std::vector<StreamConsumer*> consumers;
+    for (usize g = 0; g < geometries.size(); ++g) {
+      reuse::RtmSimConfig sim_config;
+      sim_config.geometry = geometries[g].second;
+      sim_config.heuristic = heuristics[h].heuristic;
+      sim_config.fixed_n = heuristics[h].fixed_n == 0
+                               ? 4
+                               : heuristics[h].fixed_n;
+      sim_config.reuse_test = test;
+      sims.push_back(std::make_unique<RtmSimConsumer>(sim_config));
+      consumers.push_back(sims.back().get());
     }
-  }
+    engine.run_workload_stream(names[w], config, consumers);
+    for (usize g = 0; g < geometries.size(); ++g) {
+      const reuse::RtmSimResult& sim = sims[g]->result();
+      fracs[h][g][w] = sim.reuse_fraction();
+      sizes[h][g][w] = sim.avg_reused_trace_size();
+    }
+  });
 
   for (usize h = 0; h < heuristics.size(); ++h) {
     for (usize g = 0; g < geometries.size(); ++g) {

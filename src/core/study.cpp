@@ -1,13 +1,9 @@
 #include "core/study.hpp"
 
-#include "reuse/reusability.hpp"
-#include "util/assert.hpp"
+#include "core/engine.hpp"
 #include "vm/interpreter.hpp"
 
 namespace tlr::core {
-
-using timing::TimerConfig;
-using timing::TimerResult;
 
 std::vector<isa::DynInst> collect_workload_stream(
     std::string_view workload_name, const SuiteConfig& config) {
@@ -15,103 +11,19 @@ std::vector<isa::DynInst> collect_workload_stream(
   params.seed = config.seed;
   const workloads::Workload workload =
       workloads::make_workload(workload_name, params);
-
-  vm::RunLimits limits;
-  limits.skip = config.skip;
-  limits.max_emitted = config.length;
-  return vm::collect_stream(workload.program, limits);
+  return vm::collect_stream(workload.program, suite_limits(config));
 }
 
 WorkloadMetrics analyze_workload(std::string_view workload_name,
                                  const SuiteConfig& config,
                                  const MetricOptions& options) {
-  workloads::WorkloadParams params;
-  params.seed = config.seed;
-  const workloads::Workload workload =
-      workloads::make_workload(workload_name, params);
-
-  vm::RunLimits limits;
-  limits.skip = config.skip;
-  limits.max_emitted = config.length;
-  const std::vector<isa::DynInst> stream =
-      vm::collect_stream(workload.program, limits);
-  TLR_ASSERT_MSG(!stream.empty(), "workload produced no instructions");
-
-  WorkloadMetrics metrics;
-  metrics.name = workload.name;
-  metrics.is_fp = workload.is_fp;
-  metrics.instructions = stream.size();
-
-  // Perfect-engine reusability (Fig 3).
-  const reuse::ReusabilityResult reusability =
-      reuse::analyze_reusability(stream);
-  metrics.reusability = reusability.fraction();
-
-  // Plans for the two reuse styles.
-  const timing::ReusePlan instr_plan =
-      reuse::build_instr_plan(stream, reusability.reusable);
-  const timing::ReusePlan trace_plan =
-      reuse::build_max_trace_plan(stream, reusability.reusable);
-
-  if (options.trace_stats) {
-    metrics.trace_stats = reuse::compute_trace_stats(trace_plan);
-  }
-
-  if (options.timing) {
-    TimerConfig base_cfg;
-    base_cfg.window = 0;
-    metrics.base_inf = timing::compute_timing(stream, nullptr, base_cfg).cycles;
-    base_cfg.window = config.window;
-    metrics.base_win = timing::compute_timing(stream, nullptr, base_cfg).cycles;
-
-    for (const Cycle latency : options.ilr_latencies) {
-      TimerConfig cfg;
-      cfg.inst_reuse_latency = latency;
-      cfg.window = 0;
-      metrics.ilr_inf.push_back(
-          timing::compute_timing(stream, &instr_plan, cfg).cycles);
-      cfg.window = config.window;
-      metrics.ilr_win.push_back(
-          timing::compute_timing(stream, &instr_plan, cfg).cycles);
-    }
-
-    {
-      TimerConfig cfg;
-      cfg.trace_reuse_latency = 1;
-      cfg.window = 0;
-      metrics.trace_inf =
-          timing::compute_timing(stream, &trace_plan, cfg).cycles;
-    }
-    for (const Cycle latency : options.trace_latencies) {
-      TimerConfig cfg;
-      cfg.trace_reuse_latency = latency;
-      cfg.window = config.window;
-      metrics.trace_win.push_back(
-          timing::compute_timing(stream, &trace_plan, cfg).cycles);
-    }
-    for (const double k : options.proportional_ks) {
-      TimerConfig cfg;
-      cfg.proportional_trace_latency = true;
-      cfg.trace_latency_k = k;
-      cfg.window = config.window;
-      metrics.trace_win_prop.push_back(
-          timing::compute_timing(stream, &trace_plan, cfg).cycles);
-    }
-  }
-
-  return metrics;
+  return StudyEngine().analyze(workload_name, config, options);
 }
 
 std::vector<WorkloadMetrics> analyze_suite(const SuiteConfig& config,
                                            const MetricOptions& options) {
-  std::vector<WorkloadMetrics> all;
-  all.reserve(workloads::workload_names().size());
-  // One workload at a time: each stream is tens of MB and is released
-  // before the next is generated.
-  for (const std::string_view name : workloads::workload_names()) {
-    all.push_back(analyze_workload(name, config, options));
-  }
-  return all;
+  StudyEngine engine;
+  return engine.analyze_suite(config, options);
 }
 
 }  // namespace tlr::core

@@ -1,8 +1,11 @@
 // ReuseStudy core: runs one workload through the full analysis stack
-// (interpreter -> reusability -> plans -> dataflow timing) and collects
+// (interpreter -> reusability -> traces -> dataflow timing) and collects
 // every number the paper's figures need. This is the primary public
 // entry point of the library; the figure runners (figures.hpp), the
-// benches and the examples are all built on it.
+// benches and the examples are all built on it. The implementation is
+// the streaming StudyEngine (core/engine.hpp): one chunked interpreter
+// pass per workload feeds every metric simultaneously, and suite runs
+// fan workloads across a thread pool.
 #pragma once
 
 #include <string>
@@ -88,13 +91,15 @@ struct WorkloadMetrics {
   }
 };
 
-/// Full analysis of one workload. The dynamic stream is materialised,
-/// analysed and released before returning.
+/// Full analysis of one workload in a single chunked interpreter pass.
+/// Peak stream storage is O(chunk + longest reusable run) — the open
+/// maximal-trace run is buffered — independent of `config.length`.
 WorkloadMetrics analyze_workload(std::string_view workload_name,
                                  const SuiteConfig& config,
                                  const MetricOptions& options = {});
 
-/// Analyse the whole 14-benchmark suite (figure order).
+/// Analyse the whole 14-benchmark suite (figure order). Workloads run
+/// concurrently; results are deterministic and thread-count invariant.
 std::vector<WorkloadMetrics> analyze_suite(const SuiteConfig& config,
                                            const MetricOptions& options = {});
 

@@ -1,5 +1,6 @@
 #include "reuse/rtm.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/assert.hpp"
@@ -28,10 +29,12 @@ Rtm::Rtm(const RtmGeometry& geometry, ReuseTestKind test)
                  "RTM set count must be a power of two (PC-indexed)");
   TLR_ASSERT(geometry.pc_ways >= 1);
   TLR_ASSERT(geometry.traces_per_pc >= 1);
+  // Slot storage is allocated per way on first use (Rtm::insert): a
+  // simulated program touches far fewer initial PCs than a big RTM has
+  // ways, and a cold way costs ~40 bytes instead of traces_per_pc
+  // full StoredTrace slots. Lookups only reach slots of valid ways,
+  // which are always populated.
   ways_.resize(u64{geometry.sets} * geometry.pc_ways);
-  for (Way& way : ways_) {
-    way.slots.resize(geometry.traces_per_pc);
-  }
 }
 
 Rtm::Way* Rtm::find_way(u32 set, isa::Pc pc) {
@@ -94,6 +97,7 @@ std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
 
 void Rtm::insert(const StoredTrace& trace) {
   TLR_ASSERT(trace.length > 0);
+  max_stored_length_ = std::max(max_stored_length_, trace.length);
   const u32 set = set_index(trace.start_pc);
   Way* way = find_way(set, trace.start_pc);
   ++clock_;
@@ -112,6 +116,7 @@ void Rtm::insert(const StoredTrace& trace) {
     if (victim->valid) ++stats_.way_evictions;
     victim->pc = trace.start_pc;
     victim->valid = true;
+    victim->slots.resize(geometry_.traces_per_pc);
     for (Slot& slot : victim->slots) slot.valid = false;
     way = victim;
   }
@@ -200,6 +205,7 @@ void Rtm::notify_write(u64 raw_loc) {
 
 bool Rtm::replace(const Handle& handle, const StoredTrace& expanded) {
   TLR_ASSERT(expanded.start_pc == handle.start_pc);
+  max_stored_length_ = std::max(max_stored_length_, expanded.length);
   Way& way = ways_[u64{handle.set} * geometry_.pc_ways + handle.way];
   if (!way.valid || way.pc != handle.start_pc) {
     ++stats_.stale_replacements;

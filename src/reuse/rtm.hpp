@@ -10,7 +10,8 @@
 // A stored trace is identified by its input: the live-in locations and
 // their values (§3.1). The reuse test (§3.3, value-compare flavour)
 // matches every stored input value against the current architectural
-// state; the invalidation-bit flavour lives in invalidation.hpp.
+// state; the invalidation/valid-bit flavour is implemented alongside it
+// in rtm.cpp (selected with ReuseTestKind::kValidBit below).
 #pragma once
 
 #include <array>
@@ -191,6 +192,12 @@ class Rtm {
   const RtmGeometry& geometry() const { return geometry_; }
   ReuseTestKind test_kind() const { return test_; }
 
+  /// Upper bound on the length of any trace currently stored (monotone
+  /// over the RTM's lifetime). The streaming simulator uses it to size
+  /// its lookahead: with this many instructions buffered, any lookup
+  /// hit is guaranteed to fit in the buffer.
+  u32 max_stored_length() const { return max_stored_length_; }
+
  private:
   struct Slot {
     StoredTrace trace;
@@ -227,6 +234,7 @@ class Rtm {
   ReuseTestKind test_;
   std::vector<Way> ways_;  // sets * pc_ways, set-major
   u64 clock_ = 0;
+  u32 max_stored_length_ = 0;
   Stats stats_;
   /// Valid-bit mode reverse index: input location -> traces to kill on
   /// write. Entries are validated against slot generations lazily.

@@ -1,9 +1,7 @@
 #include "reuse/rtm_sim.hpp"
 
-#include <optional>
+#include <algorithm>
 
-#include "reuse/accumulator.hpp"
-#include "reuse/instr_table.hpp"
 #include "util/assert.hpp"
 
 namespace tlr::reuse {
@@ -11,20 +9,7 @@ namespace tlr::reuse {
 using isa::DynInst;
 using isa::Loc;
 
-RtmSimulator::RtmSimulator(const RtmSimConfig& config) : config_(config) {}
-
 namespace {
-
-/// Determinism cross-check: the stored trace must describe exactly the
-/// instructions sitting in the stream at the match point.
-void verify_match(std::span<const DynInst> stream, u64 index,
-                  const StoredTrace& trace) {
-  TLR_ASSERT(stream[index].pc == trace.start_pc);
-  const u64 last = index + trace.length - 1;
-  TLR_ASSERT(last < stream.size());
-  TLR_ASSERT_MSG(stream[last].next_pc == trace.next_pc,
-                 "matched trace diverges from the dynamic stream");
-}
 
 timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index) {
   timing::PlanTrace plan_trace;
@@ -42,169 +27,210 @@ timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index) {
 
 }  // namespace
 
-RtmSimResult RtmSimulator::run(std::span<const DynInst> stream) {
-  RtmSimResult result;
-  result.instructions = stream.size();
-
-  Rtm rtm(config_.geometry, config_.reuse_test);
-  const bool uses_ilr = config_.heuristic != CollectHeuristic::kFixedExpand;
-  std::optional<FiniteInstrTable> ilr;
-  if (uses_ilr) {
+RtmSimulator::RtmSimulator(const RtmSimConfig& config)
+    : config_(config),
+      rtm_(config.geometry, config.reuse_test),
+      acc_(config.limits),
+      ext_acc_(config.limits) {
+  if (config_.heuristic != CollectHeuristic::kFixedExpand) {
     // "This memory has as many entries as the RTM" (§4.6).
-    ilr.emplace(config_.geometry.total_entries());
+    ilr_.emplace(config_.geometry.total_entries());
   }
+}
 
-  ArchShadow shadow;
-  TraceAccumulator acc(config_.limits);
+void RtmSimulator::feed(std::span<const DynInst> insts) {
+  TLR_ASSERT_MSG(!finished_, "feed after finish");
+  buf_.insert(buf_.end(), insts.begin(), insts.end());
+  drain(/*stream_done=*/false);
+}
 
-  // Dynamic-expansion state: after a reuse hit under an EXP heuristic,
-  // subsequently executed instructions accumulate into `ext_acc`; the
-  // merged (longer) trace is stored as an additional RTM entry.
-  const bool expands = config_.heuristic != CollectHeuristic::kIlrNoExpand;
-  bool ext_active = false;
-  StoredTrace ext_base;
-  TraceAccumulator ext_acc(config_.limits);
-  u32 ext_budget = 0;
-
-  if (config_.build_plan) {
-    result.plan.kind.assign(stream.size(), timing::InstKind::kNormal);
-    result.plan.trace_of.assign(stream.size(), 0);
-  }
-
-  auto flush_ext = [&] {
-    if (!ext_active) return;
-    if (!ext_acc.empty()) {
-      const StoredTrace tail = ext_acc.finalize();
-      if (auto merged =
-              TraceAccumulator::merge(ext_base, tail, config_.limits)) {
-        // Store the expanded trace as an additional entry: the shorter
-        // original keeps matching when the longer one cannot, so
-        // expansion grows trace sizes without sacrificing reusability
-        // (the paper's Fig 9 observation).
-        rtm.insert(*merged);
-        ++result.expansions;
-      }
-    }
-    ext_acc.reset();
-    ext_active = false;
-  };
-
-  auto flush_acc = [&] {
-    if (!acc.empty()) rtm.insert(acc.finalize());
-  };
-
-  // Collection step for an executed instruction. For the ILR
-  // heuristics the instruction's reuse-table outcome may have been
-  // consumed already by the extension path; it is then handed down.
-  auto collect = [&](const DynInst& inst, std::optional<bool> pre_tested) {
-    if (config_.heuristic == CollectHeuristic::kFixedExpand) {
-      if (!acc.try_add(inst)) {
-        flush_acc();
-        const bool ok = acc.try_add(inst);
-        TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
-      }
-      if (acc.length() >= config_.fixed_n) flush_acc();
-      return;
-    }
-    const bool reusable =
-        pre_tested.has_value() ? *pre_tested : ilr->lookup_insert(inst);
-    if (!reusable) {
-      // First non-reusable instruction terminates the trace (§3.2).
-      flush_acc();
-      return;
-    }
-    if (!acc.try_add(inst)) {
-      flush_acc();
-      const bool ok = acc.try_add(inst);
-      TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
-    }
-  };
-
-  u64 i = 0;
-  while (i < stream.size()) {
-    const DynInst& inst = stream[i];
-
-    // ---- reuse test at every fetch (§4.6) -----------------------------
-    auto hit = rtm.lookup(inst.pc, shadow);
-    if (hit.has_value() && i + hit->trace->length <= stream.size()) {
-      StoredTrace trace = *hit->trace;  // copy: the RTM may mutate below
-      if (config_.verify_matches) verify_match(stream, i, trace);
-
-      // Back-to-back reuse under ILR EXP: merge the two traces (§4.6
-      // "traces can be dynamically expanded when two consecutive
-      // traces are reused").
-      if (config_.heuristic == CollectHeuristic::kIlrExpand && ext_active &&
-          ext_acc.empty()) {
-        if (auto merged =
-                TraceAccumulator::merge(ext_base, trace, config_.limits)) {
-          rtm.insert(*merged);
-          ++result.merges;
-        }
-      }
-      flush_ext();
-      flush_acc();
-
-      ++result.reuse_operations;
-      result.reused_instructions += trace.length;
-      if (config_.build_plan) {
-        const u32 trace_id = static_cast<u32>(result.plan.traces.size());
-        result.plan.traces.push_back(to_plan_trace(trace, i));
-        for (u64 j = i; j < i + trace.length; ++j) {
-          result.plan.kind[j] = timing::InstKind::kTraceReuse;
-          result.plan.trace_of[j] = trace_id;
-        }
-      }
-
-      // Processor state update (§3.3): write the recorded outputs.
-      for (const LocVal& out : trace.outputs) {
-        shadow.set(out.loc, out.value);
-        rtm.notify_write(out.loc);
-      }
-
-      i += trace.length;
-
-      if (expands) {
-        ext_active = true;
-        ext_base = std::move(trace);
-        ext_budget = config_.fixed_n;
-      }
-      continue;
-    }
-
-    // ---- executed instruction -----------------------------------------
-    if (ext_active) {
-      bool consumed = false;
-      if (config_.heuristic == CollectHeuristic::kIlrExpand) {
-        const bool reusable = ilr->lookup_insert(inst);
-        if (reusable && ext_acc.try_add(inst)) {
-          consumed = true;
-        } else {
-          flush_ext();
-          collect(inst, reusable);
-        }
-      } else {  // kFixedExpand
-        if (ext_budget > 0 && ext_acc.try_add(inst)) {
-          consumed = true;
-          if (--ext_budget == 0) flush_ext();
-        } else {
-          flush_ext();
-          collect(inst, std::nullopt);
-        }
-      }
-      (void)consumed;
-    } else {
-      collect(inst, std::nullopt);
-    }
-
-    shadow.observe(inst);
-    if (inst.has_output) rtm.notify_write(inst.output.raw());
-    ++i;
-  }
-
+RtmSimResult RtmSimulator::finish() {
+  TLR_ASSERT_MSG(!finished_, "finish called twice");
+  finished_ = true;
+  drain(/*stream_done=*/true);
   flush_ext();
   flush_acc();
-  result.rtm = rtm.stats();
-  return result;
+  result_.rtm = rtm_.stats();
+  return std::move(result_);
+}
+
+RtmSimResult RtmSimulator::run(std::span<const DynInst> stream) {
+  feed(stream);
+  return finish();
+}
+
+/// Resolves buffered fetches. A position can be resolved once the
+/// buffer holds at least Rtm::max_stored_length() instructions from it
+/// (any lookup hit then provably fits inside the remaining stream), or
+/// unconditionally once the stream has ended — so every decision,
+/// including the reuse test's LRU/stat side effects, happens exactly
+/// once and exactly as a whole-stream walk would take it.
+void RtmSimulator::drain(bool stream_done) {
+  for (;;) {
+    const usize avail = buf_.size() - buf_pos_;
+    if (avail == 0) break;
+    if (!stream_done &&
+        avail < std::max<usize>(1, rtm_.max_stored_length())) {
+      break;  // not enough lookahead to commit a decision yet
+    }
+
+    // ---- reuse test at every fetch (§4.6) ---------------------------
+    const DynInst& inst = buf_[buf_pos_];
+    const auto hit = rtm_.lookup(inst.pc, shadow_);
+    if (hit.has_value() && hit->trace->length <= avail) {
+      const StoredTrace trace = *hit->trace;  // copy: the RTM may mutate
+      take_reuse(trace);
+    } else {
+      execute_front();
+    }
+  }
+  compact_buffer();
+}
+
+void RtmSimulator::take_reuse(const StoredTrace& trace) {
+  const std::span<const DynInst> insts(buf_.data() + buf_pos_, trace.length);
+  if (config_.verify_matches) {
+    // Determinism cross-check: the stored trace must describe exactly
+    // the instructions sitting in the stream at the match point.
+    TLR_ASSERT(insts.front().pc == trace.start_pc);
+    TLR_ASSERT_MSG(insts.back().next_pc == trace.next_pc,
+                   "matched trace diverges from the dynamic stream");
+  }
+
+  // Back-to-back reuse under ILR EXP: merge the two traces (§4.6
+  // "traces can be dynamically expanded when two consecutive traces
+  // are reused").
+  if (config_.heuristic == CollectHeuristic::kIlrExpand && ext_active_ &&
+      ext_acc_.empty()) {
+    if (auto merged =
+            TraceAccumulator::merge(ext_base_, trace, config_.limits)) {
+      rtm_.insert(*merged);
+      ++result_.merges;
+    }
+  }
+  flush_ext();
+  flush_acc();
+
+  ++result_.reuse_operations;
+  result_.reused_instructions += trace.length;
+  result_.instructions += trace.length;
+
+  if (config_.build_plan || event_sink_ != nullptr) {
+    const timing::PlanTrace plan_trace =
+        to_plan_trace(trace, base_index_ + buf_pos_);
+    if (config_.build_plan) {
+      const u32 trace_id = static_cast<u32>(result_.plan.traces.size());
+      result_.plan.traces.push_back(plan_trace);
+      for (u32 j = 0; j < trace.length; ++j) {
+        result_.plan.kind.push_back(timing::InstKind::kTraceReuse);
+        result_.plan.trace_of.push_back(trace_id);
+      }
+    }
+    if (event_sink_ != nullptr) event_sink_->on_reused(insts, plan_trace);
+  }
+
+  // Processor state update (§3.3): write the recorded outputs.
+  for (const LocVal& out : trace.outputs) {
+    shadow_.set(out.loc, out.value);
+    rtm_.notify_write(out.loc);
+  }
+  buf_pos_ += trace.length;
+
+  if (config_.heuristic != CollectHeuristic::kIlrNoExpand) {
+    ext_active_ = true;
+    ext_base_ = trace;
+    ext_budget_ = config_.fixed_n;
+  }
+}
+
+void RtmSimulator::execute_front() {
+  const DynInst& inst = buf_[buf_pos_];
+  if (ext_active_) {
+    if (config_.heuristic == CollectHeuristic::kIlrExpand) {
+      const bool reusable = ilr_->lookup_insert(inst);
+      if (!(reusable && ext_acc_.try_add(inst))) {
+        flush_ext();
+        collect(inst, reusable);
+      }
+    } else {  // kFixedExpand
+      if (ext_budget_ > 0 && ext_acc_.try_add(inst)) {
+        if (--ext_budget_ == 0) flush_ext();
+      } else {
+        flush_ext();
+        collect(inst, std::nullopt);
+      }
+    }
+  } else {
+    collect(inst, std::nullopt);
+  }
+
+  shadow_.observe(inst);
+  if (inst.has_output) rtm_.notify_write(inst.output.raw());
+  ++result_.instructions;
+  if (config_.build_plan) {
+    result_.plan.kind.push_back(timing::InstKind::kNormal);
+    result_.plan.trace_of.push_back(0);
+  }
+  if (event_sink_ != nullptr) event_sink_->on_executed(inst);
+  ++buf_pos_;
+}
+
+// Collection step for an executed instruction. For the ILR heuristics
+// the instruction's reuse-table outcome may have been consumed already
+// by the extension path; it is then handed down.
+void RtmSimulator::collect(const DynInst& inst,
+                           std::optional<bool> pre_tested) {
+  if (config_.heuristic == CollectHeuristic::kFixedExpand) {
+    if (!acc_.try_add(inst)) {
+      flush_acc();
+      const bool ok = acc_.try_add(inst);
+      TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
+    }
+    if (acc_.length() >= config_.fixed_n) flush_acc();
+    return;
+  }
+  const bool reusable =
+      pre_tested.has_value() ? *pre_tested : ilr_->lookup_insert(inst);
+  if (!reusable) {
+    // First non-reusable instruction terminates the trace (§3.2).
+    flush_acc();
+    return;
+  }
+  if (!acc_.try_add(inst)) {
+    flush_acc();
+    const bool ok = acc_.try_add(inst);
+    TLR_ASSERT_MSG(ok, "single instruction exceeds trace I/O limits");
+  }
+}
+
+void RtmSimulator::flush_ext() {
+  if (!ext_active_) return;
+  if (!ext_acc_.empty()) {
+    const StoredTrace tail = ext_acc_.finalize();
+    if (auto merged =
+            TraceAccumulator::merge(ext_base_, tail, config_.limits)) {
+      // Store the expanded trace as an additional entry: the shorter
+      // original keeps matching when the longer one cannot, so
+      // expansion grows trace sizes without sacrificing reusability
+      // (the paper's Fig 9 observation).
+      rtm_.insert(*merged);
+      ++result_.expansions;
+    }
+  }
+  ext_acc_.reset();
+  ext_active_ = false;
+}
+
+void RtmSimulator::flush_acc() {
+  if (!acc_.empty()) rtm_.insert(acc_.finalize());
+}
+
+void RtmSimulator::compact_buffer() {
+  if (buf_pos_ == 0) return;
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
+  base_index_ += buf_pos_;
+  buf_pos_ = 0;
 }
 
 }  // namespace tlr::reuse

@@ -13,12 +13,23 @@
 // configurations can be priced with the same dataflow timers as the
 // limit study (our extension; the paper reports only reusability and
 // trace size for finite tables).
+//
+// The simulator is chunk-feedable: `feed` consecutive pieces of the
+// dynamic stream and `finish` when it ends. Because a reuse hit can
+// only be taken when the whole stored trace fits inside the remaining
+// stream, the simulator buffers a small lookahead — bounded by the
+// longest trace ever stored in the RTM (Rtm::max_stored_length), never
+// by the stream length — and resolves fetches once enough of the
+// stream is visible to decide exactly as a whole-stream walk would.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
+#include "reuse/accumulator.hpp"
+#include "reuse/instr_table.hpp"
 #include "reuse/rtm.hpp"
 #include "timing/plan.hpp"
 #include "util/types.hpp"
@@ -73,14 +84,67 @@ struct RtmSimResult {
   timing::ReusePlan plan;  // populated when config.build_plan
 };
 
+/// In-order listener on the simulated fetch stream: every dynamic
+/// instruction is reported exactly once, either individually executed
+/// or as part of a reused trace, in stream order. Lets the dataflow
+/// timers (and any other analysis) ride on the simulation without a
+/// materialised stream or plan.
+class RtmEventSink {
+ public:
+  virtual ~RtmEventSink() = default;
+  virtual void on_executed(const isa::DynInst& inst) = 0;
+  virtual void on_reused(std::span<const isa::DynInst> insts,
+                         const timing::PlanTrace& trace) = 0;
+};
+
 class RtmSimulator {
  public:
   explicit RtmSimulator(const RtmSimConfig& config);
 
+  /// Optional event listener (see RtmEventSink). Set before feeding.
+  void set_event_sink(RtmEventSink* sink) { event_sink_ = sink; }
+
+  /// Streaming interface: feed consecutive pieces of the dynamic
+  /// stream (any granularity), then call finish() exactly once. A
+  /// simulator instance handles one stream.
+  void feed(std::span<const isa::DynInst> insts);
+  RtmSimResult finish();
+
+  /// One-shot convenience over a materialised stream (feed + finish).
   RtmSimResult run(std::span<const isa::DynInst> stream);
 
  private:
+  void drain(bool stream_done);
+  void take_reuse(const StoredTrace& trace);
+  void execute_front();
+  void collect(const isa::DynInst& inst, std::optional<bool> pre_tested);
+  void flush_ext();
+  void flush_acc();
+  void compact_buffer();
+
   RtmSimConfig config_;
+  Rtm rtm_;
+  std::optional<FiniteInstrTable> ilr_;
+  ArchShadow shadow_;
+  TraceAccumulator acc_;
+
+  // Dynamic-expansion state: after a reuse hit under an EXP heuristic,
+  // subsequently executed instructions accumulate into `ext_acc_`; the
+  // merged (longer) trace is stored as an additional RTM entry.
+  bool ext_active_ = false;
+  StoredTrace ext_base_;
+  TraceAccumulator ext_acc_;
+  u32 ext_budget_ = 0;
+
+  // Lookahead buffer: instructions fed but not yet resolved. buf_pos_
+  // is the consumed prefix; base_index_ the dynamic index of buf_[0].
+  std::vector<isa::DynInst> buf_;
+  usize buf_pos_ = 0;
+  u64 base_index_ = 0;
+
+  RtmEventSink* event_sink_ = nullptr;
+  bool finished_ = false;
+  RtmSimResult result_;
 };
 
 }  // namespace tlr::reuse

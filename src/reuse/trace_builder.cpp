@@ -13,25 +13,17 @@ using timing::InstKind;
 using timing::PlanTrace;
 using timing::ReusePlan;
 
-namespace {
-
-/// Extracts live-in locations and input/output counts for the stream
-/// window [first, first+length). A location is live-in if read before
-/// being written inside the window (paper appendix definition); every
-/// written location is an output (counted once).
-PlanTrace extract_trace(std::span<const DynInst> stream, u64 first,
-                        u32 length) {
+PlanTrace extract_trace(std::span<const DynInst> run, u64 first_index) {
   PlanTrace trace;
-  trace.first_index = first;
-  trace.length = length;
+  trace.first_index = first_index;
+  trace.length = static_cast<u32>(run.size());
 
   std::unordered_set<u64> written;
   std::unordered_set<u64> live_in;
-  written.reserve(length * 2);
+  written.reserve(run.size() * 2);
   u32 reg_out = 0, mem_out = 0;
 
-  for (u64 i = first; i < first + length; ++i) {
-    const DynInst& inst = stream[i];
+  for (const DynInst& inst : run) {
     for (u8 k = 0; k < inst.num_inputs; ++k) {
       const Loc loc = inst.inputs[k].loc;
       if (!written.contains(loc.raw()) && live_in.insert(loc.raw()).second) {
@@ -56,8 +48,6 @@ PlanTrace extract_trace(std::span<const DynInst> stream, u64 first,
   return trace;
 }
 
-}  // namespace
-
 ReusePlan build_max_trace_plan(std::span<const DynInst> stream,
                                const std::vector<bool>& reusable) {
   TLR_ASSERT(reusable.size() == stream.size());
@@ -73,9 +63,8 @@ ReusePlan build_max_trace_plan(std::span<const DynInst> stream,
     }
     u64 end = i;
     while (end < stream.size() && reusable[end]) ++end;
-    const u32 length = static_cast<u32>(end - i);
     const u32 trace_id = static_cast<u32>(plan.traces.size());
-    plan.traces.push_back(extract_trace(stream, i, length));
+    plan.traces.push_back(extract_trace(stream.subspan(i, end - i), i));
     for (u64 j = i; j < end; ++j) {
       plan.kind[j] = InstKind::kTraceReuse;
       plan.trace_of[j] = trace_id;
@@ -103,6 +92,27 @@ double TraceStats::reads_per_instruction() const {
 
 double TraceStats::writes_per_instruction() const {
   return avg_size == 0.0 ? 0.0 : avg_outputs() / avg_size;
+}
+
+void MaxTraceStreamer::push(const DynInst& inst, bool reusable) {
+  if (reusable) {
+    if (run_.empty()) run_first_index_ = index_;
+    run_.push_back(inst);
+  } else {
+    flush_run();
+    for (TraceRunSink* sink : sinks_) sink->on_normal(inst);
+  }
+  ++index_;
+}
+
+void MaxTraceStreamer::finish() { flush_run(); }
+
+void MaxTraceStreamer::flush_run() {
+  if (run_.empty()) return;
+  const PlanTrace trace = extract_trace(run_, run_first_index_);
+  for (TraceRunSink* sink : sinks_) sink->on_trace(run_, trace);
+  run_.clear();
+  ++traces_;
 }
 
 TraceStats compute_trace_stats(const ReusePlan& plan) {

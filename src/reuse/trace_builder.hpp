@@ -19,6 +19,14 @@
 
 namespace tlr::reuse {
 
+/// Live-in / live-out extraction for one contiguous run of dynamic
+/// instructions (a trace's body). A location is live-in if read before
+/// being written inside the run (paper appendix definition); every
+/// written location is an output (counted once). `first_index` stamps
+/// the resulting plan record with the run's dynamic position.
+timing::PlanTrace extract_trace(std::span<const isa::DynInst> run,
+                                u64 first_index);
+
 /// Aggregate statistics over the traces of a plan (Fig 7 and the §4.5
 /// input/output bandwidth discussion).
 struct TraceStats {
@@ -51,5 +59,46 @@ timing::ReusePlan build_instr_plan(std::span<const isa::DynInst> stream,
 
 /// Statistics over a plan's traces.
 TraceStats compute_trace_stats(const timing::ReusePlan& plan);
+
+/// Order-preserving sink for the maximal-run partition of a stream:
+/// receives every dynamic event — a non-reusable instruction executed
+/// normally, or a completed maximal run of reusable instructions — in
+/// stream order. The streaming counterpart of walking a
+/// build_max_trace_plan annotation front to back.
+class TraceRunSink {
+ public:
+  virtual ~TraceRunSink() = default;
+  virtual void on_normal(const isa::DynInst& inst) = 0;
+  virtual void on_trace(std::span<const isa::DynInst> run,
+                        const timing::PlanTrace& trace) = 0;
+};
+
+/// Incrementally partitions a stream of (instruction, reusable) pairs
+/// into the same maximal runs build_max_trace_plan produces and fans
+/// each event out to every registered sink. Only the currently open run
+/// is buffered, so memory is O(longest reusable run), not O(stream) —
+/// and the single shared buffer serves any number of sinks (the study
+/// engine hangs a dozen trace timers off one streamer).
+class MaxTraceStreamer {
+ public:
+  void add_sink(TraceRunSink* sink) { sinks_.push_back(sink); }
+
+  /// Feed the next dynamic instruction with its reusability flag.
+  void push(const isa::DynInst& inst, bool reusable);
+
+  /// Stream exhausted: flush the open run, if any.
+  void finish();
+
+  u64 traces_emitted() const { return traces_; }
+
+ private:
+  void flush_run();
+
+  std::vector<isa::DynInst> run_;
+  u64 run_first_index_ = 0;
+  u64 index_ = 0;
+  u64 traces_ = 0;
+  std::vector<TraceRunSink*> sinks_;
+};
 
 }  // namespace tlr::reuse

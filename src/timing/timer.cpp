@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <vector>
 
 #include "util/assert.hpp"
 
@@ -13,68 +11,6 @@ using isa::DynInst;
 using isa::Loc;
 
 namespace {
-
-/// Mutable timing state for one forward pass.
-class TimingState {
- public:
-  explicit TimingState(const TimerConfig& config)
-      : config_(config), ring_(std::max<u32>(config.window, 1), 0) {
-    reg_ready_.fill(0);
-    mem_ready_.reserve(1 << 12);
-  }
-
-  Cycle loc_ready(Loc loc) const {
-    if (loc.is_reg()) return reg_ready_[loc.reg_index()];
-    const auto it = mem_ready_.find(loc.raw());
-    return it == mem_ready_.end() ? 0 : it->second;
-  }
-
-  void set_loc_ready(Loc loc, Cycle cycle) {
-    if (loc.is_reg()) {
-      reg_ready_[loc.reg_index()] = cycle;
-    } else {
-      mem_ready_[loc.raw()] = cycle;
-    }
-  }
-
-  /// Readiness of an instruction's own operands.
-  Cycle operand_ready(const DynInst& inst) const {
-    Cycle ready = 0;
-    for (u8 k = 0; k < inst.num_inputs; ++k) {
-      ready = std::max(ready, loc_ready(inst.inputs[k].loc));
-    }
-    return ready;
-  }
-
-  /// Graduation-time constraint for the next window slot: the
-  /// completion of the instruction W slots earlier (0 when the window
-  /// is infinite or not yet full).
-  Cycle window_constraint() const {
-    if (config_.window == 0 || slots_ < config_.window) return 0;
-    return ring_[(slots_ - config_.window) % config_.window];
-  }
-
-  /// Record one occupied window slot completing at `cycle`.
-  void push_slot(Cycle cycle) {
-    gmax_ = std::max(gmax_, cycle);
-    if (config_.window != 0) {
-      ring_[slots_ % config_.window] = gmax_;
-    }
-    ++slots_;
-  }
-
-  void note_completion(Cycle cycle) { last_ = std::max(last_, cycle); }
-  Cycle last_completion() const { return last_; }
-
- private:
-  const TimerConfig& config_;
-  std::array<Cycle, isa::kNumRegs> reg_ready_;
-  std::unordered_map<u64, Cycle> mem_ready_;
-  std::vector<Cycle> ring_;  // prefix-max graduation times
-  u64 slots_ = 0;
-  Cycle gmax_ = 0;
-  Cycle last_ = 0;
-};
 
 Cycle trace_latency(const TimerConfig& config, const PlanTrace& trace) {
   if (!config.proportional_trace_latency) return config.trace_reuse_latency;
@@ -98,6 +34,113 @@ u32 trace_slot_count(const TimerConfig& config, const PlanTrace& trace) {
 
 }  // namespace
 
+StreamingTimer::StreamingTimer(const TimerConfig& config)
+    : config_(config), ring_(std::max<u32>(config.window, 1), 0) {
+  reg_ready_.fill(0);
+  mem_ready_.reserve(1 << 12);
+}
+
+Cycle StreamingTimer::loc_ready(Loc loc) const {
+  if (loc.is_reg()) return reg_ready_[loc.reg_index()];
+  const auto it = mem_ready_.find(loc.raw());
+  return it == mem_ready_.end() ? 0 : it->second;
+}
+
+void StreamingTimer::set_loc_ready(Loc loc, Cycle cycle) {
+  if (loc.is_reg()) {
+    reg_ready_[loc.reg_index()] = cycle;
+  } else {
+    mem_ready_[loc.raw()] = cycle;
+  }
+}
+
+/// Readiness of an instruction's own operands.
+Cycle StreamingTimer::operand_ready(const DynInst& inst) const {
+  Cycle ready = 0;
+  for (u8 k = 0; k < inst.num_inputs; ++k) {
+    ready = std::max(ready, loc_ready(inst.inputs[k].loc));
+  }
+  return ready;
+}
+
+/// Graduation-time constraint for the next window slot: the completion
+/// of the instruction W slots earlier (0 when the window is infinite or
+/// not yet full).
+Cycle StreamingTimer::window_constraint() const {
+  if (config_.window == 0 || slots_ < config_.window) return 0;
+  return ring_[(slots_ - config_.window) % config_.window];
+}
+
+/// Record one occupied window slot completing at `cycle`.
+void StreamingTimer::push_slot(Cycle cycle) {
+  gmax_ = std::max(gmax_, cycle);
+  if (config_.window != 0) {
+    ring_[slots_ % config_.window] = gmax_;
+  }
+  ++slots_;
+}
+
+void StreamingTimer::finish_inst(const DynInst& inst, Cycle completion) {
+  if (inst.has_output) set_loc_ready(inst.output, completion);
+  last_ = std::max(last_, completion);
+  ++instructions_;
+}
+
+void StreamingTimer::step_normal(const DynInst& inst) {
+  const Cycle lat = config_.latencies.get(inst.op);
+  const Cycle ready = std::max(operand_ready(inst), window_constraint());
+  const Cycle completion = ready + lat;
+  push_slot(completion);
+  finish_inst(inst, completion);
+}
+
+void StreamingTimer::step_inst_reuse(const DynInst& inst) {
+  // Oracle rule: same readiness either way, so the better of the two
+  // latencies applies (§4.3).
+  const Cycle lat = config_.latencies.get(inst.op);
+  const Cycle ready = std::max(operand_ready(inst), window_constraint());
+  const Cycle completion = ready + std::min(lat, config_.inst_reuse_latency);
+  push_slot(completion);
+  finish_inst(inst, completion);
+}
+
+void StreamingTimer::step_trace(std::span<const DynInst> insts,
+                                const PlanTrace& trace) {
+  TLR_ASSERT_MSG(insts.size() == trace.length,
+                 "trace body does not match its plan record");
+  // The reuse operation: gated by the producers of every trace live-in,
+  // plus the window constraint for its first slot.
+  Cycle ready = window_constraint();
+  for (const Loc& loc : trace.live_in) {
+    ready = std::max(ready, loc_ready(loc));
+  }
+  const Cycle trace_completion = ready + trace_latency(config_, trace);
+  const u32 slots = trace_slot_count(config_, trace);
+  for (u32 s = 0; s < slots; ++s) {
+    push_slot(trace_completion);
+  }
+  // Oracle rule (§4.5): an instruction whose normal dataflow completion
+  // beats the trace reuse keeps the normal time. The normal path needs
+  // no window slot here — its instruction is not fetched; this matches
+  // the upper-bound character of the study.
+  for (const DynInst& inst : insts) {
+    const Cycle lat = config_.latencies.get(inst.op);
+    const Cycle normal = operand_ready(inst) + lat;
+    finish_inst(inst, std::min(trace_completion, normal));
+  }
+}
+
+TimerResult StreamingTimer::result() const {
+  TimerResult result;
+  result.instructions = instructions_;
+  result.cycles = last_;
+  result.ipc = result.cycles == 0
+                   ? 0.0
+                   : static_cast<double>(result.instructions) /
+                         static_cast<double>(result.cycles);
+  return result;
+}
+
 TimerResult compute_timing(std::span<const DynInst> stream,
                            const ReusePlan* plan, const TimerConfig& config) {
   if (plan != nullptr) {
@@ -105,71 +148,30 @@ TimerResult compute_timing(std::span<const DynInst> stream,
                    "plan does not annotate this stream");
   }
 
-  TimingState state(config);
-  // Completion of the current reused trace, valid while inside one.
-  Cycle cur_trace_completion = 0;
-
-  for (usize i = 0; i < stream.size(); ++i) {
-    const DynInst& inst = stream[i];
+  StreamingTimer timer(config);
+  usize i = 0;
+  while (i < stream.size()) {
     const InstKind kind = plan ? plan->kind[i] : InstKind::kNormal;
-    const Cycle lat = config.latencies.get(inst.op);
-
-    Cycle completion = 0;
     switch (kind) {
-      case InstKind::kNormal: {
-        const Cycle ready =
-            std::max(state.operand_ready(inst), state.window_constraint());
-        completion = ready + lat;
-        state.push_slot(completion);
+      case InstKind::kNormal:
+        timer.step_normal(stream[i]);
+        ++i;
         break;
-      }
-      case InstKind::kInstReuse: {
-        // Oracle rule: same readiness either way, so the better of the
-        // two latencies applies (§4.3).
-        const Cycle ready =
-            std::max(state.operand_ready(inst), state.window_constraint());
-        completion = ready + std::min(lat, config.inst_reuse_latency);
-        state.push_slot(completion);
+      case InstKind::kInstReuse:
+        timer.step_inst_reuse(stream[i]);
+        ++i;
         break;
-      }
       case InstKind::kTraceReuse: {
         const PlanTrace& trace = plan->traces[plan->trace_of[i]];
-        if (i == trace.first_index) {
-          // The reuse operation: gated by the producers of every trace
-          // live-in, plus the window constraint for its first slot.
-          Cycle ready = state.window_constraint();
-          for (const Loc& loc : trace.live_in) {
-            ready = std::max(ready, state.loc_ready(loc));
-          }
-          cur_trace_completion = ready + trace_latency(config, trace);
-          const u32 slots = trace_slot_count(config, trace);
-          for (u32 s = 0; s < slots; ++s) {
-            state.push_slot(cur_trace_completion);
-          }
-        }
-        // Oracle rule (§4.5): an instruction whose normal dataflow
-        // completion beats the trace reuse keeps the normal time. The
-        // normal path needs no window slot here — its instruction is
-        // not fetched; this matches the upper-bound character of the
-        // study.
-        const Cycle normal = state.operand_ready(inst) + lat;
-        completion = std::min(cur_trace_completion, normal);
+        TLR_ASSERT_MSG(trace.first_index == i && i + trace.length <= stream.size(),
+                       "trace annotation is not a contiguous run");
+        timer.step_trace(stream.subspan(i, trace.length), trace);
+        i += trace.length;
         break;
       }
     }
-
-    if (inst.has_output) state.set_loc_ready(inst.output, completion);
-    state.note_completion(completion);
   }
-
-  TimerResult result;
-  result.instructions = stream.size();
-  result.cycles = state.last_completion();
-  result.ipc = result.cycles == 0
-                   ? 0.0
-                   : static_cast<double>(result.instructions) /
-                         static_cast<double>(result.cycles);
-  return result;
+  return timer.result();
 }
 
 double speedup(const TimerResult& base, const TimerResult& with_reuse) {

@@ -21,7 +21,10 @@
 // window but infinite number of functional units").
 #pragma once
 
+#include <array>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "isa/dyn_inst.hpp"
 #include "isa/latency.hpp"
@@ -62,9 +65,53 @@ struct TimerResult {
   double ipc = 0.0;
 };
 
+/// Incremental dataflow timer: the streaming core every timing model is
+/// built on. Callers drive it in stream order with one call per
+/// dynamic event — a normally executed instruction, an instruction-
+/// level reuse, or a whole reused trace — and read the result when the
+/// stream ends. O(distinct locations + W) space regardless of stream
+/// length, which is what lets the study engine price arbitrarily long
+/// chunked streams without materialising them.
+class StreamingTimer {
+ public:
+  explicit StreamingTimer(const TimerConfig& config);
+
+  /// Base-machine execution of one instruction.
+  void step_normal(const isa::DynInst& inst);
+
+  /// Instruction-level reuse (oracle rule, §4.3): same readiness as
+  /// normal execution, the better of the two latencies applies.
+  void step_inst_reuse(const isa::DynInst& inst);
+
+  /// One whole reused trace: `insts` are the trace's dynamic
+  /// instructions in order, `trace` its live-in / IO summary.
+  void step_trace(std::span<const isa::DynInst> insts,
+                  const PlanTrace& trace);
+
+  u64 instructions() const { return instructions_; }
+  TimerResult result() const;
+
+ private:
+  Cycle loc_ready(isa::Loc loc) const;
+  void set_loc_ready(isa::Loc loc, Cycle cycle);
+  Cycle operand_ready(const isa::DynInst& inst) const;
+  Cycle window_constraint() const;
+  void push_slot(Cycle cycle);
+  void finish_inst(const isa::DynInst& inst, Cycle completion);
+
+  TimerConfig config_;
+  std::array<Cycle, isa::kNumRegs> reg_ready_;
+  std::unordered_map<u64, Cycle> mem_ready_;
+  std::vector<Cycle> ring_;  // prefix-max graduation times
+  u64 slots_ = 0;
+  Cycle gmax_ = 0;
+  Cycle last_ = 0;
+  u64 instructions_ = 0;
+};
+
 /// Computes execution time of `stream` under `config`; `plan` may be
-/// null (base machine) or annotate reuse. Single forward pass,
-/// O(stream) time, O(distinct locations + W) space.
+/// null (base machine) or annotate reuse. Single forward pass over a
+/// materialised stream — a thin wrapper around StreamingTimer.
 TimerResult compute_timing(std::span<const isa::DynInst> stream,
                            const ReusePlan* plan, const TimerConfig& config);
 

@@ -16,27 +16,50 @@ using isa::Op;
 Interpreter::Interpreter(Program program) : program_(std::move(program)) {}
 
 RunResult Interpreter::run(const RunLimits& limits, const InstSink& sink) {
+  begin(limits);
+  DynInst inst;
+  while (progress_.executed < limits_.max_executed &&
+         progress_.emitted < limits_.max_emitted) {
+    if (!step(inst)) {
+      progress_.halted = true;
+      break;
+    }
+    ++progress_.executed;
+    if (progress_.executed > limits_.skip) {
+      ++progress_.emitted;
+      if (!sink(inst)) break;
+    }
+  }
+  return progress_;
+}
+
+void Interpreter::begin(const RunLimits& limits) {
   state_ = MachineState{};
   for (const DataWord& w : program_.initial_data()) {
     state_.store(w.addr, w.value);
   }
   pc_ = program_.entry();
+  limits_ = limits;
+  progress_ = RunResult{};
+}
 
-  RunResult result;
+usize Interpreter::emit(std::vector<isa::DynInst>& out, usize max) {
+  usize appended = 0;
   DynInst inst;
-  while (result.executed < limits.max_executed &&
-         result.emitted < limits.max_emitted) {
+  while (appended < max && progress_.executed < limits_.max_executed &&
+         progress_.emitted < limits_.max_emitted) {
     if (!step(inst)) {
-      result.halted = true;
+      progress_.halted = true;
       break;
     }
-    ++result.executed;
-    if (result.executed > limits.skip) {
-      ++result.emitted;
-      if (!sink(inst)) break;
+    ++progress_.executed;
+    if (progress_.executed > limits_.skip) {
+      ++progress_.emitted;
+      out.push_back(inst);
+      ++appended;
     }
   }
-  return result;
+  return appended;
 }
 
 namespace {
@@ -225,6 +248,24 @@ bool Interpreter::step(DynInst& out) {
   out.next_pc = next;
   pc_ = next;
   return true;
+}
+
+StreamSource::StreamSource(Program program, const RunLimits& limits,
+                           usize chunk_size)
+    : interp_(std::move(program)), chunk_size_(chunk_size) {
+  TLR_ASSERT_MSG(chunk_size_ > 0, "chunk size must be positive");
+  interp_.begin(limits);
+}
+
+bool StreamSource::next(StreamChunk& chunk) {
+  chunk.insts.clear();
+  chunk.first_index = next_index_;
+  if (done_) return false;
+  chunk.insts.reserve(chunk_size_);
+  const usize got = interp_.emit(chunk.insts, chunk_size_);
+  if (got < chunk_size_) done_ = true;
+  next_index_ += got;
+  return got > 0;
 }
 
 std::vector<isa::DynInst> collect_stream(const Program& program,

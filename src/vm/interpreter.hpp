@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
@@ -46,6 +47,17 @@ class Interpreter {
   /// and the initial data image applied.
   RunResult run(const RunLimits& limits, const InstSink& sink);
 
+  /// Incremental flavour of `run` for chunked streaming: `begin` resets
+  /// the machine and arms `limits`; each `emit` call then appends up to
+  /// `max` emitted instructions to `out` and returns how many were
+  /// appended. A short (possibly zero) count means the program halted
+  /// or hit a limit — the stream is exhausted.
+  void begin(const RunLimits& limits);
+  usize emit(std::vector<isa::DynInst>& out, usize max);
+
+  /// Totals of the incremental run so far (also the `run` result).
+  const RunResult& progress() const { return progress_; }
+
   /// Final architectural state of the last run (for tests and examples).
   const MachineState& state() const { return state_; }
 
@@ -57,6 +69,45 @@ class Interpreter {
   Program program_;
   MachineState state_;
   isa::Pc pc_ = 0;
+  RunLimits limits_;
+  RunResult progress_;
+};
+
+/// One chunk of the dynamic stream: the instruction records plus the
+/// dynamic index (position in the emitted window) of the first one.
+struct StreamChunk {
+  std::vector<isa::DynInst> insts;
+  u64 first_index = 0;
+
+  std::span<const isa::DynInst> view() const { return insts; }
+};
+
+/// Chunked stream source: yields the same dynamic window `run` /
+/// `collect_stream` would produce, but in fixed-size chunks, so callers
+/// can analyse arbitrarily long streams with O(chunk) memory. This is
+/// the vm-side half of the single-pass study engine (core/engine.hpp).
+class StreamSource {
+ public:
+  static constexpr usize kDefaultChunkSize = usize{1} << 15;
+
+  StreamSource(Program program, const RunLimits& limits,
+               usize chunk_size = kDefaultChunkSize);
+
+  /// Refills `chunk` with the next instructions of the stream. Returns
+  /// false — leaving the chunk empty — once the stream is exhausted.
+  bool next(StreamChunk& chunk);
+
+  /// Instructions emitted so far (the final stream length once
+  /// `next` has returned false).
+  u64 emitted() const { return interp_.progress().emitted; }
+  bool exhausted() const { return done_; }
+  usize chunk_size() const { return chunk_size_; }
+
+ private:
+  Interpreter interp_;
+  usize chunk_size_;
+  u64 next_index_ = 0;
+  bool done_ = false;
 };
 
 /// Convenience: run `program` and materialise the emitted window.

@@ -1,0 +1,304 @@
+// StudyEngine tests: the single-pass chunked engine must be
+// bit-identical to the seed's sequential materialise-then-rewalk
+// implementation (golden reference below), invariant to chunk size,
+// and invariant to the thread count of the suite fan-out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/study.hpp"
+#include "reuse/reusability.hpp"
+#include "reuse/rtm_sim.hpp"
+#include "reuse/trace_builder.hpp"
+#include "timing/timer.hpp"
+#include "vm/interpreter.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::core {
+namespace {
+
+SuiteConfig small_config() {
+  SuiteConfig config;
+  config.skip = 10000;
+  config.length = 50000;
+  return config;
+}
+
+/// The seed's sequential implementation, kept verbatim as the golden
+/// reference: materialise the stream, analyse reusability, build both
+/// plans, and price every configuration with compute_timing.
+WorkloadMetrics reference_analyze(std::string_view workload_name,
+                                  const SuiteConfig& config,
+                                  const MetricOptions& options = {}) {
+  using timing::TimerConfig;
+  workloads::WorkloadParams params;
+  params.seed = config.seed;
+  const workloads::Workload workload =
+      workloads::make_workload(workload_name, params);
+
+  vm::RunLimits limits;
+  limits.skip = config.skip;
+  limits.max_emitted = config.length;
+  const std::vector<isa::DynInst> stream =
+      vm::collect_stream(workload.program, limits);
+
+  WorkloadMetrics metrics;
+  metrics.name = workload.name;
+  metrics.is_fp = workload.is_fp;
+  metrics.instructions = stream.size();
+
+  const reuse::ReusabilityResult reusability =
+      reuse::analyze_reusability(stream);
+  metrics.reusability = reusability.fraction();
+
+  const timing::ReusePlan instr_plan =
+      reuse::build_instr_plan(stream, reusability.reusable);
+  const timing::ReusePlan trace_plan =
+      reuse::build_max_trace_plan(stream, reusability.reusable);
+
+  if (options.trace_stats) {
+    metrics.trace_stats = reuse::compute_trace_stats(trace_plan);
+  }
+  if (options.timing) {
+    TimerConfig base_cfg;
+    base_cfg.window = 0;
+    metrics.base_inf = timing::compute_timing(stream, nullptr, base_cfg).cycles;
+    base_cfg.window = config.window;
+    metrics.base_win = timing::compute_timing(stream, nullptr, base_cfg).cycles;
+
+    for (const Cycle latency : options.ilr_latencies) {
+      TimerConfig cfg;
+      cfg.inst_reuse_latency = latency;
+      cfg.window = 0;
+      metrics.ilr_inf.push_back(
+          timing::compute_timing(stream, &instr_plan, cfg).cycles);
+      cfg.window = config.window;
+      metrics.ilr_win.push_back(
+          timing::compute_timing(stream, &instr_plan, cfg).cycles);
+    }
+    {
+      TimerConfig cfg;
+      cfg.trace_reuse_latency = 1;
+      cfg.window = 0;
+      metrics.trace_inf =
+          timing::compute_timing(stream, &trace_plan, cfg).cycles;
+    }
+    for (const Cycle latency : options.trace_latencies) {
+      TimerConfig cfg;
+      cfg.trace_reuse_latency = latency;
+      cfg.window = config.window;
+      metrics.trace_win.push_back(
+          timing::compute_timing(stream, &trace_plan, cfg).cycles);
+    }
+    for (const double k : options.proportional_ks) {
+      TimerConfig cfg;
+      cfg.proportional_trace_latency = true;
+      cfg.trace_latency_k = k;
+      cfg.window = config.window;
+      metrics.trace_win_prop.push_back(
+          timing::compute_timing(stream, &trace_plan, cfg).cycles);
+    }
+  }
+  return metrics;
+}
+
+/// Exact (bit-identical) equality across every WorkloadMetrics field.
+void expect_metrics_identical(const WorkloadMetrics& a,
+                              const WorkloadMetrics& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.is_fp, b.is_fp);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.reusability, b.reusability);
+  EXPECT_EQ(a.base_inf, b.base_inf);
+  EXPECT_EQ(a.base_win, b.base_win);
+  EXPECT_EQ(a.ilr_inf, b.ilr_inf);
+  EXPECT_EQ(a.ilr_win, b.ilr_win);
+  EXPECT_EQ(a.trace_inf, b.trace_inf);
+  EXPECT_EQ(a.trace_win, b.trace_win);
+  EXPECT_EQ(a.trace_win_prop, b.trace_win_prop);
+  EXPECT_EQ(a.trace_stats.traces, b.trace_stats.traces);
+  EXPECT_EQ(a.trace_stats.covered_instructions,
+            b.trace_stats.covered_instructions);
+  EXPECT_EQ(a.trace_stats.avg_size, b.trace_stats.avg_size);
+  EXPECT_EQ(a.trace_stats.avg_reg_inputs, b.trace_stats.avg_reg_inputs);
+  EXPECT_EQ(a.trace_stats.avg_mem_inputs, b.trace_stats.avg_mem_inputs);
+  EXPECT_EQ(a.trace_stats.avg_reg_outputs, b.trace_stats.avg_reg_outputs);
+  EXPECT_EQ(a.trace_stats.avg_mem_outputs, b.trace_stats.avg_mem_outputs);
+}
+
+TEST(StreamSourceTest, ChunksConcatenateToCollectedStream) {
+  workloads::WorkloadParams params;
+  const workloads::Workload workload = workloads::make_workload("li", params);
+  vm::RunLimits limits;
+  limits.skip = 5000;
+  limits.max_emitted = 20000;
+  const auto reference = vm::collect_stream(workload.program, limits);
+
+  vm::StreamSource source(workload.program, limits, /*chunk_size=*/777);
+  vm::StreamChunk chunk;
+  std::vector<isa::DynInst> streamed;
+  while (source.next(chunk)) {
+    EXPECT_LE(chunk.insts.size(), 777u);
+    EXPECT_EQ(chunk.first_index, streamed.size());
+    streamed.insert(streamed.end(), chunk.insts.begin(), chunk.insts.end());
+  }
+  EXPECT_TRUE(source.exhausted());
+  EXPECT_EQ(source.emitted(), reference.size());
+
+  ASSERT_EQ(streamed.size(), reference.size());
+  for (usize i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(streamed[i].pc, reference[i].pc);
+    EXPECT_EQ(streamed[i].next_pc, reference[i].next_pc);
+    EXPECT_EQ(streamed[i].num_inputs, reference[i].num_inputs);
+    EXPECT_EQ(streamed[i].output_value, reference[i].output_value);
+  }
+}
+
+TEST(StudyEngineTest, MatchesSequentialReferenceBitForBit) {
+  const SuiteConfig config = small_config();
+  StudyEngine engine;
+  for (const char* name : {"compress", "hydro2d"}) {
+    expect_metrics_identical(engine.analyze(name, config),
+                             reference_analyze(name, config));
+  }
+}
+
+TEST(StudyEngineTest, ChunkSizeInvariance) {
+  const SuiteConfig config = small_config();
+  EngineOptions tiny_chunks;
+  tiny_chunks.chunk_size = 257;  // forces traces to straddle chunks
+  EngineOptions one_chunk;
+  one_chunk.chunk_size = usize{1} << 20;  // whole stream in one chunk
+  const WorkloadMetrics a =
+      StudyEngine(tiny_chunks).analyze("vortex", config);
+  const WorkloadMetrics b = StudyEngine(one_chunk).analyze("vortex", config);
+  expect_metrics_identical(a, b);
+}
+
+TEST(StudyEngineTest, ThreadCountInvariance) {
+  SuiteConfig config;
+  config.skip = 2000;
+  config.length = 15000;
+  MetricOptions options;
+  options.ilr_latencies = {1, 2};
+  options.trace_latencies = {1};
+  options.proportional_ks = {0.25};
+
+  EngineOptions serial;
+  serial.threads = 1;
+  EngineOptions wide;
+  wide.threads = 4;
+  StudyEngine engine1(serial);
+  StudyEngine engineN(wide);
+  EXPECT_EQ(engine1.thread_count(), 1u);
+  EXPECT_EQ(engineN.thread_count(), 4u);
+
+  const auto suite1 = engine1.analyze_suite(config, options);
+  const auto suiteN = engineN.analyze_suite(config, options);
+  ASSERT_EQ(suite1.size(), suiteN.size());
+  for (usize i = 0; i < suite1.size(); ++i) {
+    expect_metrics_identical(suite1[i], suiteN[i]);
+  }
+}
+
+TEST(StudyEngineTest, SingleInterpreterPassFeedsAllConsumers) {
+  // Two timing consumers plus the reusability stage over one pass must
+  // agree with two independent sequential runs — and the pass count is
+  // observable through the stream length each consumer reports.
+  const SuiteConfig config = small_config();
+  StudyEngine engine;
+
+  ReusabilityConsumer reusability;
+  timing::TimerConfig cfg;
+  cfg.window = 256;
+  TimingConsumer base(TimingConsumer::Mode::kBase, cfg);
+  TimingConsumer ilr(TimingConsumer::Mode::kInstReuse, cfg);
+  std::vector<StreamConsumer*> consumers = {&reusability, &base, &ilr};
+  const u64 total = engine.run_workload_stream("gcc", config, consumers);
+
+  EXPECT_EQ(total, config.length);
+  EXPECT_EQ(reusability.total(), total);
+  EXPECT_EQ(base.result().instructions, total);
+  EXPECT_EQ(ilr.result().instructions, total);
+  EXPECT_LE(ilr.result().cycles, base.result().cycles);
+}
+
+TEST(RtmSimStreamingTest, ChunkedFeedMatchesOneShot) {
+  const SuiteConfig config = small_config();
+  const auto stream = collect_workload_stream("li", config);
+
+  for (const auto heuristic : {reuse::CollectHeuristic::kIlrNoExpand,
+                               reuse::CollectHeuristic::kIlrExpand,
+                               reuse::CollectHeuristic::kFixedExpand}) {
+    reuse::RtmSimConfig sim_config;
+    sim_config.geometry = reuse::RtmGeometry::rtm4k();
+    sim_config.heuristic = heuristic;
+    sim_config.fixed_n = 4;
+    sim_config.build_plan = true;
+    sim_config.verify_matches = true;
+
+    reuse::RtmSimulator one_shot(sim_config);
+    const reuse::RtmSimResult whole = one_shot.run(stream);
+
+    for (const usize feed_size : {usize{1}, usize{7}, usize{1024}}) {
+      reuse::RtmSimulator chunked(sim_config);
+      for (usize i = 0; i < stream.size(); i += feed_size) {
+        const usize n = std::min(feed_size, stream.size() - i);
+        chunked.feed(std::span<const isa::DynInst>(&stream[i], n));
+      }
+      const reuse::RtmSimResult piecewise = chunked.finish();
+
+      EXPECT_EQ(piecewise.instructions, whole.instructions);
+      EXPECT_EQ(piecewise.reused_instructions, whole.reused_instructions);
+      EXPECT_EQ(piecewise.reuse_operations, whole.reuse_operations);
+      EXPECT_EQ(piecewise.expansions, whole.expansions);
+      EXPECT_EQ(piecewise.merges, whole.merges);
+      EXPECT_EQ(piecewise.rtm.lookups, whole.rtm.lookups);
+      EXPECT_EQ(piecewise.rtm.hits, whole.rtm.hits);
+      EXPECT_EQ(piecewise.rtm.insertions, whole.rtm.insertions);
+      EXPECT_EQ(piecewise.plan.kind, whole.plan.kind);
+      EXPECT_EQ(piecewise.plan.trace_of, whole.plan.trace_of);
+      ASSERT_EQ(piecewise.plan.traces.size(), whole.plan.traces.size());
+      for (usize t = 0; t < whole.plan.traces.size(); ++t) {
+        EXPECT_EQ(piecewise.plan.traces[t].first_index,
+                  whole.plan.traces[t].first_index);
+        EXPECT_EQ(piecewise.plan.traces[t].length,
+                  whole.plan.traces[t].length);
+      }
+    }
+  }
+}
+
+TEST(RtmSimConsumerTest, EventDrivenTimingMatchesPlanBasedTiming) {
+  // The timer riding on the simulator's event stream must price the
+  // stream exactly like compute_timing over the materialised plan.
+  const SuiteConfig config = small_config();
+  const auto stream = collect_workload_stream("vortex", config);
+
+  reuse::RtmSimConfig sim_config;
+  sim_config.geometry = reuse::RtmGeometry::rtm4k();
+  sim_config.heuristic = reuse::CollectHeuristic::kFixedExpand;
+  sim_config.fixed_n = 4;
+  sim_config.build_plan = true;
+
+  timing::TimerConfig timer_config;
+  timer_config.window = config.window;
+
+  reuse::RtmSimulator plan_sim(sim_config);
+  const reuse::RtmSimResult sim = plan_sim.run(stream);
+  const timing::TimerResult plan_timed =
+      timing::compute_timing(stream, &sim.plan, timer_config);
+
+  StudyEngine engine;
+  RtmSimConsumer consumer(sim_config, timer_config);
+  std::vector<StreamConsumer*> consumers = {&consumer};
+  engine.run_workload_stream("vortex", config, consumers);
+
+  EXPECT_EQ(consumer.timing_result().cycles, plan_timed.cycles);
+  EXPECT_EQ(consumer.timing_result().instructions, plan_timed.instructions);
+  EXPECT_EQ(consumer.result().reused_instructions, sim.reused_instructions);
+}
+
+}  // namespace
+}  // namespace tlr::core

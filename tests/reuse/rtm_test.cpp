@@ -31,6 +31,19 @@ TEST(RtmGeometryTest, PaperConfigurations) {
   EXPECT_EQ(RtmGeometry::rtm256k().total_entries(), 262144u);
 }
 
+TEST(RtmGeometryTest, NonPowerOfTwoSetCountIsRejected) {
+  // set_index masks with (sets - 1); a non-power-of-two set count would
+  // silently alias sets, so construction must refuse it.
+  RtmGeometry geometry;
+  geometry.sets = 100;
+  EXPECT_DEATH({ Rtm rtm(geometry); }, "power of two");
+  geometry.sets = 0;
+  EXPECT_DEATH({ Rtm rtm(geometry); }, "power of two");
+  geometry.sets = 1;  // a single set is fine (fully associative ways)
+  Rtm rtm(geometry);
+  EXPECT_EQ(rtm.geometry().sets, 1u);
+}
+
 TEST(ArchShadowTest, UnknownThenKnown) {
   ArchShadow shadow;
   EXPECT_FALSE(shadow.value(Loc::reg(r(1)).raw()).has_value());
