@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reuse_test.dir/bench/ablation_reuse_test.cpp.o"
+  "CMakeFiles/ablation_reuse_test.dir/bench/ablation_reuse_test.cpp.o.d"
+  "ablation_reuse_test"
+  "ablation_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

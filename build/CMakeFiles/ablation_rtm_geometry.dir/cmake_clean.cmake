@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rtm_geometry.dir/bench/ablation_rtm_geometry.cpp.o"
+  "CMakeFiles/ablation_rtm_geometry.dir/bench/ablation_rtm_geometry.cpp.o.d"
+  "ablation_rtm_geometry"
+  "ablation_rtm_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rtm_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_realistic_timing.dir/bench/ext_realistic_timing.cpp.o"
+  "CMakeFiles/ext_realistic_timing.dir/bench/ext_realistic_timing.cpp.o.d"
+  "ext_realistic_timing"
+  "ext_realistic_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_realistic_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_instr_reusability.dir/bench/fig3_instr_reusability.cpp.o"
+  "CMakeFiles/fig3_instr_reusability.dir/bench/fig3_instr_reusability.cpp.o.d"
+  "fig3_instr_reusability"
+  "fig3_instr_reusability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_instr_reusability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

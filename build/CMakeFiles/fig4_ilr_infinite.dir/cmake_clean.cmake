@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ilr_infinite.dir/bench/fig4_ilr_infinite.cpp.o"
+  "CMakeFiles/fig4_ilr_infinite.dir/bench/fig4_ilr_infinite.cpp.o.d"
+  "fig4_ilr_infinite"
+  "fig4_ilr_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ilr_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_ilr_infinite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ilr_window256.dir/bench/fig5_ilr_window256.cpp.o"
+  "CMakeFiles/fig5_ilr_window256.dir/bench/fig5_ilr_window256.cpp.o.d"
+  "fig5_ilr_window256"
+  "fig5_ilr_window256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ilr_window256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

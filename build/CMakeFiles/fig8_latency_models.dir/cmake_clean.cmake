@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_latency_models.dir/bench/fig8_latency_models.cpp.o"
+  "CMakeFiles/fig8_latency_models.dir/bench/fig8_latency_models.cpp.o.d"
+  "fig8_latency_models"
+  "fig8_latency_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_latency_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

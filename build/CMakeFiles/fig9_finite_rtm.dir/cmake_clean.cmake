@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_finite_rtm.dir/bench/fig9_finite_rtm.cpp.o"
+  "CMakeFiles/fig9_finite_rtm.dir/bench/fig9_finite_rtm.cpp.o.d"
+  "fig9_finite_rtm"
+  "fig9_finite_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_finite_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memoize_interpreter.dir/examples/memoize_interpreter.cpp.o"
+  "CMakeFiles/memoize_interpreter.dir/examples/memoize_interpreter.cpp.o.d"
+  "memoize_interpreter"
+  "memoize_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memoize_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

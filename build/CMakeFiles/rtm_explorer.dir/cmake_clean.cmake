@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_explorer.dir/examples/rtm_explorer.cpp.o"
+  "CMakeFiles/rtm_explorer.dir/examples/rtm_explorer.cpp.o.d"
+  "rtm_explorer"
+  "rtm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/tlr.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/figures.cpp" "CMakeFiles/tlr.dir/src/core/figures.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/core/figures.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "CMakeFiles/tlr.dir/src/core/study.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/core/study.cpp.o.d"
+  "/root/repo/src/isa/op.cpp" "CMakeFiles/tlr.dir/src/isa/op.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/isa/op.cpp.o.d"
+  "/root/repo/src/reuse/accumulator.cpp" "CMakeFiles/tlr.dir/src/reuse/accumulator.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/accumulator.cpp.o.d"
+  "/root/repo/src/reuse/instr_table.cpp" "CMakeFiles/tlr.dir/src/reuse/instr_table.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/instr_table.cpp.o.d"
+  "/root/repo/src/reuse/reusability.cpp" "CMakeFiles/tlr.dir/src/reuse/reusability.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/reusability.cpp.o.d"
+  "/root/repo/src/reuse/rtm.cpp" "CMakeFiles/tlr.dir/src/reuse/rtm.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/rtm.cpp.o.d"
+  "/root/repo/src/reuse/rtm_sim.cpp" "CMakeFiles/tlr.dir/src/reuse/rtm_sim.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/rtm_sim.cpp.o.d"
+  "/root/repo/src/reuse/trace_builder.cpp" "CMakeFiles/tlr.dir/src/reuse/trace_builder.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/reuse/trace_builder.cpp.o.d"
+  "/root/repo/src/timing/timer.cpp" "CMakeFiles/tlr.dir/src/timing/timer.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/timing/timer.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/tlr.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/tlr.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/tlr.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/tlr.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/vm/builder.cpp" "CMakeFiles/tlr.dir/src/vm/builder.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/vm/builder.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "CMakeFiles/tlr.dir/src/vm/interpreter.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/vm/interpreter.cpp.o.d"
+  "/root/repo/src/workloads/applu.cpp" "CMakeFiles/tlr.dir/src/workloads/applu.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/applu.cpp.o.d"
+  "/root/repo/src/workloads/apsi.cpp" "CMakeFiles/tlr.dir/src/workloads/apsi.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/apsi.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "CMakeFiles/tlr.dir/src/workloads/compress.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/compress.cpp.o.d"
+  "/root/repo/src/workloads/fpppp.cpp" "CMakeFiles/tlr.dir/src/workloads/fpppp.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/fpppp.cpp.o.d"
+  "/root/repo/src/workloads/gcc.cpp" "CMakeFiles/tlr.dir/src/workloads/gcc.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/gcc.cpp.o.d"
+  "/root/repo/src/workloads/go.cpp" "CMakeFiles/tlr.dir/src/workloads/go.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/go.cpp.o.d"
+  "/root/repo/src/workloads/hydro2d.cpp" "CMakeFiles/tlr.dir/src/workloads/hydro2d.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/hydro2d.cpp.o.d"
+  "/root/repo/src/workloads/ijpeg.cpp" "CMakeFiles/tlr.dir/src/workloads/ijpeg.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/li.cpp" "CMakeFiles/tlr.dir/src/workloads/li.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/li.cpp.o.d"
+  "/root/repo/src/workloads/perl.cpp" "CMakeFiles/tlr.dir/src/workloads/perl.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/perl.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "CMakeFiles/tlr.dir/src/workloads/registry.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/su2cor.cpp" "CMakeFiles/tlr.dir/src/workloads/su2cor.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/su2cor.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "CMakeFiles/tlr.dir/src/workloads/tomcatv.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/turb3d.cpp" "CMakeFiles/tlr.dir/src/workloads/turb3d.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/turb3d.cpp.o.d"
+  "/root/repo/src/workloads/vortex.cpp" "CMakeFiles/tlr.dir/src/workloads/vortex.cpp.o" "gcc" "CMakeFiles/tlr.dir/src/workloads/vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/engine_test.cpp" "CMakeFiles/tlr_tests.dir/tests/core/engine_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/study_test.cpp" "CMakeFiles/tlr_tests.dir/tests/core/study_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/core/study_test.cpp.o.d"
+  "/root/repo/tests/integration/scaling_test.cpp" "CMakeFiles/tlr_tests.dir/tests/integration/scaling_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/integration/scaling_test.cpp.o.d"
+  "/root/repo/tests/integration/theorems_test.cpp" "CMakeFiles/tlr_tests.dir/tests/integration/theorems_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/integration/theorems_test.cpp.o.d"
+  "/root/repo/tests/isa/isa_test.cpp" "CMakeFiles/tlr_tests.dir/tests/isa/isa_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/isa/isa_test.cpp.o.d"
+  "/root/repo/tests/reuse/instr_table_test.cpp" "CMakeFiles/tlr_tests.dir/tests/reuse/instr_table_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/reuse/instr_table_test.cpp.o.d"
+  "/root/repo/tests/reuse/rtm_sim_test.cpp" "CMakeFiles/tlr_tests.dir/tests/reuse/rtm_sim_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/reuse/rtm_sim_test.cpp.o.d"
+  "/root/repo/tests/reuse/rtm_test.cpp" "CMakeFiles/tlr_tests.dir/tests/reuse/rtm_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/reuse/rtm_test.cpp.o.d"
+  "/root/repo/tests/reuse/trace_builder_test.cpp" "CMakeFiles/tlr_tests.dir/tests/reuse/trace_builder_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/reuse/trace_builder_test.cpp.o.d"
+  "/root/repo/tests/timing/timer_property_test.cpp" "CMakeFiles/tlr_tests.dir/tests/timing/timer_property_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/timing/timer_property_test.cpp.o.d"
+  "/root/repo/tests/timing/timer_test.cpp" "CMakeFiles/tlr_tests.dir/tests/timing/timer_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/timing/timer_test.cpp.o.d"
+  "/root/repo/tests/util/containers_test.cpp" "CMakeFiles/tlr_tests.dir/tests/util/containers_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/util/containers_test.cpp.o.d"
+  "/root/repo/tests/util/misc_test.cpp" "CMakeFiles/tlr_tests.dir/tests/util/misc_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/util/misc_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "CMakeFiles/tlr_tests.dir/tests/util/rng_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/util/rng_test.cpp.o.d"
+  "/root/repo/tests/vm/builder_test.cpp" "CMakeFiles/tlr_tests.dir/tests/vm/builder_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/vm/builder_test.cpp.o.d"
+  "/root/repo/tests/vm/interpreter_test.cpp" "CMakeFiles/tlr_tests.dir/tests/vm/interpreter_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/vm/interpreter_test.cpp.o.d"
+  "/root/repo/tests/workloads/workloads_test.cpp" "CMakeFiles/tlr_tests.dir/tests/workloads/workloads_test.cpp.o" "gcc" "CMakeFiles/tlr_tests.dir/tests/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/tlr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
