@@ -10,22 +10,32 @@
 //   TLR_SEED    workload data seed
 //   TLR_THREADS worker threads for the study engine (default: all)
 //   TLR_CHUNK   stream chunk size in instructions
+//   TLR_PROFILE scale profile (laptop/ci/paper) instead of the
+//               explicit TLR_LENGTH/TLR_SKIP knobs
+//   TLR_REPORT  path: also write the suite metrics as a tlr-report/1
+//               JSON document (same writer as tools/reuse_study)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 
 #include "core/engine.hpp"
 #include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "core/report.hpp"
 #include "core/study.hpp"
 
 namespace tlr::bench {
 
 inline u64 env_u64(const char* name, u64 fallback) {
   const char* value = std::getenv(name);
-  return value ? std::strtoull(value, nullptr, 10) : fallback;
+  // Reject non-numeric input rather than let strtoull wrap negatives
+  // into astronomically long runs.
+  if (value == nullptr || value[0] < '0' || value[0] > '9') return fallback;
+  return std::strtoull(value, nullptr, 10);
 }
 
 inline core::SuiteConfig config_from_env(u64 default_length = 400000) {
@@ -44,14 +54,48 @@ inline core::EngineOptions engine_options_from_env() {
   return options;
 }
 
+/// The scale profile the environment selects: TLR_PROFILE by name, or
+/// an anonymous profile from the TLR_LENGTH/TLR_SKIP/TLR_SEED knobs.
+inline core::ScaleProfile profile_from_env(u64 default_length = 400000) {
+  if (const char* name = std::getenv("TLR_PROFILE")) {
+    if (auto profile = core::ScaleProfile::named(name)) return *profile;
+    std::cerr << "bench: unknown TLR_PROFILE '" << name
+              << "', using env/default config\n";
+  }
+  return core::ScaleProfile::custom(config_from_env(default_length));
+}
+
 /// Computes the suite metrics once per process (the figure tables and
 /// the benchmark counters share them): one chunked interpreter pass
 /// per workload, workloads fanned across the engine's thread pool.
+/// When TLR_REPORT is set, the metrics are also published as a JSON
+/// report through core::build_report.
 inline const std::vector<core::WorkloadMetrics>& suite_metrics(
     const core::MetricOptions& options = {}) {
-  static const std::vector<core::WorkloadMetrics> metrics =
-      core::StudyEngine(engine_options_from_env())
-          .analyze_suite(config_from_env(), options);
+  static const std::vector<core::WorkloadMetrics> metrics = [&options] {
+    const auto start = std::chrono::steady_clock::now();
+    const core::ScaleProfile profile = profile_from_env();
+    core::StudyEngine engine(engine_options_from_env());
+    std::vector<core::WorkloadMetrics> suite =
+        engine.analyze_profile(profile, options);
+    if (const char* path = std::getenv("TLR_REPORT")) {
+      core::ReportMeta meta;
+      meta.tool = "bench";
+      meta.threads = engine.thread_count();
+      meta.chunk_size = engine.options().chunk_size;
+      meta.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      std::string error;
+      if (!core::write_report_file(
+              core::build_report(profile, options, suite, meta,
+                                 core::ReportFigures::all_series()),
+              path, &error)) {
+        std::cerr << "bench: TLR_REPORT failed: " << error << "\n";
+      }
+    }
+    return suite;
+  }();
   return metrics;
 }
 

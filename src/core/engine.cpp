@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <mutex>
+
 #include "reuse/instr_table.hpp"
 #include "util/assert.hpp"
 #include "workloads/workload.hpp"
@@ -240,10 +242,29 @@ WorkloadMetrics StudyEngine::analyze(std::string_view workload_name,
 
 std::vector<WorkloadMetrics> StudyEngine::analyze_suite(
     const SuiteConfig& config, const MetricOptions& options) {
-  const auto names = workloads::workload_names();
+  return analyze_profile(ScaleProfile::custom(config), options);
+}
+
+std::vector<WorkloadMetrics> StudyEngine::analyze_profile(
+    const ScaleProfile& profile, const MetricOptions& options,
+    std::span<const std::string> workload_names,
+    const SuiteProgress& progress) {
+  std::vector<std::string> names(workload_names.begin(),
+                                 workload_names.end());
+  if (names.empty()) {
+    for (const std::string_view name : workloads::workload_names()) {
+      names.emplace_back(name);
+    }
+  }
   std::vector<WorkloadMetrics> all(names.size());
+  std::mutex progress_mutex;
+  usize done = 0;
   parallel_for(names.size(), [&](usize i) {
-    all[i] = analyze(names[i], config, options);
+    all[i] = analyze(names[i], profile.config_for(names[i]), options);
+    if (progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(names[i], ++done, names.size());
+    }
   });
   return all;
 }

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/profile.hpp"
 #include "core/study.hpp"
 #include "reuse/rtm_sim.hpp"
 #include "reuse/trace_builder.hpp"
@@ -241,6 +242,19 @@ class StudyEngine {
   /// results in figure order regardless of completion order.
   std::vector<WorkloadMetrics> analyze_suite(
       const SuiteConfig& config, const MetricOptions& options = {});
+
+  /// Invoked (under a lock, from worker threads) each time a workload
+  /// finishes; `done` counts completions so far.
+  using SuiteProgress =
+      std::function<void(std::string_view workload, usize done, usize total)>;
+
+  /// Profile-driven suite analysis: each workload runs under
+  /// profile.config_for(name). `workload_names` empty means the full
+  /// suite in figure order; results follow the request order.
+  std::vector<WorkloadMetrics> analyze_profile(
+      const ScaleProfile& profile, const MetricOptions& options = {},
+      std::span<const std::string> workload_names = {},
+      const SuiteProgress& progress = nullptr);
 
   /// Deterministic parallel map: runs job(i) for i in [0, n) across
   /// the pool and waits. Jobs must write only into their own result

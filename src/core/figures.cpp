@@ -1,6 +1,7 @@
 #include "core/figures.hpp"
 
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "core/engine.hpp"
@@ -237,9 +238,23 @@ TextTable Fig9Result::trace_size_table() const {
 
 Fig9Result fig9_finite_rtm(const SuiteConfig& config,
                            reuse::ReuseTestKind test) {
+  StudyEngine engine;
+  Fig9Options options;
+  options.test = test;
+  return fig9_finite_rtm(engine, ScaleProfile::custom(config), options);
+}
+
+Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
+                           const Fig9Options& options) {
   const auto heuristics = fig9_heuristics();
   const auto geometries = fig9_geometries();
-  const auto names = workloads::workload_names();
+  std::vector<std::string> names(options.workloads.begin(),
+                                 options.workloads.end());
+  if (names.empty()) {
+    for (const std::string_view name : workloads::workload_names()) {
+      names.emplace_back(name);
+    }
+  }
 
   Fig9Result result;
   result.cells.assign(heuristics.size(),
@@ -258,8 +273,10 @@ Fig9Result fig9_finite_rtm(const SuiteConfig& config,
   // (Grouping by heuristic rather than running all 40 simulators off
   // one pass bounds the number of live RTMs — a 256K-entry RTM is
   // ~100MB — while still never materialising a stream.)
-  StudyEngine engine;
-  engine.parallel_for(names.size() * heuristics.size(), [&](usize job) {
+  std::mutex progress_mutex;
+  usize done = 0;
+  const usize total = names.size() * heuristics.size();
+  engine.parallel_for(total, [&](usize job) {
     const usize w = job / heuristics.size();
     const usize h = job % heuristics.size();
     std::vector<std::unique_ptr<RtmSimConsumer>> sims;
@@ -271,15 +288,20 @@ Fig9Result fig9_finite_rtm(const SuiteConfig& config,
       sim_config.fixed_n = heuristics[h].fixed_n == 0
                                ? 4
                                : heuristics[h].fixed_n;
-      sim_config.reuse_test = test;
+      sim_config.reuse_test = options.test;
       sims.push_back(std::make_unique<RtmSimConsumer>(sim_config));
       consumers.push_back(sims.back().get());
     }
-    engine.run_workload_stream(names[w], config, consumers);
+    engine.run_workload_stream(names[w], profile.config_for(names[w]),
+                               consumers);
     for (usize g = 0; g < geometries.size(); ++g) {
       const reuse::RtmSimResult& sim = sims[g]->result();
       fracs[h][g][w] = sim.reuse_fraction();
       sizes[h][g][w] = sim.avg_reused_trace_size();
+    }
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(++done, total);
     }
   });
 

@@ -4,14 +4,18 @@
 // tables. One bench binary per figure calls into these.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/profile.hpp"
 #include "core/study.hpp"
 #include "reuse/rtm_sim.hpp"
 #include "util/table.hpp"
 
 namespace tlr::core {
+
+class StudyEngine;
 
 /// One per-benchmark series (a bar chart in the paper): values for the
 /// 14 programs plus AVG_FP / AVG_INT / AVERAGE aggregates.
@@ -101,5 +105,18 @@ struct Fig9Result {
 Fig9Result fig9_finite_rtm(const SuiteConfig& config,
                            reuse::ReuseTestKind test =
                                reuse::ReuseTestKind::kValueCompare);
+
+struct Fig9Options {
+  reuse::ReuseTestKind test = reuse::ReuseTestKind::kValueCompare;
+  /// Workload subset; empty means the full suite in figure order.
+  std::vector<std::string> workloads;
+  /// Invoked (under a lock) after each (workload, heuristic) job.
+  std::function<void(usize done, usize total)> progress;
+};
+
+/// Same matrix on a caller-owned engine, with per-workload stream
+/// windows from `profile` (the report pipeline's entry point).
+Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
+                           const Fig9Options& options = {});
 
 }  // namespace tlr::core

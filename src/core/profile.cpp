@@ -1,0 +1,68 @@
+#include "core/profile.hpp"
+
+#include <array>
+
+namespace tlr::core {
+
+SuiteConfig ScaleProfile::config_for(std::string_view workload) const {
+  SuiteConfig config = base;
+  for (const Override& entry : overrides) {
+    if (entry.workload == workload) {
+      config.skip = entry.skip;
+      config.length = entry.length;
+      break;
+    }
+  }
+  return config;
+}
+
+ScaleProfile ScaleProfile::laptop() {
+  ScaleProfile profile;
+  profile.name = "laptop";
+  profile.base = SuiteConfig{};  // skip 50K / measure 400K (DESIGN.md §6)
+  return profile;
+}
+
+ScaleProfile ScaleProfile::ci() {
+  ScaleProfile profile;
+  profile.name = "ci";
+  profile.base.skip = 10'000;
+  profile.base.length = 80'000;
+  // The table-driven analogs with the largest working sets (go's board
+  // tables, fpppp's coefficient blocks) fill their reuse tables the
+  // slowest; give them the laptop warm-up so the short CI measure
+  // window still starts from steady state.
+  profile.overrides.push_back({"go", 50'000, 80'000});
+  profile.overrides.push_back({"fpppp", 50'000, 80'000});
+  return profile;
+}
+
+ScaleProfile ScaleProfile::paper() {
+  ScaleProfile profile;
+  profile.name = "paper";
+  profile.base.skip = 25'000'000;
+  profile.base.length = 50'000'000;
+  return profile;
+}
+
+ScaleProfile ScaleProfile::custom(const SuiteConfig& config) {
+  ScaleProfile profile;
+  profile.name = "custom";
+  profile.base = config;
+  return profile;
+}
+
+std::optional<ScaleProfile> ScaleProfile::named(std::string_view name) {
+  if (name == "laptop") return laptop();
+  if (name == "ci") return ci();
+  if (name == "paper") return paper();
+  return std::nullopt;
+}
+
+std::span<const std::string_view> ScaleProfile::names() {
+  static constexpr std::array<std::string_view, 3> kNames = {
+      "laptop", "ci", "paper"};
+  return kNames;
+}
+
+}  // namespace tlr::core

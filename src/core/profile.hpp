@@ -1,0 +1,59 @@
+// Named scale profiles over core::SuiteConfig (DESIGN.md §6).
+//
+// The paper reports every figure at skip-25M / measure-50M per
+// benchmark; the library's defaults are laptop-scale. A ScaleProfile
+// names one point on that axis — `laptop`, `ci`, `paper` — as a base
+// SuiteConfig plus optional per-workload skip/measure overrides (some
+// analogs need a longer warm-up than the suite-wide default before
+// their reuse tables reach steady state). Everything that publishes
+// numbers (tools/reuse_study, the report module, CI) selects runs by
+// profile name so a report is reproducible from its own metadata.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace tlr::core {
+
+struct ScaleProfile {
+  /// Per-workload stream-window override (skip/measure only; seed and
+  /// window size always come from the base config).
+  struct Override {
+    std::string workload;
+    u64 skip = 0;
+    u64 length = 0;
+  };
+
+  std::string name;
+  SuiteConfig base;
+  std::vector<Override> overrides;
+
+  /// The effective SuiteConfig for one workload: the base with this
+  /// workload's skip/measure override applied, if any.
+  SuiteConfig config_for(std::string_view workload) const;
+
+  // ---- the named presets (DESIGN.md §6 table) -------------------------
+  /// Library defaults: skip 50K / measure 400K, full suite in seconds.
+  static ScaleProfile laptop();
+  /// CI budget: skip 10K / measure 80K, with longer warm-up for the
+  /// analogs whose reuse tables fill slowest.
+  static ScaleProfile ci();
+  /// The paper's Figures 3-9 scale: skip 25M / measure 50M.
+  static ScaleProfile paper();
+
+  /// An anonymous profile wrapping an explicit config (bench env
+  /// overrides, tests).
+  static ScaleProfile custom(const SuiteConfig& config);
+
+  /// Preset lookup by name; nullopt for unknown names.
+  static std::optional<ScaleProfile> named(std::string_view name);
+  /// The preset names, in documentation order.
+  static std::span<const std::string_view> names();
+};
+
+}  // namespace tlr::core

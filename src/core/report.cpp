@@ -1,0 +1,440 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tlr::core {
+
+using util::Json;
+
+std::string_view report_git_sha() {
+#ifdef TLR_GIT_SHA
+  return TLR_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+ReportFigures ReportFigures::all_series() {
+  ReportFigures figures;
+  figures.series = {"3", "4", "5", "6", "7", "8"};
+  return figures;
+}
+
+namespace {
+
+Json trace_stats_to_json(const reuse::TraceStats& stats) {
+  Json json = Json::object();
+  json.set("traces", stats.traces);
+  json.set("covered_instructions", stats.covered_instructions);
+  json.set("avg_size", stats.avg_size);
+  json.set("avg_reg_inputs", stats.avg_reg_inputs);
+  json.set("avg_mem_inputs", stats.avg_mem_inputs);
+  json.set("avg_reg_outputs", stats.avg_reg_outputs);
+  json.set("avg_mem_outputs", stats.avg_mem_outputs);
+  return json;
+}
+
+Json cycles_to_json(const std::vector<Cycle>& cycles) {
+  Json json = Json::array();
+  for (const Cycle value : cycles) json.push_back(Json(u64{value}));
+  return json;
+}
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json json = Json::array();
+  for (const double value : values) json.push_back(Json(value));
+  return json;
+}
+
+Json profile_to_json(const ScaleProfile& profile) {
+  Json json = Json::object();
+  json.set("name", profile.name);
+  json.set("skip", profile.base.skip);
+  json.set("length", profile.base.length);
+  json.set("seed", profile.base.seed);
+  json.set("window", u64{profile.base.window});
+  Json overrides = Json::array();
+  for (const ScaleProfile::Override& entry : profile.overrides) {
+    Json item = Json::object();
+    item.set("workload", entry.workload);
+    item.set("skip", entry.skip);
+    item.set("length", entry.length);
+    overrides.push_back(std::move(item));
+  }
+  json.set("overrides", std::move(overrides));
+  return json;
+}
+
+Json options_to_json(const MetricOptions& options) {
+  Json json = Json::object();
+  json.set("timing", options.timing);
+  json.set("trace_stats", options.trace_stats);
+  json.set("ilr_latencies", cycles_to_json(options.ilr_latencies));
+  json.set("trace_latencies", cycles_to_json(options.trace_latencies));
+  json.set("proportional_ks", doubles_to_json(options.proportional_ks));
+  return json;
+}
+
+Json sweep_to_json(const std::vector<Cycle>& latencies,
+                   const std::vector<double>& speedups) {
+  Json json = Json::object();
+  json.set("latencies", cycles_to_json(latencies));
+  json.set("speedups", doubles_to_json(speedups));
+  return json;
+}
+
+bool wants_series(const ReportFigures& figures, std::string_view figure) {
+  for (const std::string& entry : figures.series) {
+    if (entry == figure) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Json workload_to_json(const WorkloadMetrics& metrics) {
+  Json json = Json::object();
+  json.set("name", metrics.name);
+  json.set("is_fp", metrics.is_fp);
+  json.set("instructions", metrics.instructions);
+  json.set("reusability", metrics.reusability);
+  json.set("base_inf", u64{metrics.base_inf});
+  json.set("base_win", u64{metrics.base_win});
+  json.set("ilr_inf", cycles_to_json(metrics.ilr_inf));
+  json.set("ilr_win", cycles_to_json(metrics.ilr_win));
+  json.set("trace_inf", u64{metrics.trace_inf});
+  json.set("trace_win", cycles_to_json(metrics.trace_win));
+  json.set("trace_win_prop", cycles_to_json(metrics.trace_win_prop));
+  json.set("trace_stats", trace_stats_to_json(metrics.trace_stats));
+  return json;
+}
+
+Json series_to_json(const BenchSeries& series) {
+  Json json = Json::object();
+  json.set("title", series.title);
+  Json values = Json::object();
+  for (usize i = 0; i < series.names.size(); ++i) {
+    values.set(series.names[i], Json(series.values[i]));
+  }
+  json.set("values", std::move(values));
+  json.set("avg_fp", series.avg_fp);
+  json.set("avg_int", series.avg_int);
+  json.set("avg_all", series.avg_all);
+  return json;
+}
+
+Json fig9_to_json(const Fig9Result& result) {
+  Json json = Json::object();
+  Json heuristics = Json::array();
+  for (const Fig9Heuristic& h : fig9_heuristics()) {
+    heuristics.push_back(Json(h.label));
+  }
+  json.set("heuristics", std::move(heuristics));
+  Json geometries = Json::array();
+  for (const auto& [label, geometry] : fig9_geometries()) {
+    geometries.push_back(Json(label));
+  }
+  json.set("geometries", std::move(geometries));
+  Json fractions = Json::array();
+  Json sizes = Json::array();
+  for (const auto& row : result.cells) {
+    Json fraction_row = Json::array();
+    Json size_row = Json::array();
+    for (const Fig9Cell& cell : row) {
+      fraction_row.push_back(Json(cell.reuse_fraction));
+      size_row.push_back(Json(cell.avg_trace_size));
+    }
+    fractions.push_back(std::move(fraction_row));
+    sizes.push_back(std::move(size_row));
+  }
+  json.set("reuse_fraction", std::move(fractions));
+  json.set("avg_trace_size", std::move(sizes));
+  return json;
+}
+
+Json build_report(const ScaleProfile& profile, const MetricOptions& options,
+                  const std::vector<WorkloadMetrics>& suite,
+                  const ReportMeta& meta, const ReportFigures& figures) {
+  Json report = Json::object();
+  report.set("schema", kReportSchema);
+
+  Json meta_json = Json::object();
+  meta_json.set("tool", meta.tool);
+  meta_json.set("git_sha", meta.git_sha);
+  meta_json.set("threads", u64{meta.threads});
+  meta_json.set("chunk_size", u64{meta.chunk_size});
+  meta_json.set("wall_seconds", meta.wall_seconds);
+  report.set("meta", std::move(meta_json));
+
+  report.set("profile", profile_to_json(profile));
+  report.set("options", options_to_json(options));
+
+  Json workloads = Json::array();
+  for (const WorkloadMetrics& metrics : suite) {
+    workloads.push_back(workload_to_json(metrics));
+  }
+  report.set("workloads", std::move(workloads));
+
+  Json figures_json = Json::object();
+  const bool have_timing = options.timing && !suite.empty();
+  if (wants_series(figures, "3") && !suite.empty()) {
+    figures_json.set("fig3", series_to_json(fig3_reusability(suite)));
+  }
+  if (wants_series(figures, "4") && have_timing) {
+    figures_json.set("fig4a", series_to_json(fig4a_ilr_speedup_inf(suite)));
+    figures_json.set("fig4b", sweep_to_json(options.ilr_latencies,
+                                            fig4b_ilr_latency_sweep(suite)));
+  }
+  if (wants_series(figures, "5") && have_timing) {
+    figures_json.set("fig5a", series_to_json(fig5a_ilr_speedup_win(suite)));
+    figures_json.set("fig5b", sweep_to_json(options.ilr_latencies,
+                                            fig5b_ilr_latency_sweep(suite)));
+  }
+  if (wants_series(figures, "6") && have_timing) {
+    figures_json.set("fig6a", series_to_json(fig6a_trace_speedup_inf(suite)));
+    figures_json.set("fig6b", series_to_json(fig6b_trace_speedup_win(suite)));
+  }
+  if (wants_series(figures, "7") && !suite.empty() && options.trace_stats) {
+    figures_json.set("fig7", series_to_json(fig7_trace_size(suite)));
+    const TraceIoStats io = trace_io_stats(suite);
+    Json io_json = Json::object();
+    io_json.set("avg_size", io.avg_size);
+    io_json.set("reg_inputs", io.reg_inputs);
+    io_json.set("mem_inputs", io.mem_inputs);
+    io_json.set("reg_outputs", io.reg_outputs);
+    io_json.set("mem_outputs", io.mem_outputs);
+    io_json.set("reads_per_inst", io.reads_per_inst);
+    io_json.set("writes_per_inst", io.writes_per_inst);
+    figures_json.set("trace_io", std::move(io_json));
+  }
+  if (wants_series(figures, "8") && have_timing) {
+    figures_json.set("fig8a", sweep_to_json(options.trace_latencies,
+                                            fig8a_latency_sweep(suite)));
+    Json fig8b = Json::object();
+    fig8b.set("ks", doubles_to_json(options.proportional_ks));
+    fig8b.set("speedups",
+              doubles_to_json(fig8b_proportional_sweep(suite)));
+    figures_json.set("fig8b", std::move(fig8b));
+  }
+  if (figures.fig9.has_value()) {
+    figures_json.set("fig9", fig9_to_json(*figures.fig9));
+  }
+  report.set("figures", std::move(figures_json));
+  return report;
+}
+
+// ---- comparison ------------------------------------------------------
+
+namespace {
+
+constexpr usize kMaxDiffs = 100;
+
+std::string number_repr(const Json& value) {
+  return value.dump();
+}
+
+void diff_values(const Json& ours, const Json& baseline,
+                 const std::string& path, const CompareOptions& options,
+                 std::vector<std::string>& diffs);
+
+void add_diff(std::vector<std::string>& diffs, std::string line) {
+  if (diffs.size() < kMaxDiffs) {
+    diffs.push_back(std::move(line));
+  } else if (diffs.size() == kMaxDiffs) {
+    diffs.push_back("... further differences suppressed");
+  }
+}
+
+const char* kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "bool";
+    case Json::Kind::kInt:
+    case Json::Kind::kUint:
+    case Json::Kind::kDouble: return "number";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kArray: return "array";
+    case Json::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void diff_objects(const Json& ours, const Json& baseline,
+                  const std::string& path, const CompareOptions& options,
+                  std::vector<std::string>& diffs) {
+  for (const auto& [key, value] : baseline.items()) {
+    const std::string child = path.empty() ? key : path + "." + key;
+    const Json* mine = ours.find(key);
+    if (mine == nullptr) {
+      add_diff(diffs, child + ": missing from report");
+      continue;
+    }
+    diff_values(*mine, value, child, options, diffs);
+  }
+  for (const auto& [key, value] : ours.items()) {
+    if (!baseline.contains(key)) {
+      add_diff(diffs,
+               (path.empty() ? key : path + "." + key) +
+                   ": not present in baseline");
+    }
+  }
+}
+
+/// Exact |a-b| for two integral-flavoured numbers, when representable.
+/// A double detour would alias u64 cycle counts above 2^53 — exactly
+/// the paper-scale values the exact-integer JSON path exists for.
+std::optional<double> exact_integral_diff(const Json& a, const Json& b) {
+  const auto non_negative = [](const Json& v) {
+    return v.kind() == Json::Kind::kUint ||
+           (v.kind() == Json::Kind::kInt && v.as_i64() >= 0);
+  };
+  const auto negative_int = [](const Json& v) {
+    return v.kind() == Json::Kind::kInt && v.as_i64() < 0;
+  };
+  if (non_negative(a) && non_negative(b)) {
+    const u64 x = a.as_u64(), y = b.as_u64();
+    return static_cast<double>(x > y ? x - y : y - x);
+  }
+  if (negative_int(a) && negative_int(b)) {
+    const i64 x = a.as_i64(), y = b.as_i64();
+    // Modular u64 subtraction of the ordered pair is the exact
+    // magnitude even when it exceeds INT64_MAX.
+    return static_cast<double>(x > y ? static_cast<u64>(x) -
+                                           static_cast<u64>(y)
+                                     : static_cast<u64>(y) -
+                                           static_cast<u64>(x));
+  }
+  return std::nullopt;  // mixed signs or a double involved
+}
+
+void diff_values(const Json& ours, const Json& baseline,
+                 const std::string& path, const CompareOptions& options,
+                 std::vector<std::string>& diffs) {
+  if (ours.is_number() && baseline.is_number()) {
+    const double a = ours.as_double();
+    const double b = baseline.as_double();
+    const double tolerance =
+        options.abs_tol +
+        options.rel_tol * std::max(std::fabs(a), std::fabs(b));
+    const double difference =
+        exact_integral_diff(ours, baseline).value_or(std::fabs(a - b));
+    if (std::isnan(a) || std::isnan(b) || difference > tolerance) {
+      std::ostringstream line;
+      line << path << ": " << number_repr(ours) << " != "
+           << number_repr(baseline) << " (tolerance " << tolerance << ")";
+      add_diff(diffs, line.str());
+    }
+    return;
+  }
+  if (ours.kind() != baseline.kind() ||
+      (ours.is_number() != baseline.is_number())) {
+    add_diff(diffs, path + ": kind " + kind_name(ours.kind()) + " != " +
+                        kind_name(baseline.kind()));
+    return;
+  }
+  switch (baseline.kind()) {
+    case Json::Kind::kNull:
+      return;
+    case Json::Kind::kBool:
+      if (ours.as_bool() != baseline.as_bool()) {
+        add_diff(diffs, path + ": " + (ours.as_bool() ? "true" : "false") +
+                            " != " +
+                            (baseline.as_bool() ? "true" : "false"));
+      }
+      return;
+    case Json::Kind::kString:
+      if (ours.as_string() != baseline.as_string()) {
+        add_diff(diffs, path + ": \"" + ours.as_string() + "\" != \"" +
+                            baseline.as_string() + "\"");
+      }
+      return;
+    case Json::Kind::kArray: {
+      if (ours.size() != baseline.size()) {
+        add_diff(diffs, path + ": array length " +
+                            std::to_string(ours.size()) + " != " +
+                            std::to_string(baseline.size()));
+        return;
+      }
+      for (usize i = 0; i < baseline.size(); ++i) {
+        diff_values(ours.at(i), baseline.at(i),
+                    path + "[" + std::to_string(i) + "]", options, diffs);
+      }
+      return;
+    }
+    case Json::Kind::kObject:
+      diff_objects(ours, baseline, path, options, diffs);
+      return;
+    default:
+      return;  // numbers handled above
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> compare_reports(const Json& ours,
+                                         const Json& baseline,
+                                         const CompareOptions& options) {
+  std::vector<std::string> diffs;
+  if (!ours.is_object() || !baseline.is_object()) {
+    add_diff(diffs, "report documents must be JSON objects");
+    return diffs;
+  }
+  // Top-level walk, skipping the provenance block (no document copy —
+  // paper-scale reports run to megabytes).
+  for (const auto& [key, value] : baseline.items()) {
+    if (key == "meta") continue;
+    const Json* mine = ours.find(key);
+    if (mine == nullptr) {
+      add_diff(diffs, key + ": missing from report");
+      continue;
+    }
+    diff_values(*mine, value, key, options, diffs);
+  }
+  for (const auto& [key, value] : ours.items()) {
+    if (key != "meta" && !baseline.contains(key)) {
+      add_diff(diffs, key + ": not present in baseline");
+    }
+  }
+  return diffs;
+}
+
+// ---- file IO ---------------------------------------------------------
+
+bool write_report_file(const Json& report, const std::string& path,
+                       std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << report.dump(/*indent=*/2);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Json> read_report_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  std::optional<Json> parsed = Json::parse(buffer.str(), &parse_error);
+  if (!parsed.has_value() && error != nullptr) {
+    *error = path + ": " + parse_error;
+  }
+  return parsed;
+}
+
+}  // namespace tlr::core

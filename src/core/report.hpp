@@ -1,0 +1,87 @@
+// Machine-readable study reports (DESIGN.md §7).
+//
+// Every surface that publishes numbers — tools/reuse_study, the bench
+// binaries' TLR_REPORT hook, CI artifacts — serializes through this
+// module so results carry their provenance (profile, git SHA, thread
+// count, wall time) and can be diffed across commits with one process
+// invocation. The document schema is stable ("tlr-report/1"): key
+// order is fixed by construction order, integers are exact, doubles
+// are shortest-round-trip — the committed golden baseline in tools/
+// pins the bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "core/study.hpp"
+#include "util/json.hpp"
+
+namespace tlr::core {
+
+/// Schema identifier embedded in (and checked against) every report.
+inline constexpr std::string_view kReportSchema = "tlr-report/1";
+
+/// Git SHA baked in at configure time; "unknown" outside a checkout.
+std::string_view report_git_sha();
+
+/// Provenance block. Everything here describes the run, not the
+/// results, and is excluded from report comparison.
+struct ReportMeta {
+  std::string tool = "reuse_study";
+  std::string git_sha = std::string(report_git_sha());
+  usize threads = 0;
+  usize chunk_size = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Figure payload for build_report: the fig 3-8 series are derived
+/// from the workload metrics on demand; fig 9 results are attached
+/// when the (expensive) matrix was computed.
+struct ReportFigures {
+  /// Which of figures 3-8 to derive ("3".."8"); empty means none.
+  std::vector<std::string> series;
+  std::optional<Fig9Result> fig9;
+
+  static ReportFigures all_series();
+};
+
+util::Json workload_to_json(const WorkloadMetrics& metrics);
+util::Json series_to_json(const BenchSeries& series);
+util::Json fig9_to_json(const Fig9Result& result);
+
+/// Assembles the full report document. Key order is part of the
+/// schema: schema, meta, profile, options, workloads, figures.
+util::Json build_report(const ScaleProfile& profile,
+                        const MetricOptions& options,
+                        const std::vector<WorkloadMetrics>& suite,
+                        const ReportMeta& meta,
+                        const ReportFigures& figures = {});
+
+// ---- comparison ------------------------------------------------------
+
+struct CompareOptions {
+  /// A numeric leaf passes when |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+  double rel_tol = 1e-9;
+  double abs_tol = 1e-12;
+};
+
+/// Structural diff of two reports: every mismatching path yields one
+/// human-readable line ("workloads[3].reusability: 0.52 != 0.53 ...").
+/// The "meta" subtree is provenance and never compared. Empty result
+/// means the reports match within tolerance.
+std::vector<std::string> compare_reports(const util::Json& ours,
+                                         const util::Json& baseline,
+                                         const CompareOptions& options = {});
+
+// ---- file IO ---------------------------------------------------------
+
+/// Pretty-printed write (2-space indent, trailing newline).
+bool write_report_file(const util::Json& report, const std::string& path,
+                       std::string* error = nullptr);
+std::optional<util::Json> read_report_file(const std::string& path,
+                                           std::string* error = nullptr);
+
+}  // namespace tlr::core

@@ -1,0 +1,571 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace tlr::util {
+
+namespace {
+
+/// Sentinel returned by object lookups for missing keys.
+const Json kNullJson{};
+
+constexpr int kMaxDepth = 256;
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf literals; the report pipeline never produces
+    // them, but degrade to null rather than emit an unparsable token.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  TLR_ASSERT(ec == std::errc());
+  const std::string_view token(buf, static_cast<usize>(ptr - buf));
+  out += token;
+  // Keep a fractional marker so the value re-parses as a double
+  // (to_chars prints e.g. 2.0 as "2", which would round-trip as an
+  // integer and change the document's number flavour).
+  if (token.find_first_of(".eE") == std::string_view::npos) out += ".0";
+}
+
+template <typename T>
+void append_integer(std::string& out, T value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  TLR_ASSERT(ec == std::errc());
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+Json Json::array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+bool Json::as_bool() const {
+  TLR_ASSERT_MSG(kind_ == Kind::kBool, "as_bool on non-bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default:
+      TLR_ASSERT_MSG(false, "as_double on non-number");
+      return 0.0;
+  }
+}
+
+i64 Json::as_i64() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint:
+      TLR_ASSERT_MSG(uint_ <= static_cast<u64>(INT64_MAX),
+                     "as_i64 overflow");
+      return static_cast<i64>(uint_);
+    case Kind::kDouble: {
+      const auto as_int = static_cast<i64>(double_);
+      TLR_ASSERT_MSG(static_cast<double>(as_int) == double_,
+                     "as_i64 on non-integral double");
+      return as_int;
+    }
+    default:
+      TLR_ASSERT_MSG(false, "as_i64 on non-number");
+      return 0;
+  }
+}
+
+u64 Json::as_u64() const {
+  switch (kind_) {
+    case Kind::kUint: return uint_;
+    case Kind::kInt:
+      TLR_ASSERT_MSG(int_ >= 0, "as_u64 on negative");
+      return static_cast<u64>(int_);
+    case Kind::kDouble: {
+      TLR_ASSERT_MSG(double_ >= 0, "as_u64 on negative");
+      const auto as_uint = static_cast<u64>(double_);
+      TLR_ASSERT_MSG(static_cast<double>(as_uint) == double_,
+                     "as_u64 on non-integral double");
+      return as_uint;
+    }
+    default:
+      TLR_ASSERT_MSG(false, "as_u64 on non-number");
+      return 0;
+  }
+}
+
+const std::string& Json::as_string() const {
+  TLR_ASSERT_MSG(kind_ == Kind::kString, "as_string on non-string");
+  return string_;
+}
+
+usize Json::size() const {
+  switch (kind_) {
+    case Kind::kArray: return array_.size();
+    case Kind::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+Json& Json::push_back(Json value) {
+  TLR_ASSERT_MSG(kind_ == Kind::kArray, "push_back on non-array");
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+const Json& Json::at(usize index) const {
+  TLR_ASSERT_MSG(kind_ == Kind::kArray && index < array_.size(),
+                 "array index out of range");
+  return array_[index];
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  TLR_ASSERT_MSG(kind_ == Kind::kObject, "set on non-object");
+  for (auto& [existing, stored] : object_) {
+    if (existing == key) {
+      stored = std::move(value);
+      return stored;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+  return object_.back().second;
+}
+
+bool Json::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [existing, stored] : object_) {
+    if (existing == key) return &stored;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  return found != nullptr ? *found : kNullJson;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  TLR_ASSERT_MSG(kind_ == Kind::kObject, "items on non-object");
+  return object_;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    // Numbers compare by value across storage flavours; integral
+    // flavours compare exactly.
+    if (a.kind_ != Json::Kind::kDouble && b.kind_ != Json::Kind::kDouble) {
+      const bool a_neg = a.kind_ == Json::Kind::kInt && a.int_ < 0;
+      const bool b_neg = b.kind_ == Json::Kind::kInt && b.int_ < 0;
+      if (a_neg != b_neg) return false;
+      if (a_neg) return a.int_ == b.int_;
+      return a.as_u64() == b.as_u64();
+    }
+    return a.as_double() == b.as_double();
+  }
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return a.array_ == b.array_;
+    case Json::Kind::kObject: return a.object_ == b.object_;
+    default: return false;  // numbers handled above
+  }
+}
+
+std::string Json::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_indent = [&](int levels) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<usize>(indent * levels), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: append_integer(out, int_); break;
+    case Kind::kUint: append_integer(out, uint_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString: out += escape(string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (usize i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += indent < 0 ? "," : ",";
+        newline_indent(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (usize i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ",";
+        newline_indent(depth + 1);
+        out += escape(object_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse(std::string* error) {
+    Json value;
+    if (!parse_value(value, 0)) {
+      emit(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      emit(error);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) {
+      usize line = 1, col = 1;
+      for (usize i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      error_ = std::to_string(line) + ":" + std::to_string(col) + ": " +
+               message;
+    }
+    return false;
+  }
+
+  void emit(std::string* error) const {
+    if (error != nullptr) *error = error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected, const char* message) {
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(message);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word, Json value, Json& out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n': return literal("null", Json(), out);
+      case 't': return literal("true", Json(true), out);
+      case 'f': return literal("false", Json(false), out);
+      case '"': return parse_string(out);
+      case '[': return parse_array(out, depth);
+      case '{': return parse_object(out, depth);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_number(Json& out) {
+    const usize start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("invalid number");
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (!is_double) {
+      if (token[0] == '-') {
+        i64 value = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc() && ptr == last) {
+          out = Json(value);
+          return true;
+        }
+      } else {
+        u64 value = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, value);
+        if (ec == std::errc() && ptr == last) {
+          out = Json(value);
+          return true;
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) return fail("invalid number");
+    out = Json(value);
+    return true;
+  }
+
+  static void append_utf8(std::string& out, u32 code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  bool parse_hex4(u32& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    u32 value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<usize>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<u32>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<u32>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<u32>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    out = value;
+    return true;
+  }
+
+  bool parse_string(Json& out) {
+    if (!consume('"', "expected string")) return false;
+    std::string value;
+    for (;;) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value += '"'; break;
+        case '\\': value += '\\'; break;
+        case '/': value += '/'; break;
+        case 'b': value += '\b'; break;
+        case 'f': value += '\f'; break;
+        case 'n': value += '\n'; break;
+        case 'r': value += '\r'; break;
+        case 't': value += '\t'; break;
+        case 'u': {
+          u32 code_point = 0;
+          if (!parse_hex4(code_point)) return false;
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            u32 low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(value, code_point);
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+    out = Json(std::move(value));
+    return true;
+  }
+
+  bool parse_array(Json& out, int depth) {
+    if (!consume('[', "expected array")) return false;
+    out = Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json element;
+      if (!parse_value(element, depth + 1)) return false;
+      out.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    if (!consume('{', "expected object")) return false;
+    out = Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Json key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':' after object key")) return false;
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.set(key.as_string(), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  usize pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace tlr::util

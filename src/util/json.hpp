@@ -1,0 +1,113 @@
+// Minimal JSON document model, writer and parser for the report
+// pipeline (core/report.hpp, tools/reuse_study).
+//
+// Design constraints, in order:
+//   1. Deterministic output. Objects preserve insertion order and
+//      dump() is byte-stable for a given document — the golden-snapshot
+//      test diffs committed reports across refactors, so no hash-map
+//      iteration order may leak into the bytes.
+//   2. Exact numbers. Cycle counts are u64; integers round-trip
+//      exactly (no double detour), and doubles serialize with the
+//      shortest representation that parses back to the same bits
+//      (std::to_chars).
+//   3. No dependencies. The toolchain image has no JSON library and
+//      the container must not install one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tlr::util {
+
+class Json {
+ public:
+  enum class Kind : u8 { kNull, kBool, kInt, kUint, kDouble, kString,
+                         kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(i64 value) : kind_(Kind::kInt), int_(value) {}
+  Json(u64 value) : kind_(Kind::kUint), uint_(value) {}
+  Json(int value) : Json(static_cast<i64>(value)) {}
+  Json(unsigned value) : Json(static_cast<u64>(value)) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : Json(std::string(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  /// Numeric value as double whatever the stored flavour.
+  double as_double() const;
+  /// Exact integer access; asserts when the stored number is not
+  /// exactly representable in the requested type.
+  i64 as_i64() const;
+  u64 as_u64() const;
+  const std::string& as_string() const;
+
+  // ---- arrays --------------------------------------------------------
+  usize size() const;
+  Json& push_back(Json value);
+  const Json& at(usize index) const;
+  const Json& operator[](usize index) const { return at(index); }
+
+  // ---- objects (insertion-ordered) -----------------------------------
+  /// Sets `key` (replacing an existing entry in place) and returns the
+  /// stored value.
+  Json& set(std::string_view key, Json value);
+  bool contains(std::string_view key) const;
+  /// Null-kind sentinel reference when the key is missing.
+  const Json& at(std::string_view key) const;
+  const Json& operator[](std::string_view key) const { return at(key); }
+  const Json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+  /// Serialize. indent < 0: compact one-liner; indent >= 0: pretty-
+  /// printed with that many spaces per level and a trailing newline at
+  /// the top call. Byte-deterministic either way.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete document (trailing whitespace allowed, trailing
+  /// garbage rejected). On failure returns nullopt and, when `error`
+  /// is non-null, a "line:col: message" description.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  /// Escape `text` as a JSON string literal including the quotes.
+  static std::string escape(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  i64 int_ = 0;
+  u64 uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace tlr::util

@@ -1,0 +1,303 @@
+// core::report — schema shape, serialization determinism, and the
+// tolerance semantics --compare relies on for golden snapshots.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/report.hpp"
+
+namespace tlr::core {
+namespace {
+
+using util::Json;
+
+WorkloadMetrics fake_metrics(const std::string& name, bool is_fp,
+                             u64 scale) {
+  WorkloadMetrics m;
+  m.name = name;
+  m.is_fp = is_fp;
+  m.instructions = 1000 * scale;
+  m.reusability = 0.25 * static_cast<double>(scale);
+  m.base_inf = 400 * scale;
+  m.base_win = 500 * scale;
+  m.ilr_inf = {300 * scale, 320 * scale, 340 * scale, 360 * scale};
+  m.ilr_win = {380 * scale, 400 * scale, 420 * scale, 440 * scale};
+  m.trace_inf = 200 * scale;
+  m.trace_win = {210 * scale, 220 * scale, 230 * scale, 240 * scale};
+  m.trace_win_prop = {250 * scale, 252 * scale, 254 * scale,
+                      256 * scale, 258 * scale, 260 * scale};
+  m.trace_stats.traces = 10 * scale;
+  m.trace_stats.covered_instructions = 250 * scale;
+  m.trace_stats.avg_size = 25.0;
+  m.trace_stats.avg_reg_inputs = 3.5;
+  m.trace_stats.avg_mem_inputs = 1.5;
+  m.trace_stats.avg_reg_outputs = 4.0;
+  m.trace_stats.avg_mem_outputs = 0.5;
+  return m;
+}
+
+std::vector<WorkloadMetrics> fake_suite() {
+  return {fake_metrics("tomcatv", true, 1), fake_metrics("compress", false, 2)};
+}
+
+Json make_report() {
+  ReportMeta meta;
+  meta.threads = 4;
+  meta.chunk_size = 32768;
+  meta.wall_seconds = 1.25;
+  return build_report(ScaleProfile::ci(), MetricOptions{}, fake_suite(),
+                      meta, ReportFigures::all_series());
+}
+
+TEST(ReportTest, TopLevelSchemaShape) {
+  const Json report = make_report();
+  ASSERT_TRUE(report.is_object());
+  EXPECT_EQ(report.at("schema").as_string(), kReportSchema);
+  // Key order is part of the schema contract.
+  const auto& items = report.items();
+  ASSERT_EQ(items.size(), 6u);
+  EXPECT_EQ(items[0].first, "schema");
+  EXPECT_EQ(items[1].first, "meta");
+  EXPECT_EQ(items[2].first, "profile");
+  EXPECT_EQ(items[3].first, "options");
+  EXPECT_EQ(items[4].first, "workloads");
+  EXPECT_EQ(items[5].first, "figures");
+}
+
+TEST(ReportTest, MetaCarriesProvenance) {
+  const Json report = make_report();
+  const Json& meta = report.at("meta");
+  EXPECT_EQ(meta.at("tool").as_string(), "reuse_study");
+  EXPECT_EQ(meta.at("git_sha").as_string(),
+            std::string(report_git_sha()));
+  EXPECT_EQ(meta.at("threads").as_u64(), 4u);
+  EXPECT_DOUBLE_EQ(meta.at("wall_seconds").as_double(), 1.25);
+}
+
+TEST(ReportTest, ProfileBlockIncludesOverrides) {
+  const Json report = make_report();
+  const Json& profile = report.at("profile");
+  EXPECT_EQ(profile.at("name").as_string(), "ci");
+  EXPECT_EQ(profile.at("skip").as_u64(), ScaleProfile::ci().base.skip);
+  ASSERT_EQ(profile.at("overrides").size(),
+            ScaleProfile::ci().overrides.size());
+  EXPECT_EQ(profile.at("overrides").at(0).at("workload").as_string(),
+            ScaleProfile::ci().overrides[0].workload);
+}
+
+TEST(ReportTest, WorkloadRoundTripsThroughParse) {
+  const WorkloadMetrics metrics = fake_metrics("hydro2d", true, 3);
+  const Json json = workload_to_json(metrics);
+  const auto parsed = Json::parse(json.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, json);
+  EXPECT_EQ(parsed->at("name").as_string(), "hydro2d");
+  EXPECT_TRUE(parsed->at("is_fp").as_bool());
+  EXPECT_EQ(parsed->at("instructions").as_u64(), metrics.instructions);
+  EXPECT_EQ(parsed->at("ilr_inf").size(), metrics.ilr_inf.size());
+  EXPECT_EQ(parsed->at("trace_stats").at("traces").as_u64(),
+            metrics.trace_stats.traces);
+}
+
+TEST(ReportTest, FiguresDeriveFromMetrics) {
+  const Json report = make_report();
+  const Json& figures = report.at("figures");
+  for (const char* key : {"fig3", "fig4a", "fig4b", "fig5a", "fig5b",
+                          "fig6a", "fig6b", "fig7", "trace_io", "fig8a",
+                          "fig8b"}) {
+    EXPECT_TRUE(figures.contains(key)) << key;
+  }
+  EXPECT_FALSE(figures.contains("fig9"));  // not computed -> not present
+  // fig3 values keyed by workload name.
+  EXPECT_TRUE(figures.at("fig3").at("values").contains("tomcatv"));
+  EXPECT_TRUE(figures.at("fig3").at("values").contains("compress"));
+}
+
+TEST(ReportTest, Fig9SerializesAsMatrix) {
+  Fig9Result fig9;
+  const usize heuristics = fig9_heuristics().size();
+  const usize geometries = fig9_geometries().size();
+  fig9.cells.assign(heuristics, std::vector<Fig9Cell>(geometries));
+  fig9.cells[1][2] = {0.5, 6.25};
+  const Json json = fig9_to_json(fig9);
+  EXPECT_EQ(json.at("heuristics").size(), heuristics);
+  EXPECT_EQ(json.at("geometries").size(), geometries);
+  EXPECT_DOUBLE_EQ(json.at("reuse_fraction").at(1).at(2).as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(json.at("avg_trace_size").at(1).at(2).as_double(), 6.25);
+}
+
+TEST(ReportTest, DumpIsByteDeterministic) {
+  EXPECT_EQ(make_report().dump(2), make_report().dump(2));
+}
+
+TEST(ReportTest, CompareIdenticalReportsIsEmpty) {
+  EXPECT_TRUE(compare_reports(make_report(), make_report()).empty());
+}
+
+TEST(ReportTest, CompareIgnoresMeta) {
+  Json ours = make_report();
+  Json baseline = make_report();
+  Json meta = Json::object();
+  meta.set("git_sha", "something-else");
+  meta.set("wall_seconds", 99.0);
+  ours.set("meta", std::move(meta));
+  EXPECT_TRUE(compare_reports(ours, baseline).empty());
+}
+
+TEST(ReportTest, CompareToleranceBoundary) {
+  Json ours = make_report();
+  Json baseline = make_report();
+  const double original =
+      baseline.at("workloads").at(0).at("reusability").as_double();
+
+  // Within relative tolerance: passes.
+  CompareOptions loose;
+  loose.rel_tol = 1e-6;
+  loose.abs_tol = 0.0;
+  Json tweaked = ours;
+  {
+    Json workloads = Json::array();
+    for (usize i = 0; i < ours.at("workloads").size(); ++i) {
+      Json w = ours.at("workloads").at(i);
+      if (i == 0) w.set("reusability", original * (1.0 + 1e-7));
+      workloads.push_back(std::move(w));
+    }
+    tweaked.set("workloads", std::move(workloads));
+  }
+  EXPECT_TRUE(compare_reports(tweaked, baseline, loose).empty());
+
+  // Beyond it: one diff naming the path.
+  CompareOptions tight;
+  tight.rel_tol = 1e-9;
+  tight.abs_tol = 0.0;
+  const auto diffs = compare_reports(tweaked, baseline, tight);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("workloads[0].reusability"), std::string::npos)
+      << diffs[0];
+}
+
+TEST(ReportTest, CompareAbsoluteToleranceCoversNearZero) {
+  Json a = Json::object();
+  a.set("x", 0.0);
+  Json b = Json::object();
+  b.set("x", 1e-13);
+  CompareOptions options;  // abs_tol 1e-12 default
+  EXPECT_TRUE(compare_reports(a, b, options).empty());
+  b.set("x", 1e-3);
+  EXPECT_EQ(compare_reports(a, b, options).size(), 1u);
+}
+
+TEST(ReportTest, CompareFlagsMissingAndExtraKeys) {
+  Json ours = make_report();
+  Json baseline = make_report();
+  Json stripped = Json::object();
+  for (const auto& [key, value] : ours.items()) {
+    if (key != "options") stripped.set(key, value);
+  }
+  stripped.set("surplus", 1);
+  const auto diffs = compare_reports(stripped, baseline);
+  bool saw_missing = false, saw_extra = false;
+  for (const std::string& diff : diffs) {
+    saw_missing |= diff.find("options: missing") != std::string::npos;
+    saw_extra |= diff.find("surplus") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(ReportTest, CompareFlagsStructuralMismatches) {
+  Json a = Json::object();
+  a.set("x", Json::array());
+  Json b = Json::object();
+  b.set("x", "text");
+  EXPECT_EQ(compare_reports(a, b).size(), 1u);
+
+  Json c = Json::object();
+  Json arr1 = Json::array();
+  arr1.push_back(1);
+  c.set("x", std::move(arr1));
+  Json d = Json::object();
+  Json arr2 = Json::array();
+  arr2.push_back(1);
+  arr2.push_back(2);
+  d.set("x", std::move(arr2));
+  const auto diffs = compare_reports(c, d);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("array length"), std::string::npos);
+}
+
+TEST(ReportTest, CompareIntegersExactlyByDefault) {
+  Json a = Json::object();
+  a.set("cycles", u64{1000000001});
+  Json b = Json::object();
+  b.set("cycles", u64{1000000002});
+  // rel_tol 1e-9 * 1e9 = 1 >= diff: passes (tolerances apply to all
+  // numbers uniformly)...
+  EXPECT_TRUE(compare_reports(a, b).empty());
+  // ...but zero-tolerance compare is exact.
+  CompareOptions exact;
+  exact.rel_tol = 0.0;
+  exact.abs_tol = 0.0;
+  EXPECT_EQ(compare_reports(a, b, exact).size(), 1u);
+  EXPECT_TRUE(compare_reports(a, a, exact).empty());
+}
+
+TEST(ReportTest, CompareDistinguishesIntegersBeyondDoublePrecision) {
+  // 2^53 and 2^53+1 alias as doubles; the exact-integer compare path
+  // must still tell them apart at zero tolerance.
+  Json a = Json::object();
+  a.set("cycles", u64{9007199254740992ull});
+  Json b = Json::object();
+  b.set("cycles", u64{9007199254740993ull});
+  CompareOptions exact;
+  exact.rel_tol = 0.0;
+  exact.abs_tol = 0.0;
+  EXPECT_EQ(compare_reports(a, b, exact).size(), 1u);
+  EXPECT_TRUE(compare_reports(a, a, exact).empty());
+  EXPECT_TRUE(compare_reports(b, b, exact).empty());
+  // Negative integral pairs take the same exact path.
+  Json c = Json::object();
+  c.set("delta", i64{-9007199254740993ll});
+  Json d = Json::object();
+  d.set("delta", i64{-9007199254740992ll});
+  EXPECT_EQ(compare_reports(c, d, exact).size(), 1u);
+  EXPECT_TRUE(compare_reports(c, c, exact).empty());
+}
+
+TEST(ReportTest, FileRoundTrip) {
+  const Json report = make_report();
+  const std::string path = testing::TempDir() + "/report_test_roundtrip.json";
+  std::string error;
+  ASSERT_TRUE(write_report_file(report, path, &error)) << error;
+  const auto loaded = read_report_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, report);
+  EXPECT_TRUE(compare_reports(*loaded, report).empty());
+}
+
+TEST(ReportTest, ReadReportRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/report_test_garbage.json";
+  {
+    std::ofstream out(path);
+    out << "{ not json";
+  }
+  std::string error;
+  EXPECT_FALSE(read_report_file(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(read_report_file("/nonexistent/nope.json", &error)
+                   .has_value());
+}
+
+TEST(ReportTest, EmptyFigureSelectionOmitsSeries) {
+  ReportMeta meta;
+  const Json report = build_report(ScaleProfile::laptop(), MetricOptions{},
+                                   fake_suite(), meta, ReportFigures{});
+  EXPECT_EQ(report.at("figures").size(), 0u);
+  EXPECT_TRUE(report.at("figures").is_object());
+}
+
+}  // namespace
+}  // namespace tlr::core

@@ -1,0 +1,189 @@
+// util::Json: writer determinism, escaping, exact-number round trips,
+// and the parser the report pipeline trusts for --compare.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace tlr::util {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  std::string error;
+  const auto parsed = Json::parse(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << text << " -> " << error;
+  return parsed.value_or(Json());
+}
+
+void expect_parse_fails(const std::string& text) {
+  std::string error;
+  EXPECT_FALSE(Json::parse(text, &error).has_value()) << text;
+  EXPECT_FALSE(error.empty()) << text;
+}
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(i64{-7}).dump(), "-7");
+  EXPECT_EQ(Json(u64{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoublesAlwaysCarryFractionalMarker) {
+  // 2.0 must not round-trip into an integer flavour.
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+  const Json round_tripped = parse_ok(Json(2.0).dump());
+  EXPECT_EQ(round_tripped.kind(), Json::Kind::kDouble);
+}
+
+TEST(JsonTest, DoubleRoundTripIsExact) {
+  const double values[] = {0.0,
+                           1.0 / 3.0,
+                           6.02214076e23,
+                           -2.5e-10,
+                           0.1,
+                           123456789.123456789,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (const double value : values) {
+    const Json parsed = parse_ok(Json(value).dump());
+    EXPECT_EQ(parsed.as_double(), value) << Json(value).dump();
+  }
+}
+
+TEST(JsonTest, IntegerRoundTripIsExact) {
+  // 2^63 + 1 is not representable as a double; an exact u64 path is
+  // required for paper-scale cycle counts.
+  const u64 value = 9223372036854775809ull;
+  const Json parsed = parse_ok(Json(value).dump());
+  EXPECT_EQ(parsed.as_u64(), value);
+  const Json negative = parse_ok("-9223372036854775808");
+  EXPECT_EQ(negative.as_i64(), std::numeric_limits<i64>::min());
+}
+
+TEST(JsonTest, NonFiniteDoublesDegradeToNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Json("line\nfeed").dump(), "\"line\\nfeed\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+  // UTF-8 passes through verbatim.
+  EXPECT_EQ(Json("émigré").dump(), "\"émigré\"");
+}
+
+TEST(JsonTest, EscapeRoundTrip) {
+  const std::string nasty = "quote \" slash \\ ctrl \x02 tab \t done";
+  const Json parsed = parse_ok(Json(nasty).dump());
+  EXPECT_EQ(parsed.as_string(), nasty);
+}
+
+TEST(JsonTest, UnicodeEscapesDecode) {
+  EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(parse_ok("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1D11E (musical G clef).
+  EXPECT_EQ(parse_ok("\"\\ud834\\udd1e\"").as_string(),
+            "\xf0\x9d\x84\x9e");
+  expect_parse_fails("\"\\ud834\"");         // unpaired high surrogate
+  expect_parse_fails("\"\\udd1e\"");         // unpaired low surrogate
+  expect_parse_fails("\"\\u12g4\"");         // bad hex digit
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json object = Json::object();
+  object.set("zebra", 1);
+  object.set("alpha", 2);
+  object.set("mid", 3);
+  EXPECT_EQ(object.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Replacing a key keeps its original position.
+  object.set("alpha", 9);
+  EXPECT_EQ(object.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  Json doc = Json::object();
+  doc.set("values", Json::array());
+  for (int i = 0; i < 8; ++i) {
+    doc.set("k" + std::to_string(i), Json(i * 0.1));
+  }
+  EXPECT_EQ(doc.dump(2), doc.dump(2));
+  EXPECT_EQ(parse_ok(doc.dump(2)).dump(2), doc.dump(2));
+}
+
+TEST(JsonTest, PrettyPrintShape) {
+  Json doc = Json::object();
+  doc.set("a", 1);
+  Json nested = Json::array();
+  nested.push_back(Json(true));
+  doc.set("b", std::move(nested));
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}\n");
+}
+
+TEST(JsonTest, ParseWhitespaceAndNesting) {
+  const Json doc = parse_ok(" { \"a\" : [ 1 , 2.5 , { \"b\" : null } ] } ");
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_EQ(doc.at("a").at(0).as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_double(), 2.5);
+  EXPECT_TRUE(doc.at("a").at(2).at("b").is_null());
+}
+
+TEST(JsonTest, ParseRejectsMalformedDocuments) {
+  expect_parse_fails("");
+  expect_parse_fails("{");
+  expect_parse_fails("[1,]");
+  expect_parse_fails("{\"a\":}");
+  expect_parse_fails("{\"a\" 1}");
+  expect_parse_fails("{'a': 1}");
+  expect_parse_fails("[1] trailing");
+  expect_parse_fails("nul");
+  expect_parse_fails("\"unterminated");
+  expect_parse_fails("\"ctrl \x01 char\"");
+  expect_parse_fails("01x");
+  expect_parse_fails("-");
+}
+
+TEST(JsonTest, ParseErrorCarriesPosition) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{\n  \"a\": oops\n}", &error).has_value());
+  EXPECT_NE(error.find("2:"), std::string::npos) << error;
+}
+
+TEST(JsonTest, DeepNestingIsRejectedNotCrashed) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  expect_parse_fails(deep);
+}
+
+TEST(JsonTest, EqualityAcrossNumberFlavours) {
+  EXPECT_EQ(Json(u64{5}), Json(i64{5}));
+  EXPECT_EQ(Json(5.0), Json(u64{5}));
+  EXPECT_NE(Json(u64{5}), Json(i64{-5}));
+  Json a = Json::object();
+  a.set("x", u64{1});
+  Json b = Json::object();
+  b.set("x", u64{1});
+  EXPECT_EQ(a, b);
+  b.set("x", u64{2});
+  EXPECT_NE(a, b);
+}
+
+TEST(JsonTest, MissingKeyYieldsNullSentinel) {
+  const Json object = Json::object();
+  EXPECT_TRUE(object.at("nope").is_null());
+  EXPECT_FALSE(object.contains("nope"));
+}
+
+}  // namespace
+}  // namespace tlr::util

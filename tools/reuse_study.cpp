@@ -1,0 +1,375 @@
+// reuse_study: the study's publishing surface.
+//
+// Runs the trace-level reuse study under a named scale profile
+// (DESIGN.md §6), serializes every number as a stable-schema JSON
+// report (DESIGN.md §7), and can diff two reports with tolerances —
+// so golden-snapshot checking, CI artifact publication, and the
+// paper-scale run are all one process invocation:
+//
+//   reuse_study --profile laptop --out report.json
+//   reuse_study --profile ci --out report.json --compare baseline.json
+//   reuse_study --in a.json --compare b.json        (no run, diff only)
+//
+// Progress goes to stderr; the report goes to --out (or stdout).
+// Exit codes: 0 success / comparison passed, 1 usage or I/O error,
+// 2 comparison found differences.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "core/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace tlr;
+
+struct CliOptions {
+  std::string profile = "laptop";
+  std::vector<std::string> workloads;
+  bool run_series = true;  // figures 3-8
+  bool run_fig9 = true;
+  std::string out_path;
+  std::string compare_path;
+  std::string in_path;
+  core::EngineOptions engine;
+  std::optional<u64> skip, length, seed;
+  core::CompareOptions tolerances;
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: reuse_study [options]\n"
+        "\n"
+        "Runs the trace-level reuse study and emits a JSON report\n"
+        "(schema tlr-report/1).\n"
+        "\n"
+        "options:\n"
+        "  --profile NAME     scale profile: laptop, ci, paper\n"
+        "                     (default laptop)\n"
+        "  --workload NAME    analyze only NAME (repeatable; default:\n"
+        "                     the full 14-benchmark suite)\n"
+        "  --figure SPEC      figures to include: 3..9, all, none\n"
+        "                     (repeatable; default all). Figures 3-8\n"
+        "                     derive from one suite pass; 9 runs the\n"
+        "                     finite-RTM matrix, the expensive part.\n"
+        "  --out PATH         write the report to PATH (default stdout)\n"
+        "  --threads N        engine worker threads (default: all cores)\n"
+        "  --chunk N          stream chunk size in instructions\n"
+        "  --skip N           override the profile's warm-up skip\n"
+        "  --length N         override the profile's measured length\n"
+        "  --seed N           override the workload data seed\n"
+        "  --compare PATH     diff the report against baseline PATH;\n"
+        "                     exit 2 if they differ beyond tolerance\n"
+        "  --in PATH          load the report from PATH instead of\n"
+        "                     running the study (diff/re-emit mode)\n"
+        "  --rel-tol X        relative tolerance for --compare "
+        "(default 1e-9)\n"
+        "  --abs-tol X        absolute tolerance for --compare "
+        "(default 1e-12)\n"
+        "  --quiet            suppress progress output on stderr\n"
+        "  --list-profiles    print the profile table and exit\n"
+        "  --list-workloads   print the suite's workload names and exit\n"
+        "  --help             this text\n";
+}
+
+void list_profiles() {
+  for (const std::string_view name : core::ScaleProfile::names()) {
+    const core::ScaleProfile profile = *core::ScaleProfile::named(name);
+    std::cout << profile.name << ": skip " << profile.base.skip
+              << ", measure " << profile.base.length << ", window "
+              << profile.base.window << "\n";
+    for (const auto& entry : profile.overrides) {
+      std::cout << "  " << entry.workload << ": skip " << entry.skip
+                << ", measure " << entry.length << "\n";
+    }
+  }
+}
+
+bool parse_u64(const char* text, u64& out) {
+  // strtoull silently wraps negative input to a huge value; reject
+  // anything that does not start with a digit.
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+/// Applies one --figure SPEC; figures accumulate across repeats
+/// starting from "none" the first time the flag appears.
+bool apply_figure_spec(CliOptions& options, const std::string& spec,
+                       bool first) {
+  if (first) {
+    options.run_series = false;
+    options.run_fig9 = false;
+  }
+  if (spec == "all") {
+    options.run_series = true;
+    options.run_fig9 = true;
+    return true;
+  }
+  if (spec == "none") return true;
+  if (spec == "9") {
+    options.run_fig9 = true;
+    return true;
+  }
+  if (spec.size() == 1 && spec[0] >= '3' && spec[0] <= '8') {
+    // Figures 3-8 all derive from the same suite metrics; any of them
+    // selects the series block.
+    options.run_series = true;
+    return true;
+  }
+  return false;
+}
+
+int fail_usage(const std::string& message) {
+  std::cerr << "reuse_study: " << message << "\n";
+  std::cerr << "try: reuse_study --help\n";
+  return 1;
+}
+
+bool known_workload(const std::string& name) {
+  for (const std::string_view known : workloads::workload_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+int run(const CliOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  core::ScaleProfile profile;
+  util::Json report;
+
+  if (!options.in_path.empty()) {
+    std::string error;
+    const auto loaded = core::read_report_file(options.in_path, &error);
+    if (!loaded.has_value()) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    report = *loaded;
+  } else {
+    const auto named = core::ScaleProfile::named(options.profile);
+    if (!named.has_value()) {
+      return fail_usage("unknown profile '" + options.profile + "'");
+    }
+    profile = *named;
+    if (options.skip || options.length || options.seed) {
+      profile.name = "custom";
+      profile.overrides.clear();
+      if (options.skip) profile.base.skip = *options.skip;
+      if (options.length) profile.base.length = *options.length;
+      if (options.seed) profile.base.seed = *options.seed;
+    }
+
+    const auto start = Clock::now();
+    core::StudyEngine engine(options.engine);
+    const core::MetricOptions metric_options;
+
+    if (!options.quiet) {
+      std::cerr << "reuse_study: profile " << profile.name << " (skip "
+                << profile.base.skip << ", measure " << profile.base.length
+                << "), " << engine.thread_count() << " thread(s)\n";
+    }
+    const auto progress = [&](std::string_view workload, usize done,
+                              usize total) {
+      if (options.quiet) return;
+      std::cerr << "reuse_study: [" << done << "/" << total << "] "
+                << workload << "\n";
+    };
+    const std::vector<core::WorkloadMetrics> suite = engine.analyze_profile(
+        profile, metric_options, options.workloads, progress);
+
+    core::ReportFigures figures;
+    if (options.run_series) figures.series = {"3", "4", "5", "6", "7", "8"};
+    if (options.run_fig9) {
+      if (!options.quiet) {
+        std::cerr << "reuse_study: finite-RTM matrix (figure 9)\n";
+      }
+      core::Fig9Options fig9_options;
+      fig9_options.workloads = options.workloads;
+      usize last_percent = 0;
+      fig9_options.progress = [&](usize done, usize total) {
+        if (options.quiet) return;
+        const usize percent = done * 100 / total;
+        if (percent / 10 > last_percent / 10) {
+          std::cerr << "reuse_study: fig9 " << percent << "% (" << done
+                    << "/" << total << " jobs)\n";
+        }
+        last_percent = percent;
+      };
+      figures.fig9 = core::fig9_finite_rtm(engine, profile, fig9_options);
+    }
+
+    core::ReportMeta meta;
+    meta.threads = engine.thread_count();
+    meta.chunk_size = engine.options().chunk_size;
+    meta.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    report = core::build_report(profile, metric_options, suite, meta,
+                                figures);
+    if (!options.quiet) {
+      std::cerr << "reuse_study: done in " << meta.wall_seconds << "s\n";
+    }
+  }
+
+  if (!options.out_path.empty()) {
+    std::string error;
+    if (!core::write_report_file(report, options.out_path, &error)) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    if (!options.quiet) {
+      std::cerr << "reuse_study: wrote " << options.out_path << "\n";
+    }
+  } else if (options.compare_path.empty()) {
+    std::cout << report.dump(/*indent=*/2);
+  }
+
+  if (!options.compare_path.empty()) {
+    std::string error;
+    const auto baseline =
+        core::read_report_file(options.compare_path, &error);
+    if (!baseline.has_value()) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    const std::vector<std::string> diffs =
+        core::compare_reports(report, *baseline, options.tolerances);
+    if (!diffs.empty()) {
+      std::cerr << "reuse_study: report differs from "
+                << options.compare_path << " (" << diffs.size()
+                << " difference(s)):\n";
+      for (const std::string& diff : diffs) {
+        std::cerr << "  " << diff << "\n";
+      }
+      return 2;
+    }
+    if (!options.quiet) {
+      std::cerr << "reuse_study: report matches " << options.compare_path
+                << " (rel tol " << options.tolerances.rel_tol
+                << ", abs tol " << options.tolerances.abs_tol << ")\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  bool first_figure_spec = true;
+
+  const auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "reuse_study: " << flag << " needs a value\n";
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--list-profiles") {
+      list_profiles();
+      return 0;
+    } else if (arg == "--list-workloads") {
+      for (const std::string_view name : workloads::workload_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--profile") {
+      options.profile = next_value(i, "--profile");
+    } else if (arg == "--workload") {
+      const std::string name = next_value(i, "--workload");
+      if (!known_workload(name)) {
+        return fail_usage("unknown workload '" + name + "'");
+      }
+      options.workloads.push_back(name);
+    } else if (arg == "--figure") {
+      const std::string spec = next_value(i, "--figure");
+      if (!apply_figure_spec(options, spec, first_figure_spec)) {
+        return fail_usage("bad --figure '" + spec +
+                          "' (want 3..9, all, none)");
+      }
+      first_figure_spec = false;
+    } else if (arg == "--out") {
+      options.out_path = next_value(i, "--out");
+    } else if (arg == "--compare") {
+      options.compare_path = next_value(i, "--compare");
+    } else if (arg == "--in") {
+      options.in_path = next_value(i, "--in");
+    } else if (arg == "--threads") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--threads"), value)) {
+        return fail_usage("bad --threads value");
+      }
+      options.engine.threads = value;
+    } else if (arg == "--chunk") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--chunk"), value) || value == 0) {
+        return fail_usage("bad --chunk value");
+      }
+      options.engine.chunk_size = value;
+    } else if (arg == "--skip") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--skip"), value)) {
+        return fail_usage("bad --skip value");
+      }
+      options.skip = value;
+    } else if (arg == "--length") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--length"), value) || value == 0) {
+        return fail_usage("bad --length value");
+      }
+      options.length = value;
+    } else if (arg == "--seed") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--seed"), value)) {
+        return fail_usage("bad --seed value");
+      }
+      options.seed = value;
+    } else if (arg == "--rel-tol") {
+      double value = 0;
+      if (!parse_double(next_value(i, "--rel-tol"), value) || value < 0) {
+        return fail_usage("bad --rel-tol value");
+      }
+      options.tolerances.rel_tol = value;
+    } else if (arg == "--abs-tol") {
+      double value = 0;
+      if (!parse_double(next_value(i, "--abs-tol"), value) || value < 0) {
+        return fail_usage("bad --abs-tol value");
+      }
+      options.tolerances.abs_tol = value;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      return fail_usage("unknown option '" + arg + "'");
+    }
+  }
+
+  return run(options);
+}
