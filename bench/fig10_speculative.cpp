@@ -1,0 +1,53 @@
+// Figure 10 (ours): speculative trace reuse — what the limit study's
+// oracle pricing is worth once a realizable mechanism must *predict*
+// that a stored trace's inputs still hold and pay to be wrong.
+// Sweeps (predictor x squash penalty x RTM capacity) under the I4 EXP
+// collection heuristic and reports committed reuse, attempt accuracy
+// and the 256-entry-window speed-up against the base machine. The
+// oracle predictor row reproduces the limit pricing of
+// ext_realistic_timing exactly (DESIGN.md §8).
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlr;
+  const core::ScaleProfile profile =
+      bench::profile_from_env(/*default_length=*/150000);
+
+  core::StudyEngine engine(bench::engine_options_from_env());
+  core::Fig10Options options;
+  const core::Fig10Result result =
+      core::fig10_speculative_reuse(engine, profile, options);
+
+  std::cout << result.reuse_table().to_string()
+            << "(the oracle row is the limit study; realizable "
+               "prediction trades most of that coverage for the right "
+               "to be wrong cheaply)\n\n";
+  for (usize q = 0; q < result.penalties.size(); ++q) {
+    std::cout << result.speedup_table(q).to_string();
+  }
+  std::cout << "(oracle speed-ups are penalty-invariant — zero "
+               "misspeculation is the free lunch the limit study "
+               "assumes; the gap to the gated predictor prices "
+               "realizability)\n\n";
+
+  // Counters: one benchmark per (predictor, geometry) cell with the
+  // zero-penalty and worst-penalty speed-ups.
+  for (usize p = 0; p < result.predictors.size(); ++p) {
+    for (usize g = 0; g < result.geometries.size(); ++g) {
+      const core::Fig10Cell cell = result.cells[p][g];
+      benchmark::RegisterBenchmark(
+          ("fig10/" + result.predictors[p] + "/" + result.geometries[g])
+              .c_str(),
+          [cell](benchmark::State& state) {
+            for (auto _ : state) benchmark::DoNotOptimize(cell);
+            state.counters["reused_pct"] = cell.reuse_fraction * 100.0;
+            state.counters["accuracy_pct"] = cell.accuracy * 100.0;
+            state.counters["speedup_p0"] = cell.speedups.front();
+            state.counters["speedup_pmax"] = cell.speedups.back();
+          })
+          ->Iterations(1);
+    }
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -15,6 +15,12 @@
 // util::thread_pool with deterministic result slots: the engine
 // produces bit-identical results for any thread count and any chunk
 // size (see tests/core/engine_test.cpp).
+//
+// Consumer families (DESIGN.md §5): the per-instruction consumers and
+// the shared maximal-trace stage below, the finite-RTM limit simulator
+// (RtmSimConsumer), and the speculative-reuse simulator
+// (spec::SpecSimConsumer, DESIGN.md §8) which layers prediction and
+// misspeculation pricing on the same single-pass contract.
 #pragma once
 
 #include <functional>

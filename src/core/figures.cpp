@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/engine.hpp"
+#include "spec/consumer.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -309,6 +310,175 @@ Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
     for (usize g = 0; g < geometries.size(); ++g) {
       result.cells[h][g].reuse_fraction = arithmetic_mean(fracs[h][g]);
       result.cells[h][g].avg_trace_size = arithmetic_mean(sizes[h][g]);
+    }
+  }
+  return result;
+}
+
+// ---- Figure 10 -------------------------------------------------------
+
+std::vector<spec::PredictorConfig> fig10_predictors() {
+  std::vector<spec::PredictorConfig> predictors(3);
+  predictors[0].kind = spec::PredictorKind::kOracle;
+  predictors[1].kind = spec::PredictorKind::kLastValue;
+  predictors[2].kind = spec::PredictorKind::kConfidence;
+  return predictors;
+}
+
+TextTable Fig10Result::speedup_table(usize penalty_index) const {
+  TLR_ASSERT(penalty_index < penalties.size());
+  TextTable table("Figure 10: speculative trace-reuse speed-up, penalty " +
+                  std::to_string(penalties[penalty_index]) + " cycles");
+  std::vector<std::string> headers = {"predictor"};
+  for (const std::string& label : geometries) {
+    headers.push_back(label + " traces");
+  }
+  table.set_columns(std::move(headers));
+  for (usize p = 0; p < predictors.size(); ++p) {
+    table.begin_row();
+    table.add_cell(predictors[p]);
+    for (usize g = 0; g < geometries.size(); ++g) {
+      table.add_number(cells[p][g].speedups[penalty_index], 3);
+    }
+  }
+  return table;
+}
+
+TextTable Fig10Result::reuse_table() const {
+  TextTable table(
+      "Figure 10: committed reuse (%) and attempt accuracy (%), "
+      "speculative RTM");
+  std::vector<std::string> headers = {"predictor"};
+  for (const std::string& label : geometries) {
+    headers.push_back(label + " reused");
+    headers.push_back(label + " accuracy");
+  }
+  table.set_columns(std::move(headers));
+  for (usize p = 0; p < predictors.size(); ++p) {
+    table.begin_row();
+    table.add_cell(predictors[p]);
+    for (usize g = 0; g < geometries.size(); ++g) {
+      table.add_number(cells[p][g].reuse_fraction * 100.0, 1);
+      table.add_number(cells[p][g].accuracy * 100.0, 1);
+    }
+  }
+  return table;
+}
+
+Fig10Result fig10_speculative_reuse(StudyEngine& engine,
+                                    const ScaleProfile& profile,
+                                    const Fig10Options& options) {
+  const std::vector<spec::PredictorConfig> predictors =
+      options.predictors.empty() ? fig10_predictors() : options.predictors;
+  const auto geometries = fig9_geometries();
+  TLR_ASSERT(!options.penalties.empty());
+  std::vector<std::string> names(options.workloads.begin(),
+                                 options.workloads.end());
+  if (names.empty()) {
+    for (const std::string_view name : workloads::workload_names()) {
+      names.emplace_back(name);
+    }
+  }
+
+  Fig10Result result;
+  for (const spec::PredictorConfig& config : predictors) {
+    result.predictors.emplace_back(spec::predictor_name(config.kind));
+  }
+  result.penalties = options.penalties;
+  for (const auto& [label, geometry] : geometries) {
+    result.geometries.push_back(label);
+  }
+  result.cells.assign(predictors.size(),
+                      std::vector<Fig10Cell>(geometries.size()));
+
+  // Per (predictor, geometry), per-benchmark accumulators in fixed
+  // workload slots — deterministic aggregation for any job order.
+  struct WorkloadCell {
+    double frac = 0, misspec_rate = 0;
+    u64 correct = 0, attempts = 0;
+    std::vector<double> speedups;
+  };
+  std::vector<std::vector<std::vector<WorkloadCell>>> raw(
+      predictors.size(),
+      std::vector<std::vector<WorkloadCell>>(
+          geometries.size(), std::vector<WorkloadCell>(names.size())));
+
+  // One chunked pass per (workload, predictor): all four RTM
+  // capacities consume it at once, each priced at every penalty off a
+  // single simulator (the functional run is penalty-independent), plus
+  // the shared base-machine denominator.
+  std::mutex progress_mutex;
+  usize done = 0;
+  const usize total = names.size() * predictors.size();
+  engine.parallel_for(total, [&](usize job) {
+    const usize w = job / predictors.size();
+    const usize p = job % predictors.size();
+    const SuiteConfig config = profile.config_for(names[w]);
+
+    timing::TimerConfig timer_config;
+    timer_config.window = config.window;
+
+    TimingConsumer base(TimingConsumer::Mode::kBase, timer_config);
+    std::vector<std::unique_ptr<spec::SpecSimConsumer>> sims;
+    std::vector<StreamConsumer*> consumers = {&base};
+    for (usize g = 0; g < geometries.size(); ++g) {
+      spec::RtmSpecConfig spec_config;
+      spec_config.sim.geometry = geometries[g].second;
+      spec_config.sim.heuristic = options.heuristic;
+      spec_config.sim.fixed_n = options.fixed_n;
+      spec_config.predictor = predictors[p];
+      sims.push_back(std::make_unique<spec::SpecSimConsumer>(spec_config));
+      for (const Cycle penalty : options.penalties) {
+        sims.back()->add_timer(timer_config, penalty);
+      }
+      consumers.push_back(sims.back().get());
+    }
+    engine.run_workload_stream(names[w], config, consumers);
+
+    const timing::TimerResult base_result = base.result();
+    for (usize g = 0; g < geometries.size(); ++g) {
+      const spec::RtmSpecResult& sim = sims[g]->result();
+      WorkloadCell& cell = raw[p][g][w];
+      cell.frac = sim.sim.reuse_fraction();
+      cell.correct = sim.spec.correct;
+      cell.attempts = sim.spec.attempts();
+      cell.misspec_rate = sim.misspec_rate();
+      for (usize q = 0; q < options.penalties.size(); ++q) {
+        cell.speedups.push_back(
+            timing::speedup(base_result, sims[g]->timer(q).result()));
+      }
+    }
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(++done, total);
+    }
+  });
+
+  for (usize p = 0; p < predictors.size(); ++p) {
+    for (usize g = 0; g < geometries.size(); ++g) {
+      Fig10Cell& cell = result.cells[p][g];
+      std::vector<double> fracs, rates;
+      u64 correct = 0, attempts = 0;
+      for (const WorkloadCell& raw_cell : raw[p][g]) {
+        fracs.push_back(raw_cell.frac);
+        rates.push_back(raw_cell.misspec_rate);
+        correct += raw_cell.correct;
+        attempts += raw_cell.attempts;
+      }
+      cell.reuse_fraction = arithmetic_mean(fracs);
+      // Pooled, not a mean of per-workload ratios: a workload that
+      // never attempts must not contribute phantom accuracy.
+      cell.accuracy = attempts == 0 ? 0.0
+                                    : static_cast<double>(correct) /
+                                          static_cast<double>(attempts);
+      cell.misspec_rate = arithmetic_mean(rates);
+      for (usize q = 0; q < options.penalties.size(); ++q) {
+        std::vector<double> speedups;
+        for (const WorkloadCell& raw_cell : raw[p][g]) {
+          speedups.push_back(raw_cell.speedups[q]);
+        }
+        cell.speedups.push_back(harmonic_mean(speedups));
+      }
     }
   }
   return result;

@@ -11,6 +11,7 @@
 #include "core/profile.hpp"
 #include "core/study.hpp"
 #include "reuse/rtm_sim.hpp"
+#include "spec/predictor.hpp"
 #include "util/table.hpp"
 
 namespace tlr::core {
@@ -118,5 +119,59 @@ struct Fig9Options {
 /// windows from `profile` (the report pipeline's entry point).
 Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
                            const Fig9Options& options = {});
+
+// ---- Figure 10 (ours): speculative trace reuse -------------------------
+//
+// The limit study prices reuse with the oracle rule; fig10 sweeps the
+// realizable side of that bound: (predictor x squash penalty x RTM
+// capacity) under one trace-collection heuristic, reporting committed
+// reuse, attempt accuracy, misspeculation rate and the finite-window
+// speed-up against the base machine (DESIGN.md §8). The oracle
+// predictor at any penalty recovers the limit pricing exactly.
+
+/// The default predictor set, in row order: oracle, last_value,
+/// confidence.
+std::vector<spec::PredictorConfig> fig10_predictors();
+
+struct Fig10Options {
+  /// Predictor rows; empty means fig10_predictors().
+  std::vector<spec::PredictorConfig> predictors;
+  /// Squash/recovery penalties (cycles) for the speed-up sweep.
+  std::vector<Cycle> penalties = {0, 8, 32};
+  /// Trace-collection heuristic shared by every cell (the predictor is
+  /// the axis under study; I4 EXP is fig9's balanced middle).
+  reuse::CollectHeuristic heuristic = reuse::CollectHeuristic::kFixedExpand;
+  u32 fixed_n = 4;
+  /// Workload subset; empty means the full suite in figure order.
+  std::vector<std::string> workloads;
+  /// Invoked (under a lock) after each (workload, predictor) job.
+  std::function<void(usize done, usize total)> progress;
+};
+
+struct Fig10Cell {
+  double reuse_fraction = 0.0;  // committed reuse (arithmetic mean)
+  double accuracy = 0.0;        // attempt accuracy (suite-pooled ratio)
+  double misspec_rate = 0.0;    // misspecs/instruction (arithmetic mean)
+  /// Harmonic-mean speed-up vs the base machine, one per penalty.
+  std::vector<double> speedups;
+};
+
+struct Fig10Result {
+  std::vector<std::string> predictors;  // labels, row order
+  std::vector<Cycle> penalties;
+  std::vector<std::string> geometries;  // fig9's capacity labels
+  // cells[p][g]: predictor p under geometry g.
+  std::vector<std::vector<Fig10Cell>> cells;
+
+  TextTable speedup_table(usize penalty_index) const;
+  TextTable reuse_table() const;
+};
+
+/// Runs the speculative-reuse matrix over the suite: one chunked pass
+/// per (workload, predictor) feeds all geometries, each priced at
+/// every penalty (the functional simulation is penalty-independent).
+Fig10Result fig10_speculative_reuse(StudyEngine& engine,
+                                    const ScaleProfile& profile,
+                                    const Fig10Options& options = {});
 
 }  // namespace tlr::core

@@ -156,6 +156,52 @@ Json fig9_to_json(const Fig9Result& result) {
   return json;
 }
 
+Json fig10_to_json(const Fig10Result& result) {
+  Json json = Json::object();
+  Json predictors = Json::array();
+  for (const std::string& label : result.predictors) {
+    predictors.push_back(Json(label));
+  }
+  json.set("predictors", std::move(predictors));
+  Json penalties = Json::array();
+  for (const Cycle penalty : result.penalties) {
+    penalties.push_back(Json(u64{penalty}));
+  }
+  json.set("penalties", std::move(penalties));
+  Json geometries = Json::array();
+  for (const std::string& label : result.geometries) {
+    geometries.push_back(Json(label));
+  }
+  json.set("geometries", std::move(geometries));
+
+  Json fractions = Json::array();
+  Json accuracies = Json::array();
+  Json rates = Json::array();
+  Json speedups = Json::array();
+  for (const auto& row : result.cells) {
+    Json fraction_row = Json::array();
+    Json accuracy_row = Json::array();
+    Json rate_row = Json::array();
+    Json speedup_row = Json::array();
+    for (const Fig10Cell& cell : row) {
+      fraction_row.push_back(Json(cell.reuse_fraction));
+      accuracy_row.push_back(Json(cell.accuracy));
+      rate_row.push_back(Json(cell.misspec_rate));
+      speedup_row.push_back(doubles_to_json(cell.speedups));
+    }
+    fractions.push_back(std::move(fraction_row));
+    accuracies.push_back(std::move(accuracy_row));
+    rates.push_back(std::move(rate_row));
+    speedups.push_back(std::move(speedup_row));
+  }
+  json.set("reuse_fraction", std::move(fractions));
+  json.set("accuracy", std::move(accuracies));
+  json.set("misspec_rate", std::move(rates));
+  // speedup[p][g][q]: predictor p, geometry g, penalty q.
+  json.set("speedup", std::move(speedups));
+  return json;
+}
+
 Json build_report(const ScaleProfile& profile, const MetricOptions& options,
                   const std::vector<WorkloadMetrics>& suite,
                   const ReportMeta& meta, const ReportFigures& figures) {
@@ -222,6 +268,9 @@ Json build_report(const ScaleProfile& profile, const MetricOptions& options,
   }
   if (figures.fig9.has_value()) {
     figures_json.set("fig9", fig9_to_json(*figures.fig9));
+  }
+  if (figures.fig10.has_value()) {
+    figures_json.set("fig10", fig10_to_json(*figures.fig10));
   }
   report.set("figures", std::move(figures_json));
   return report;

@@ -44,6 +44,11 @@ struct ReportFigures {
   /// Which of figures 3-8 to derive ("3".."8"); empty means none.
   std::vector<std::string> series;
   std::optional<Fig9Result> fig9;
+  /// Speculative-reuse matrix (ours). Emitted as an ordered "fig10"
+  /// key after fig9 when present — the schema stays "tlr-report/1"
+  /// because the section is additive and absent unless the matrix ran,
+  /// so every previously committed golden stays byte-identical.
+  std::optional<Fig10Result> fig10;
 
   static ReportFigures all_series();
 };
@@ -51,6 +56,7 @@ struct ReportFigures {
 util::Json workload_to_json(const WorkloadMetrics& metrics);
 util::Json series_to_json(const BenchSeries& series);
 util::Json fig9_to_json(const Fig9Result& result);
+util::Json fig10_to_json(const Fig10Result& result);
 
 /// Assembles the full report document. Key order is part of the
 /// schema: schema, meta, profile, options, workloads, figures.

@@ -95,6 +95,37 @@ std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
   return result;
 }
 
+void Rtm::peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const {
+  const u32 set = set_index(pc);
+  const Way* base = &ways_[u64{set} * geometry_.pc_ways];
+  const Way* way = nullptr;
+  for (u32 w = 0; w < geometry_.pc_ways; ++w) {
+    if (base[w].valid && base[w].pc == pc) {
+      way = &base[w];
+      break;
+    }
+  }
+  if (way == nullptr) return;
+
+  // Every (stamp, slot) pair carries a distinct stamp — each clock tick
+  // touches exactly one slot — so the MRU order is total.
+  struct Stamped {
+    u64 stamp;
+    const StoredTrace* trace;
+  };
+  SmallVector<Stamped, 16> found;
+  for (const Slot& slot : way->slots) {
+    if (!slot.valid) continue;
+    if (test_ == ReuseTestKind::kValidBit && !slot.live) continue;
+    found.push_back({slot.stamp, &slot.trace});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Stamped& a, const Stamped& b) {
+              return a.stamp > b.stamp;
+            });
+  for (const Stamped& entry : found) out.push_back(entry.trace);
+}
+
 void Rtm::insert(const StoredTrace& trace) {
   TLR_ASSERT(trace.length > 0);
   max_stored_length_ = std::max(max_stored_length_, trace.length);

@@ -174,6 +174,15 @@ class Rtm {
   /// first) for one whose every input matches the current state.
   std::optional<LookupResult> lookup(isa::Pc pc, const ArchShadow& state);
 
+  /// Side-effect-free candidate enumeration: every trace stored for
+  /// `pc`, MRU first, with no value test, no LRU touch and no stats.
+  /// This is what a speculative mechanism sees at fetch — the stored
+  /// traces, but not which of them (if any) still matches the state
+  /// (spec::RtmSpecSimulator). In valid-bit mode only live entries are
+  /// listed, mirroring the lookup filter. Pointers stay valid until the
+  /// next insert/replace.
+  void peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const;
+
   /// Store a collected trace (LRU replacement at both levels). A trace
   /// with identical content to a stored one only refreshes LRU.
   void insert(const StoredTrace& trace);

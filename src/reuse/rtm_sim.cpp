@@ -9,8 +9,6 @@ namespace tlr::reuse {
 using isa::DynInst;
 using isa::Loc;
 
-namespace {
-
 timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index) {
   timing::PlanTrace plan_trace;
   plan_trace.first_index = first_index;
@@ -25,8 +23,6 @@ timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index) {
   return plan_trace;
 }
 
-}  // namespace
-
 RtmSimulator::RtmSimulator(const RtmSimConfig& config)
     : config_(config),
       rtm_(config.geometry, config.reuse_test),
@@ -36,6 +32,13 @@ RtmSimulator::RtmSimulator(const RtmSimConfig& config)
     // "This memory has as many entries as the RTM" (§4.6).
     ilr_.emplace(config_.geometry.total_entries());
   }
+}
+
+void RtmSimulator::set_spec_gate(SpecGate* gate) {
+  TLR_ASSERT_MSG(config_.reuse_test == ReuseTestKind::kValueCompare,
+                 "speculation gating requires the value-compare test");
+  TLR_ASSERT_MSG(buf_.empty() && !finished_, "set the gate before feeding");
+  gate_ = gate;
 }
 
 void RtmSimulator::feed(std::span<const DynInst> insts) {
@@ -75,6 +78,10 @@ void RtmSimulator::drain(bool stream_done) {
     }
 
     // ---- reuse test at every fetch (§4.6) ---------------------------
+    if (gate_ != nullptr) {
+      resolve_front_gated(avail);
+      continue;
+    }
     const DynInst& inst = buf_[buf_pos_];
     const auto hit = rtm_.lookup(inst.pc, shadow_);
     if (hit.has_value() && hit->trace->length <= avail) {
@@ -85,6 +92,66 @@ void RtmSimulator::drain(bool stream_done) {
     }
   }
   compact_buffer();
+}
+
+/// Gated fetch (DESIGN.md §8): the actual reuse test still runs first —
+/// with exactly the limit simulator's LRU/stat side effects, so the
+/// oracle gate is bit-identical to no gate — but the *commit* decision
+/// belongs to the gate. An attempt is verified against the current
+/// state: agreement commits the reuse, disagreement squashes (the
+/// instructions then re-execute through the normal path).
+void RtmSimulator::resolve_front_gated(usize avail) {
+  const DynInst& inst = buf_[buf_pos_];
+  const auto hit = rtm_.lookup(inst.pc, shadow_);
+  const StoredTrace* oracle_choice =
+      (hit.has_value() && hit->trace->length <= avail) ? hit->trace : nullptr;
+
+  peek_buf_.clear();
+  rtm_.peek(inst.pc, peek_buf_);
+  if (peek_buf_.empty()) {
+    execute_front();
+    return;
+  }
+
+  SpecGate::Fetch fetch;
+  fetch.pc = inst.pc;
+  fetch.candidates = std::span<const StoredTrace* const>(peek_buf_.begin(),
+                                                         peek_buf_.size());
+  fetch.oracle_choice = oracle_choice;
+  fetch.state = &shadow_;
+
+  const StoredTrace* pick = gate_->decide(fetch);
+  if (pick == nullptr) {
+    gate_->on_outcome(fetch, nullptr,
+                      oracle_choice != nullptr ? SpecOutcome::kMissed
+                                               : SpecOutcome::kDecline);
+    execute_front();
+    return;
+  }
+
+  bool verified = pick->length <= avail;
+  if (verified) {
+    for (const LocVal& in : pick->inputs) {
+      const auto current = shadow_.value(in.loc);
+      if (!current.has_value() || *current != in.value) {
+        verified = false;
+        break;
+      }
+    }
+  }
+  if (verified) {
+    const StoredTrace trace = *pick;  // copy: the RTM may mutate
+    gate_->on_outcome(fetch, pick, SpecOutcome::kCorrect);
+    take_reuse(trace);
+  } else {
+    gate_->on_outcome(fetch, pick, SpecOutcome::kMisspec);
+    execute_front();
+  }
+}
+
+void RtmSimulator::store(const StoredTrace& trace) {
+  rtm_.insert(trace);
+  if (gate_ != nullptr) gate_->on_store(trace);
 }
 
 void RtmSimulator::take_reuse(const StoredTrace& trace) {
@@ -104,7 +171,7 @@ void RtmSimulator::take_reuse(const StoredTrace& trace) {
       ext_acc_.empty()) {
     if (auto merged =
             TraceAccumulator::merge(ext_base_, trace, config_.limits)) {
-      rtm_.insert(*merged);
+      store(*merged);
       ++result_.merges;
     }
   }
@@ -213,7 +280,7 @@ void RtmSimulator::flush_ext() {
       // original keeps matching when the longer one cannot, so
       // expansion grows trace sizes without sacrificing reusability
       // (the paper's Fig 9 observation).
-      rtm_.insert(*merged);
+      store(*merged);
       ++result_.expansions;
     }
   }
@@ -222,7 +289,7 @@ void RtmSimulator::flush_ext() {
 }
 
 void RtmSimulator::flush_acc() {
-  if (!acc_.empty()) rtm_.insert(acc_.finalize());
+  if (!acc_.empty()) store(acc_.finalize());
 }
 
 void RtmSimulator::compact_buffer() {

@@ -84,6 +84,55 @@ struct RtmSimResult {
   timing::ReusePlan plan;  // populated when config.build_plan
 };
 
+/// Converts a stored trace to the timing layer's reuse annotation;
+/// `first_index` stamps the trace's dynamic stream position.
+timing::PlanTrace to_plan_trace(const StoredTrace& trace, u64 first_index);
+
+/// How one fetch-time speculation attempt resolved (SpecGate).
+enum class SpecOutcome : u8 {
+  kCorrect,  // attempted, and the actual reuse test agreed
+  kMisspec,  // attempted, but the trace's inputs no longer held: squash
+  kMissed,   // no attempt although the actual test would have hit
+  kDecline,  // no attempt, and the actual test would have missed too
+};
+
+/// Speculation hook: intercepts the commit decision at every fetch
+/// with stored candidate traces. Without a gate the simulator takes
+/// every actual reuse-test hit — the limit behaviour; with one, the
+/// gate picks the trace to *attempt* (without seeing the value test)
+/// and the simulator verifies, commits or squashes, and reports the
+/// outcome. The oracle gate (return `oracle_choice`) reproduces the
+/// limit simulator bit-for-bit. See spec::RtmSpecSimulator.
+class SpecGate {
+ public:
+  virtual ~SpecGate() = default;
+
+  /// One fetch with stored candidates, as the gate sees it.
+  struct Fetch {
+    isa::Pc pc = isa::kInvalidPc;
+    /// Stored traces at `pc`, MRU first (Rtm::peek).
+    std::span<const StoredTrace* const> candidates;
+    /// The trace the actual (oracle) reuse test selects, or nullptr on
+    /// an actual miss. Realizable policies must not read it.
+    const StoredTrace* oracle_choice = nullptr;
+    /// Current architectural state — resolution-time training only.
+    const ArchShadow* state = nullptr;
+  };
+
+  /// The trace to speculatively attempt, or nullptr for no attempt.
+  virtual const StoredTrace* decide(const Fetch& fetch) = 0;
+
+  /// Outcome classification for the fetch, reported before the
+  /// resulting commit/execute events reach any RtmEventSink — so a
+  /// misspeculation penalty can be priced ahead of the squashed
+  /// instructions' re-execution.
+  virtual void on_outcome(const Fetch& fetch, const StoredTrace* attempted,
+                          SpecOutcome outcome) = 0;
+
+  /// A collected or expanded trace was stored at its start PC.
+  virtual void on_store(const StoredTrace& trace) = 0;
+};
+
 /// In-order listener on the simulated fetch stream: every dynamic
 /// instruction is reported exactly once, either individually executed
 /// or as part of a reused trace, in stream order. Lets the dataflow
@@ -104,6 +153,11 @@ class RtmSimulator {
   /// Optional event listener (see RtmEventSink). Set before feeding.
   void set_event_sink(RtmEventSink* sink) { event_sink_ = sink; }
 
+  /// Optional speculation gate (see SpecGate). Set before feeding.
+  /// Value-compare reuse test only: the valid-bit test is itself the
+  /// single-cycle mechanism speculation would approximate.
+  void set_spec_gate(SpecGate* gate);
+
   /// Streaming interface: feed consecutive pieces of the dynamic
   /// stream (any granularity), then call finish() exactly once. A
   /// simulator instance handles one stream.
@@ -115,6 +169,8 @@ class RtmSimulator {
 
  private:
   void drain(bool stream_done);
+  void resolve_front_gated(usize avail);
+  void store(const StoredTrace& trace);
   void take_reuse(const StoredTrace& trace);
   void execute_front();
   void collect(const isa::DynInst& inst, std::optional<bool> pre_tested);
@@ -143,6 +199,8 @@ class RtmSimulator {
   u64 base_index_ = 0;
 
   RtmEventSink* event_sink_ = nullptr;
+  SpecGate* gate_ = nullptr;
+  SmallVector<const StoredTrace*, 16> peek_buf_;
   bool finished_ = false;
   RtmSimResult result_;
 };

@@ -1,0 +1,65 @@
+// Engine integration: speculative reuse as a first-class
+// core::StudyEngine stream consumer (DESIGN.md §5 consumer set, §8).
+//
+// One SpecSimConsumer runs one (geometry, predictor) speculative
+// simulation off the shared chunked pass and prices its fetch stream
+// with any number of SpecTimers at once — the functional simulation is
+// penalty-independent, so a whole penalty sweep rides on a single
+// simulator. The §5 invariants hold: the wrapped RtmSimulator buffers
+// only its bounded lookahead, and results are bit-identical for any
+// thread count and chunk size.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "spec/spec_sim.hpp"
+#include "spec/spec_timer.hpp"
+
+namespace tlr::spec {
+
+class SpecSimConsumer final : public core::StreamConsumer,
+                              private SpecEventSink {
+ public:
+  explicit SpecSimConsumer(const RtmSpecConfig& config) : sim_(config) {
+    sim_.add_sink(this);
+  }
+
+  // The simulator holds a pointer back to this object as its sink.
+  SpecSimConsumer(const SpecSimConsumer&) = delete;
+  SpecSimConsumer& operator=(const SpecSimConsumer&) = delete;
+
+  /// Attach a timer pricing the simulated fetch stream with `penalty`
+  /// squash/recovery cycles per misspeculation. Call before feeding.
+  void add_timer(const timing::TimerConfig& config, Cycle penalty) {
+    timers_.push_back(std::make_unique<SpecTimer>(config, penalty));
+  }
+
+  void consume(const core::ChunkView& chunk) override {
+    sim_.feed(chunk.insts);
+  }
+  void finish(u64) override { result_ = sim_.finish(); }
+
+  const RtmSpecResult& result() const { return result_; }
+  usize timer_count() const { return timers_.size(); }
+  const SpecTimer& timer(usize index) const { return *timers_[index]; }
+
+ private:
+  void on_executed(const isa::DynInst& inst) override {
+    for (const auto& timer : timers_) timer->step_normal(inst);
+  }
+  void on_reused(std::span<const isa::DynInst> insts,
+                 const timing::PlanTrace& trace) override {
+    for (const auto& timer : timers_) timer->step_trace(insts, trace);
+  }
+  void on_misspec(const timing::PlanTrace& attempted) override {
+    for (const auto& timer : timers_) timer->note_misspec(attempted);
+  }
+
+  RtmSpecSimulator sim_;
+  std::vector<std::unique_ptr<SpecTimer>> timers_;
+  RtmSpecResult result_;
+};
+
+}  // namespace tlr::spec

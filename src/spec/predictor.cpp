@@ -1,0 +1,181 @@
+#include "spec/predictor.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/small_vector.hpp"
+
+namespace tlr::spec {
+
+using reuse::LocVal;
+using reuse::SpecGate;
+using reuse::SpecOutcome;
+using reuse::StoredTrace;
+
+std::string_view predictor_name(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kOracle: return "oracle";
+    case PredictorKind::kLastValue: return "last_value";
+    case PredictorKind::kConfidence: return "confidence";
+  }
+  return "?";
+}
+
+std::optional<PredictorKind> predictor_from_name(std::string_view name) {
+  if (name == "oracle") return PredictorKind::kOracle;
+  if (name == "last_value") return PredictorKind::kLastValue;
+  if (name == "confidence") return PredictorKind::kConfidence;
+  return std::nullopt;
+}
+
+namespace {
+
+class OraclePredictor final : public TracePredictor {
+ public:
+  std::string_view name() const override { return "oracle"; }
+  const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
+    return fetch.oracle_choice;
+  }
+  void train(const SpecGate::Fetch&, const StoredTrace*,
+             SpecOutcome) override {}
+  void on_store(const StoredTrace&) override {}
+};
+
+/// Per-PC last-value input prediction: remember, per initial PC, the
+/// values the candidate input locations held at the previous
+/// resolution of that PC; predict they still hold and attempt the
+/// first (MRU) candidate whose stored inputs match the remembered
+/// snapshot. Misspeculates exactly when an input changed between two
+/// visits — the loop-carried case a real mechanism has to survive.
+class LastValuePredictor : public TracePredictor {
+ public:
+  std::string_view name() const override { return "last_value"; }
+
+  const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
+    const auto it = snapshots_.find(fetch.pc);
+    if (it == snapshots_.end()) return nullptr;
+    for (const StoredTrace* candidate : fetch.candidates) {
+      if (matches(*candidate, it->second)) return candidate;
+    }
+    return nullptr;
+  }
+
+  void train(const SpecGate::Fetch& fetch, const StoredTrace*,
+             SpecOutcome) override {
+    // Remember the values the candidates' input locations hold *now*:
+    // the prediction for this PC's next visit.
+    Snapshot& snapshot = snapshots_[fetch.pc];
+    for (const StoredTrace* candidate : fetch.candidates) {
+      for (const LocVal& in : candidate->inputs) {
+        if (const auto value = fetch.state->value(in.loc)) {
+          remember(snapshot, in.loc, *value);
+        }
+      }
+    }
+  }
+
+  void on_store(const StoredTrace& trace) override {
+    // A freshly collected trace's inputs were the live values.
+    Snapshot& snapshot = snapshots_[trace.start_pc];
+    for (const LocVal& in : trace.inputs) {
+      remember(snapshot, in.loc, in.value);
+    }
+  }
+
+ private:
+  using Snapshot = SmallVector<LocVal, 12>;
+
+  static void remember(Snapshot& snapshot, u64 loc, u64 value) {
+    for (LocVal& entry : snapshot) {
+      if (entry.loc == loc) {
+        entry.value = value;
+        return;
+      }
+    }
+    if (snapshot.size() < kMaxSnapshot) snapshot.push_back({loc, value});
+  }
+
+  static bool matches(const StoredTrace& candidate,
+                      const Snapshot& snapshot) {
+    for (const LocVal& in : candidate.inputs) {
+      bool found = false;
+      for (const LocVal& entry : snapshot) {
+        if (entry.loc == in.loc) {
+          found = entry.value == in.value;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  // Traces carry at most 8 register + 4 memory inputs (TraceLimits);
+  // the union over a PC's candidates rarely exceeds that, and a capped
+  // snapshot only costs conservative no-attempts.
+  static constexpr usize kMaxSnapshot = 24;
+
+  std::unordered_map<isa::Pc, Snapshot> snapshots_;
+};
+
+/// The last-value pick, gated by a per-PC saturating confidence
+/// counter trained on the actual reuse test's outcome: a PC only
+/// attempts once the test has been seen to hit, and backs off after
+/// misses — trading missed opportunities for fewer squashes.
+class ConfidencePredictor final : public LastValuePredictor {
+ public:
+  explicit ConfidencePredictor(const PredictorConfig& config)
+      : max_((u64{1} << config.confidence_bits) - 1),
+        threshold_(config.confidence_threshold),
+        initial_(std::min<u64>(config.initial_confidence, max_)) {
+    TLR_ASSERT(config.confidence_bits >= 1 &&
+               config.confidence_bits <= 16);
+    TLR_ASSERT(threshold_ <= max_);
+  }
+
+  std::string_view name() const override { return "confidence"; }
+
+  const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
+    const auto it = counters_.find(fetch.pc);
+    const u64 confidence = it == counters_.end() ? initial_ : it->second;
+    if (confidence < threshold_) return nullptr;
+    return LastValuePredictor::choose(fetch);
+  }
+
+  void train(const SpecGate::Fetch& fetch, const StoredTrace* attempted,
+             SpecOutcome outcome) override {
+    LastValuePredictor::train(fetch, attempted, outcome);
+    u64& counter = counters_.try_emplace(fetch.pc, initial_).first->second;
+    if (outcome == SpecOutcome::kMisspec) {
+      counter = 0;  // a squash costs real cycles: back off hard
+    } else if (outcome == SpecOutcome::kCorrect ||
+               fetch.oracle_choice != nullptr) {
+      counter = std::min(max_, counter + 1);
+    } else if (counter > 0) {
+      --counter;
+    }
+  }
+
+ private:
+  u64 max_;
+  u64 threshold_;
+  u64 initial_;
+  std::unordered_map<isa::Pc, u64> counters_;
+};
+
+}  // namespace
+
+std::unique_ptr<TracePredictor> make_predictor(const PredictorConfig& config) {
+  switch (config.kind) {
+    case PredictorKind::kOracle:
+      return std::make_unique<OraclePredictor>();
+    case PredictorKind::kLastValue:
+      return std::make_unique<LastValuePredictor>();
+    case PredictorKind::kConfidence:
+      return std::make_unique<ConfidencePredictor>(config);
+  }
+  TLR_ASSERT_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+}  // namespace tlr::spec

@@ -1,0 +1,86 @@
+// Trace-reuse predictors (DESIGN.md §8).
+//
+// The limit study commits a reuse whenever the RTM's value-compare
+// test passes — an oracle: reading and comparing every stored input
+// value at fetch is exactly the serial work a real front end cannot
+// afford. A realizable mechanism *predicts* whether a stored trace's
+// inputs still hold, consumes its outputs speculatively, and verifies
+// in the background; a wrong prediction squashes and pays a recovery
+// penalty (spec::SpecTimer). A TracePredictor is that fetch-time
+// policy: it picks which stored trace to attempt — or none — from the
+// candidate set alone, without running the value test.
+//
+// Three policies span the design space:
+//   kOracle     always attempts the actual test's pick: reproduces the
+//               limit study bit-for-bit (zero misspeculation).
+//   kLastValue  per-PC last-value input prediction: attempt the first
+//               (MRU) candidate whose stored inputs match the values
+//               those locations held at this PC's previous resolution.
+//   kConfidence the last-value pick, gated by a per-PC saturating
+//               confidence counter trained on whether the actual test
+//               hits; cold or recently-wrong PCs do not attempt.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "reuse/rtm_sim.hpp"
+#include "util/types.hpp"
+
+namespace tlr::spec {
+
+enum class PredictorKind : u8 {
+  kOracle,
+  kLastValue,
+  kConfidence,
+};
+
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::kOracle;
+
+  // Confidence gate shape (kConfidence only): an n-bit saturating
+  // counter per initial PC, attempt at `threshold` and above. The
+  // default 2-bit / threshold-2 / start-1 counter needs one observed
+  // would-hit before the first attempt and two consecutive would-
+  // misses to back off — the classic weakly-biased two-bit scheme.
+  u32 confidence_bits = 2;
+  u32 confidence_threshold = 2;
+  u32 initial_confidence = 1;
+};
+
+/// Stable policy names ("oracle", "last_value", "confidence") — CLI
+/// flags and report labels.
+std::string_view predictor_name(PredictorKind kind);
+std::optional<PredictorKind> predictor_from_name(std::string_view name);
+
+/// Fetch-time reuse policy. One instance serves one simulated stream;
+/// implementations are deterministic functions of the fetch sequence.
+class TracePredictor {
+ public:
+  virtual ~TracePredictor() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// The stored trace to speculatively attempt, or nullptr. Realizable
+  /// policies must decide from `fetch.candidates` and their own
+  /// trained state only; `fetch.oracle_choice` is for kOracle.
+  virtual const reuse::StoredTrace* choose(
+      const reuse::SpecGate::Fetch& fetch) = 0;
+
+  /// Resolution-time training: by the time a fetch resolves (the
+  /// attempt verified, or the instructions executed) the mechanism has
+  /// learned the actual input values, so reading `fetch.state` and the
+  /// actual outcome here is realizable.
+  virtual void train(const reuse::SpecGate::Fetch& fetch,
+                     const reuse::StoredTrace* attempted,
+                     reuse::SpecOutcome outcome) = 0;
+
+  /// A trace was stored at its start PC (its recorded inputs were the
+  /// live values at collection time — free training data).
+  virtual void on_store(const reuse::StoredTrace& trace) = 0;
+};
+
+std::unique_ptr<TracePredictor> make_predictor(const PredictorConfig& config);
+
+}  // namespace tlr::spec

@@ -1,0 +1,65 @@
+#include "spec/spec_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace tlr::spec {
+
+using reuse::SpecOutcome;
+using reuse::StoredTrace;
+
+RtmSpecSimulator::RtmSpecSimulator(const RtmSpecConfig& config)
+    : sim_(config.sim), predictor_(make_predictor(config.predictor)) {
+  sim_.set_spec_gate(this);
+  sim_.set_event_sink(this);
+}
+
+RtmSpecResult RtmSpecSimulator::finish() {
+  RtmSpecResult result;
+  result.sim = sim_.finish();
+  result.spec = stats_;
+  return result;
+}
+
+RtmSpecResult RtmSpecSimulator::run(std::span<const isa::DynInst> stream) {
+  feed(stream);
+  return finish();
+}
+
+const StoredTrace* RtmSpecSimulator::decide(const Fetch& fetch) {
+  return predictor_->choose(fetch);
+}
+
+void RtmSpecSimulator::on_outcome(const Fetch& fetch,
+                                  const StoredTrace* attempted,
+                                  SpecOutcome outcome) {
+  switch (outcome) {
+    case SpecOutcome::kCorrect: ++stats_.correct; break;
+    case SpecOutcome::kMisspec: ++stats_.misspecs; break;
+    case SpecOutcome::kMissed: ++stats_.missed; break;
+    case SpecOutcome::kDecline: ++stats_.declines; break;
+  }
+  if (outcome == SpecOutcome::kMisspec) {
+    TLR_ASSERT(attempted != nullptr);
+    // Squash event first: the stream index is not meaningful for a
+    // trace that never committed, so it stays zero.
+    const timing::PlanTrace plan_trace =
+        reuse::to_plan_trace(*attempted, /*first_index=*/0);
+    for (SpecEventSink* sink : sinks_) sink->on_misspec(plan_trace);
+  }
+  predictor_->train(fetch, attempted, outcome);
+}
+
+void RtmSpecSimulator::on_store(const StoredTrace& trace) {
+  predictor_->on_store(trace);
+}
+
+void RtmSpecSimulator::on_executed(const isa::DynInst& inst) {
+  for (SpecEventSink* sink : sinks_) sink->on_executed(inst);
+}
+
+void RtmSpecSimulator::on_reused(std::span<const isa::DynInst> insts,
+                                 const timing::PlanTrace& trace) {
+  for (SpecEventSink* sink : sinks_) sink->on_reused(insts, trace);
+}
+
+}  // namespace tlr::spec

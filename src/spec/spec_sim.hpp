@@ -1,0 +1,119 @@
+// RtmSpecSimulator: speculative trace reuse end to end (DESIGN.md §8).
+//
+// Wraps the chunk-feedable reuse::RtmSimulator with a TracePredictor
+// through the SpecGate hook: at every fetch with stored candidates the
+// predictor picks a trace to attempt (or declines), the simulator
+// verifies against the actual state, and the attempt resolves as
+// correct speculation (the reuse commits exactly as in the limit
+// simulator), misspeculation (squash — the instructions re-execute
+// normally and listeners are told so they can price the recovery), or
+// no-attempt (a missed opportunity when the actual test would have
+// hit). The oracle predictor makes every classification kCorrect and
+// reproduces the unwrapped simulator bit-for-bit — the limit study is
+// the zero-misprediction point of this model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "reuse/rtm_sim.hpp"
+#include "spec/predictor.hpp"
+#include "util/types.hpp"
+
+namespace tlr::spec {
+
+/// Fetch-decision classification counts. `attempts = correct +
+/// misspecs`; decisions at fetches with no stored candidate are not
+/// counted anywhere.
+struct SpecStats {
+  u64 correct = 0;   // attempted, verification agreed: reuse committed
+  u64 misspecs = 0;  // attempted, inputs no longer held: squashed
+  u64 missed = 0;    // declined although the actual test would hit
+  u64 declines = 0;  // declined, and the actual test would miss too
+
+  u64 attempts() const { return correct + misspecs; }
+
+  /// Fraction of attempts that verified; 0 when nothing was attempted
+  /// (a predictor that never fires has earned no accuracy).
+  double accuracy() const {
+    const u64 a = attempts();
+    return a == 0 ? 0.0
+                  : static_cast<double>(correct) / static_cast<double>(a);
+  }
+};
+
+struct RtmSpecConfig {
+  /// The underlying finite-RTM simulation. Value-compare reuse test
+  /// only (the valid-bit flavour is already a one-cycle mechanism).
+  reuse::RtmSimConfig sim;
+  PredictorConfig predictor;
+};
+
+struct RtmSpecResult {
+  reuse::RtmSimResult sim;  // committed reuse, RTM stats
+  SpecStats spec;
+
+  /// Misspeculations per committed instruction.
+  double misspec_rate() const {
+    return sim.instructions == 0
+               ? 0.0
+               : static_cast<double>(spec.misspecs) /
+                     static_cast<double>(sim.instructions);
+  }
+};
+
+/// In-order listener on the speculative fetch stream: the limit
+/// simulator's events plus the squash of every misspeculated attempt,
+/// reported before the squashed instructions re-execute.
+class SpecEventSink {
+ public:
+  virtual ~SpecEventSink() = default;
+  virtual void on_executed(const isa::DynInst& inst) = 0;
+  virtual void on_reused(std::span<const isa::DynInst> insts,
+                         const timing::PlanTrace& trace) = 0;
+  virtual void on_misspec(const timing::PlanTrace& attempted) = 0;
+};
+
+class RtmSpecSimulator final : private reuse::SpecGate,
+                               private reuse::RtmEventSink {
+ public:
+  explicit RtmSpecSimulator(const RtmSpecConfig& config);
+
+  // Registered as the inner simulator's gate and event sink; moving
+  // would leave those pointers dangling.
+  RtmSpecSimulator(const RtmSpecSimulator&) = delete;
+  RtmSpecSimulator& operator=(const RtmSpecSimulator&) = delete;
+
+  /// Optional event listeners (e.g. SpecTimers). Add before feeding.
+  void add_sink(SpecEventSink* sink) { sinks_.push_back(sink); }
+
+  /// Streaming interface, mirroring RtmSimulator: feed consecutive
+  /// stream pieces, then finish() exactly once.
+  void feed(std::span<const isa::DynInst> insts) { sim_.feed(insts); }
+  RtmSpecResult finish();
+
+  /// One-shot convenience (feed + finish).
+  RtmSpecResult run(std::span<const isa::DynInst> stream);
+
+  const TracePredictor& predictor() const { return *predictor_; }
+
+ private:
+  // SpecGate
+  const reuse::StoredTrace* decide(const Fetch& fetch) override;
+  void on_outcome(const Fetch& fetch, const reuse::StoredTrace* attempted,
+                  reuse::SpecOutcome outcome) override;
+  void on_store(const reuse::StoredTrace& trace) override;
+
+  // RtmEventSink (forwarded to every SpecEventSink)
+  void on_executed(const isa::DynInst& inst) override;
+  void on_reused(std::span<const isa::DynInst> insts,
+                 const timing::PlanTrace& trace) override;
+
+  reuse::RtmSimulator sim_;
+  std::unique_ptr<TracePredictor> predictor_;
+  std::vector<SpecEventSink*> sinks_;
+  SpecStats stats_;
+};
+
+}  // namespace tlr::spec

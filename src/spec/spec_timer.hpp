@@ -1,0 +1,45 @@
+// SpecTimer: misspeculation-aware dataflow pricing (DESIGN.md §8).
+//
+// Extends timing::StreamingTimer with one extra event, the squash of a
+// misspeculated trace-reuse attempt. The squash is detected when the
+// attempted trace's verification resolves — its live-in producers are
+// ready plus the reuse-test latency — and issue resumes `penalty`
+// cycles later: the timer's issue floor rises to that point, so the
+// squashed instructions' re-execution (ordinary step_normal calls) and
+// everything after them are priced behind the recovery. With zero
+// misspeculations the timer is bit-identical to StreamingTimer, which
+// is what lets the oracle predictor recover the limit-study numbers
+// exactly.
+#pragma once
+
+#include "timing/timer.hpp"
+#include "util/types.hpp"
+
+namespace tlr::spec {
+
+class SpecTimer : public timing::StreamingTimer {
+ public:
+  /// `penalty` is the squash/recovery cost in cycles charged on top of
+  /// the verification-resolution point. Zero still serializes at
+  /// detection — a squash can never be cheaper than finding out.
+  SpecTimer(const timing::TimerConfig& config, Cycle penalty)
+      : StreamingTimer(config), penalty_(penalty) {}
+
+  /// A misspeculated attempt of `attempted` at the current stream
+  /// point; call before re-executing the squashed instructions.
+  void note_misspec(const timing::PlanTrace& attempted) {
+    const Cycle detect =
+        trace_ready(attempted) + config().trace_reuse_latency;
+    raise_issue_floor(detect + penalty_);
+    ++misspecs_;
+  }
+
+  Cycle penalty() const { return penalty_; }
+  u64 misspecs() const { return misspecs_; }
+
+ private:
+  Cycle penalty_;
+  u64 misspecs_ = 0;
+};
+
+}  // namespace tlr::spec

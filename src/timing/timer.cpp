@@ -65,10 +65,18 @@ Cycle StreamingTimer::operand_ready(const DynInst& inst) const {
 
 /// Graduation-time constraint for the next window slot: the completion
 /// of the instruction W slots earlier (0 when the window is infinite or
-/// not yet full).
+/// not yet full), never below the issue floor.
 Cycle StreamingTimer::window_constraint() const {
-  if (config_.window == 0 || slots_ < config_.window) return 0;
-  return ring_[(slots_ - config_.window) % config_.window];
+  if (config_.window == 0 || slots_ < config_.window) return floor_;
+  return std::max(floor_, ring_[(slots_ - config_.window) % config_.window]);
+}
+
+Cycle StreamingTimer::trace_ready(const PlanTrace& trace) const {
+  Cycle ready = window_constraint();
+  for (const Loc& loc : trace.live_in) {
+    ready = std::max(ready, loc_ready(loc));
+  }
+  return ready;
 }
 
 /// Record one occupied window slot completing at `cycle`.
@@ -110,11 +118,8 @@ void StreamingTimer::step_trace(std::span<const DynInst> insts,
                  "trace body does not match its plan record");
   // The reuse operation: gated by the producers of every trace live-in,
   // plus the window constraint for its first slot.
-  Cycle ready = window_constraint();
-  for (const Loc& loc : trace.live_in) {
-    ready = std::max(ready, loc_ready(loc));
-  }
-  const Cycle trace_completion = ready + trace_latency(config_, trace);
+  const Cycle trace_completion =
+      trace_ready(trace) + trace_latency(config_, trace);
   const u32 slots = trace_slot_count(config_, trace);
   for (u32 s = 0; s < slots; ++s) {
     push_slot(trace_completion);

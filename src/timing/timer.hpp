@@ -21,6 +21,7 @@
 // window but infinite number of functional units").
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <span>
 #include <unordered_map>
@@ -91,11 +92,25 @@ class StreamingTimer {
   u64 instructions() const { return instructions_; }
   TimerResult result() const;
 
- private:
+ protected:
+  // Extension surface for derived pricing models (spec::SpecTimer): the
+  // readiness primitives plus an issue floor folded into every
+  // subsequent step's window constraint.
+  const TimerConfig& config() const { return config_; }
   Cycle loc_ready(isa::Loc loc) const;
-  void set_loc_ready(isa::Loc loc, Cycle cycle);
   Cycle operand_ready(const isa::DynInst& inst) const;
   Cycle window_constraint() const;
+
+  /// Readiness of a trace's reuse operation at the current stream
+  /// point: producers of every live-in, plus the window constraint.
+  Cycle trace_ready(const PlanTrace& trace) const;
+
+  /// Lower-bounds every subsequent issue (speculation squash recovery).
+  /// Monotone; zero until raised, so it costs nothing when unused.
+  void raise_issue_floor(Cycle cycle) { floor_ = std::max(floor_, cycle); }
+
+ private:
+  void set_loc_ready(isa::Loc loc, Cycle cycle);
   void push_slot(Cycle cycle);
   void finish_inst(const isa::DynInst& inst, Cycle completion);
 
@@ -106,6 +121,7 @@ class StreamingTimer {
   u64 slots_ = 0;
   Cycle gmax_ = 0;
   Cycle last_ = 0;
+  Cycle floor_ = 0;  // issue floor (raise_issue_floor)
   u64 instructions_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace tlr {
 
@@ -33,8 +34,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
@@ -54,9 +60,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error != nullptr && error_ == nullptr) error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

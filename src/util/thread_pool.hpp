@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,16 +28,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not throw (the simulator reports errors
-  /// through its own result channels); an escaping exception aborts.
+  /// Enqueue a task. An exception escaping a task is captured on its
+  /// worker thread and rethrown from the next wait_idle()/parallel_for
+  /// — workers keep draining the queue either way. When several tasks
+  /// throw before the wait, the first one captured wins and the rest
+  /// are dropped (which of a batch's failures that is depends on
+  /// completion order).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished; rethrows the first
+  /// captured task exception, leaving the pool reusable.
   void wait_idle();
 
   usize thread_count() const { return workers_.size(); }
 
   /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  /// Rethrows like wait_idle (remaining jobs still run to completion).
   void parallel_for(usize n, const std::function<void(usize)>& fn);
 
  private:
@@ -47,6 +54,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::exception_ptr error_;  // first escaping task exception
   usize in_flight_ = 0;
   bool stopping_ = false;
 };

@@ -205,6 +205,139 @@ TEST(RtmValidBitTest, ReinsertionRevalidates) {
   EXPECT_TRUE(rtm.lookup(100, shadow).has_value());
 }
 
+// ---- LRU replacement edge cases (§4 decoding) -------------------------
+
+TEST(RtmLruTest, TraceLevelEvictionFollowsInsertionOrder) {
+  Rtm rtm(RtmGeometry{8, 2, 3});
+  for (u64 v = 0; v < 3; ++v) {
+    rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), v,
+                          Loc::reg(r(2)).raw(), v));
+  }
+  // Slots full; each further insert must evict the oldest variant in
+  // turn: v=0 first, then v=1.
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 10,
+                        Loc::reg(r(2)).raw(), 10));
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  EXPECT_FALSE(rtm.lookup(100, shadow0).has_value());
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 11,
+                        Loc::reg(r(2)).raw(), 11));
+  ArchShadow shadow1;
+  shadow1.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_FALSE(rtm.lookup(100, shadow1).has_value());
+  ArchShadow shadow2;
+  shadow2.set(Loc::reg(r(1)).raw(), 2);
+  EXPECT_TRUE(rtm.lookup(100, shadow2).has_value());
+  EXPECT_EQ(rtm.stats().trace_evictions, 2u);
+}
+
+TEST(RtmLruTest, LookupHitPromotesTraceOverYoungerVariant) {
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 0,
+                        Loc::reg(r(2)).raw(), 0));
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 1,
+                        Loc::reg(r(2)).raw(), 1));
+  // Re-reference the older variant: the hit must refresh its stamp so
+  // the *younger* variant becomes the eviction victim.
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  EXPECT_TRUE(rtm.lookup(100, shadow0).has_value());
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 2,
+                        Loc::reg(r(2)).raw(), 2));
+  EXPECT_TRUE(rtm.lookup(100, shadow0).has_value());
+  ArchShadow shadow1;
+  shadow1.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_FALSE(rtm.lookup(100, shadow1).has_value());
+}
+
+TEST(RtmLruTest, DuplicateInsertPromotesAgainstEviction) {
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  const StoredTrace first =
+      make_trace(100, Loc::reg(r(1)).raw(), 0, Loc::reg(r(2)).raw(), 0);
+  rtm.insert(first);
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 1,
+                        Loc::reg(r(2)).raw(), 1));
+  rtm.insert(first);  // duplicate: refreshes LRU only
+  rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 2,
+                        Loc::reg(r(2)).raw(), 2));
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  EXPECT_TRUE(rtm.lookup(100, shadow0).has_value());  // survived
+  ArchShadow shadow1;
+  shadow1.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_FALSE(rtm.lookup(100, shadow1).has_value());  // evicted instead
+  EXPECT_EQ(rtm.stats().duplicate_insertions, 1u);
+}
+
+TEST(RtmLruTest, WayEvictionOrderTracksWayTouches) {
+  Rtm rtm(RtmGeometry{1, 3, 1});  // one set, three PC ways
+  rtm.insert(make_trace(10, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  rtm.insert(make_trace(20, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  rtm.insert(make_trace(30, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  // Touch PC 10 (lookup) then PC 20 (duplicate insert): PC 30 is LRU.
+  ArchShadow shadow;
+  shadow.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_TRUE(rtm.lookup(10, shadow).has_value());
+  rtm.insert(make_trace(20, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  rtm.insert(make_trace(40, Loc::reg(r(1)).raw(), 1, Loc::reg(r(2)).raw(), 1));
+  EXPECT_TRUE(rtm.lookup(10, shadow).has_value());
+  EXPECT_TRUE(rtm.lookup(20, shadow).has_value());
+  EXPECT_FALSE(rtm.lookup(30, shadow).has_value());  // evicted way
+  EXPECT_TRUE(rtm.lookup(40, shadow).has_value());
+  EXPECT_EQ(rtm.stats().way_evictions, 1u);
+}
+
+TEST(RtmLruTest, WayEvictionResetsLazilyAllocatedSlots) {
+  Rtm rtm(RtmGeometry{1, 1, 3});  // a single way: every new PC evicts
+  for (u64 v = 0; v < 2; ++v) {
+    rtm.insert(make_trace(10, Loc::reg(r(1)).raw(), v,
+                          Loc::reg(r(2)).raw(), v));
+  }
+  // Evicting the way for a new PC must clear the recycled slot bank:
+  // none of PC 10's variants may resurface for PC 20 — or for PC 10
+  // after its way is re-allocated.
+  rtm.insert(make_trace(20, Loc::reg(r(1)).raw(), 0,
+                        Loc::reg(r(2)).raw(), 9));
+  EXPECT_EQ(rtm.stats().way_evictions, 1u);
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  const auto hit = rtm.lookup(20, shadow0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->trace->outputs[0].value, 9u);
+  EXPECT_FALSE(rtm.lookup(10, shadow0).has_value());
+  rtm.insert(make_trace(10, Loc::reg(r(1)).raw(), 5,
+                        Loc::reg(r(2)).raw(), 5));
+  ArchShadow shadow1;
+  shadow1.set(Loc::reg(r(1)).raw(), 1);
+  EXPECT_FALSE(rtm.lookup(10, shadow1).has_value());  // old variant gone
+}
+
+TEST(RtmPeekTest, ListsCandidatesMruFirstWithoutSideEffects) {
+  Rtm rtm(RtmGeometry{8, 2, 3});
+  for (u64 v = 0; v < 3; ++v) {
+    rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), v,
+                          Loc::reg(r(2)).raw(), v));
+  }
+  // Promote the oldest variant so MRU order differs from insertion.
+  ArchShadow shadow0;
+  shadow0.set(Loc::reg(r(1)).raw(), 0);
+  EXPECT_TRUE(rtm.lookup(100, shadow0).has_value());
+  const Rtm::Stats before = rtm.stats();
+
+  SmallVector<const StoredTrace*, 16> candidates;
+  rtm.peek(100, candidates);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0]->inputs[0].value, 0u);  // promoted by the hit
+  EXPECT_EQ(candidates[1]->inputs[0].value, 2u);
+  EXPECT_EQ(candidates[2]->inputs[0].value, 1u);
+  EXPECT_EQ(rtm.stats().lookups, before.lookups);  // peek is invisible
+  EXPECT_EQ(rtm.stats().hits, before.hits);
+
+  candidates.clear();
+  rtm.peek(999, candidates);
+  EXPECT_EQ(candidates.size(), 0u);
+}
+
 // ---- TraceAccumulator -------------------------------------------------
 
 isa::DynInst acc_inst(isa::Pc pc, isa::Reg dst, isa::Reg src, u64 sval,

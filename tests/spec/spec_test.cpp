@@ -1,0 +1,326 @@
+// Speculative trace reuse (DESIGN.md §8): the oracle predictor must
+// recover the limit study bit-for-bit, realizable predictors must
+// classify every fetch decision consistently, misspeculation pricing
+// must be monotone in the penalty, and the fig10 matrix must be
+// bit-identical across thread counts and chunk sizes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "spec/consumer.hpp"
+#include "spec/predictor.hpp"
+#include "spec/spec_sim.hpp"
+#include "spec/spec_timer.hpp"
+
+namespace tlr::spec {
+namespace {
+
+core::SuiteConfig small_config() {
+  core::SuiteConfig config;
+  config.skip = 2'000;
+  config.length = 30'000;
+  return config;
+}
+
+reuse::RtmSimConfig sim_config(
+    reuse::CollectHeuristic heuristic = reuse::CollectHeuristic::kFixedExpand,
+    u32 fixed_n = 4) {
+  reuse::RtmSimConfig config;
+  config.geometry = reuse::RtmGeometry::rtm4k();
+  config.heuristic = heuristic;
+  config.fixed_n = fixed_n;
+  return config;
+}
+
+void expect_same_sim_result(const reuse::RtmSimResult& a,
+                            const reuse::RtmSimResult& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.reused_instructions, b.reused_instructions);
+  EXPECT_EQ(a.reuse_operations, b.reuse_operations);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.merges, b.merges);
+  EXPECT_EQ(a.rtm.lookups, b.rtm.lookups);
+  EXPECT_EQ(a.rtm.hits, b.rtm.hits);
+  EXPECT_EQ(a.rtm.insertions, b.rtm.insertions);
+  EXPECT_EQ(a.rtm.way_evictions, b.rtm.way_evictions);
+  EXPECT_EQ(a.rtm.trace_evictions, b.rtm.trace_evictions);
+}
+
+// ---- oracle == limit --------------------------------------------------
+
+class OracleEquivalence
+    : public ::testing::TestWithParam<reuse::CollectHeuristic> {};
+
+/// The acceptance pin: with the always-reuse oracle the speculative
+/// simulator *is* the limit simulator — identical committed reuse,
+/// identical RTM traffic, zero misspeculation.
+TEST_P(OracleEquivalence, SpecSimulatorMatchesLimitSimulator) {
+  const auto stream = core::collect_workload_stream("compress",
+                                                    small_config());
+
+  reuse::RtmSimulator limit(sim_config(GetParam()));
+  const reuse::RtmSimResult limit_result = limit.run(stream);
+
+  RtmSpecConfig spec_config;
+  spec_config.sim = sim_config(GetParam());
+  spec_config.predictor.kind = PredictorKind::kOracle;
+  RtmSpecSimulator spec(spec_config);
+  const RtmSpecResult spec_result = spec.run(stream);
+
+  expect_same_sim_result(spec_result.sim, limit_result);
+  EXPECT_EQ(spec_result.spec.misspecs, 0u);
+  EXPECT_EQ(spec_result.spec.missed, 0u);
+  EXPECT_EQ(spec_result.spec.correct, limit_result.reuse_operations);
+  EXPECT_EQ(spec_result.spec.accuracy(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Heuristics, OracleEquivalence,
+    ::testing::Values(reuse::CollectHeuristic::kIlrNoExpand,
+                      reuse::CollectHeuristic::kIlrExpand,
+                      reuse::CollectHeuristic::kFixedExpand),
+    [](const auto& info) {
+      switch (info.param) {
+        case reuse::CollectHeuristic::kIlrNoExpand: return "IlrNe";
+        case reuse::CollectHeuristic::kIlrExpand: return "IlrExp";
+        case reuse::CollectHeuristic::kFixedExpand: return "I4Exp";
+      }
+      return "unknown";
+    });
+
+/// Oracle pricing equals the existing RtmSimConsumer limit pricing
+/// exactly — at every penalty, because the oracle never squashes.
+TEST(OracleEquivalenceTest, TimingMatchesLimitPricingAtAnyPenalty) {
+  const core::SuiteConfig config = small_config();
+  timing::TimerConfig timer_config;
+  timer_config.window = config.window;
+
+  core::StudyEngine engine;
+
+  core::RtmSimConsumer limit(sim_config(), timer_config);
+  RtmSpecConfig spec_config;
+  spec_config.sim = sim_config();
+  spec_config.predictor.kind = PredictorKind::kOracle;
+  SpecSimConsumer spec(spec_config);
+  spec.add_timer(timer_config, /*penalty=*/0);
+  spec.add_timer(timer_config, /*penalty=*/64);
+
+  std::vector<core::StreamConsumer*> consumers = {&limit, &spec};
+  engine.run_workload_stream("li", config, consumers);
+
+  const Cycle limit_cycles = limit.timing_result().cycles;
+  EXPECT_EQ(spec.timer(0).result().cycles, limit_cycles);
+  EXPECT_EQ(spec.timer(1).result().cycles, limit_cycles);
+  EXPECT_EQ(spec.timer(0).misspecs(), 0u);
+}
+
+/// fig10's oracle row reproduces fig9's I4 EXP committed-reuse numbers
+/// exactly: the limit study is the zero-misprediction special case.
+TEST(Fig10Test, OracleRowEqualsFig9I4Exp) {
+  const core::SuiteConfig config = small_config();
+  const std::vector<std::string> workloads = {"compress", "li"};
+  core::StudyEngine engine;
+  const core::ScaleProfile profile = core::ScaleProfile::custom(config);
+
+  core::Fig10Options options;
+  options.predictors = {{}};  // oracle only
+  options.penalties = {0};
+  options.workloads = workloads;
+  const core::Fig10Result fig10 =
+      core::fig10_speculative_reuse(engine, profile, options);
+
+  core::Fig9Options fig9_options;
+  fig9_options.workloads = workloads;
+  const core::Fig9Result fig9 =
+      core::fig9_finite_rtm(engine, profile, fig9_options);
+  // I4 EXP is fig9 row 5 (ILR NE, ILR EXP, I1..I8).
+  const auto heuristics = core::fig9_heuristics();
+  usize i4 = 0;
+  for (usize h = 0; h < heuristics.size(); ++h) {
+    if (heuristics[h].label == "I4 EXP") i4 = h;
+  }
+
+  ASSERT_EQ(fig10.cells.size(), 1u);
+  for (usize g = 0; g < fig10.geometries.size(); ++g) {
+    EXPECT_EQ(fig10.cells[0][g].reuse_fraction,
+              fig9.cells[i4][g].reuse_fraction)
+        << "geometry " << fig10.geometries[g];
+    EXPECT_EQ(fig10.cells[0][g].accuracy, 1.0);
+    EXPECT_EQ(fig10.cells[0][g].misspec_rate, 0.0);
+  }
+}
+
+// ---- determinism ------------------------------------------------------
+
+TEST(Fig10Test, BitIdenticalAcrossThreadsAndChunks) {
+  const core::ScaleProfile profile =
+      core::ScaleProfile::custom(small_config());
+  core::Fig10Options options;
+  options.workloads = {"compress", "ijpeg"};
+  options.penalties = {0, 16};
+
+  core::EngineOptions serial;
+  serial.threads = 1;
+  serial.chunk_size = 701;  // forces traces to straddle chunks
+  core::EngineOptions wide;
+  wide.threads = 4;
+
+  core::StudyEngine engine_a(serial);
+  core::StudyEngine engine_b(wide);
+  const util::Json a = core::fig10_to_json(
+      core::fig10_speculative_reuse(engine_a, profile, options));
+  const util::Json b = core::fig10_to_json(
+      core::fig10_speculative_reuse(engine_b, profile, options));
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+// ---- classification ---------------------------------------------------
+
+/// Every fetch decision with stored candidates lands in exactly one
+/// bucket, and committed reuse operations are exactly the correct
+/// attempts.
+TEST(SpecStatsTest, ClassificationIsConsistent) {
+  const auto stream = core::collect_workload_stream("go", small_config());
+  for (const PredictorKind kind :
+       {PredictorKind::kLastValue, PredictorKind::kConfidence}) {
+    RtmSpecConfig config;
+    config.sim = sim_config();
+    config.predictor.kind = kind;
+    RtmSpecSimulator sim(config);
+    const RtmSpecResult result = sim.run(stream);
+    EXPECT_EQ(result.spec.correct, result.sim.reuse_operations);
+    EXPECT_EQ(result.sim.instructions, stream.size());
+    // Ground truth ran at every gated fetch: every correct or missed
+    // decision is an actual hit (a misspec can coincide with an actual
+    // hit on a *different* stored trace, so this is a lower bound).
+    EXPECT_GE(result.sim.rtm.hits,
+              result.spec.correct + result.spec.missed);
+  }
+}
+
+/// The confidence gate exists to trade coverage for accuracy: it must
+/// attempt no more than the ungated last-value policy and misspeculate
+/// no more often.
+TEST(SpecStatsTest, ConfidenceGateCutsMisspeculation) {
+  const auto stream =
+      core::collect_workload_stream("compress", small_config());
+  RtmSpecConfig config;
+  config.sim = sim_config();
+  config.predictor.kind = PredictorKind::kLastValue;
+  RtmSpecSimulator naive(config);
+  const RtmSpecResult naive_result = naive.run(stream);
+
+  config.predictor.kind = PredictorKind::kConfidence;
+  RtmSpecSimulator gated(config);
+  const RtmSpecResult gated_result = gated.run(stream);
+
+  EXPECT_GT(naive_result.spec.misspecs, 0u);  // the stream does punish
+  EXPECT_LT(gated_result.spec.misspecs, naive_result.spec.misspecs);
+  EXPECT_LE(gated_result.spec.attempts(), naive_result.spec.attempts());
+  EXPECT_GT(gated_result.spec.accuracy(), naive_result.spec.accuracy());
+}
+
+// ---- pricing ----------------------------------------------------------
+
+/// Misspeculation pricing is monotone: more penalty, never fewer
+/// cycles; and any misspeculation under a positive penalty prices
+/// worse than the free-lunch (floor-only) squash.
+TEST(SpecTimerTest, PenaltyMonotone) {
+  const core::SuiteConfig config = small_config();
+  timing::TimerConfig timer_config;
+  timer_config.window = config.window;
+
+  RtmSpecConfig spec_config;
+  spec_config.sim = sim_config();
+  spec_config.predictor.kind = PredictorKind::kLastValue;
+  core::StudyEngine engine;
+  SpecSimConsumer spec(spec_config);
+  for (const Cycle penalty : {0u, 8u, 64u}) {
+    spec.add_timer(timer_config, penalty);
+  }
+  std::vector<core::StreamConsumer*> consumers = {&spec};
+  engine.run_workload_stream("compress", config, consumers);
+
+  ASSERT_GT(spec.result().spec.misspecs, 0u);
+  const Cycle c0 = spec.timer(0).result().cycles;
+  const Cycle c8 = spec.timer(1).result().cycles;
+  const Cycle c64 = spec.timer(2).result().cycles;
+  EXPECT_LE(c0, c8);
+  EXPECT_LT(c8, c64);
+  EXPECT_EQ(spec.timer(0).misspecs(), spec.result().spec.misspecs);
+}
+
+/// With no misspeculation events a SpecTimer is bit-identical to the
+/// plain StreamingTimer it extends.
+TEST(SpecTimerTest, NoMisspecsMeansStreamingTimer) {
+  const auto stream =
+      core::collect_workload_stream("tomcatv", small_config());
+  timing::TimerConfig config;
+  config.window = 256;
+  timing::StreamingTimer plain(config);
+  SpecTimer spec(config, /*penalty=*/32);
+  for (const isa::DynInst& inst : stream) {
+    plain.step_normal(inst);
+    spec.step_normal(inst);
+  }
+  EXPECT_EQ(plain.result().cycles, spec.result().cycles);
+  EXPECT_EQ(spec.misspecs(), 0u);
+}
+
+// ---- predictor plumbing ----------------------------------------------
+
+TEST(PredictorTest, NamesRoundTrip) {
+  for (const PredictorKind kind :
+       {PredictorKind::kOracle, PredictorKind::kLastValue,
+        PredictorKind::kConfidence}) {
+    EXPECT_EQ(predictor_from_name(predictor_name(kind)), kind);
+    PredictorConfig config;
+    config.kind = kind;
+    EXPECT_EQ(make_predictor(config)->name(), predictor_name(kind));
+  }
+  EXPECT_FALSE(predictor_from_name("alpha21264").has_value());
+}
+
+// ---- report integration ----------------------------------------------
+
+TEST(Fig10ReportTest, SectionAbsentUnlessRunAndOrderedAfterFig9) {
+  core::ScaleProfile profile = core::ScaleProfile::laptop();
+  core::MetricOptions options;
+  const std::vector<core::WorkloadMetrics> suite;
+  core::ReportMeta meta;
+
+  const util::Json without =
+      core::build_report(profile, options, suite, meta, {});
+  EXPECT_FALSE(without.find("figures")->contains("fig10"));
+
+  core::ReportFigures figures;
+  figures.fig10.emplace();
+  figures.fig10->predictors = {"oracle"};
+  figures.fig10->penalties = {0, 8};
+  figures.fig10->geometries = {"512", "4K"};
+  core::Fig10Cell cell;
+  cell.reuse_fraction = 0.25;
+  cell.accuracy = 1.0;
+  cell.misspec_rate = 0.0;
+  cell.speedups = {1.5, 1.25};
+  figures.fig10->cells = {{cell, cell}};
+  const util::Json with =
+      core::build_report(profile, options, suite, meta, figures);
+  const util::Json* fig10 = with.find("figures")->find("fig10");
+  ASSERT_NE(fig10, nullptr);
+  EXPECT_EQ(fig10->find("speedup")->at(0).at(1).at(0).as_double(), 1.5);
+
+  // Structural compare must flag the added section against a baseline
+  // that lacks it.
+  const auto diffs = core::compare_reports(with, without);
+  ASSERT_FALSE(diffs.empty());
+  EXPECT_NE(diffs.front().find("fig10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlr::spec

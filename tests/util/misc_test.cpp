@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/table.hpp"
@@ -78,6 +79,74 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+// ---- exception propagation and degenerate shapes ----------------------
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndStillRunsEveryJob) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&hits](usize i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == 7) {
+                                     throw std::logic_error("job 7");
+                                   }
+                                 }),
+               std::logic_error);
+  // The failure is reported, not amplified: every other job still ran
+  // exactly once.
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstCapturedExceptionWinsRestAreDropped) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  try {
+    pool.parallel_for(16, [&thrown](usize) {
+      thrown.fetch_add(1);
+      throw std::runtime_error("many");
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "many");
+  }
+  EXPECT_EQ(thrown.load(), 16);  // all jobs ran despite the failures
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](usize) { throw std::runtime_error("once"); }),
+      std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&counter](usize) { counter.fetch_add(1); });
+  pool.wait_idle();  // the stale error must not resurface
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, ZeroJobParallelForIsANoOp) {
+  ThreadPool pool(2);
+  int touched = 0;
+  pool.parallel_for(0, [&touched](usize) { ++touched; });
+  EXPECT_EQ(touched, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCoversRangeAndPropagates) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> hits(16, 0);  // single worker: no data race
+  pool.parallel_for(16, [&hits](usize i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_THROW(
+      pool.parallel_for(1, [](usize) { throw std::runtime_error("solo"); }),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -36,6 +36,11 @@ struct CliOptions {
   std::vector<std::string> workloads;
   bool run_series = true;  // figures 3-8
   bool run_fig9 = true;
+  // Fig 10 (speculative reuse) is opt-in: it is additive to the report
+  // schema and absent from the committed goldens.
+  bool run_fig10 = false;
+  std::vector<spec::PredictorConfig> predictors;
+  std::vector<Cycle> penalties;
   std::string out_path;
   std::string compare_path;
   std::string in_path;
@@ -56,10 +61,17 @@ void print_usage(std::ostream& os) {
         "                     (default laptop)\n"
         "  --workload NAME    analyze only NAME (repeatable; default:\n"
         "                     the full 14-benchmark suite)\n"
-        "  --figure SPEC      figures to include: 3..9, all, none\n"
-        "                     (repeatable; default all). Figures 3-8\n"
-        "                     derive from one suite pass; 9 runs the\n"
-        "                     finite-RTM matrix, the expensive part.\n"
+        "  --figure SPEC      figures to include: 3..10, all, none\n"
+        "                     (repeatable; default all = 3..9). Figures\n"
+        "                     3-8 derive from one suite pass; 9 runs\n"
+        "                     the finite-RTM matrix, the expensive\n"
+        "                     part; 10 the speculative-reuse matrix.\n"
+        "  --fig10            shorthand for --figure 10 (added to the\n"
+        "                     default set rather than replacing it)\n"
+        "  --predictor NAME   fig10 predictor: oracle, last_value,\n"
+        "                     confidence (repeatable; default all)\n"
+        "  --penalty N        fig10 misspeculation squash penalty in\n"
+        "                     cycles (repeatable; default 0 8 32)\n"
         "  --out PATH         write the report to PATH (default stdout)\n"
         "  --threads N        engine worker threads (default: all cores)\n"
         "  --chunk N          stream chunk size in instructions\n"
@@ -121,6 +133,7 @@ bool apply_figure_spec(CliOptions& options, const std::string& spec,
   if (first) {
     options.run_series = false;
     options.run_fig9 = false;
+    options.run_fig10 = false;
   }
   if (spec == "all") {
     options.run_series = true;
@@ -130,6 +143,10 @@ bool apply_figure_spec(CliOptions& options, const std::string& spec,
   if (spec == "none") return true;
   if (spec == "9") {
     options.run_fig9 = true;
+    return true;
+  }
+  if (spec == "10") {
+    options.run_fig10 = true;
     return true;
   }
   if (spec.size() == 1 && spec[0] >= '3' && spec[0] <= '8') {
@@ -142,8 +159,8 @@ bool apply_figure_spec(CliOptions& options, const std::string& spec,
 }
 
 int fail_usage(const std::string& message) {
-  std::cerr << "reuse_study: " << message << "\n";
-  std::cerr << "try: reuse_study --help\n";
+  std::cerr << "reuse_study: " << message << "\n\n";
+  print_usage(std::cerr);
   return 1;
 }
 
@@ -220,6 +237,31 @@ int run(const CliOptions& options) {
       };
       figures.fig9 = core::fig9_finite_rtm(engine, profile, fig9_options);
     }
+    if (options.run_fig10) {
+      if (!options.quiet) {
+        std::cerr << "reuse_study: speculative-reuse matrix (figure 10)\n";
+      }
+      core::Fig10Options fig10_options;
+      fig10_options.workloads = options.workloads;
+      if (!options.predictors.empty()) {
+        fig10_options.predictors = options.predictors;
+      }
+      if (!options.penalties.empty()) {
+        fig10_options.penalties = options.penalties;
+      }
+      usize last_percent = 0;
+      fig10_options.progress = [&](usize done, usize total) {
+        if (options.quiet) return;
+        const usize percent = done * 100 / total;
+        if (percent / 10 > last_percent / 10) {
+          std::cerr << "reuse_study: fig10 " << percent << "% (" << done
+                    << "/" << total << " jobs)\n";
+        }
+        last_percent = percent;
+      };
+      figures.fig10 =
+          core::fig10_speculative_reuse(engine, profile, fig10_options);
+    }
 
     core::ReportMeta meta;
     meta.threads = engine.thread_count();
@@ -279,6 +321,7 @@ int run(const CliOptions& options) {
 int main(int argc, char** argv) {
   CliOptions options;
   bool first_figure_spec = true;
+  bool fig10_flag = false;  // --fig10 adds to any --figure selection
 
   const auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -313,9 +356,27 @@ int main(int argc, char** argv) {
       const std::string spec = next_value(i, "--figure");
       if (!apply_figure_spec(options, spec, first_figure_spec)) {
         return fail_usage("bad --figure '" + spec +
-                          "' (want 3..9, all, none)");
+                          "' (want 3..10, all, none)");
       }
       first_figure_spec = false;
+    } else if (arg == "--fig10") {
+      fig10_flag = true;
+    } else if (arg == "--predictor") {
+      const std::string name = next_value(i, "--predictor");
+      const auto kind = spec::predictor_from_name(name);
+      if (!kind.has_value()) {
+        return fail_usage("unknown predictor '" + name +
+                          "' (want oracle, last_value, confidence)");
+      }
+      spec::PredictorConfig config;
+      config.kind = *kind;
+      options.predictors.push_back(config);
+    } else if (arg == "--penalty") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--penalty"), value)) {
+        return fail_usage("bad --penalty value");
+      }
+      options.penalties.push_back(value);
     } else if (arg == "--out") {
       options.out_path = next_value(i, "--out");
     } else if (arg == "--compare") {
@@ -371,5 +432,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (fig10_flag) options.run_fig10 = true;
+  if (!options.run_fig10 &&
+      (!options.predictors.empty() || !options.penalties.empty())) {
+    return fail_usage(
+        "--predictor/--penalty only apply to figure 10; add --fig10 "
+        "or --figure 10");
+  }
   return run(options);
 }
