@@ -245,10 +245,62 @@ Fig9Result fig9_finite_rtm(const SuiteConfig& config,
   return fig9_finite_rtm(engine, ScaleProfile::custom(config), options);
 }
 
+std::vector<Fig9Cell> fig9_workload_heuristic(const StudyEngine& engine,
+                                              const SuiteConfig& config,
+                                              std::string_view workload,
+                                              const Fig9Heuristic& heuristic,
+                                              reuse::ReuseTestKind test) {
+  const auto geometries = fig9_geometries();
+  std::vector<std::unique_ptr<RtmSimConsumer>> sims;
+  std::vector<StreamConsumer*> consumers;
+  for (usize g = 0; g < geometries.size(); ++g) {
+    reuse::RtmSimConfig sim_config;
+    sim_config.geometry = geometries[g].second;
+    sim_config.heuristic = heuristic.heuristic;
+    sim_config.fixed_n = heuristic.fixed_n == 0 ? 4 : heuristic.fixed_n;
+    sim_config.reuse_test = test;
+    sims.push_back(std::make_unique<RtmSimConsumer>(sim_config));
+    consumers.push_back(sims.back().get());
+  }
+  engine.run_workload_stream(workload, config, consumers);
+  std::vector<Fig9Cell> cells(geometries.size());
+  for (usize g = 0; g < geometries.size(); ++g) {
+    const reuse::RtmSimResult& sim = sims[g]->result();
+    cells[g].reuse_fraction = sim.reuse_fraction();
+    cells[g].avg_trace_size = sim.avg_reused_trace_size();
+  }
+  return cells;
+}
+
+Fig9Result fig9_aggregate(
+    const std::vector<std::vector<std::vector<Fig9Cell>>>& workload_cells) {
+  const usize heuristics = fig9_heuristics().size();
+  const usize geometries = fig9_geometries().size();
+  Fig9Result result;
+  result.cells.assign(heuristics, std::vector<Fig9Cell>(geometries));
+  // Per-benchmark values accumulate in workload slot order, so the
+  // reduction is deterministic whatever order the values were produced
+  // in — and identical between the monolithic and sharded paths.
+  std::vector<double> fracs(workload_cells.size());
+  std::vector<double> sizes(workload_cells.size());
+  for (usize h = 0; h < heuristics; ++h) {
+    for (usize g = 0; g < geometries; ++g) {
+      for (usize w = 0; w < workload_cells.size(); ++w) {
+        TLR_ASSERT(workload_cells[w].size() == heuristics &&
+                   workload_cells[w][h].size() == geometries);
+        fracs[w] = workload_cells[w][h][g].reuse_fraction;
+        sizes[w] = workload_cells[w][h][g].avg_trace_size;
+      }
+      result.cells[h][g].reuse_fraction = arithmetic_mean(fracs);
+      result.cells[h][g].avg_trace_size = arithmetic_mean(sizes);
+    }
+  }
+  return result;
+}
+
 Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
                            const Fig9Options& options) {
   const auto heuristics = fig9_heuristics();
-  const auto geometries = fig9_geometries();
   std::vector<std::string> names(options.workloads.begin(),
                                  options.workloads.end());
   if (names.empty()) {
@@ -257,17 +309,9 @@ Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
     }
   }
 
-  Fig9Result result;
-  result.cells.assign(heuristics.size(),
-                      std::vector<Fig9Cell>(geometries.size()));
-  // Accumulators: per (heuristic, geometry), per-benchmark values in
-  // workload order — fixed slots keep the aggregation deterministic
-  // whatever order the parallel jobs complete in.
-  std::vector<std::vector<std::vector<double>>> fracs(
-      heuristics.size(),
-      std::vector<std::vector<double>>(
-          geometries.size(), std::vector<double>(names.size(), 0.0)));
-  auto sizes = fracs;
+  // Raw accumulators in fixed [workload][heuristic] slots.
+  std::vector<std::vector<std::vector<Fig9Cell>>> raw(
+      names.size(), std::vector<std::vector<Fig9Cell>>(heuristics.size()));
 
   // Fan (workload x heuristic) jobs across the pool; within a job one
   // chunked interpreter pass feeds all four RTM capacities at once.
@@ -280,39 +324,16 @@ Fig9Result fig9_finite_rtm(StudyEngine& engine, const ScaleProfile& profile,
   engine.parallel_for(total, [&](usize job) {
     const usize w = job / heuristics.size();
     const usize h = job % heuristics.size();
-    std::vector<std::unique_ptr<RtmSimConsumer>> sims;
-    std::vector<StreamConsumer*> consumers;
-    for (usize g = 0; g < geometries.size(); ++g) {
-      reuse::RtmSimConfig sim_config;
-      sim_config.geometry = geometries[g].second;
-      sim_config.heuristic = heuristics[h].heuristic;
-      sim_config.fixed_n = heuristics[h].fixed_n == 0
-                               ? 4
-                               : heuristics[h].fixed_n;
-      sim_config.reuse_test = options.test;
-      sims.push_back(std::make_unique<RtmSimConsumer>(sim_config));
-      consumers.push_back(sims.back().get());
-    }
-    engine.run_workload_stream(names[w], profile.config_for(names[w]),
-                               consumers);
-    for (usize g = 0; g < geometries.size(); ++g) {
-      const reuse::RtmSimResult& sim = sims[g]->result();
-      fracs[h][g][w] = sim.reuse_fraction();
-      sizes[h][g][w] = sim.avg_reused_trace_size();
-    }
+    raw[w][h] = fig9_workload_heuristic(
+        engine, profile.config_for(names[w]), names[w], heuristics[h],
+        options.test);
     if (options.progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
       options.progress(++done, total);
     }
   });
 
-  for (usize h = 0; h < heuristics.size(); ++h) {
-    for (usize g = 0; g < geometries.size(); ++g) {
-      result.cells[h][g].reuse_fraction = arithmetic_mean(fracs[h][g]);
-      result.cells[h][g].avg_trace_size = arithmetic_mean(sizes[h][g]);
-    }
-  }
-  return result;
+  return fig9_aggregate(raw);
 }
 
 // ---- Figure 10 -------------------------------------------------------
@@ -365,102 +386,78 @@ TextTable Fig10Result::reuse_table() const {
   return table;
 }
 
-Fig10Result fig10_speculative_reuse(StudyEngine& engine,
-                                    const ScaleProfile& profile,
-                                    const Fig10Options& options) {
-  const std::vector<spec::PredictorConfig> predictors =
-      options.predictors.empty() ? fig10_predictors() : options.predictors;
-  const auto geometries = fig9_geometries();
+std::vector<Fig10WorkloadCell> fig10_workload_predictor(
+    const StudyEngine& engine, const SuiteConfig& config,
+    std::string_view workload, const spec::PredictorConfig& predictor,
+    const Fig10Options& options) {
   TLR_ASSERT(!options.penalties.empty());
-  std::vector<std::string> names(options.workloads.begin(),
-                                 options.workloads.end());
-  if (names.empty()) {
-    for (const std::string_view name : workloads::workload_names()) {
-      names.emplace_back(name);
-    }
-  }
-
-  Fig10Result result;
-  for (const spec::PredictorConfig& config : predictors) {
-    result.predictors.emplace_back(spec::predictor_name(config.kind));
-  }
-  result.penalties = options.penalties;
-  for (const auto& [label, geometry] : geometries) {
-    result.geometries.push_back(label);
-  }
-  result.cells.assign(predictors.size(),
-                      std::vector<Fig10Cell>(geometries.size()));
-
-  // Per (predictor, geometry), per-benchmark accumulators in fixed
-  // workload slots — deterministic aggregation for any job order.
-  struct WorkloadCell {
-    double frac = 0, misspec_rate = 0;
-    u64 correct = 0, attempts = 0;
-    std::vector<double> speedups;
-  };
-  std::vector<std::vector<std::vector<WorkloadCell>>> raw(
-      predictors.size(),
-      std::vector<std::vector<WorkloadCell>>(
-          geometries.size(), std::vector<WorkloadCell>(names.size())));
+  const auto geometries = fig9_geometries();
 
   // One chunked pass per (workload, predictor): all four RTM
   // capacities consume it at once, each priced at every penalty off a
   // single simulator (the functional run is penalty-independent), plus
   // the shared base-machine denominator.
-  std::mutex progress_mutex;
-  usize done = 0;
-  const usize total = names.size() * predictors.size();
-  engine.parallel_for(total, [&](usize job) {
-    const usize w = job / predictors.size();
-    const usize p = job % predictors.size();
-    const SuiteConfig config = profile.config_for(names[w]);
+  timing::TimerConfig timer_config;
+  timer_config.window = config.window;
 
-    timing::TimerConfig timer_config;
-    timer_config.window = config.window;
-
-    TimingConsumer base(TimingConsumer::Mode::kBase, timer_config);
-    std::vector<std::unique_ptr<spec::SpecSimConsumer>> sims;
-    std::vector<StreamConsumer*> consumers = {&base};
-    for (usize g = 0; g < geometries.size(); ++g) {
-      spec::RtmSpecConfig spec_config;
-      spec_config.sim.geometry = geometries[g].second;
-      spec_config.sim.heuristic = options.heuristic;
-      spec_config.sim.fixed_n = options.fixed_n;
-      spec_config.predictor = predictors[p];
-      sims.push_back(std::make_unique<spec::SpecSimConsumer>(spec_config));
-      for (const Cycle penalty : options.penalties) {
-        sims.back()->add_timer(timer_config, penalty);
-      }
-      consumers.push_back(sims.back().get());
+  TimingConsumer base(TimingConsumer::Mode::kBase, timer_config);
+  std::vector<std::unique_ptr<spec::SpecSimConsumer>> sims;
+  std::vector<StreamConsumer*> consumers = {&base};
+  for (usize g = 0; g < geometries.size(); ++g) {
+    spec::RtmSpecConfig spec_config;
+    spec_config.sim.geometry = geometries[g].second;
+    spec_config.sim.heuristic = options.heuristic;
+    spec_config.sim.fixed_n = options.fixed_n;
+    spec_config.predictor = predictor;
+    sims.push_back(std::make_unique<spec::SpecSimConsumer>(spec_config));
+    for (const Cycle penalty : options.penalties) {
+      sims.back()->add_timer(timer_config, penalty);
     }
-    engine.run_workload_stream(names[w], config, consumers);
+    consumers.push_back(sims.back().get());
+  }
+  engine.run_workload_stream(workload, config, consumers);
 
-    const timing::TimerResult base_result = base.result();
-    for (usize g = 0; g < geometries.size(); ++g) {
-      const spec::RtmSpecResult& sim = sims[g]->result();
-      WorkloadCell& cell = raw[p][g][w];
-      cell.frac = sim.sim.reuse_fraction();
-      cell.correct = sim.spec.correct;
-      cell.attempts = sim.spec.attempts();
-      cell.misspec_rate = sim.misspec_rate();
-      for (usize q = 0; q < options.penalties.size(); ++q) {
-        cell.speedups.push_back(
-            timing::speedup(base_result, sims[g]->timer(q).result()));
-      }
+  const timing::TimerResult base_result = base.result();
+  std::vector<Fig10WorkloadCell> cells(geometries.size());
+  for (usize g = 0; g < geometries.size(); ++g) {
+    const spec::RtmSpecResult& sim = sims[g]->result();
+    Fig10WorkloadCell& cell = cells[g];
+    cell.reuse_fraction = sim.sim.reuse_fraction();
+    cell.correct = sim.spec.correct;
+    cell.attempts = sim.spec.attempts();
+    cell.misspec_rate = sim.misspec_rate();
+    for (usize q = 0; q < options.penalties.size(); ++q) {
+      cell.speedups.push_back(
+          timing::speedup(base_result, sims[g]->timer(q).result()));
     }
-    if (options.progress) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      options.progress(++done, total);
-    }
-  });
+  }
+  return cells;
+}
 
-  for (usize p = 0; p < predictors.size(); ++p) {
+Fig10Result fig10_aggregate(
+    std::vector<std::string> predictor_labels, std::vector<Cycle> penalties,
+    const std::vector<std::vector<std::vector<Fig10WorkloadCell>>>&
+        workload_cells) {
+  const auto geometries = fig9_geometries();
+  Fig10Result result;
+  result.predictors = std::move(predictor_labels);
+  result.penalties = std::move(penalties);
+  for (const auto& [label, geometry] : geometries) {
+    result.geometries.push_back(label);
+  }
+  result.cells.assign(result.predictors.size(),
+                      std::vector<Fig10Cell>(geometries.size()));
+
+  for (usize p = 0; p < result.predictors.size(); ++p) {
     for (usize g = 0; g < geometries.size(); ++g) {
       Fig10Cell& cell = result.cells[p][g];
       std::vector<double> fracs, rates;
       u64 correct = 0, attempts = 0;
-      for (const WorkloadCell& raw_cell : raw[p][g]) {
-        fracs.push_back(raw_cell.frac);
+      for (const auto& per_workload : workload_cells) {
+        TLR_ASSERT(per_workload.size() == result.predictors.size() &&
+                   per_workload[p].size() == geometries.size());
+        const Fig10WorkloadCell& raw_cell = per_workload[p][g];
+        fracs.push_back(raw_cell.reuse_fraction);
         rates.push_back(raw_cell.misspec_rate);
         correct += raw_cell.correct;
         attempts += raw_cell.attempts;
@@ -472,16 +469,60 @@ Fig10Result fig10_speculative_reuse(StudyEngine& engine,
                                     : static_cast<double>(correct) /
                                           static_cast<double>(attempts);
       cell.misspec_rate = arithmetic_mean(rates);
-      for (usize q = 0; q < options.penalties.size(); ++q) {
+      for (usize q = 0; q < result.penalties.size(); ++q) {
         std::vector<double> speedups;
-        for (const WorkloadCell& raw_cell : raw[p][g]) {
-          speedups.push_back(raw_cell.speedups[q]);
+        for (const auto& per_workload : workload_cells) {
+          TLR_ASSERT(per_workload[p][g].speedups.size() ==
+                     result.penalties.size());
+          speedups.push_back(per_workload[p][g].speedups[q]);
         }
         cell.speedups.push_back(harmonic_mean(speedups));
       }
     }
   }
   return result;
+}
+
+Fig10Result fig10_speculative_reuse(StudyEngine& engine,
+                                    const ScaleProfile& profile,
+                                    const Fig10Options& options) {
+  const std::vector<spec::PredictorConfig> predictors =
+      options.predictors.empty() ? fig10_predictors() : options.predictors;
+  TLR_ASSERT(!options.penalties.empty());
+  std::vector<std::string> names(options.workloads.begin(),
+                                 options.workloads.end());
+  if (names.empty()) {
+    for (const std::string_view name : workloads::workload_names()) {
+      names.emplace_back(name);
+    }
+  }
+
+  // Raw accumulators in fixed [workload][predictor] slots —
+  // deterministic aggregation for any job completion order.
+  std::vector<std::vector<std::vector<Fig10WorkloadCell>>> raw(
+      names.size(),
+      std::vector<std::vector<Fig10WorkloadCell>>(predictors.size()));
+
+  std::mutex progress_mutex;
+  usize done = 0;
+  const usize total = names.size() * predictors.size();
+  engine.parallel_for(total, [&](usize job) {
+    const usize w = job / predictors.size();
+    const usize p = job % predictors.size();
+    raw[w][p] = fig10_workload_predictor(
+        engine, profile.config_for(names[w]), names[w], predictors[p],
+        options);
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(++done, total);
+    }
+  });
+
+  std::vector<std::string> labels;
+  for (const spec::PredictorConfig& config : predictors) {
+    labels.emplace_back(spec::predictor_name(config.kind));
+  }
+  return fig10_aggregate(std::move(labels), options.penalties, raw);
 }
 
 }  // namespace tlr::core

@@ -101,6 +101,23 @@ struct Fig9Result {
   TextTable trace_size_table() const;
 };
 
+/// One (workload, heuristic) fig9 job: the raw per-geometry values the
+/// suite matrix aggregates. This is the unit both the monolithic
+/// fig9_finite_rtm fan-out and the shard runner (core/shard.hpp)
+/// dispatch, so a shard's numbers are bit-identical to the monolithic
+/// run's contribution for that workload.
+std::vector<Fig9Cell> fig9_workload_heuristic(
+    const StudyEngine& engine, const SuiteConfig& config,
+    std::string_view workload, const Fig9Heuristic& heuristic,
+    reuse::ReuseTestKind test = reuse::ReuseTestKind::kValueCompare);
+
+/// The suite reduction fig9_finite_rtm applies: arithmetic mean across
+/// workloads, in slot order, per (heuristic, geometry) cell.
+/// `workload_cells[w][h][g]` must be rectangular over the full
+/// heuristic x geometry matrix.
+Fig9Result fig9_aggregate(
+    const std::vector<std::vector<std::vector<Fig9Cell>>>& workload_cells);
+
 /// Runs the finite-RTM simulation matrix over the suite. This is the
 /// most expensive experiment; `config.length` governs its cost.
 Fig9Result fig9_finite_rtm(const SuiteConfig& config,
@@ -166,6 +183,34 @@ struct Fig10Result {
   TextTable speedup_table(usize penalty_index) const;
   TextTable reuse_table() const;
 };
+
+/// Raw per-workload fig10 values: everything the suite reduction needs
+/// (the pooled-accuracy numerator/denominator stay exact u64s — the
+/// per-workload ratio alone cannot reproduce the pooled accuracy).
+struct Fig10WorkloadCell {
+  double reuse_fraction = 0.0;
+  double misspec_rate = 0.0;
+  u64 correct = 0;
+  u64 attempts = 0;
+  std::vector<double> speedups;  // one per penalty, workload-level
+};
+
+/// One (workload, predictor) fig10 job: raw per-geometry cells. Shared
+/// by the monolithic fan-out and the shard runner; `options` supplies
+/// penalties/heuristic/fixed_n (its predictors/workloads are ignored).
+std::vector<Fig10WorkloadCell> fig10_workload_predictor(
+    const StudyEngine& engine, const SuiteConfig& config,
+    std::string_view workload, const spec::PredictorConfig& predictor,
+    const Fig10Options& options);
+
+/// The suite reduction fig10_speculative_reuse applies: arithmetic
+/// means for fractions/rates, pooled correct/attempts for accuracy,
+/// harmonic means for speed-ups — across workloads in slot order.
+/// `workload_cells[w][p][g]` must be rectangular.
+Fig10Result fig10_aggregate(
+    std::vector<std::string> predictor_labels, std::vector<Cycle> penalties,
+    const std::vector<std::vector<std::vector<Fig10WorkloadCell>>>&
+        workload_cells);
 
 /// Runs the speculative-reuse matrix over the suite: one chunked pass
 /// per (workload, predictor) feeds all geometries, each priced at

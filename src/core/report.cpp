@@ -1,7 +1,9 @@
 #include "core/report.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -50,6 +52,33 @@ Json doubles_to_json(const std::vector<double>& values) {
   return json;
 }
 
+Json sweep_to_json(const std::vector<Cycle>& latencies,
+                   const std::vector<double>& speedups) {
+  Json json = Json::object();
+  json.set("latencies", cycles_to_json(latencies));
+  json.set("speedups", doubles_to_json(speedups));
+  return json;
+}
+
+bool wants_series(const ReportFigures& figures, std::string_view figure) {
+  for (const std::string& entry : figures.series) {
+    if (entry == figure) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Json meta_to_json(const ReportMeta& meta) {
+  Json json = Json::object();
+  json.set("tool", meta.tool);
+  json.set("git_sha", meta.git_sha);
+  json.set("threads", u64{meta.threads});
+  json.set("chunk_size", u64{meta.chunk_size});
+  json.set("wall_seconds", meta.wall_seconds);
+  return json;
+}
+
 Json profile_to_json(const ScaleProfile& profile) {
   Json json = Json::object();
   json.set("name", profile.name);
@@ -78,23 +107,6 @@ Json options_to_json(const MetricOptions& options) {
   json.set("proportional_ks", doubles_to_json(options.proportional_ks));
   return json;
 }
-
-Json sweep_to_json(const std::vector<Cycle>& latencies,
-                   const std::vector<double>& speedups) {
-  Json json = Json::object();
-  json.set("latencies", cycles_to_json(latencies));
-  json.set("speedups", doubles_to_json(speedups));
-  return json;
-}
-
-bool wants_series(const ReportFigures& figures, std::string_view figure) {
-  for (const std::string& entry : figures.series) {
-    if (entry == figure) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 Json workload_to_json(const WorkloadMetrics& metrics) {
   Json json = Json::object();
@@ -207,14 +219,7 @@ Json build_report(const ScaleProfile& profile, const MetricOptions& options,
                   const ReportMeta& meta, const ReportFigures& figures) {
   Json report = Json::object();
   report.set("schema", kReportSchema);
-
-  Json meta_json = Json::object();
-  meta_json.set("tool", meta.tool);
-  meta_json.set("git_sha", meta.git_sha);
-  meta_json.set("threads", u64{meta.threads});
-  meta_json.set("chunk_size", u64{meta.chunk_size});
-  meta_json.set("wall_seconds", meta.wall_seconds);
-  report.set("meta", std::move(meta_json));
+  report.set("meta", meta_to_json(meta));
 
   report.set("profile", profile_to_json(profile));
   report.set("options", options_to_json(options));
@@ -274,6 +279,151 @@ Json build_report(const ScaleProfile& profile, const MetricOptions& options,
   }
   report.set("figures", std::move(figures_json));
   return report;
+}
+
+// ---- inverses --------------------------------------------------------
+
+namespace {
+
+/// Typed field extraction with structural validation: every getter
+/// returns false (rather than asserting) on a missing key or a value
+/// of the wrong JSON flavour, so malformed partials surface as merge
+/// errors instead of aborts.
+bool get_u64(const Json& json, std::string_view key, u64& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !json_is_u64(*value)) return false;
+  out = value->as_u64();
+  return true;
+}
+
+bool get_double(const Json& json, std::string_view key, double& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !value->is_number()) return false;
+  out = value->as_double();
+  return true;
+}
+
+bool get_bool(const Json& json, std::string_view key, bool& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !value->is_bool()) return false;
+  out = value->as_bool();
+  return true;
+}
+
+bool get_string(const Json& json, std::string_view key, std::string& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !value->is_string()) return false;
+  out = value->as_string();
+  return true;
+}
+
+bool get_cycles(const Json& json, std::string_view key,
+                std::vector<Cycle>& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !value->is_array()) return false;
+  out.clear();
+  for (usize i = 0; i < value->size(); ++i) {
+    if (!json_is_u64(value->at(i))) return false;
+    out.push_back(value->at(i).as_u64());
+  }
+  return true;
+}
+
+bool get_doubles(const Json& json, std::string_view key,
+                 std::vector<double>& out) {
+  const Json* value = json.find(key);
+  if (value == nullptr || !value->is_array()) return false;
+  out.clear();
+  for (usize i = 0; i < value->size(); ++i) {
+    if (!value->at(i).is_number()) return false;
+    out.push_back(value->at(i).as_double());
+  }
+  return true;
+}
+
+}  // namespace
+
+bool json_is_u64(const Json& value) {
+  return value.kind() == Json::Kind::kUint ||
+         (value.kind() == Json::Kind::kInt && value.as_i64() >= 0);
+}
+
+std::optional<WorkloadMetrics> workload_from_json(const Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  WorkloadMetrics m;
+  u64 base_inf = 0, base_win = 0, trace_inf = 0;
+  if (!get_string(json, "name", m.name) ||
+      !get_bool(json, "is_fp", m.is_fp) ||
+      !get_u64(json, "instructions", m.instructions) ||
+      !get_double(json, "reusability", m.reusability) ||
+      !get_u64(json, "base_inf", base_inf) ||
+      !get_u64(json, "base_win", base_win) ||
+      !get_cycles(json, "ilr_inf", m.ilr_inf) ||
+      !get_cycles(json, "ilr_win", m.ilr_win) ||
+      !get_u64(json, "trace_inf", trace_inf) ||
+      !get_cycles(json, "trace_win", m.trace_win) ||
+      !get_cycles(json, "trace_win_prop", m.trace_win_prop)) {
+    return std::nullopt;
+  }
+  m.base_inf = base_inf;
+  m.base_win = base_win;
+  m.trace_inf = trace_inf;
+  const Json* stats = json.find("trace_stats");
+  if (stats == nullptr || !stats->is_object()) return std::nullopt;
+  if (!get_u64(*stats, "traces", m.trace_stats.traces) ||
+      !get_u64(*stats, "covered_instructions",
+               m.trace_stats.covered_instructions) ||
+      !get_double(*stats, "avg_size", m.trace_stats.avg_size) ||
+      !get_double(*stats, "avg_reg_inputs", m.trace_stats.avg_reg_inputs) ||
+      !get_double(*stats, "avg_mem_inputs", m.trace_stats.avg_mem_inputs) ||
+      !get_double(*stats, "avg_reg_outputs",
+                  m.trace_stats.avg_reg_outputs) ||
+      !get_double(*stats, "avg_mem_outputs",
+                  m.trace_stats.avg_mem_outputs)) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+std::optional<ScaleProfile> profile_from_json(const Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  ScaleProfile profile;
+  u64 window = 0;
+  if (!get_string(json, "name", profile.name) ||
+      !get_u64(json, "skip", profile.base.skip) ||
+      !get_u64(json, "length", profile.base.length) ||
+      !get_u64(json, "seed", profile.base.seed) ||
+      !get_u64(json, "window", window) ||
+      window > std::numeric_limits<u32>::max()) {
+    return std::nullopt;  // an out-of-range window must not truncate
+  }
+  profile.base.window = static_cast<u32>(window);
+  const Json* overrides = json.find("overrides");
+  if (overrides == nullptr || !overrides->is_array()) return std::nullopt;
+  for (usize i = 0; i < overrides->size(); ++i) {
+    ScaleProfile::Override entry;
+    const Json& item = overrides->at(i);
+    if (!item.is_object() || !get_string(item, "workload", entry.workload) ||
+        !get_u64(item, "skip", entry.skip) ||
+        !get_u64(item, "length", entry.length)) {
+      return std::nullopt;
+    }
+    profile.overrides.push_back(std::move(entry));
+  }
+  return profile;
+}
+
+std::optional<MetricOptions> metric_options_from_json(const Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  MetricOptions options;
+  if (!get_bool(json, "timing", options.timing) ||
+      !get_bool(json, "trace_stats", options.trace_stats) ||
+      !get_cycles(json, "ilr_latencies", options.ilr_latencies) ||
+      !get_cycles(json, "trace_latencies", options.trace_latencies) ||
+      !get_doubles(json, "proportional_ks", options.proportional_ks)) {
+    return std::nullopt;
+  }
+  return options;
 }
 
 // ---- comparison ------------------------------------------------------
@@ -455,6 +605,19 @@ std::vector<std::string> compare_reports(const Json& ours,
 
 bool write_report_file(const Json& report, const std::string& path,
                        std::string* error) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot create directory " + parent.string() + ": " +
+                 ec.message();
+      }
+      return false;
+    }
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";

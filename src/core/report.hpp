@@ -53,10 +53,28 @@ struct ReportFigures {
   static ReportFigures all_series();
 };
 
+util::Json meta_to_json(const ReportMeta& meta);
+util::Json profile_to_json(const ScaleProfile& profile);
+util::Json options_to_json(const MetricOptions& options);
 util::Json workload_to_json(const WorkloadMetrics& metrics);
 util::Json series_to_json(const BenchSeries& series);
 util::Json fig9_to_json(const Fig9Result& result);
 util::Json fig10_to_json(const Fig10Result& result);
+
+// ---- inverses (the shard merge path, core/shard.cpp) -----------------
+//
+// Deserialization is lossless: integers are exact and doubles are
+// written shortest-round-trip, so to_json(from_json(x)) == x bit for
+// bit — which is what lets a merged report reproduce the monolithic
+// bytes. Each returns nullopt on structurally malformed input.
+
+/// Whether `value` is an exactly-representable non-negative integer —
+/// the required check before the asserting Json::as_u64 on untrusted
+/// bytes (it aborts on negatives and non-integral doubles by design).
+bool json_is_u64(const util::Json& value);
+std::optional<WorkloadMetrics> workload_from_json(const util::Json& json);
+std::optional<ScaleProfile> profile_from_json(const util::Json& json);
+std::optional<MetricOptions> metric_options_from_json(const util::Json& json);
 
 /// Assembles the full report document. Key order is part of the
 /// schema: schema, meta, profile, options, workloads, figures.
@@ -84,7 +102,8 @@ std::vector<std::string> compare_reports(const util::Json& ours,
 
 // ---- file IO ---------------------------------------------------------
 
-/// Pretty-printed write (2-space indent, trailing newline).
+/// Pretty-printed write (2-space indent, trailing newline). Missing
+/// parent directories are created; failures yield a clear error.
 bool write_report_file(const util::Json& report, const std::string& path,
                        std::string* error = nullptr);
 std::optional<util::Json> read_report_file(const std::string& path,

@@ -1,0 +1,909 @@
+#include "core/shard.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "core/engine.hpp"
+#include "spec/predictor.hpp"
+#include "util/assert.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::core {
+
+using util::Json;
+
+// ---- the plan --------------------------------------------------------
+
+ShardPlan ShardPlan::enumerate(const SectionSelection& sections,
+                               std::span<const std::string> workload_names) {
+  ShardPlan plan;
+  plan.sections_ = sections;
+  plan.workloads_.assign(workload_names.begin(), workload_names.end());
+  if (plan.workloads_.empty()) {
+    for (const std::string_view name : workloads::workload_names()) {
+      plan.workloads_.emplace_back(name);
+    }
+  }
+  const auto add_section = [&](std::string_view section) {
+    for (const std::string& workload : plan.workloads_) {
+      plan.keys_.push_back({workload, std::string(section)});
+    }
+  };
+  add_section(kShardSectionSuite);
+  if (sections.fig9) add_section(kShardSectionFig9);
+  if (sections.fig10) add_section(kShardSectionFig10);
+  return plan;
+}
+
+std::vector<ShardKey> ShardPlan::slice(usize index, usize count) const {
+  TLR_ASSERT_MSG(count >= 1 && index >= 1 && index <= count,
+                 "shard index must be in [1, count]");
+  std::vector<ShardKey> keys;
+  for (usize i = index - 1; i < keys_.size(); i += count) {
+    keys.push_back(keys_[i]);
+  }
+  return keys;
+}
+
+std::string shard_file_name(usize index, usize count) {
+  std::string digits = std::to_string(count);
+  std::string padded = std::to_string(index);
+  while (padded.size() < digits.size()) padded.insert(0, 1, '0');
+  return "shard-" + padded + "-of-" + digits + ".json";
+}
+
+std::vector<spec::PredictorConfig> ShardRunOptions::resolved_predictors()
+    const {
+  return fig10.predictors.empty() ? fig10_predictors() : fig10.predictors;
+}
+
+// ---- partial serialization -------------------------------------------
+
+namespace {
+
+Json strings_to_json(std::span<const std::string> values) {
+  Json json = Json::array();
+  for (const std::string& value : values) json.push_back(Json(value));
+  return json;
+}
+
+Json selection_to_json(const SectionSelection& sections) {
+  Json json = Json::object();
+  json.set("series", sections.series);
+  json.set("fig9", sections.fig9);
+  json.set("fig10", sections.fig10);
+  return json;
+}
+
+Json keys_to_json(std::span<const ShardKey> keys) {
+  Json json = Json::array();
+  for (const ShardKey& key : keys) {
+    Json item = Json::object();
+    item.set("workload", key.workload);
+    item.set("section", key.section);
+    json.push_back(std::move(item));
+  }
+  return json;
+}
+
+/// The raw-block headers: the *complete* experiment shape every
+/// partial of a run must agree on — not just row labels but every
+/// parameter that changes the numbers (predictor confidence shape,
+/// trace-collection heuristic, reuse-test kind), so partials computed
+/// under different configurations can never silently merge.
+Json fig9_header_json(const ShardRunOptions& options) {
+  Json json = Json::object();
+  Json heuristics = Json::array();
+  for (const Fig9Heuristic& h : fig9_heuristics()) {
+    heuristics.push_back(Json(h.label));
+  }
+  json.set("heuristics", std::move(heuristics));
+  Json geometries = Json::array();
+  for (const auto& [label, geometry] : fig9_geometries()) {
+    geometries.push_back(Json(label));
+  }
+  json.set("geometries", std::move(geometries));
+  json.set("test", u64{static_cast<u64>(options.fig9.test)});
+  return json;
+}
+
+Json fig10_header_json(const ShardRunOptions& options) {
+  Json json = Json::object();
+  Json predictors = Json::array();
+  for (const spec::PredictorConfig& config : options.resolved_predictors()) {
+    Json predictor = Json::object();
+    predictor.set("name", spec::predictor_name(config.kind));
+    predictor.set("confidence_bits", u64{config.confidence_bits});
+    predictor.set("confidence_threshold", u64{config.confidence_threshold});
+    predictor.set("initial_confidence", u64{config.initial_confidence});
+    predictors.push_back(std::move(predictor));
+  }
+  json.set("predictors", std::move(predictors));
+  Json penalties = Json::array();
+  for (const Cycle penalty : options.fig10.penalties) {
+    penalties.push_back(Json(u64{penalty}));
+  }
+  json.set("penalties", std::move(penalties));
+  Json geometries = Json::array();
+  for (const auto& [label, geometry] : fig9_geometries()) {
+    geometries.push_back(Json(label));
+  }
+  json.set("geometries", std::move(geometries));
+  json.set("heuristic", u64{static_cast<u64>(options.fig10.heuristic)});
+  json.set("fixed_n", u64{options.fig10.fixed_n});
+  return json;
+}
+
+Json fig9_cells_to_json(const std::vector<std::vector<Fig9Cell>>& cells) {
+  Json fractions = Json::array();
+  Json sizes = Json::array();
+  for (const auto& row : cells) {
+    Json fraction_row = Json::array();
+    Json size_row = Json::array();
+    for (const Fig9Cell& cell : row) {
+      fraction_row.push_back(Json(cell.reuse_fraction));
+      size_row.push_back(Json(cell.avg_trace_size));
+    }
+    fractions.push_back(std::move(fraction_row));
+    sizes.push_back(std::move(size_row));
+  }
+  Json json = Json::object();
+  json.set("reuse_fraction", std::move(fractions));
+  json.set("avg_trace_size", std::move(sizes));
+  return json;
+}
+
+Json fig10_cells_to_json(
+    const std::vector<std::vector<Fig10WorkloadCell>>& cells) {
+  Json fractions = Json::array();
+  Json correct = Json::array();
+  Json attempts = Json::array();
+  Json rates = Json::array();
+  Json speedups = Json::array();
+  for (const auto& row : cells) {
+    Json fraction_row = Json::array();
+    Json correct_row = Json::array();
+    Json attempts_row = Json::array();
+    Json rate_row = Json::array();
+    Json speedup_row = Json::array();
+    for (const Fig10WorkloadCell& cell : row) {
+      fraction_row.push_back(Json(cell.reuse_fraction));
+      correct_row.push_back(Json(u64{cell.correct}));
+      attempts_row.push_back(Json(u64{cell.attempts}));
+      rate_row.push_back(Json(cell.misspec_rate));
+      Json per_penalty = Json::array();
+      for (const double speedup : cell.speedups) {
+        per_penalty.push_back(Json(speedup));
+      }
+      speedup_row.push_back(std::move(per_penalty));
+    }
+    fractions.push_back(std::move(fraction_row));
+    correct.push_back(std::move(correct_row));
+    attempts.push_back(std::move(attempts_row));
+    rates.push_back(std::move(rate_row));
+    speedups.push_back(std::move(speedup_row));
+  }
+  Json json = Json::object();
+  json.set("reuse_fraction", std::move(fractions));
+  json.set("correct", std::move(correct));
+  json.set("attempts", std::move(attempts));
+  json.set("misspec_rate", std::move(rates));
+  // speedup[p][g][q]: predictor p, geometry g, penalty q.
+  json.set("speedup", std::move(speedups));
+  return json;
+}
+
+// ---- partial parsing -------------------------------------------------
+
+bool note(std::string* why, std::string message) {
+  if (why != nullptr) *why = std::move(message);
+  return false;
+}
+
+// Partial content is untrusted bytes: every numeric read below must
+// kind-check via json_is_u64 (report.hpp) before touching the
+// asserting accessors (as_u64 aborts on negatives and non-integral
+// doubles by design).
+
+struct ShardBlock {
+  usize index = 0;
+  usize count = 0;
+  SectionSelection sections;
+  std::vector<std::string> workloads;
+  std::vector<ShardKey> keys;
+};
+
+bool parse_shard_block(const Json& partial, ShardBlock& out,
+                       std::string* why) {
+  const Json* schema = partial.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kReportSchema) {
+    return note(why, "missing or unknown schema (want \"" +
+                         std::string(kReportSchema) + "\")");
+  }
+  const Json* shard = partial.find("shard");
+  if (shard == nullptr || !shard->is_object()) {
+    return note(why, "not a partial report: no shard block");
+  }
+  const Json* index = shard->find("index");
+  const Json* count = shard->find("count");
+  if (index == nullptr || count == nullptr || !json_is_u64(*index) ||
+      !json_is_u64(*count)) {
+    return note(why, "shard block lacks a valid index/count");
+  }
+  out.index = index->as_u64();
+  out.count = count->as_u64();
+  if (out.count < 1 || out.count > kMaxShardCount || out.index < 1 ||
+      out.index > out.count) {
+    return note(why, "shard index " + std::to_string(out.index) + "/" +
+                         std::to_string(out.count) + " out of range");
+  }
+  const Json* figures = shard->find("figures");
+  if (figures == nullptr || !figures->is_object() ||
+      !figures->at("series").is_bool() || !figures->at("fig9").is_bool() ||
+      !figures->at("fig10").is_bool()) {
+    return note(why, "shard block lacks the figures selection");
+  }
+  out.sections.series = figures->at("series").as_bool();
+  out.sections.fig9 = figures->at("fig9").as_bool();
+  out.sections.fig10 = figures->at("fig10").as_bool();
+  const Json* workloads = shard->find("workloads");
+  if (workloads == nullptr || !workloads->is_array()) {
+    return note(why, "shard block lacks the workload list");
+  }
+  for (usize i = 0; i < workloads->size(); ++i) {
+    if (!workloads->at(i).is_string()) {
+      return note(why, "shard workload list holds a non-string");
+    }
+    out.workloads.push_back(workloads->at(i).as_string());
+  }
+  const Json* keys = shard->find("keys");
+  if (keys == nullptr || !keys->is_array()) {
+    return note(why, "shard block lacks its key list");
+  }
+  for (usize i = 0; i < keys->size(); ++i) {
+    const Json& item = keys->at(i);
+    if (!item.is_object() || !item.at("workload").is_string() ||
+        !item.at("section").is_string()) {
+      return note(why, "shard key list holds a malformed key");
+    }
+    out.keys.push_back(
+        {item.at("workload").as_string(), item.at("section").as_string()});
+  }
+  return true;
+}
+
+std::optional<std::vector<std::vector<Fig9Cell>>> fig9_cells_from_json(
+    const Json& json) {
+  const usize heuristics = fig9_heuristics().size();
+  const usize geometries = fig9_geometries().size();
+  const Json* fractions = json.find("reuse_fraction");
+  const Json* sizes = json.find("avg_trace_size");
+  if (fractions == nullptr || sizes == nullptr || !fractions->is_array() ||
+      !sizes->is_array() || fractions->size() != heuristics ||
+      sizes->size() != heuristics) {
+    return std::nullopt;
+  }
+  std::vector<std::vector<Fig9Cell>> cells(
+      heuristics, std::vector<Fig9Cell>(geometries));
+  for (usize h = 0; h < heuristics; ++h) {
+    const Json& fraction_row = fractions->at(h);
+    const Json& size_row = sizes->at(h);
+    if (!fraction_row.is_array() || !size_row.is_array() ||
+        fraction_row.size() != geometries || size_row.size() != geometries) {
+      return std::nullopt;
+    }
+    for (usize g = 0; g < geometries; ++g) {
+      if (!fraction_row.at(g).is_number() || !size_row.at(g).is_number()) {
+        return std::nullopt;
+      }
+      cells[h][g].reuse_fraction = fraction_row.at(g).as_double();
+      cells[h][g].avg_trace_size = size_row.at(g).as_double();
+    }
+  }
+  return cells;
+}
+
+std::optional<std::vector<std::vector<Fig10WorkloadCell>>>
+fig10_cells_from_json(const Json& json, usize predictors, usize penalties) {
+  const usize geometries = fig9_geometries().size();
+  const Json* fractions = json.find("reuse_fraction");
+  const Json* correct = json.find("correct");
+  const Json* attempts = json.find("attempts");
+  const Json* rates = json.find("misspec_rate");
+  const Json* speedups = json.find("speedup");
+  for (const Json* matrix : {fractions, correct, attempts, rates, speedups}) {
+    if (matrix == nullptr || !matrix->is_array() ||
+        matrix->size() != predictors) {
+      return std::nullopt;
+    }
+  }
+  std::vector<std::vector<Fig10WorkloadCell>> cells(
+      predictors, std::vector<Fig10WorkloadCell>(geometries));
+  for (usize p = 0; p < predictors; ++p) {
+    for (const Json* matrix :
+         {fractions, correct, attempts, rates, speedups}) {
+      if (!matrix->at(p).is_array() || matrix->at(p).size() != geometries) {
+        return std::nullopt;
+      }
+    }
+    for (usize g = 0; g < geometries; ++g) {
+      Fig10WorkloadCell& cell = cells[p][g];
+      const Json& frac = fractions->at(p).at(g);
+      const Json& corr = correct->at(p).at(g);
+      const Json& att = attempts->at(p).at(g);
+      const Json& rate = rates->at(p).at(g);
+      const Json& per_penalty = speedups->at(p).at(g);
+      if (!frac.is_number() || !json_is_u64(corr) || !json_is_u64(att) ||
+          !rate.is_number() || !per_penalty.is_array() ||
+          per_penalty.size() != penalties) {
+        return std::nullopt;
+      }
+      cell.reuse_fraction = frac.as_double();
+      cell.correct = corr.as_u64();
+      cell.attempts = att.as_u64();
+      cell.misspec_rate = rate.as_double();
+      for (usize q = 0; q < penalties; ++q) {
+        if (!per_penalty.at(q).is_number()) return std::nullopt;
+        cell.speedups.push_back(per_penalty.at(q).as_double());
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+// ---- running shards --------------------------------------------------
+
+namespace {
+
+/// Per-shard in-flight state for one batch run.
+struct ShardSlot {
+  usize index = 0;
+  std::vector<ShardKey> keys;
+  usize jobs_remaining = 0;
+  double wall_seconds = 0.0;  // summed job wall time
+  std::vector<WorkloadMetrics> suite_results;
+  std::vector<std::vector<std::vector<Fig9Cell>>> fig9_results;      // [k][h][g]
+  std::vector<std::vector<std::vector<Fig10WorkloadCell>>> fig10_results;
+};
+
+Json assemble_partial(const ShardSlot& slot, usize count,
+                      const ScaleProfile& profile, const ShardPlan& plan,
+                      const ShardRunOptions& options, ReportMeta meta) {
+  meta.wall_seconds = slot.wall_seconds;
+
+  Json partial = Json::object();
+  partial.set("schema", kReportSchema);
+  partial.set("meta", meta_to_json(meta));
+
+  Json shard = Json::object();
+  shard.set("index", u64{slot.index});
+  shard.set("count", u64{count});
+  shard.set("figures", selection_to_json(plan.sections()));
+  shard.set("workloads", strings_to_json(plan.workloads()));
+  shard.set("keys", keys_to_json(slot.keys));
+  partial.set("shard", std::move(shard));
+
+  partial.set("profile", profile_to_json(profile));
+  partial.set("options", options_to_json(options.metrics));
+
+  Json suite_json = Json::array();
+  Json fig9_workloads = Json::object();
+  Json fig10_workloads = Json::object();
+  for (usize k = 0; k < slot.keys.size(); ++k) {
+    if (slot.keys[k].section == kShardSectionSuite) {
+      suite_json.push_back(workload_to_json(slot.suite_results[k]));
+    } else if (slot.keys[k].section == kShardSectionFig9) {
+      fig9_workloads.set(slot.keys[k].workload,
+                         fig9_cells_to_json(slot.fig9_results[k]));
+    } else {
+      fig10_workloads.set(slot.keys[k].workload,
+                          fig10_cells_to_json(slot.fig10_results[k]));
+    }
+  }
+  partial.set("workloads", std::move(suite_json));
+
+  Json raw = Json::object();
+  if (fig9_workloads.size() > 0) {
+    Json fig9_json = fig9_header_json(options);
+    fig9_json.set("workloads", std::move(fig9_workloads));
+    raw.set("fig9", std::move(fig9_json));
+  }
+  if (fig10_workloads.size() > 0) {
+    Json fig10_json = fig10_header_json(options);
+    fig10_json.set("workloads", std::move(fig10_workloads));
+    raw.set("fig10", std::move(fig10_json));
+  }
+  partial.set("raw", std::move(raw));
+  return partial;
+}
+
+}  // namespace
+
+void run_shard_partials(
+    StudyEngine& engine, const ScaleProfile& profile, const ShardPlan& plan,
+    std::span<const usize> indices, usize count,
+    const ShardRunOptions& options, const ReportMeta& meta,
+    const std::function<void(usize index, Json partial)>& on_partial,
+    const ShardProgress& progress) {
+  using Clock = std::chrono::steady_clock;
+  const auto heuristics = fig9_heuristics();
+  const std::vector<spec::PredictorConfig> predictors =
+      options.resolved_predictors();
+
+  // Flatten every requested shard's keys into one job list at the
+  // monolithic run's granularity, with fixed result slots per key —
+  // one fan-out saturates the pool even when individual shards hold a
+  // single job.
+  struct JobRef {
+    usize slot;
+    usize key;
+    usize sub;  // heuristic / predictor row; 0 for suite keys
+  };
+  std::vector<ShardSlot> slots(indices.size());
+  std::vector<JobRef> jobs;
+  for (usize s = 0; s < indices.size(); ++s) {
+    ShardSlot& slot = slots[s];
+    slot.index = indices[s];
+    slot.keys = plan.slice(slot.index, count);
+    slot.suite_results.resize(slot.keys.size());
+    slot.fig9_results.resize(slot.keys.size());
+    slot.fig10_results.resize(slot.keys.size());
+    for (usize k = 0; k < slot.keys.size(); ++k) {
+      if (slot.keys[k].section == kShardSectionSuite) {
+        jobs.push_back({s, k, 0});
+      } else if (slot.keys[k].section == kShardSectionFig9) {
+        slot.fig9_results[k].resize(heuristics.size());
+        for (usize h = 0; h < heuristics.size(); ++h) {
+          jobs.push_back({s, k, h});
+        }
+      } else {
+        TLR_ASSERT_MSG(slot.keys[k].section == kShardSectionFig10,
+                       "unknown shard section");
+        slot.fig10_results[k].resize(predictors.size());
+        for (usize p = 0; p < predictors.size(); ++p) {
+          jobs.push_back({s, k, p});
+        }
+      }
+    }
+  }
+  for (const JobRef& job : jobs) ++slots[job.slot].jobs_remaining;
+
+  // Empty shards (count beyond the plan size) complete immediately.
+  std::mutex mutex;  // guards progress counters and on_partial
+  usize done = 0;
+  for (ShardSlot& slot : slots) {
+    if (slot.jobs_remaining == 0 && on_partial) {
+      on_partial(slot.index,
+                 assemble_partial(slot, count, profile, plan, options, meta));
+    }
+  }
+
+  engine.parallel_for(jobs.size(), [&](usize j) {
+    const JobRef& job = jobs[j];
+    ShardSlot& slot = slots[job.slot];
+    const ShardKey& key = slot.keys[job.key];
+    const SuiteConfig config = profile.config_for(key.workload);
+    const auto start = Clock::now();
+    std::string label = key.workload + " " + key.section;
+    if (key.section == kShardSectionSuite) {
+      slot.suite_results[job.key] =
+          engine.analyze(key.workload, config, options.metrics);
+    } else if (key.section == kShardSectionFig9) {
+      slot.fig9_results[job.key][job.sub] = fig9_workload_heuristic(
+          engine, config, key.workload, heuristics[job.sub],
+          options.fig9.test);
+      label += " " + heuristics[job.sub].label;
+    } else {
+      slot.fig10_results[job.key][job.sub] = fig10_workload_predictor(
+          engine, config, key.workload, predictors[job.sub], options.fig10);
+      label += " ";
+      label += spec::predictor_name(predictors[job.sub].kind);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const std::lock_guard<std::mutex> lock(mutex);
+    slot.wall_seconds += elapsed;
+    if (progress) progress(label, ++done, jobs.size());
+    if (--slot.jobs_remaining == 0 && on_partial) {
+      // All of this shard's slots are final (their writers finished
+      // before the counter hit zero under this lock).
+      on_partial(slot.index,
+                 assemble_partial(slot, count, profile, plan, options, meta));
+    }
+  });
+}
+
+Json run_shard_partial(StudyEngine& engine, const ScaleProfile& profile,
+                       const ShardPlan& plan, usize index, usize count,
+                       const ShardRunOptions& options, ReportMeta meta,
+                       const ShardProgress& progress) {
+  Json partial;
+  const usize indices[] = {index};
+  run_shard_partials(
+      engine, profile, plan, indices, count, options, meta,
+      [&](usize, Json assembled) { partial = std::move(assembled); },
+      progress);
+  return partial;
+}
+
+// ---- validation ------------------------------------------------------
+
+bool validate_partial(const Json& partial, const ScaleProfile& profile,
+                      const ShardRunOptions& options, const ShardPlan& plan,
+                      usize index, usize count, std::string* why) {
+  if (!partial.is_object()) return note(why, "not a JSON object");
+  ShardBlock block;
+  if (!parse_shard_block(partial, block, why)) return false;
+  if (block.index != index || block.count != count) {
+    return note(why, "shard " + std::to_string(block.index) + "/" +
+                         std::to_string(block.count) + ", expected " +
+                         std::to_string(index) + "/" +
+                         std::to_string(count));
+  }
+  if (block.sections != plan.sections()) {
+    return note(why, "figure selection differs from this run");
+  }
+  if (block.workloads != plan.workloads()) {
+    return note(why, "workload list differs from this run");
+  }
+  const Json* meta = partial.find("meta");
+  if (meta == nullptr || !meta->is_object() ||
+      !meta->at("git_sha").is_string()) {
+    return note(why, "meta block lacks git_sha");
+  }
+  if (meta->at("git_sha").as_string() != report_git_sha()) {
+    return note(why, "git_sha " + meta->at("git_sha").as_string() +
+                         " != this build (" +
+                         std::string(report_git_sha()) + ")");
+  }
+  const Json* profile_json = partial.find("profile");
+  if (profile_json == nullptr || *profile_json != profile_to_json(profile)) {
+    return note(why, "profile differs from this run");
+  }
+  const Json* options_json = partial.find("options");
+  if (options_json == nullptr ||
+      *options_json != options_to_json(options.metrics)) {
+    return note(why, "metric options differ from this run");
+  }
+
+  const std::vector<ShardKey> expected_keys = plan.slice(index, count);
+  if (block.keys != expected_keys) {
+    return note(why, "key list is not slice " + std::to_string(index) + "/" +
+                         std::to_string(count) + " of the plan");
+  }
+
+  // Content coverage, at the validity level the merge parse enforces.
+  const Json* workloads = partial.find("workloads");
+  const Json* raw = partial.find("raw");
+  if (workloads == nullptr || !workloads->is_array() || raw == nullptr ||
+      !raw->is_object()) {
+    return note(why, "partial lacks workloads[]/raw blocks");
+  }
+  const usize predictors = options.resolved_predictors().size();
+  const usize penalties = options.fig10.penalties.size();
+  for (const ShardKey& key : expected_keys) {
+    if (key.section == kShardSectionSuite) {
+      bool found = false;
+      for (usize i = 0; i < workloads->size() && !found; ++i) {
+        const Json& entry = workloads->at(i);
+        found = entry.is_object() && entry.at("name").is_string() &&
+                entry.at("name").as_string() == key.workload &&
+                workload_from_json(entry).has_value();
+      }
+      if (!found) {
+        return note(why, "suite metrics for " + key.workload +
+                             " missing or malformed");
+      }
+    } else if (key.section == kShardSectionFig9) {
+      const Json* fig9 = raw->find("fig9");
+      const Json expected_header = fig9_header_json(options);
+      if (fig9 == nullptr ||
+          fig9->at("heuristics") != expected_header.at("heuristics") ||
+          fig9->at("geometries") != expected_header.at("geometries") ||
+          fig9->at("test") != expected_header.at("test") ||
+          fig9->find("workloads") == nullptr) {
+        return note(why, "raw fig9 block missing or mismatched");
+      }
+      const Json* cells = fig9->at("workloads").find(key.workload);
+      if (cells == nullptr || !fig9_cells_from_json(*cells).has_value()) {
+        return note(why, "raw fig9 cells for " + key.workload +
+                             " missing or malformed");
+      }
+    } else {
+      const Json* fig10 = raw->find("fig10");
+      const Json expected_header = fig10_header_json(options);
+      if (fig10 == nullptr ||
+          fig10->at("predictors") != expected_header.at("predictors") ||
+          fig10->at("penalties") != expected_header.at("penalties") ||
+          fig10->at("heuristic") != expected_header.at("heuristic") ||
+          fig10->at("fixed_n") != expected_header.at("fixed_n") ||
+          fig10->find("workloads") == nullptr) {
+        return note(why, "raw fig10 block missing or mismatched");
+      }
+      const Json* cells = fig10->at("workloads").find(key.workload);
+      if (cells == nullptr ||
+          !fig10_cells_from_json(*cells, predictors, penalties)
+               .has_value()) {
+        return note(why, "raw fig10 cells for " + key.workload +
+                             " missing or malformed");
+      }
+    }
+  }
+  return true;
+}
+
+// ---- merging ---------------------------------------------------------
+
+namespace {
+
+void merge_error(std::vector<std::string>* errors, std::string message) {
+  if (errors != nullptr) errors->push_back(std::move(message));
+}
+
+}  // namespace
+
+std::optional<Json> merge_partials(std::span<const Json> partials,
+                                   std::vector<std::string>* errors) {
+  if (partials.empty()) {
+    merge_error(errors, "no partials to merge");
+    return std::nullopt;
+  }
+
+  // Parse every shard block and pin provenance against the first
+  // partial: a merged report must come from ONE run configuration.
+  std::vector<ShardBlock> blocks(partials.size());
+  for (usize i = 0; i < partials.size(); ++i) {
+    std::string why;
+    if (!partials[i].is_object() ||
+        !parse_shard_block(partials[i], blocks[i], &why)) {
+      merge_error(errors, "partial " + std::to_string(i) + ": " +
+                              (why.empty() ? "malformed" : why));
+      return std::nullopt;
+    }
+  }
+  const ShardBlock& reference = blocks[0];
+  const Json* reference_profile = partials[0].find("profile");
+  const Json* reference_options = partials[0].find("options");
+  const Json* reference_meta = partials[0].find("meta");
+  if (reference_profile == nullptr || reference_options == nullptr ||
+      reference_meta == nullptr || !reference_meta->is_object() ||
+      !reference_meta->at("git_sha").is_string()) {
+    merge_error(errors, "partial 0: missing profile/options/meta blocks");
+    return std::nullopt;
+  }
+  const std::string git_sha = reference_meta->at("git_sha").as_string();
+
+  bool consistent = true;
+  double wall_seconds = 0.0;
+  std::vector<bool> seen(reference.count, false);
+  for (usize i = 0; i < partials.size(); ++i) {
+    const std::string label = "partial " + std::to_string(i);
+    const ShardBlock& block = blocks[i];
+    if (block.count != reference.count) {
+      merge_error(errors, label + ": shard count " +
+                              std::to_string(block.count) + " != " +
+                              std::to_string(reference.count));
+      consistent = false;
+      continue;
+    }
+    if (seen[block.index - 1]) {
+      merge_error(errors, label + ": duplicate shard index " +
+                              std::to_string(block.index));
+      consistent = false;
+    }
+    seen[block.index - 1] = true;
+    if (block.sections != reference.sections) {
+      merge_error(errors, label + ": figure selection differs");
+      consistent = false;
+    }
+    if (block.workloads != reference.workloads) {
+      merge_error(errors, label + ": workload list differs");
+      consistent = false;
+    }
+    const Json* meta = partials[i].find("meta");
+    if (meta == nullptr || !meta->is_object() ||
+        !meta->at("git_sha").is_string()) {
+      merge_error(errors, label + ": meta block lacks git_sha");
+      consistent = false;
+    } else {
+      if (meta->at("git_sha").as_string() != git_sha) {
+        merge_error(errors, label + ": git_sha " +
+                                meta->at("git_sha").as_string() + " != " +
+                                git_sha);
+        consistent = false;
+      }
+      if (meta->at("wall_seconds").is_number()) {
+        wall_seconds += meta->at("wall_seconds").as_double();
+      }
+    }
+    const Json* profile = partials[i].find("profile");
+    if (profile == nullptr || *profile != *reference_profile) {
+      merge_error(errors, label + ": profile differs");
+      consistent = false;
+    }
+    const Json* options = partials[i].find("options");
+    if (options == nullptr || *options != *reference_options) {
+      merge_error(errors, label + ": metric options differ");
+      consistent = false;
+    }
+  }
+  if (!consistent) return std::nullopt;
+
+  // Completeness: every shard of the run, exactly once, and each
+  // partial's key list must be its slice of the recomputed plan.
+  const ShardPlan plan =
+      ShardPlan::enumerate(reference.sections, reference.workloads);
+  for (usize k = 0; k < reference.count; ++k) {
+    if (!seen[k]) {
+      merge_error(errors, "missing shard " + std::to_string(k + 1) + "/" +
+                              std::to_string(reference.count));
+      consistent = false;
+    }
+  }
+  for (usize i = 0; i < partials.size(); ++i) {
+    if (blocks[i].keys != plan.slice(blocks[i].index, reference.count)) {
+      merge_error(errors, "partial " + std::to_string(i) +
+                              ": key list is not slice " +
+                              std::to_string(blocks[i].index) + "/" +
+                              std::to_string(reference.count) +
+                              " of the plan");
+      consistent = false;
+    }
+  }
+  if (!consistent) return std::nullopt;
+
+  // Gather content. Slices partition the plan, so each key's payload
+  // lives in exactly one partial.
+  std::vector<WorkloadMetrics> suite;
+  std::vector<std::vector<std::vector<Fig9Cell>>> fig9_cells;
+  std::vector<std::vector<std::vector<Fig10WorkloadCell>>> fig10_cells;
+  const Json* fig9_header = nullptr;
+  const Json* fig10_header = nullptr;
+
+  const auto partial_for_key = [&](const ShardKey& key) -> const Json& {
+    for (usize i = 0; i < partials.size(); ++i) {
+      for (const ShardKey& have : blocks[i].keys) {
+        if (have == key) return partials[i];
+      }
+    }
+    TLR_ASSERT_MSG(false, "plan key not covered despite complete slices");
+    return partials[0];
+  };
+
+  for (const std::string& workload : reference.workloads) {
+    // Suite metrics, in workload order — the monolithic workloads[]
+    // order, which the derived figure series also follow.
+    {
+      const Json& partial =
+          partial_for_key({workload, std::string(kShardSectionSuite)});
+      const Json* workloads = partial.find("workloads");
+      std::optional<WorkloadMetrics> metrics;
+      if (workloads != nullptr && workloads->is_array()) {
+        for (usize i = 0; i < workloads->size() && !metrics; ++i) {
+          const Json& entry = workloads->at(i);
+          if (entry.is_object() && entry.at("name").is_string() &&
+              entry.at("name").as_string() == workload) {
+            metrics = workload_from_json(entry);
+          }
+        }
+      }
+      if (!metrics.has_value()) {
+        merge_error(errors, "suite metrics for " + workload +
+                                " missing or malformed");
+        return std::nullopt;
+      }
+      suite.push_back(std::move(*metrics));
+    }
+
+    if (reference.sections.fig9) {
+      const Json& partial =
+          partial_for_key({workload, std::string(kShardSectionFig9)});
+      const Json* fig9 = partial.at("raw").find("fig9");
+      const Json* cells_json =
+          fig9 == nullptr ? nullptr : fig9->at("workloads").find(workload);
+      auto cells = cells_json == nullptr
+                       ? std::nullopt
+                       : fig9_cells_from_json(*cells_json);
+      if (!cells.has_value()) {
+        merge_error(errors,
+                    "raw fig9 cells for " + workload + " missing or malformed");
+        return std::nullopt;
+      }
+      if (fig9_header == nullptr) {
+        fig9_header = fig9;
+      } else if (fig9->at("heuristics") != fig9_header->at("heuristics") ||
+                 fig9->at("geometries") != fig9_header->at("geometries") ||
+                 fig9->at("test") != fig9_header->at("test")) {
+        merge_error(errors, "fig9 headers differ between partials");
+        return std::nullopt;
+      }
+      fig9_cells.push_back(std::move(*cells));
+    }
+
+    if (reference.sections.fig10) {
+      const Json& partial =
+          partial_for_key({workload, std::string(kShardSectionFig10)});
+      const Json* fig10 = partial.at("raw").find("fig10");
+      if (fig10 == nullptr || !fig10->at("predictors").is_array() ||
+          !fig10->at("penalties").is_array()) {
+        merge_error(errors, "raw fig10 block for " + workload +
+                                " missing its header");
+        return std::nullopt;
+      }
+      if (fig10_header == nullptr) {
+        fig10_header = fig10;
+      } else if (fig10->at("predictors") != fig10_header->at("predictors") ||
+                 fig10->at("penalties") != fig10_header->at("penalties") ||
+                 fig10->at("heuristic") != fig10_header->at("heuristic") ||
+                 fig10->at("fixed_n") != fig10_header->at("fixed_n")) {
+        merge_error(errors,
+                    "fig10 predictor/penalty configs differ between partials");
+        return std::nullopt;
+      }
+      const Json* cells_json = fig10->at("workloads").find(workload);
+      auto cells = cells_json == nullptr
+                       ? std::nullopt
+                       : fig10_cells_from_json(
+                             *cells_json, fig10->at("predictors").size(),
+                             fig10->at("penalties").size());
+      if (!cells.has_value()) {
+        merge_error(errors, "raw fig10 cells for " + workload +
+                                " missing or malformed");
+        return std::nullopt;
+      }
+      fig10_cells.push_back(std::move(*cells));
+    }
+  }
+
+  // Rebuild the monolithic document: parsed inputs are bit-exact, the
+  // reductions are the same code in the same workload order, so the
+  // bytes match the monolithic run outside `meta`.
+  const auto profile = profile_from_json(*reference_profile);
+  const auto metric_options = metric_options_from_json(*reference_options);
+  if (!profile.has_value() || !metric_options.has_value()) {
+    merge_error(errors, "profile/options blocks failed to parse");
+    return std::nullopt;
+  }
+
+  ReportFigures figures;
+  if (reference.sections.series) {
+    figures.series = ReportFigures::all_series().series;
+  }
+  if (reference.sections.fig9) figures.fig9 = fig9_aggregate(fig9_cells);
+  if (reference.sections.fig10) {
+    std::vector<std::string> labels;
+    std::vector<Cycle> penalties;
+    const Json& predictor_configs = fig10_header->at("predictors");
+    for (usize p = 0; p < predictor_configs.size(); ++p) {
+      const Json& predictor = predictor_configs.at(p);
+      if (!predictor.is_object() || !predictor.at("name").is_string()) {
+        merge_error(errors, "fig10 header holds a malformed predictor");
+        return std::nullopt;
+      }
+      labels.push_back(predictor.at("name").as_string());
+    }
+    const Json& penalty_values = fig10_header->at("penalties");
+    for (usize q = 0; q < penalty_values.size(); ++q) {
+      if (!json_is_u64(penalty_values.at(q))) {
+        merge_error(errors, "fig10 header holds a non-integral penalty");
+        return std::nullopt;
+      }
+      penalties.push_back(penalty_values.at(q).as_u64());
+    }
+    figures.fig10 =
+        fig10_aggregate(std::move(labels), std::move(penalties), fig10_cells);
+  }
+
+  ReportMeta meta;
+  meta.git_sha = git_sha;
+  meta.threads = 0;
+  meta.chunk_size = 0;
+  meta.wall_seconds = wall_seconds;
+  return build_report(*profile, *metric_options, suite, meta, figures);
+}
+
+}  // namespace tlr::core

@@ -1,0 +1,170 @@
+// Sharded, resumable study runs (DESIGN.md §9).
+//
+// A profile run splits into independent shards keyed by
+// (workload x figure section): the per-workload suite pass that feeds
+// workloads[] and figures 3-8, the finite-RTM matrix column (fig9),
+// and the speculative-reuse matrix column (fig10). Each shard runs off
+// the same single-pass StudyEngine consumers as the monolithic run and
+// emits a self-describing partial report — schema `tlr-report/1` plus
+// a `shard` metadata block and a `raw` block holding the per-workload
+// values the suite reductions aggregate. merge_partials() validates a
+// complete, provenance-consistent partial set (same git SHA, profile,
+// options, predictor config) and rebuilds the monolithic report
+// byte-identically: raw values round-trip exactly through JSON
+// (integers exact, doubles shortest-round-trip) and the merge applies
+// the exact reductions of core/figures.cpp in the same workload order,
+// so `merge(shards(run)) == run` down to the bytes — pinned against
+// the committed laptop golden by tests/core/shard_test.cpp and the
+// `tools.reuse_study_sharded_golden` ctest entry.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "util/json.hpp"
+
+namespace tlr::core {
+
+class StudyEngine;
+
+/// Section names, as they appear in shard keys and partial reports.
+/// `suite` is the per-workload metrics pass (always planned — every
+/// report carries workloads[]); fig9/fig10 are the optional matrices.
+inline constexpr std::string_view kShardSectionSuite = "suite";
+inline constexpr std::string_view kShardSectionFig9 = "fig9";
+inline constexpr std::string_view kShardSectionFig10 = "fig10";
+
+struct ShardKey {
+  std::string workload;
+  std::string section;
+  friend bool operator==(const ShardKey&, const ShardKey&) = default;
+};
+
+/// Upper bound on a run's shard count, far above any useful fan-out
+/// (the default plan has 28 keys). Enforced when parsing partials and
+/// by the CLI, so a corrupt or hostile `count` cannot drive the
+/// merge's per-shard bookkeeping to absurd allocations.
+inline constexpr usize kMaxShardCount = 1'000'000;
+
+/// What the run computes beyond the always-on suite pass: `series`
+/// derives figures 3-8 from the suite metrics, fig9/fig10 add their
+/// matrices (and their per-workload shard keys).
+struct SectionSelection {
+  bool series = true;
+  bool fig9 = true;
+  bool fig10 = false;
+  friend bool operator==(const SectionSelection&,
+                         const SectionSelection&) = default;
+};
+
+/// The full, stably-ordered shard key list for one run. Enumeration
+/// depends only on the selection and the workload list — never on
+/// thread count, chunk size, or profile scale — so every participant
+/// of a fanned-out run (local shells, CI matrix jobs, the merge)
+/// reconstructs the identical plan from the run parameters alone.
+class ShardPlan {
+ public:
+  /// Keys in section-major order: one `suite` key per workload, then
+  /// one `fig9` key per workload (when selected), then `fig10`.
+  /// Workloads keep request order; empty means the full suite in
+  /// figure order.
+  static ShardPlan enumerate(const SectionSelection& sections,
+                             std::span<const std::string> workload_names = {});
+
+  const std::vector<ShardKey>& keys() const { return keys_; }
+  usize size() const { return keys_.size(); }
+  const std::vector<std::string>& workloads() const { return workloads_; }
+  const SectionSelection& sections() const { return sections_; }
+
+  /// The keys of 1-based shard `index` of `count`: the round-robin
+  /// slice keys()[i] with i % count == index-1, order preserved.
+  /// Slices partition the plan for any count >= 1 (shards beyond
+  /// size() are empty, which is valid).
+  std::vector<ShardKey> slice(usize index, usize count) const;
+
+ private:
+  std::vector<ShardKey> keys_;
+  std::vector<std::string> workloads_;
+  SectionSelection sections_;
+};
+
+/// Canonical partial file name inside a --resume directory:
+/// "shard-<K>-of-<N>.json", K zero-padded to N's width so names sort
+/// in shard order.
+std::string shard_file_name(usize index, usize count);
+
+/// Everything a shard run needs beyond the profile: the suite metric
+/// options plus the fig9/fig10 experiment shapes. The `workloads` and
+/// `progress` members of the nested fig options are ignored (the plan
+/// owns workload selection; progress flows through ShardProgress).
+struct ShardRunOptions {
+  MetricOptions metrics;
+  Fig9Options fig9;
+  Fig10Options fig10;
+
+  /// The fig10 predictor rows this run resolves to (the default set
+  /// when fig10.predictors is empty).
+  std::vector<spec::PredictorConfig> resolved_predictors() const;
+};
+
+/// Invoked (under a lock, from worker threads) after each completed
+/// shard job with a human-readable label ("compress fig9 I4 EXP").
+using ShardProgress =
+    std::function<void(std::string_view label, usize done, usize total)>;
+
+/// Runs shard `index` of `count` on the engine and returns its partial
+/// report. Jobs fan across the engine pool at the same granularity as
+/// the monolithic run — (workload) for the suite pass, (workload x
+/// heuristic) for fig9, (workload x predictor) for fig10 — so a
+/// shard's raw values are bit-identical to the monolithic run's
+/// contribution for those keys. `meta.wall_seconds` is filled with the
+/// summed wall time of the shard's jobs.
+util::Json run_shard_partial(StudyEngine& engine, const ScaleProfile& profile,
+                             const ShardPlan& plan, usize index, usize count,
+                             const ShardRunOptions& options, ReportMeta meta,
+                             const ShardProgress& progress = nullptr);
+
+/// Runs several shards through ONE engine fan-out: the union of their
+/// jobs saturates the pool (sequential per-shard runs would barrier
+/// after every slice — fatal when the default plan makes each suite
+/// shard a single job), while `on_partial(index, partial)` fires as
+/// each shard's keys complete, so checkpoint granularity stays
+/// per-shard. `on_partial` is invoked from worker threads, serialized
+/// under a lock; it may do I/O. This is --resume's engine.
+void run_shard_partials(
+    StudyEngine& engine, const ScaleProfile& profile, const ShardPlan& plan,
+    std::span<const usize> indices, usize count,
+    const ShardRunOptions& options, const ReportMeta& meta,
+    const std::function<void(usize index, util::Json partial)>& on_partial,
+    const ShardProgress& progress = nullptr);
+
+/// Whether `partial` is a complete partial for shard `index`/`count`
+/// of this exact run context: schema, git SHA (of this build), profile,
+/// metric options, selection, workload list, fig9/fig10 headers, and
+/// content coverage of every key in the slice. --resume skips shards
+/// whose on-disk partial validates; anything else is re-run.
+bool validate_partial(const util::Json& partial, const ScaleProfile& profile,
+                      const ShardRunOptions& options, const ShardPlan& plan,
+                      usize index, usize count, std::string* why = nullptr);
+
+/// Combines a complete set of partials into the monolithic report.
+/// Refuses (returns nullopt, appending human-readable messages to
+/// `errors`) on mismatched provenance — git SHA, profile, options,
+/// selection, workload list, fig9/fig10 headers — on missing or
+/// duplicate shards, and on structurally malformed partials. The
+/// result is byte-identical to the monolithic run's report outside
+/// the `meta` block (merged meta: threads/chunk_size 0, wall_seconds
+/// summed across partials).
+std::optional<util::Json> merge_partials(
+    std::span<const util::Json> partials,
+    std::vector<std::string>* errors = nullptr);
+
+}  // namespace tlr::core

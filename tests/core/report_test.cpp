@@ -267,6 +267,54 @@ TEST(ReportTest, CompareDistinguishesIntegersBeyondDoublePrecision) {
   EXPECT_TRUE(compare_reports(c, c, exact).empty());
 }
 
+TEST(ReportTest, WorkloadFromJsonRoundTripsExactly) {
+  // The merge path's losslessness claim: to_json(from_json(x)) == x
+  // bit for bit, through a serialized detour.
+  const WorkloadMetrics metrics = fake_metrics("swim", true, 7);
+  const Json json = workload_to_json(metrics);
+  const auto reparsed = Json::parse(json.dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  const auto recovered = workload_from_json(*reparsed);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(workload_to_json(*recovered).dump(2), json.dump(2));
+}
+
+TEST(ReportTest, ProfileAndOptionsFromJsonRoundTrip) {
+  const ScaleProfile profile = ScaleProfile::ci();  // carries overrides
+  const auto recovered_profile = profile_from_json(profile_to_json(profile));
+  ASSERT_TRUE(recovered_profile.has_value());
+  EXPECT_EQ(profile_to_json(*recovered_profile).dump(2),
+            profile_to_json(profile).dump(2));
+
+  const MetricOptions options;
+  const auto recovered_options =
+      metric_options_from_json(options_to_json(options));
+  ASSERT_TRUE(recovered_options.has_value());
+  EXPECT_EQ(options_to_json(*recovered_options).dump(2),
+            options_to_json(options).dump(2));
+}
+
+TEST(ReportTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(workload_from_json(Json("text")).has_value());
+  EXPECT_FALSE(profile_from_json(Json::array()).has_value());
+  EXPECT_FALSE(metric_options_from_json(Json::object()).has_value());
+
+  Json truncated = workload_to_json(fake_metrics("applu", true, 1));
+  truncated.set("instructions", Json("not-a-number"));
+  EXPECT_FALSE(workload_from_json(truncated).has_value());
+}
+
+TEST(ReportTest, WriteReportCreatesParentDirectories) {
+  const Json report = make_report();
+  const std::string path =
+      testing::TempDir() + "/report_test_mkdir/a/b/report.json";
+  std::string error;
+  ASSERT_TRUE(write_report_file(report, path, &error)) << error;
+  const auto loaded = read_report_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, report);
+}
+
 TEST(ReportTest, FileRoundTrip) {
   const Json report = make_report();
   const std::string path = testing::TempDir() + "/report_test_roundtrip.json";

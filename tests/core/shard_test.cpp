@@ -1,0 +1,409 @@
+// core::shard — plan stability, shard-run/merge equivalence with the
+// monolithic pipeline, resume validation, and provenance rejection
+// (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "core/shard.hpp"
+
+namespace tlr::core {
+namespace {
+
+using util::Json;
+
+// Two ci-scale workloads keep the suite+fig9+fig10 matrix runs in
+// seconds; `go` carries a ci-profile override, so override plumbing is
+// exercised too.
+const std::vector<std::string> kWorkloads = {"compress", "go"};
+
+SectionSelection all_sections() {
+  SectionSelection sections;
+  sections.series = true;
+  sections.fig9 = true;
+  sections.fig10 = true;
+  return sections;
+}
+
+/// Reports/partials are compared byte-for-byte outside the provenance
+/// block: meta carries wall times and thread counts, which legitimately
+/// differ between runs of identical work.
+std::string dump_without_meta(Json document) {
+  document.set("meta", Json::object());
+  return document.dump(2);
+}
+
+/// Round-trips a document through its serialized form, as partials
+/// round-trip through --resume checkpoint files.
+Json reparse(const Json& document) {
+  const auto parsed = Json::parse(document.dump(2));
+  EXPECT_TRUE(parsed.has_value());
+  return parsed.value_or(Json());
+}
+
+TEST(ShardPlanTest, EnumerationIsStableAndSectionMajor) {
+  const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+  const std::vector<ShardKey> expected = {
+      {"compress", "suite"}, {"go", "suite"}, {"compress", "fig9"},
+      {"go", "fig9"},        {"compress", "fig10"}, {"go", "fig10"},
+  };
+  EXPECT_EQ(plan.keys(), expected);
+  // Re-enumeration is bit-identical: the plan is a pure function of
+  // (selection, workloads) — CI matrix jobs and the merge can each
+  // reconstruct it independently.
+  EXPECT_EQ(ShardPlan::enumerate(all_sections(), kWorkloads).keys(),
+            expected);
+
+  // Deselected sections drop their keys; the suite pass is always
+  // planned (every report carries workloads[]).
+  SectionSelection none;
+  none.series = false;
+  none.fig9 = false;
+  none.fig10 = false;
+  const ShardPlan bare = ShardPlan::enumerate(none, kWorkloads);
+  EXPECT_EQ(bare.size(), kWorkloads.size());
+  for (const ShardKey& key : bare.keys()) {
+    EXPECT_EQ(key.section, kShardSectionSuite);
+  }
+}
+
+TEST(ShardPlanTest, DefaultWorkloadListIsTheFullSuite) {
+  const ShardPlan plan = ShardPlan::enumerate(SectionSelection{});
+  EXPECT_EQ(plan.workloads().size(), 14u);
+  // Default selection: series + fig9, no fig10.
+  EXPECT_EQ(plan.size(), 28u);
+}
+
+TEST(ShardPlanTest, SlicesPartitionThePlan) {
+  const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+  for (usize count = 1; count <= plan.size() + 2; ++count) {
+    std::vector<ShardKey> combined;
+    for (usize index = 1; index <= count; ++index) {
+      const std::vector<ShardKey> slice = plan.slice(index, count);
+      combined.insert(combined.end(), slice.begin(), slice.end());
+    }
+    // Every key exactly once (counts beyond the plan size yield empty
+    // slices, which are valid shards).
+    ASSERT_EQ(combined.size(), plan.size()) << "count " << count;
+    for (const ShardKey& key : plan.keys()) {
+      EXPECT_NE(std::find(combined.begin(), combined.end(), key),
+                combined.end())
+          << key.workload << "/" << key.section << " count " << count;
+    }
+    // Round-robin slices preserve plan order within a shard.
+    for (usize index = 1; index <= count; ++index) {
+      const std::vector<ShardKey> slice = plan.slice(index, count);
+      for (usize i = 0; i + 1 < slice.size(); ++i) {
+        const auto pos = [&](const ShardKey& key) {
+          return std::find(plan.keys().begin(), plan.keys().end(), key) -
+                 plan.keys().begin();
+        };
+        EXPECT_LT(pos(slice[i]), pos(slice[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(ShardFileNameTest, ZeroPadsToCountWidth) {
+  EXPECT_EQ(shard_file_name(1, 4), "shard-1-of-4.json");
+  EXPECT_EQ(shard_file_name(3, 28), "shard-03-of-28.json");
+  EXPECT_EQ(shard_file_name(128, 128), "shard-128-of-128.json");
+}
+
+TEST(ShardRunTest, PartialIsThreadAndChunkInvariant) {
+  // The shard plan never depends on engine configuration, and the
+  // engine's determinism contract extends to partials: same shard,
+  // different thread counts and chunk sizes, identical bytes outside
+  // meta.
+  SectionSelection sections;
+  sections.series = true;
+  sections.fig9 = false;
+  sections.fig10 = false;
+  const std::vector<std::string> one = {"compress"};
+  const ShardPlan plan = ShardPlan::enumerate(sections, one);
+  const ScaleProfile profile = ScaleProfile::ci();
+  const ShardRunOptions options;
+
+  std::vector<std::string> dumps;
+  for (const auto& [threads, chunk] :
+       std::vector<std::pair<usize, usize>>{{1, 4096}, {3, 1024}}) {
+    EngineOptions engine_options;
+    engine_options.threads = threads;
+    engine_options.chunk_size = chunk;
+    StudyEngine engine(engine_options);
+    ReportMeta meta;
+    meta.threads = engine.thread_count();
+    meta.chunk_size = chunk;
+    dumps.push_back(dump_without_meta(
+        run_shard_partial(engine, profile, plan, 1, 1, options, meta)));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+/// Shared fixture state: the monolithic report and a full partial set
+/// for the same two-workload ci run are expensive, so compute them
+/// once and let every merge/validate test reuse them.
+class ShardMergeTest : public ::testing::Test {
+ protected:
+  static constexpr usize kShardCount = 4;
+
+  static void SetUpTestSuite() {
+    state_ = new State();
+    StudyEngine engine;
+    const ScaleProfile profile = ScaleProfile::ci();
+    const ShardRunOptions options;
+
+    // Monolithic run, exactly as tools/reuse_study assembles it.
+    const std::vector<WorkloadMetrics> suite =
+        engine.analyze_profile(profile, options.metrics, kWorkloads);
+    ReportFigures figures = ReportFigures::all_series();
+    Fig9Options fig9_options;
+    fig9_options.workloads = kWorkloads;
+    figures.fig9 = fig9_finite_rtm(engine, profile, fig9_options);
+    Fig10Options fig10_options;
+    fig10_options.workloads = kWorkloads;
+    figures.fig10 = fig10_speculative_reuse(engine, profile, fig10_options);
+    state_->monolithic = build_report(profile, options.metrics, suite,
+                                      ReportMeta{}, figures);
+
+    // Every shard of the same run, round-tripped through bytes as
+    // --resume checkpoints are.
+    const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+    for (usize index = 1; index <= kShardCount; ++index) {
+      state_->partials.push_back(reparse(run_shard_partial(
+          engine, profile, plan, index, kShardCount, options,
+          ReportMeta{})));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete state_;
+    state_ = nullptr;
+  }
+
+  struct State {
+    Json monolithic;
+    std::vector<Json> partials;
+  };
+  static State* state_;
+};
+
+ShardMergeTest::State* ShardMergeTest::state_ = nullptr;
+
+TEST_F(ShardMergeTest, MergeEqualsMonolithicBytes) {
+  std::vector<std::string> errors;
+  const auto merged = merge_partials(state_->partials, &errors);
+  ASSERT_TRUE(merged.has_value()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_EQ(dump_without_meta(*merged), dump_without_meta(state_->monolithic));
+}
+
+TEST_F(ShardMergeTest, MergeIsOrderInsensitive) {
+  std::vector<Json> shuffled = state_->partials;
+  std::rotate(shuffled.begin(), shuffled.begin() + 1, shuffled.end());
+  std::swap(shuffled[0], shuffled[1]);
+  const auto merged = merge_partials(shuffled);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(dump_without_meta(*merged), dump_without_meta(state_->monolithic));
+}
+
+TEST_F(ShardMergeTest, ValidatePartialAcceptsEveryShard) {
+  const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+  const ShardRunOptions options;
+  for (usize index = 1; index <= kShardCount; ++index) {
+    std::string why;
+    EXPECT_TRUE(validate_partial(state_->partials[index - 1],
+                                 ScaleProfile::ci(), options, plan, index,
+                                 kShardCount, &why))
+        << "shard " << index << ": " << why;
+  }
+}
+
+TEST_F(ShardMergeTest, ValidatePartialRejectsMismatches) {
+  const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+  const ShardRunOptions options;
+  const Json& good = state_->partials[0];
+  std::string why;
+
+  // Wrong slot.
+  EXPECT_FALSE(validate_partial(good, ScaleProfile::ci(), options, plan, 2,
+                                kShardCount, &why));
+
+  // Wrong profile for this run.
+  EXPECT_FALSE(validate_partial(good, ScaleProfile::laptop(), options, plan,
+                                1, kShardCount, &why));
+  EXPECT_NE(why.find("profile"), std::string::npos) << why;
+
+  // Stale build: git_sha differs.
+  {
+    Json tampered = good;
+    Json meta = good.at("meta");
+    meta.set("git_sha", "0000000000ff");
+    tampered.set("meta", std::move(meta));
+    EXPECT_FALSE(validate_partial(tampered, ScaleProfile::ci(), options,
+                                  plan, 1, kShardCount, &why));
+    EXPECT_NE(why.find("git_sha"), std::string::npos) << why;
+  }
+
+  // Different fig10 predictor config than this run resolves to — both
+  // a different predictor set and, subtler, the same predictor names
+  // with a different confidence shape (the header records the full
+  // config, not just labels).
+  for (const bool same_names : {false, true}) {
+    ShardRunOptions tweaked = options;
+    if (same_names) {
+      tweaked.fig10.predictors = fig10_predictors();
+      tweaked.fig10.predictors.back().confidence_threshold = 3;
+    } else {
+      tweaked.fig10.predictors.resize(1);
+      tweaked.fig10.predictors[0].kind = spec::PredictorKind::kOracle;
+    }
+    bool any_fig10_shard = false;
+    for (usize index = 1; index <= kShardCount; ++index) {
+      const bool valid =
+          validate_partial(state_->partials[index - 1], ScaleProfile::ci(),
+                           tweaked, plan, index, kShardCount, &why);
+      // Shards without fig10 keys carry no predictor payload and stay
+      // valid; at least one shard must reject the tweaked config.
+      if (!valid) {
+        any_fig10_shard = true;
+        EXPECT_NE(why.find("fig10"), std::string::npos) << why;
+      }
+    }
+    EXPECT_TRUE(any_fig10_shard) << "same_names=" << same_names;
+  }
+
+  // Not a partial at all.
+  EXPECT_FALSE(validate_partial(state_->monolithic, ScaleProfile::ci(),
+                                options, plan, 1, kShardCount, &why));
+  EXPECT_NE(why.find("shard"), std::string::npos) << why;
+}
+
+TEST_F(ShardMergeTest, MergeRejectsMissingAndDuplicateShards) {
+  // Missing shard.
+  {
+    std::vector<Json> incomplete(state_->partials.begin(),
+                                 state_->partials.end() - 1);
+    std::vector<std::string> errors;
+    EXPECT_FALSE(merge_partials(incomplete, &errors).has_value());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("missing shard"), std::string::npos)
+        << errors[0];
+  }
+  // Duplicate shard.
+  {
+    std::vector<Json> duplicated = state_->partials;
+    duplicated.push_back(duplicated[0]);
+    std::vector<std::string> errors;
+    EXPECT_FALSE(merge_partials(duplicated, &errors).has_value());
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("duplicate"), std::string::npos) << errors[0];
+  }
+  // Empty set.
+  EXPECT_FALSE(merge_partials({}).has_value());
+}
+
+TEST_F(ShardMergeTest, MergeRejectsMismatchedProvenance) {
+  const auto tamper = [&](const char* key, Json value) {
+    std::vector<Json> partials = state_->partials;
+    partials[1].set(key, std::move(value));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(merge_partials(partials, &errors).has_value()) << key;
+    EXPECT_FALSE(errors.empty()) << key;
+    return errors.empty() ? std::string() : errors[0];
+  };
+
+  // Mismatched git SHA.
+  {
+    Json meta = state_->partials[1].at("meta");
+    meta.set("git_sha", "feedfacef00d");
+    const std::string error = tamper("meta", std::move(meta));
+    EXPECT_NE(error.find("git_sha"), std::string::npos) << error;
+  }
+  // Mismatched profile.
+  {
+    const std::string error =
+        tamper("profile", profile_to_json(ScaleProfile::laptop()));
+    EXPECT_NE(error.find("profile"), std::string::npos) << error;
+  }
+  // Mismatched metric options.
+  {
+    MetricOptions narrowed;
+    narrowed.ilr_latencies = {1};
+    const std::string error = tamper("options", options_to_json(narrowed));
+    EXPECT_NE(error.find("options"), std::string::npos) << error;
+  }
+}
+
+TEST_F(ShardMergeTest, MergeRejectsMalformedPartialsWithoutAborting) {
+  // Partial content is untrusted bytes: structurally broken documents
+  // must come back as merge errors, never trip the asserting JSON
+  // accessors.
+  const auto tamper_shard = [&](const char* key, Json value) {
+    std::vector<Json> partials = state_->partials;
+    Json shard = partials[0].at("shard");
+    shard.set(key, std::move(value));
+    partials[0].set("shard", std::move(shard));
+    std::vector<std::string> errors;
+    EXPECT_FALSE(merge_partials(partials, &errors).has_value()) << key;
+    EXPECT_FALSE(errors.empty()) << key;
+  };
+  tamper_shard("index", Json(i64{-1}));
+  tamper_shard("index", Json(1.5));
+  tamper_shard("count", Json(u64{1'000'000'000'000'000ull}));
+
+  // Non-string predictors / non-integral penalties in the fig10
+  // header.
+  std::vector<Json> partials = state_->partials;
+  for (Json& partial : partials) {
+    const Json* fig10 = partial.at("raw").find("fig10");
+    if (fig10 == nullptr) continue;
+    Json raw = partial.at("raw");
+    Json tampered = *fig10;
+    Json bad = Json::array();
+    bad.push_back(Json(u64{1}));
+    tampered.set("predictors", std::move(bad));
+    raw.set("fig10", std::move(tampered));
+    partial.set("raw", std::move(raw));
+  }
+  std::vector<std::string> errors;
+  EXPECT_FALSE(merge_partials(partials, &errors).has_value());
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST_F(ShardMergeTest, MergeRejectsMismatchedPredictorConfig) {
+  // Rebuild the fig10-bearing shards under a different predictor set;
+  // merging them with the original suite/fig9 shards must fail on the
+  // fig10 header even though profile/options/SHA all match.
+  StudyEngine engine;
+  const ScaleProfile profile = ScaleProfile::ci();
+  ShardRunOptions narrowed;
+  narrowed.fig10.predictors.resize(1);
+  narrowed.fig10.predictors[0].kind = spec::PredictorKind::kOracle;
+  const ShardPlan plan = ShardPlan::enumerate(all_sections(), kWorkloads);
+
+  std::vector<Json> partials = state_->partials;
+  bool replaced = false;
+  for (usize index = 1; index <= kShardCount; ++index) {
+    bool has_fig10 = false;
+    for (const ShardKey& key : plan.slice(index, kShardCount)) {
+      has_fig10 = has_fig10 || key.section == kShardSectionFig10;
+    }
+    if (!has_fig10) continue;
+    partials[index - 1] = reparse(run_shard_partial(
+        engine, profile, plan, index, kShardCount, narrowed, ReportMeta{}));
+    replaced = true;
+    break;  // one mismatched shard is enough to poison the merge
+  }
+  ASSERT_TRUE(replaced);
+  std::vector<std::string> errors;
+  EXPECT_FALSE(merge_partials(partials, &errors).has_value());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("fig10"), std::string::npos) << errors[0];
+}
+
+}  // namespace
+}  // namespace tlr::core

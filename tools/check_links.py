@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage: tools/check_links.py FILE.md [FILE.md ...]
+
+Scans each file for inline markdown links/images and verifies every
+*relative* target exists on disk, resolved against the linking file's
+directory ("#fragment" suffixes are stripped; anchors are not
+verified). External schemes (http/https/mailto) and pure in-page
+anchors are skipped. Exits 1 listing every broken link, 0 when clean.
+
+Run by the `docs` CI job over README/DESIGN/ROADMAP/docs; no
+dependencies beyond the standard library, so it also works locally:
+
+    python3 tools/check_links.py README.md DESIGN.md ROADMAP.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links and images: [text](target) / ![alt](target). Good
+# enough for this repository's plain markdown — no reference-style
+# links, no angle-bracket autolinks to local files.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    in_code_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_block = not in_code_block
+            continue
+        if in_code_block:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if SCHEME.match(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.is_file():
+            errors.append(f"{name}: no such file")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"check_links: {len(argv) - 1} file(s) clean")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

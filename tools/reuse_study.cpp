@@ -10,12 +10,21 @@
 //   reuse_study --profile ci --out report.json --compare baseline.json
 //   reuse_study --in a.json --compare b.json        (no run, diff only)
 //
+// Paper-scale runs shard and resume (DESIGN.md §9, docs/reuse_study.md):
+//
+//   reuse_study --profile paper --shard 3/8 --out partials/shard-3-of-8.json
+//   reuse_study --profile paper --resume partials/ --out report-paper.json
+//   reuse_study merge --out report-paper.json partials/
+//
 // Progress goes to stderr; the report goes to --out (or stdout).
-// Exit codes: 0 success / comparison passed, 1 usage or I/O error,
-// 2 comparison found differences.
+// Exit codes: 0 success / comparison passed, 1 usage, I/O or
+// merge-validation error, 2 comparison found differences (or
+// --compare combined with --shard, which would silently skip it).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -25,6 +34,7 @@
 #include "core/figures.hpp"
 #include "core/profile.hpp"
 #include "core/report.hpp"
+#include "core/shard.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -48,13 +58,22 @@ struct CliOptions {
   std::optional<u64> skip, length, seed;
   core::CompareOptions tolerances;
   bool quiet = false;
+  // Sharding (DESIGN.md §9): --shard K/N runs one slice, --resume DIR
+  // drives the whole plan with checkpointed partials.
+  std::optional<std::pair<usize, usize>> shard;
+  std::string resume_dir;
+  std::optional<u64> shard_count;
 };
 
 void print_usage(std::ostream& os) {
   os << "usage: reuse_study [options]\n"
+        "       reuse_study merge [--out PATH] [--quiet] PARTIAL...\n"
         "\n"
         "Runs the trace-level reuse study and emits a JSON report\n"
-        "(schema tlr-report/1).\n"
+        "(schema tlr-report/1). The merge subcommand combines shard\n"
+        "partials (files, or directories scanned for shard-*.json)\n"
+        "into the monolithic report, refusing mismatched provenance\n"
+        "(git SHA, profile, options, predictor config) with exit 1.\n"
         "\n"
         "options:\n"
         "  --profile NAME     scale profile: laptop, ci, paper\n"
@@ -72,7 +91,20 @@ void print_usage(std::ostream& os) {
         "                     confidence (repeatable; default all)\n"
         "  --penalty N        fig10 misspeculation squash penalty in\n"
         "                     cycles (repeatable; default 0 8 32)\n"
-        "  --out PATH         write the report to PATH (default stdout)\n"
+        "  --out PATH         write the report to PATH (default stdout;\n"
+        "                     missing parent directories are created)\n"
+        "  --shard K/N        run only shard K of N (1-based) of the\n"
+        "                     run's shard plan and emit a partial\n"
+        "                     report; merge the N partials afterwards.\n"
+        "                     Incompatible with --in, --resume, and\n"
+        "                     --compare (the latter exits 2: a partial\n"
+        "                     cannot be compared against a baseline)\n"
+        "  --resume DIR       run every shard, checkpointing partials\n"
+        "                     as DIR/shard-K-of-N.json and skipping\n"
+        "                     shards whose partial already validates;\n"
+        "                     the merged report goes to --out/stdout\n"
+        "  --shards N         shard count for --resume (default: one\n"
+        "                     shard per plan key)\n"
         "  --threads N        engine worker threads (default: all cores)\n"
         "  --chunk N          stream chunk size in instructions\n"
         "  --skip N           override the profile's warm-up skip\n"
@@ -171,6 +203,89 @@ bool known_workload(const std::string& name) {
   return false;
 }
 
+/// Resolves --profile/--skip/--length/--seed into the effective
+/// profile; false (after a usage message) on unknown names.
+bool resolve_profile(const CliOptions& options, core::ScaleProfile& profile) {
+  const auto named = core::ScaleProfile::named(options.profile);
+  if (!named.has_value()) {
+    fail_usage("unknown profile '" + options.profile + "'");
+    return false;
+  }
+  profile = *named;
+  if (options.skip || options.length || options.seed) {
+    profile.name = "custom";
+    profile.overrides.clear();
+    if (options.skip) profile.base.skip = *options.skip;
+    if (options.length) profile.base.length = *options.length;
+    if (options.seed) profile.base.seed = *options.seed;
+  }
+  return true;
+}
+
+core::SectionSelection selection_from(const CliOptions& options) {
+  core::SectionSelection sections;
+  sections.series = options.run_series;
+  sections.fig9 = options.run_fig9;
+  sections.fig10 = options.run_fig10;
+  return sections;
+}
+
+core::ShardRunOptions shard_options_from(const CliOptions& options) {
+  core::ShardRunOptions shard_options;
+  if (!options.predictors.empty()) {
+    shard_options.fig10.predictors = options.predictors;
+  }
+  if (!options.penalties.empty()) {
+    shard_options.fig10.penalties = options.penalties;
+  }
+  return shard_options;
+}
+
+/// The --compare tail shared by every mode that produced a report:
+/// 0 match, 1 I/O error, 2 differences.
+int compare_report(const util::Json& report, const CliOptions& options) {
+  std::string error;
+  const auto baseline = core::read_report_file(options.compare_path, &error);
+  if (!baseline.has_value()) {
+    std::cerr << "reuse_study: " << error << "\n";
+    return 1;
+  }
+  const std::vector<std::string> diffs =
+      core::compare_reports(report, *baseline, options.tolerances);
+  if (!diffs.empty()) {
+    std::cerr << "reuse_study: report differs from " << options.compare_path
+              << " (" << diffs.size() << " difference(s)):\n";
+    for (const std::string& diff : diffs) {
+      std::cerr << "  " << diff << "\n";
+    }
+    return 2;
+  }
+  if (!options.quiet) {
+    std::cerr << "reuse_study: report matches " << options.compare_path
+              << " (rel tol " << options.tolerances.rel_tol << ", abs tol "
+              << options.tolerances.abs_tol << ")\n";
+  }
+  return 0;
+}
+
+/// Writes `report` to --out (or stdout when no --out and no compare
+/// will print a verdict); 1 on I/O failure.
+int emit_report(const util::Json& report, const CliOptions& options) {
+  if (!options.out_path.empty()) {
+    std::string error;
+    if (!core::write_report_file(report, options.out_path, &error)) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    if (!options.quiet) {
+      std::cerr << "reuse_study: wrote " << options.out_path << "\n";
+    }
+  } else if (options.compare_path.empty()) {
+    std::cout << report.dump(/*indent=*/2);
+  }
+  return 0;
+}
+
 int run(const CliOptions& options) {
   using Clock = std::chrono::steady_clock;
 
@@ -186,18 +301,7 @@ int run(const CliOptions& options) {
     }
     report = *loaded;
   } else {
-    const auto named = core::ScaleProfile::named(options.profile);
-    if (!named.has_value()) {
-      return fail_usage("unknown profile '" + options.profile + "'");
-    }
-    profile = *named;
-    if (options.skip || options.length || options.seed) {
-      profile.name = "custom";
-      profile.overrides.clear();
-      if (options.skip) profile.base.skip = *options.skip;
-      if (options.length) profile.base.length = *options.length;
-      if (options.seed) profile.base.seed = *options.seed;
-    }
+    if (!resolve_profile(options, profile)) return 1;
 
     const auto start = Clock::now();
     core::StudyEngine engine(options.engine);
@@ -218,7 +322,9 @@ int run(const CliOptions& options) {
         profile, metric_options, options.workloads, progress);
 
     core::ReportFigures figures;
-    if (options.run_series) figures.series = {"3", "4", "5", "6", "7", "8"};
+    if (options.run_series) {
+      figures.series = core::ReportFigures::all_series().series;
+    }
     if (options.run_fig9) {
       if (!options.quiet) {
         std::cerr << "reuse_study: finite-RTM matrix (figure 9)\n";
@@ -275,50 +381,241 @@ int run(const CliOptions& options) {
     }
   }
 
-  if (!options.out_path.empty()) {
-    std::string error;
-    if (!core::write_report_file(report, options.out_path, &error)) {
-      std::cerr << "reuse_study: " << error << "\n";
-      return 1;
-    }
-    if (!options.quiet) {
-      std::cerr << "reuse_study: wrote " << options.out_path << "\n";
-    }
-  } else if (options.compare_path.empty()) {
-    std::cout << report.dump(/*indent=*/2);
+  if (const int code = emit_report(report, options); code != 0) return code;
+  if (!options.compare_path.empty()) return compare_report(report, options);
+  return 0;
+}
+
+// ---- shard modes (DESIGN.md §9) --------------------------------------
+
+int fail_merge(const std::vector<std::string>& errors) {
+  std::cerr << "reuse_study: merge failed:\n";
+  for (const std::string& error : errors) {
+    std::cerr << "  " << error << "\n";
+  }
+  return 1;
+}
+
+core::ShardProgress shard_progress(const CliOptions& options) {
+  if (options.quiet) return nullptr;
+  return [](std::string_view label, usize done, usize total) {
+    std::cerr << "reuse_study: [" << done << "/" << total << "] " << label
+              << "\n";
+  };
+}
+
+/// --shard K/N: run one slice, emit its partial report.
+int run_shard(const CliOptions& options) {
+  core::ScaleProfile profile;
+  if (!resolve_profile(options, profile)) return 1;
+  const auto [index, count] = *options.shard;
+  const core::ShardPlan plan =
+      core::ShardPlan::enumerate(selection_from(options), options.workloads);
+
+  core::StudyEngine engine(options.engine);
+  core::ReportMeta meta;
+  meta.threads = engine.thread_count();
+  meta.chunk_size = engine.options().chunk_size;
+  if (!options.quiet) {
+    std::cerr << "reuse_study: profile " << profile.name << ", shard "
+              << index << "/" << count << " (" << plan.slice(index, count).size()
+              << " of " << plan.size() << " keys), "
+              << engine.thread_count() << " thread(s)\n";
+  }
+  const util::Json partial =
+      core::run_shard_partial(engine, profile, plan, index, count,
+                              shard_options_from(options), meta,
+                              shard_progress(options));
+  return emit_report(partial, options);
+}
+
+/// --resume DIR: run (or skip) every shard with on-disk checkpoints,
+/// then merge and hand the full report to --out/--compare.
+int run_resume(const CliOptions& options) {
+  core::ScaleProfile profile;
+  if (!resolve_profile(options, profile)) return 1;
+  const core::ShardPlan plan =
+      core::ShardPlan::enumerate(selection_from(options), options.workloads);
+  const core::ShardRunOptions shard_options = shard_options_from(options);
+  const usize count =
+      options.shard_count.has_value() ? *options.shard_count : plan.size();
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.resume_dir, ec);
+  if (ec) {
+    std::cerr << "reuse_study: cannot create directory "
+              << options.resume_dir << ": " << ec.message() << "\n";
+    return 1;
   }
 
-  if (!options.compare_path.empty()) {
+  core::StudyEngine engine(options.engine);
+  if (!options.quiet) {
+    std::cerr << "reuse_study: profile " << profile.name << ", "
+              << count << " shard(s) over " << plan.size() << " keys, "
+              << engine.thread_count() << " thread(s), resuming in "
+              << options.resume_dir << "\n";
+  }
+
+  const auto shard_path = [&](usize index) {
+    return std::filesystem::path(options.resume_dir) /
+           core::shard_file_name(index, count);
+  };
+
+  // Pass 1: revalidate existing checkpoints; anything stale or
+  // corrupt joins the pending set and is re-run.
+  std::vector<std::optional<util::Json>> by_index(count);
+  std::vector<usize> pending;
+  usize skipped = 0;
+  for (usize index = 1; index <= count; ++index) {
+    const std::filesystem::path path = shard_path(index);
+    if (std::filesystem::exists(path)) {
+      const auto existing = core::read_report_file(path.string());
+      std::string why;
+      if (existing.has_value() &&
+          core::validate_partial(*existing, profile, shard_options, plan,
+                                 index, count, &why)) {
+        if (!options.quiet) {
+          std::cerr << "reuse_study: shard " << index << "/" << count
+                    << " already done (" << path.string() << "), skipping\n";
+        }
+        by_index[index - 1] = *existing;
+        ++skipped;
+        continue;
+      }
+      if (!options.quiet) {
+        std::cerr << "reuse_study: shard " << index << "/" << count
+                  << " partial invalid (" << why << "), re-running\n";
+      }
+    }
+    pending.push_back(index);
+  }
+
+  // Pass 2: every pending shard's jobs through one engine fan-out
+  // (sequential per-shard runs would idle the pool — a suite shard is
+  // a single job), checkpointing each partial as its keys complete.
+  if (!pending.empty()) {
+    core::ReportMeta meta;
+    meta.threads = engine.thread_count();
+    meta.chunk_size = engine.options().chunk_size;
+    std::string write_error;
+    core::run_shard_partials(
+        engine, profile, plan, pending, count, shard_options, meta,
+        [&](usize index, util::Json partial) {
+          const std::filesystem::path path = shard_path(index);
+          std::string error;
+          if (!core::write_report_file(partial, path.string(), &error)) {
+            if (write_error.empty()) write_error = error;
+          } else if (!options.quiet) {
+            std::cerr << "reuse_study: shard " << index << "/" << count
+                      << " -> " << path.string() << "\n";
+          }
+          by_index[index - 1] = std::move(partial);
+        },
+        shard_progress(options));
+    if (!write_error.empty()) {
+      std::cerr << "reuse_study: " << write_error << "\n";
+      return 1;
+    }
+  }
+
+  std::vector<util::Json> partials;
+  for (std::optional<util::Json>& partial : by_index) {
+    if (partial.has_value()) partials.push_back(std::move(*partial));
+  }
+
+  std::vector<std::string> errors;
+  const auto merged = core::merge_partials(partials, &errors);
+  if (!merged.has_value()) return fail_merge(errors);
+  if (!options.quiet) {
+    std::cerr << "reuse_study: merged " << partials.size() << " partial(s) ("
+              << skipped << " reused)\n";
+  }
+  if (const int code = emit_report(*merged, options); code != 0) return code;
+  if (!options.compare_path.empty()) return compare_report(*merged, options);
+  return 0;
+}
+
+/// `reuse_study merge`: combine already-written partials.
+int run_merge(int argc, char** argv) {
+  std::string out_path;
+  bool quiet = false;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) return fail_usage("--out needs a value");
+      out_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return fail_usage("unknown merge option '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    return fail_usage("merge needs at least one partial file or directory");
+  }
+
+  // Directories expand to their canonical shard-*.json checkpoints so
+  // a merged report written alongside them is never re-ingested.
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    if (std::filesystem::is_directory(input)) {
+      std::vector<std::string> found;
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.rfind("shard-", 0) == 0 &&
+            name.size() > 5 && name.ends_with(".json")) {
+          found.push_back(entry.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      if (found.empty()) {
+        std::cerr << "reuse_study: no shard-*.json partials in " << input
+                  << "\n";
+        return 1;
+      }
+      paths.insert(paths.end(), found.begin(), found.end());
+    } else {
+      paths.push_back(input);
+    }
+  }
+
+  std::vector<util::Json> partials;
+  for (const std::string& path : paths) {
     std::string error;
-    const auto baseline =
-        core::read_report_file(options.compare_path, &error);
-    if (!baseline.has_value()) {
+    const auto partial = core::read_report_file(path, &error);
+    if (!partial.has_value()) {
       std::cerr << "reuse_study: " << error << "\n";
       return 1;
     }
-    const std::vector<std::string> diffs =
-        core::compare_reports(report, *baseline, options.tolerances);
-    if (!diffs.empty()) {
-      std::cerr << "reuse_study: report differs from "
-                << options.compare_path << " (" << diffs.size()
-                << " difference(s)):\n";
-      for (const std::string& diff : diffs) {
-        std::cerr << "  " << diff << "\n";
-      }
-      return 2;
-    }
-    if (!options.quiet) {
-      std::cerr << "reuse_study: report matches " << options.compare_path
-                << " (rel tol " << options.tolerances.rel_tol
-                << ", abs tol " << options.tolerances.abs_tol << ")\n";
-    }
+    partials.push_back(*partial);
   }
-  return 0;
+
+  std::vector<std::string> errors;
+  const auto merged = core::merge_partials(partials, &errors);
+  if (!merged.has_value()) return fail_merge(errors);
+  if (!quiet) {
+    std::cerr << "reuse_study: merged " << partials.size()
+              << " partial(s)\n";
+  }
+  CliOptions emit_options;
+  emit_options.out_path = out_path;
+  emit_options.quiet = quiet;
+  return emit_report(*merged, emit_options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "merge") == 0) {
+    return run_merge(argc, argv);
+  }
+
   CliOptions options;
   bool first_figure_spec = true;
   bool fig10_flag = false;  // --fig10 adds to any --figure selection
@@ -379,6 +676,28 @@ int main(int argc, char** argv) {
       options.penalties.push_back(value);
     } else if (arg == "--out") {
       options.out_path = next_value(i, "--out");
+    } else if (arg == "--shard") {
+      const std::string spec = next_value(i, "--shard");
+      const auto slash = spec.find('/');
+      u64 index = 0, count = 0;
+      if (slash == std::string::npos ||
+          !parse_u64(spec.substr(0, slash).c_str(), index) ||
+          !parse_u64(spec.substr(slash + 1).c_str(), count) || count == 0 ||
+          count > core::kMaxShardCount || index == 0 || index > count) {
+        return fail_usage("bad --shard '" + spec +
+                          "' (want K/N with 1 <= K <= N <= " +
+                          std::to_string(core::kMaxShardCount) + ")");
+      }
+      options.shard = {static_cast<usize>(index), static_cast<usize>(count)};
+    } else if (arg == "--resume") {
+      options.resume_dir = next_value(i, "--resume");
+    } else if (arg == "--shards") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--shards"), value) || value == 0 ||
+          value > core::kMaxShardCount) {
+        return fail_usage("bad --shards value");
+      }
+      options.shard_count = value;
     } else if (arg == "--compare") {
       options.compare_path = next_value(i, "--compare");
     } else if (arg == "--in") {
@@ -439,5 +758,33 @@ int main(int argc, char** argv) {
         "--predictor/--penalty only apply to figure 10; add --fig10 "
         "or --figure 10");
   }
+  if (options.shard.has_value() && !options.compare_path.empty()) {
+    // Exit 2, not 1: silently skipping the comparison would let a CI
+    // golden check "pass" without comparing anything, and 2 is the
+    // comparison-verdict exit code.
+    std::cerr << "reuse_study: --compare cannot be combined with --shard "
+                 "(a partial report is not comparable to a baseline; "
+                 "merge the shards first)\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (options.shard.has_value() && !options.in_path.empty()) {
+    return fail_usage("--shard runs the study; it cannot be combined "
+                      "with --in");
+  }
+  if (options.shard.has_value() && !options.resume_dir.empty()) {
+    return fail_usage("--shard runs one slice; --resume drives the whole "
+                      "plan (pick one)");
+  }
+  if (options.shard_count.has_value() && options.resume_dir.empty()) {
+    return fail_usage("--shards only applies to --resume (use --shard K/N "
+                      "for a single slice)");
+  }
+  if (!options.resume_dir.empty() && !options.in_path.empty()) {
+    return fail_usage("--resume runs the study; it cannot be combined "
+                      "with --in");
+  }
+  if (options.shard.has_value()) return run_shard(options);
+  if (!options.resume_dir.empty()) return run_resume(options);
   return run(options);
 }
