@@ -1,0 +1,107 @@
+// End-to-end engine throughput in Minstr/s: the numbers
+// tools/bench_report records for the perf trajectory, as genuine
+// google-benchmark loops over the engine's real entry points. Where
+// micro_components times isolated components, these benches time the
+// composed paths a study run actually executes — the chunked stream
+// pass, the single-pass suite analysis, and one fig9/fig10 job.
+// TLR_LENGTH/TLR_SKIP/TLR_SEED shrink or grow the stream window.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "core/study.hpp"
+#include "spec/predictor.hpp"
+
+namespace tlr {
+namespace {
+
+core::SuiteConfig bench_config() {
+  core::SuiteConfig config = bench::config_from_env(/*default_length=*/100000);
+  return config;
+}
+
+/// The floor every analysis pays: predecoded interpretation plus the
+/// engine's chunk fan-out, with no consumers registered.
+void BM_StreamPassNoConsumers(benchmark::State& state) {
+  const core::SuiteConfig config = bench_config();
+  core::StudyEngine engine(bench::engine_options_from_env());
+  for (auto _ : state) {
+    const u64 total = engine.run_workload_stream(
+        "compress", config, std::span<core::StreamConsumer* const>{});
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(config.length));
+}
+BENCHMARK(BM_StreamPassNoConsumers);
+
+/// The shared reusability stage (infinite table) over one stream.
+void BM_StreamPassReusability(benchmark::State& state) {
+  const core::SuiteConfig config = bench_config();
+  core::StudyEngine engine(bench::engine_options_from_env());
+  for (auto _ : state) {
+    core::ReusabilityConsumer reusability;
+    std::vector<core::StreamConsumer*> consumers = {&reusability};
+    engine.run_workload_stream("compress", config, consumers);
+    benchmark::DoNotOptimize(reusability.reusable_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(config.length));
+}
+BENCHMARK(BM_StreamPassReusability);
+
+/// Full single-workload suite analysis: every figure-3..8 metric from
+/// one chunked pass (the per-workload unit of the suite section).
+void BM_SuiteAnalyze(benchmark::State& state) {
+  const core::SuiteConfig config = bench_config();
+  core::StudyEngine engine(bench::engine_options_from_env());
+  for (auto _ : state) {
+    const core::WorkloadMetrics metrics = engine.analyze("compress", config);
+    benchmark::DoNotOptimize(metrics.base_win);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(config.length));
+}
+BENCHMARK(BM_SuiteAnalyze);
+
+/// One fig9 job: a single pass feeding all four RTM geometries under
+/// the I4 EXP heuristic (the matrix's per-job unit).
+void BM_Fig9Job(benchmark::State& state) {
+  const core::SuiteConfig config = bench_config();
+  core::StudyEngine engine(bench::engine_options_from_env());
+  const core::Fig9Heuristic heuristic{
+      "I4 EXP", reuse::CollectHeuristic::kFixedExpand, 4};
+  for (auto _ : state) {
+    const auto cells =
+        core::fig9_workload_heuristic(engine, config, "compress", heuristic);
+    benchmark::DoNotOptimize(cells.front().reuse_fraction);
+  }
+  // One pass feeds four simulators; items = simulated positions.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(config.length));
+}
+BENCHMARK(BM_Fig9Job);
+
+/// One fig10 job: a single pass through the speculative-reuse
+/// simulators (last_value predictor, default penalties).
+void BM_Fig10Job(benchmark::State& state) {
+  const core::SuiteConfig config = bench_config();
+  core::StudyEngine engine(bench::engine_options_from_env());
+  spec::PredictorConfig predictor;
+  predictor.kind = spec::PredictorKind::kLastValue;
+  core::Fig10Options options;
+  for (auto _ : state) {
+    const auto cells = core::fig10_workload_predictor(
+        engine, config, "compress", predictor, options);
+    benchmark::DoNotOptimize(cells.front().reuse_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(config.length));
+}
+BENCHMARK(BM_Fig10Job);
+
+}  // namespace
+}  // namespace tlr
+
+BENCHMARK_MAIN();

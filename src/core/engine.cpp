@@ -102,12 +102,19 @@ void StudyEngine::parallel_for(usize n,
 u64 StudyEngine::run_stream(const vm::Program& program,
                             const vm::RunLimits& limits,
                             std::span<StreamConsumer* const> consumers) const {
+  return run_stream(std::make_shared<const vm::Program>(program), limits,
+                    consumers);
+}
+
+u64 StudyEngine::run_stream(std::shared_ptr<const vm::Program> program,
+                            const vm::RunLimits& limits,
+                            std::span<StreamConsumer* const> consumers) const {
   bool want_flags = false;
   for (StreamConsumer* consumer : consumers) {
     want_flags = want_flags || consumer->wants_reusability();
   }
 
-  vm::StreamSource source(program, limits, options_.chunk_size);
+  vm::StreamSource source(std::move(program), limits, options_.chunk_size);
   reuse::InfiniteInstrTable table;
   std::vector<u8> flags;
   vm::StreamChunk chunk;
@@ -129,23 +136,35 @@ u64 StudyEngine::run_stream(const vm::Program& program,
   return total;
 }
 
+std::shared_ptr<const workloads::Workload> StudyEngine::shared_workload(
+    std::string_view name, u64 seed) const {
+  const std::lock_guard<std::mutex> lock(workload_mutex_);
+  auto& entry = workload_cache_[{std::string(name), seed}];
+  if (entry == nullptr) {
+    workloads::WorkloadParams params;
+    params.seed = seed;
+    entry = std::make_shared<const workloads::Workload>(
+        workloads::make_workload(name, params));
+  }
+  return entry;
+}
+
 u64 StudyEngine::run_workload_stream(
     std::string_view workload_name, const SuiteConfig& config,
     std::span<StreamConsumer* const> consumers) const {
-  workloads::WorkloadParams params;
-  params.seed = config.seed;
-  const workloads::Workload workload =
-      workloads::make_workload(workload_name, params);
-  return run_stream(workload.program, suite_limits(config), consumers);
+  const auto workload = shared_workload(workload_name, config.seed);
+  // Aliasing shared_ptr: the stream source keeps the whole Workload
+  // (hence the program) alive without copying either.
+  return run_stream(
+      std::shared_ptr<const vm::Program>(workload, &workload->program),
+      suite_limits(config), consumers);
 }
 
 WorkloadMetrics StudyEngine::analyze(std::string_view workload_name,
                                      const SuiteConfig& config,
                                      const MetricOptions& options) const {
-  workloads::WorkloadParams params;
-  params.seed = config.seed;
-  const workloads::Workload workload =
-      workloads::make_workload(workload_name, params);
+  const auto workload_ptr = shared_workload(workload_name, config.seed);
+  const workloads::Workload& workload = *workload_ptr;
 
   std::vector<StreamConsumer*> consumers;
 
@@ -210,8 +229,9 @@ WorkloadMetrics StudyEngine::analyze(std::string_view workload_name,
   }
   if (traces.has_sinks()) consumers.push_back(&traces);
 
-  const u64 total =
-      run_stream(workload.program, suite_limits(config), consumers);
+  const u64 total = run_stream(
+      std::shared_ptr<const vm::Program>(workload_ptr, &workload.program),
+      suite_limits(config), consumers);
   TLR_ASSERT_MSG(total > 0, "workload produced no instructions");
 
   WorkloadMetrics metrics;

@@ -24,10 +24,14 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/profile.hpp"
@@ -38,6 +42,7 @@
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 #include "vm/interpreter.hpp"
+#include "workloads/workload.hpp"
 
 namespace tlr::core {
 
@@ -229,14 +234,27 @@ class StudyEngine {
 
   /// One chunked interpreter pass over `program`, fanning every chunk
   /// out to `consumers` (with the shared reusability stage when any of
-  /// them asks for it). Returns the stream length.
+  /// them asks for it). Returns the stream length. The shared-pointer
+  /// overload avoids copying the program into the stream source; the
+  /// reference overload copies once for callers holding a temporary.
   u64 run_stream(const vm::Program& program, const vm::RunLimits& limits,
+                 std::span<StreamConsumer* const> consumers) const;
+  u64 run_stream(std::shared_ptr<const vm::Program> program,
+                 const vm::RunLimits& limits,
                  std::span<StreamConsumer* const> consumers) const;
 
   /// Same, for a registry workload under a SuiteConfig.
   u64 run_workload_stream(std::string_view workload_name,
                           const SuiteConfig& config,
                           std::span<StreamConsumer* const> consumers) const;
+
+  /// The registry workload for (name, seed), built once per engine and
+  /// shared by every job that streams it: the fig9/fig10 fan-out runs
+  /// many (workload × configuration) jobs, and sharing stops each one
+  /// from rebuilding and copying the program (instruction vector +
+  /// data image). Thread-safe; entries live as long as the engine.
+  std::shared_ptr<const workloads::Workload> shared_workload(
+      std::string_view name, u64 seed) const;
 
   /// Full single-workload analysis — every WorkloadMetrics field from
   /// exactly one interpreter pass.
@@ -275,6 +293,10 @@ class StudyEngine {
 
   EngineOptions options_;
   std::optional<ThreadPool> pool_;
+  mutable std::mutex workload_mutex_;
+  mutable std::map<std::pair<std::string, u64>,
+                   std::shared_ptr<const workloads::Workload>>
+      workload_cache_;
 };
 
 /// vm::RunLimits for the stream window a SuiteConfig describes.

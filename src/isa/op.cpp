@@ -1,10 +1,12 @@
 #include "isa/op.hpp"
 
-#include "util/assert.hpp"
-
 namespace tlr::isa {
 
-OpClass op_class(Op op) {
+// op_class and the small predicates are inline constexpr in op.hpp
+// (hot-path table lookup); this cross-check pins the table against the
+// reference switch so a reordered enum cannot silently skew latencies.
+namespace {
+constexpr OpClass reference_op_class(Op op) {
   switch (op) {
     case Op::kAdd:
     case Op::kSub:
@@ -61,27 +63,19 @@ OpClass op_class(Op op) {
     case Op::kHalt:
       return OpClass::kNop;
   }
-  TLR_ASSERT_MSG(false, "unknown op");
   return OpClass::kNop;
 }
 
-bool is_load(Op op) { return op == Op::kLdq || op == Op::kLdt; }
-
-bool is_store(Op op) { return op == Op::kStq || op == Op::kStt; }
-
-bool is_control(Op op) { return op_class(op) == OpClass::kBranch; }
-
-bool is_cond_branch(Op op) {
-  switch (op) {
-    case Op::kBeqz:
-    case Op::kBnez:
-    case Op::kBltz:
-    case Op::kBgez:
-      return true;
-    default:
-      return false;
+constexpr bool table_matches_reference() {
+  for (usize i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    if (op_class(op) != reference_op_class(op)) return false;
   }
+  return true;
 }
+static_assert(table_matches_reference(),
+              "kOpClassTable diverges from the reference switch");
+}  // namespace
 
 bool writes_fp(Op op) {
   switch (op) {

@@ -87,16 +87,53 @@ enum class OpClass : u8 {
   kNop,
 };
 
-OpClass op_class(Op op);
+/// Dense Op -> OpClass map. The timing models call this once per
+/// dynamic instruction per timer configuration, so it is an inline
+/// table lookup rather than an out-of-line switch (DESIGN.md §10).
+namespace detail {
+inline constexpr OpClass kOpClassTable[kNumOps] = {
+    /*kAdd=*/OpClass::kIntAlu,    /*kSub=*/OpClass::kIntAlu,
+    /*kMul=*/OpClass::kIntMul,    /*kDiv=*/OpClass::kIntDiv,
+    /*kRem=*/OpClass::kIntDiv,    /*kAnd=*/OpClass::kIntAlu,
+    /*kOr=*/OpClass::kIntAlu,     /*kXor=*/OpClass::kIntAlu,
+    /*kAndNot=*/OpClass::kIntAlu, /*kSll=*/OpClass::kIntAlu,
+    /*kSrl=*/OpClass::kIntAlu,    /*kSra=*/OpClass::kIntAlu,
+    /*kCmpEq=*/OpClass::kIntAlu,  /*kCmpLt=*/OpClass::kIntAlu,
+    /*kCmpLe=*/OpClass::kIntAlu,  /*kCmpULt=*/OpClass::kIntAlu,
+    /*kLdi=*/OpClass::kIntAlu,    /*kMov=*/OpClass::kIntAlu,
+    /*kLdq=*/OpClass::kLoad,      /*kStq=*/OpClass::kStore,
+    /*kLdt=*/OpClass::kLoad,      /*kStt=*/OpClass::kStore,
+    /*kBr=*/OpClass::kBranch,     /*kBeqz=*/OpClass::kBranch,
+    /*kBnez=*/OpClass::kBranch,   /*kBltz=*/OpClass::kBranch,
+    /*kBgez=*/OpClass::kBranch,   /*kCall=*/OpClass::kBranch,
+    /*kJmp=*/OpClass::kBranch,    /*kRet=*/OpClass::kBranch,
+    /*kFAdd=*/OpClass::kFpAdd,    /*kFSub=*/OpClass::kFpAdd,
+    /*kFMul=*/OpClass::kFpMul,    /*kFDiv=*/OpClass::kFpDiv,
+    /*kFSqrt=*/OpClass::kFpSqrt,  /*kFNeg=*/OpClass::kFpAdd,
+    /*kFAbs=*/OpClass::kFpAdd,    /*kFCmpLt=*/OpClass::kFpAdd,
+    /*kFCmpEq=*/OpClass::kFpAdd,  /*kFLdi=*/OpClass::kFpAdd,
+    /*kCvtQT=*/OpClass::kFpAdd,   /*kCvtTQ=*/OpClass::kFpAdd,
+    /*kHalt=*/OpClass::kNop,
+};
+}  // namespace detail
+
+constexpr OpClass op_class(Op op) {
+  return detail::kOpClassTable[static_cast<usize>(op)];
+}
 
 /// True for kLdq/kLdt.
-bool is_load(Op op);
+constexpr bool is_load(Op op) { return op == Op::kLdq || op == Op::kLdt; }
 /// True for kStq/kStt.
-bool is_store(Op op);
+constexpr bool is_store(Op op) { return op == Op::kStq || op == Op::kStt; }
 /// True for every control-transfer op (branches, jumps, call, ret).
-bool is_control(Op op);
+constexpr bool is_control(Op op) {
+  return op_class(op) == OpClass::kBranch;
+}
 /// True if the op conditionally diverges (kBeqz..kBgez).
-bool is_cond_branch(Op op);
+constexpr bool is_cond_branch(Op op) {
+  return op == Op::kBeqz || op == Op::kBnez || op == Op::kBltz ||
+         op == Op::kBgez;
+}
 /// True if the destination is an FP register.
 bool writes_fp(Op op);
 /// Mnemonic for disassembly and error messages.

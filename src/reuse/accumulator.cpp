@@ -22,28 +22,35 @@ const LocVal* TraceAccumulator::find_input(u64 raw_loc) const {
 }
 
 bool TraceAccumulator::try_add(const DynInst& inst) {
-  // Dry-run the limit checks before mutating anything.
+  // Dry-run the limit checks before mutating anything. Register
+  // membership is answered by the bit masks; only memory locations
+  // (tag bit set, at most 4 per trace) walk the lists.
   u32 new_reg_in = 0, new_mem_in = 0;
+  u64 pending_reg = 0;  // registers this instruction already counted
   for (u8 k = 0; k < inst.num_inputs; ++k) {
     const u64 raw = inst.inputs[k].loc.raw();
-    if (written(raw) || find_input(raw) != nullptr) continue;
-    // Count duplicates within this instruction only once.
-    bool dup = false;
-    for (u8 j = 0; j < k; ++j) {
-      if (inst.inputs[j].loc.raw() == raw) dup = true;
-    }
-    if (dup) continue;
-    if (inst.inputs[k].loc.is_reg()) {
+    if ((raw & Loc::kMemTag) == 0) {
+      const u64 bit = u64{1} << raw;
+      if ((out_reg_mask_ | in_reg_mask_ | pending_reg) & bit) continue;
+      pending_reg |= bit;
       ++new_reg_in;
     } else {
+      if (written(raw) || find_input(raw) != nullptr) continue;
+      // Count duplicates within this instruction only once.
+      bool dup = false;
+      for (u8 j = 0; j < k; ++j) {
+        if (inst.inputs[j].loc.raw() == raw) dup = true;
+      }
+      if (dup) continue;
       ++new_mem_in;
     }
   }
   u32 new_reg_out = 0, new_mem_out = 0;
-  if (inst.has_output && !written(inst.output.raw())) {
-    if (inst.output.is_reg()) {
-      ++new_reg_out;
-    } else {
+  if (inst.has_output) {
+    const u64 raw = inst.output.raw();
+    if ((raw & Loc::kMemTag) == 0) {
+      if ((out_reg_mask_ & (u64{1} << raw)) == 0) ++new_reg_out;
+    } else if (!written(raw)) {
       ++new_mem_out;
     }
   }
@@ -57,26 +64,35 @@ bool TraceAccumulator::try_add(const DynInst& inst) {
   if (length_ == 0) start_pc_ = inst.pc;
   for (u8 k = 0; k < inst.num_inputs; ++k) {
     const u64 raw = inst.inputs[k].loc.raw();
-    if (written(raw) || find_input(raw) != nullptr) continue;
-    inputs_.push_back(LocVal{raw, inst.inputs[k].value});
-    if (inst.inputs[k].loc.is_reg()) {
+    if ((raw & Loc::kMemTag) == 0) {
+      const u64 bit = u64{1} << raw;
+      if ((out_reg_mask_ | in_reg_mask_) & bit) continue;
+      in_reg_mask_ |= bit;
+      inputs_.push_back(LocVal{raw, inst.inputs[k].value});
       ++reg_in_;
     } else {
+      if (written(raw) || find_input(raw) != nullptr) continue;
+      inputs_.push_back(LocVal{raw, inst.inputs[k].value});
       ++mem_in_;
     }
   }
   if (inst.has_output) {
+    const u64 raw = inst.output.raw();
+    const bool is_reg = (raw & Loc::kMemTag) == 0;
     bool rewritten = false;
-    for (LocVal& out : outputs_) {
-      if (out.loc == inst.output.raw()) {
-        out.value = inst.output_value;  // later write wins
-        rewritten = true;
-        break;
+    if (!is_reg || (out_reg_mask_ & (u64{1} << raw)) != 0) {
+      for (LocVal& out : outputs_) {
+        if (out.loc == raw) {
+          out.value = inst.output_value;  // later write wins
+          rewritten = true;
+          break;
+        }
       }
     }
     if (!rewritten) {
-      outputs_.push_back(LocVal{inst.output.raw(), inst.output_value});
-      if (inst.output.is_reg()) {
+      outputs_.push_back(LocVal{raw, inst.output_value});
+      if (is_reg) {
+        out_reg_mask_ |= u64{1} << raw;
         ++reg_out_;
       } else {
         ++mem_out_;
@@ -111,6 +127,7 @@ void TraceAccumulator::reset() {
   inputs_.clear();
   outputs_.clear();
   reg_in_ = mem_in_ = reg_out_ = mem_out_ = 0;
+  in_reg_mask_ = out_reg_mask_ = 0;
 }
 
 std::optional<StoredTrace> TraceAccumulator::merge(const StoredTrace& a,

@@ -47,6 +47,12 @@ class TraceAccumulator {
   SmallVector<LocVal, 12> inputs_;
   SmallVector<LocVal, 12> outputs_;  // current (latest) values
   u32 reg_in_ = 0, mem_in_ = 0, reg_out_ = 0, mem_out_ = 0;
+  /// Register membership summaries of inputs_/outputs_ (register locs
+  /// are raw values 0..63, so one bit each): try_add runs per executed
+  /// instruction and its membership checks are the hot part — a bit
+  /// test replaces the list scan for register operands (DESIGN.md
+  /// §10); memory locations (≤ 4 per trace) still scan.
+  u64 in_reg_mask_ = 0, out_reg_mask_ = 0;
 };
 
 }  // namespace tlr::reuse

@@ -7,10 +7,12 @@
 namespace tlr::reuse {
 
 bool InfiniteInstrTable::lookup_insert(const isa::DynInst& inst) {
-  auto& signatures = table_[inst.pc];
-  const auto [it, inserted] = signatures.insert(input_signature(inst));
-  (void)it;
-  if (inserted) ++instances_;
+  const bool inserted =
+      instances_set_.insert(Instance{inst.pc, input_signature(inst)});
+  if (inserted) {
+    ++instances_;
+    pcs_.insert(inst.pc);
+  }
   return !inserted;
 }
 
@@ -19,32 +21,6 @@ FiniteInstrTable::FiniteInstrTable(u64 entries, u32 assoc) : assoc_(assoc) {
   TLR_ASSERT(entries >= assoc);
   set_count_ = std::bit_ceil((entries + assoc - 1) / assoc);
   ways_.assign(set_count_ * assoc_, Way{});
-}
-
-bool FiniteInstrTable::lookup_insert(const isa::DynInst& inst) {
-  const Digest128 sig = input_signature(inst);
-  const u64 set =
-      mix64(static_cast<u64>(inst.pc) * 0x9e3779b97f4a7c15ULL ^ sig.lo()) &
-      (set_count_ - 1);
-  Way* base = &ways_[set * assoc_];
-  ++clock_;
-
-  Way* victim = base;
-  for (u32 w = 0; w < assoc_; ++w) {
-    Way& way = base[w];
-    if (way.pc == inst.pc && way.signature == sig) {
-      way.stamp = clock_;
-      ++hits_;
-      return true;
-    }
-    if (way.stamp < victim->stamp) victim = &way;
-  }
-  // Miss: replace the LRU way of the set.
-  victim->pc = inst.pc;
-  victim->signature = sig;
-  victim->stamp = clock_;
-  ++misses_;
-  return false;
 }
 
 }  // namespace tlr::reuse

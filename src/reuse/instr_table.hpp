@@ -12,12 +12,11 @@
 // set-associative with LRU replacement.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
 #include "reuse/signature.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/types.hpp"
 
 namespace tlr::reuse {
@@ -28,13 +27,29 @@ class InfiniteInstrTable {
   /// records the instance either way.
   bool lookup_insert(const isa::DynInst& inst);
 
-  u64 distinct_pcs() const { return table_.size(); }
+  u64 distinct_pcs() const { return pcs_.size(); }
   u64 stored_instances() const { return instances_; }
 
  private:
-  std::unordered_map<isa::Pc,
-                     std::unordered_set<Digest128, Digest128Hash>>
-      table_;
+  /// One flat set over (pc, input digest) replaces the per-PC digest
+  /// sets: a single probe per dynamic instruction instead of a map
+  /// walk plus a set walk (DESIGN.md §10). The 128-bit digest keeps
+  /// instance collisions statistically impossible (signature.hpp).
+  struct Instance {
+    isa::Pc pc = isa::kInvalidPc;
+    Digest128 signature;
+
+    friend bool operator==(const Instance&, const Instance&) = default;
+  };
+  struct InstanceHash {
+    u64 operator()(const Instance& instance) const noexcept {
+      return instance.signature.lo() ^ mix64(instance.signature.hi() +
+                                             instance.pc);
+    }
+  };
+
+  FlatHashSet<Instance, InstanceHash> instances_set_;
+  FlatHashSet<u64> pcs_;  // distinct static instructions seen
   u64 instances_ = 0;
 };
 
@@ -43,8 +58,34 @@ class FiniteInstrTable {
   /// `entries` is rounded up to a multiple of the associativity.
   explicit FiniteInstrTable(u64 entries, u32 assoc = 4);
 
-  /// Returns true on hit; inserts (evicting LRU) on miss.
-  bool lookup_insert(const isa::DynInst& inst);
+  /// Returns true on hit; inserts (evicting LRU) on miss. Inline: this
+  /// runs once per executed instruction in the ILR heuristics
+  /// (DESIGN.md §10).
+  bool lookup_insert(const isa::DynInst& inst) {
+    const Digest128 sig = input_signature(inst);
+    const u64 set =
+        mix64(static_cast<u64>(inst.pc) * 0x9e3779b97f4a7c15ULL ^ sig.lo()) &
+        (set_count_ - 1);
+    Way* base = &ways_[set * assoc_];
+    ++clock_;
+
+    Way* victim = base;
+    for (u32 w = 0; w < assoc_; ++w) {
+      Way& way = base[w];
+      if (way.pc == inst.pc && way.signature == sig) {
+        way.stamp = clock_;
+        ++hits_;
+        return true;
+      }
+      if (way.stamp < victim->stamp) victim = &way;
+    }
+    // Miss: replace the LRU way of the set.
+    victim->pc = inst.pc;
+    victim->signature = sig;
+    victim->stamp = clock_;
+    ++misses_;
+    return false;
+  }
 
   u64 entries() const { return ways_.size(); }
   u64 hits() const { return hits_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -29,106 +30,60 @@ Rtm::Rtm(const RtmGeometry& geometry, ReuseTestKind test)
                  "RTM set count must be a power of two (PC-indexed)");
   TLR_ASSERT(geometry.pc_ways >= 1);
   TLR_ASSERT(geometry.traces_per_pc >= 1);
+  TLR_ASSERT_MSG(geometry.traces_per_pc <= 32,
+                 "per-way scan masks are 32 bits wide");
   // Slot storage is allocated per way on first use (Rtm::insert): a
   // simulated program touches far fewer initial PCs than a big RTM has
   // ways, and a cold way costs ~40 bytes instead of traces_per_pc
   // full StoredTrace slots. Lookups only reach slots of valid ways,
   // which are always populated.
   ways_.resize(u64{geometry.sets} * geometry.pc_ways);
-}
-
-Rtm::Way* Rtm::find_way(u32 set, isa::Pc pc) {
-  Way* base = &ways_[u64{set} * geometry_.pc_ways];
-  for (u32 w = 0; w < geometry_.pc_ways; ++w) {
-    if (base[w].valid && base[w].pc == pc) return &base[w];
-  }
-  return nullptr;
-}
-
-std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
-                                             const ArchShadow& state) {
-  ++stats_.lookups;
-  const u32 set = set_index(pc);
-  Way* way = find_way(set, pc);
-  if (way == nullptr) return std::nullopt;
-
-  // Scan stored traces MRU-first so the freshest expansion wins.
-  u32 best_slot = 0;
-  const StoredTrace* best = nullptr;
-  u64 best_stamp = 0;
-  for (u32 s = 0; s < geometry_.traces_per_pc; ++s) {
-    Slot& slot = way->slots[s];
-    if (!slot.valid || slot.stamp < best_stamp) continue;
-    bool match;
-    if (test_ == ReuseTestKind::kValidBit) {
-      // Single-bit test: live means no input location was written
-      // since the trace was stored (§3.3, second approach).
-      match = slot.live;
-    } else {
-      match = true;
-      for (const LocVal& in : slot.trace.inputs) {
-        const auto current = state.value(in.loc);
-        if (!current.has_value() || *current != in.value) {
-          match = false;
-          break;
-        }
-      }
-    }
-    if (match) {
-      best = &slot.trace;
-      best_slot = s;
-      best_stamp = slot.stamp;
-    }
-  }
-  if (best == nullptr) return std::nullopt;
-
-  ++clock_;
-  way->stamp = clock_;
-  way->slots[best_slot].stamp = clock_;
-  ++stats_.hits;
-
-  LookupResult result;
-  result.trace = best;
-  result.handle =
-      Handle{set, static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]),
-             best_slot, pc, best->length};
-  return result;
+  way_tags_.assign(ways_.size(), isa::kInvalidPc);
 }
 
 void Rtm::peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const {
   const u32 set = set_index(pc);
-  const Way* base = &ways_[u64{set} * geometry_.pc_ways];
+  const isa::Pc* tags = &way_tags_[u64{set} * geometry_.pc_ways];
   const Way* way = nullptr;
   for (u32 w = 0; w < geometry_.pc_ways; ++w) {
-    if (base[w].valid && base[w].pc == pc) {
-      way = &base[w];
+    if (tags[w] == pc) {
+      way = &ways_[u64{set} * geometry_.pc_ways + w];
       break;
     }
   }
   if (way == nullptr) return;
 
   // Every (stamp, slot) pair carries a distinct stamp — each clock tick
-  // touches exactly one slot — so the MRU order is total.
+  // touches exactly one slot — so the MRU order is total. Ways hold at
+  // most 16 traces, so an insertion sort beats std::sort here (peek
+  // runs once per gated fetch — DESIGN.md §10).
   struct Stamped {
     u64 stamp;
     const StoredTrace* trace;
   };
   SmallVector<Stamped, 16> found;
-  for (const Slot& slot : way->slots) {
-    if (!slot.valid) continue;
-    if (test_ == ReuseTestKind::kValidBit && !slot.live) continue;
-    found.push_back({slot.stamp, &slot.trace});
+  for (u32 s = 0; s < way->used; ++s) {
+    const ScanRec& rec = way->scan[s];
+    if (test_ == ReuseTestKind::kValidBit && (way->live_mask >> s & 1) == 0) {
+      continue;
+    }
+    const Stamped entry{rec.stamp, &way->slots[s].trace};
+    usize at = found.size();
+    found.push_back(entry);
+    while (at > 0 && found[at - 1].stamp < entry.stamp) {
+      found[at] = found[at - 1];
+      --at;
+    }
+    found[at] = entry;
   }
-  std::sort(found.begin(), found.end(),
-            [](const Stamped& a, const Stamped& b) {
-              return a.stamp > b.stamp;
-            });
   for (const Stamped& entry : found) out.push_back(entry.trace);
 }
 
-void Rtm::insert(const StoredTrace& trace) {
+void Rtm::insert(StoredTrace trace) {
   TLR_ASSERT(trace.length > 0);
   max_stored_length_ = std::max(max_stored_length_, trace.length);
+  const u64 trace_hash = input_multiset_hash(
+      std::span<const LocVal>(trace.inputs.begin(), trace.inputs.size()));
   const u32 set = set_index(trace.start_pc);
   Way* way = find_way(set, trace.start_pc);
   ++clock_;
@@ -147,47 +102,77 @@ void Rtm::insert(const StoredTrace& trace) {
     if (victim->valid) ++stats_.way_evictions;
     victim->pc = trace.start_pc;
     victim->valid = true;
-    victim->slots.resize(geometry_.traces_per_pc);
-    for (Slot& slot : victim->slots) slot.valid = false;
+    victim->used = 0;
+    victim->empty_inputs_mask = 0;
+    // Slot payloads grow on demand (empty slots fill in index order),
+    // so a way only ever touches as many fat trace records as it has
+    // stored traces; the scan metadata is always fully sized. On
+    // reclaim the already-grown Slot objects are deliberately KEPT:
+    // stale SlotRefs for this way survive in watchers_ until their
+    // location is next written, so the per-slot generation counters
+    // must stay monotone across reclaim (a cleared vector would
+    // restart them and let a stale ref alias a new slot incarnation)
+    // — and live_mask is kept for the same reason, so a stale ref
+    // whose generation still matches observes and clears the old
+    // liveness bit exactly as the per-slot flag used to behave. Reads
+    // of both are otherwise bounded by `used`.
+    victim->slots.reserve(geometry_.traces_per_pc);
+    victim->scan.assign(geometry_.traces_per_pc, ScanRec{});
+    way_tags_[static_cast<usize>(victim - ways_.data())] = trace.start_pc;
     way = victim;
   }
   way->stamp = clock_;
+  const u32 way_index =
+      static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]);
 
-  // Duplicate content refreshes LRU and — in valid-bit mode — restores
-  // the entry's validity (re-collection after invalidation).
-  for (Slot& slot : way->slots) {
-    if (slot.valid && slot.trace.same_content(trace)) {
-      slot.stamp = clock_;
+  // One fused pass: find a duplicate of `trace`, or failing that the
+  // LRU victim slot. Duplicate content refreshes LRU and — in
+  // valid-bit mode — restores the entry's validity (re-collection
+  // after invalidation). The stored input hash decides almost every
+  // slot with one compare: a mismatch proves the inputs (hence the
+  // content) differ, so only hash-equal slots — real duplicates, or
+  // vanishing-probability collisions the structural compare then
+  // rejects — are walked.
+  u32 victim_slot = 0;
+  u64 victim_stamp = ~u64{0};
+  for (u32 s = 0; s < way->used; ++s) {
+    ScanRec& rec = way->scan[s];
+    if (rec.input_hash == trace_hash &&
+        way->slots[s].trace.same_content(trace)) {
+      Slot& slot = way->slots[s];
+      rec.stamp = clock_;
       ++stats_.duplicate_insertions;
-      if (test_ == ReuseTestKind::kValidBit && !slot.live &&
+      if (test_ == ReuseTestKind::kValidBit &&
+          (way->live_mask >> s & 1) == 0 &&
           !self_invalidating(slot.trace)) {
-        slot.live = true;
+        way->live_mask |= u32{1} << s;
         ++slot.generation;
-        const u32 way_index =
-            static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]);
-        const u32 slot_index = static_cast<u32>(&slot - way->slots.data());
-        register_inputs(
-            SlotRef{set, way_index, slot_index, slot.generation},
-            slot.trace);
+        register_inputs(SlotRef{set, way_index, s, slot.generation},
+                        slot.trace);
       }
       return;
     }
-  }
-
-  Slot* victim = &way->slots[0];
-  for (Slot& slot : way->slots) {
-    if (!slot.valid) {
-      victim = &slot;
-      break;
+    if (rec.stamp < victim_stamp) {
+      victim_slot = s;
+      victim_stamp = rec.stamp;
     }
-    if (slot.stamp < victim->stamp) victim = &slot;
   }
-  if (victim->valid) ++stats_.trace_evictions;
-  victim->trace = trace;
-  victim->stamp = clock_;
-  victim->valid = true;
-  victim->live = true;
-  ++victim->generation;
+  const bool evicting = way->used == geometry_.traces_per_pc;
+  if (!evicting) {
+    // Free slots remain: fill the next one (index order), matching the
+    // first-empty policy of the full scan. The slot object may already
+    // exist from a previous way incarnation (see the reclaim comment).
+    victim_slot = way->used++;
+    if (victim_slot >= way->slots.size()) way->slots.emplace_back();
+  }
+  ScanRec& rec = way->scan[victim_slot];
+  Slot& victim = way->slots[victim_slot];
+  if (evicting) ++stats_.trace_evictions;
+  victim.trace = std::move(trace);
+  set_scan_inputs(*way, victim_slot, victim.trace, trace_hash);
+  rec.stamp = clock_;
+  way->live_mask |= u32{1} << victim_slot;
+  ++victim.generation;
   ++stats_.insertions;
 
   if (test_ == ReuseTestKind::kValidBit) {
@@ -197,18 +182,14 @@ void Rtm::insert(const StoredTrace& trace) {
     // the valid-bit test (which compares no values) reusing it would
     // be incorrect. Hardware gets this for free — the trace's own
     // writeback clears the bit it just set.
-    if (self_invalidating(victim->trace)) {
-      victim->live = false;
+    if (self_invalidating(victim.trace)) {
+      way->live_mask &= ~(u32{1} << victim_slot);
       ++stats_.invalidations;
     }
-    if (victim->live) {
-      const u32 way_index =
-          static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]);
-      const u32 slot_index =
-          static_cast<u32>(victim - way->slots.data());
-      register_inputs(
-          SlotRef{set, way_index, slot_index, victim->generation},
-          victim->trace);
+    if ((way->live_mask >> victim_slot & 1) != 0) {
+      register_inputs(SlotRef{set, way_index, victim_slot,
+                              victim.generation},
+                      victim.trace);
     }
   }
 }
@@ -219,19 +200,18 @@ void Rtm::register_inputs(const SlotRef& ref, const StoredTrace& trace) {
   }
 }
 
-void Rtm::notify_write(u64 raw_loc) {
-  if (test_ != ReuseTestKind::kValidBit) return;
-  const auto it = watchers_.find(raw_loc);
-  if (it == watchers_.end()) return;
-  for (const SlotRef& ref : it->second) {
-    Slot& slot = slot_at(ref);
-    if (slot.generation != ref.generation) continue;  // since recycled
-    if (slot.live) {
-      slot.live = false;
+void Rtm::notify_write_slow(u64 raw_loc) {
+  std::vector<SlotRef>* watchers = watchers_.find(raw_loc);
+  if (watchers == nullptr) return;
+  for (const SlotRef& ref : *watchers) {
+    if (slot_at(ref).generation != ref.generation) continue;  // recycled
+    Way& way = way_at(ref);
+    if ((way.live_mask >> ref.slot & 1) != 0) {
+      way.live_mask &= ~(u32{1} << ref.slot);
       ++stats_.invalidations;
     }
   }
-  watchers_.erase(it);
+  watchers_.erase(raw_loc);
 }
 
 bool Rtm::replace(const Handle& handle, const StoredTrace& expanded) {
@@ -242,16 +222,27 @@ bool Rtm::replace(const Handle& handle, const StoredTrace& expanded) {
     ++stats_.stale_replacements;
     return false;
   }
+  // Slot storage is sized on demand: a stale handle may name a slot
+  // index the re-claimed way has not grown back to, so the bound check
+  // must precede the element access.
+  if (handle.slot >= way.used) {
+    ++stats_.stale_replacements;
+    return false;
+  }
   Slot& slot = way.slots[handle.slot];
-  if (!slot.valid || slot.trace.length != handle.length ||
+  ScanRec& rec = way.scan[handle.slot];
+  if (slot.trace.length != handle.length ||
       slot.trace.start_pc != handle.start_pc) {
     ++stats_.stale_replacements;
     return false;
   }
   ++clock_;
   slot.trace = expanded;
-  slot.stamp = clock_;
-  slot.live = true;
+  set_scan_inputs(way, handle.slot, slot.trace,
+                  input_multiset_hash(std::span<const LocVal>(
+                      expanded.inputs.begin(), expanded.inputs.size())));
+  rec.stamp = clock_;
+  way.live_mask |= u32{1} << handle.slot;
   ++slot.generation;
   way.stamp = clock_;
   ++stats_.replacements;

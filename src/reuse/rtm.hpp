@@ -16,10 +16,12 @@
 
 #include <array>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/hash.hpp"
 #include "util/small_vector.hpp"
 #include "util/types.hpp"
 
@@ -32,6 +34,28 @@ struct LocVal {
 
   friend bool operator==(const LocVal&, const LocVal&) = default;
 };
+
+/// Order-independent 64-bit hash of a (loc, value) multiset — the RTM
+/// reuse test's fast-reject key (DESIGN.md §10). Equal multisets hash
+/// equal by construction, so a hash mismatch proves at least one input
+/// value differs and the linear value-compare walk can be skipped; a
+/// colliding-but-unequal multiset (false positive) merely falls
+/// through to the exact walk, which still decides the match. Values
+/// enter linearly (per-element mix64 of the location only, wrapping
+/// sum combine): distribution is ample for a reject filter on real
+/// value streams, and collisions stay constructible for tests
+/// (shifting value mass between two locations preserves the sum).
+inline u64 input_hash_seed(usize count) { return mix64(count); }
+inline u64 input_hash_term(u64 loc, u64 value) {
+  return mix64(loc + 0x9e3779b97f4a7c15ULL) + value;
+}
+inline u64 input_multiset_hash(std::span<const LocVal> inputs) {
+  u64 hash = input_hash_seed(inputs.size());
+  for (const LocVal& in : inputs) {
+    hash += input_hash_term(in.loc, in.value);
+  }
+  return hash;
+}
 
 /// A trace as stored in the RTM: input and output sections plus the
 /// next PC (Fig 1 of the paper).
@@ -86,27 +110,33 @@ struct RtmGeometry {
 /// written) so far. The reuse test reads current values from here.
 class ArchShadow {
  public:
-  ArchShadow() {
-    reg_known_.fill(false);
-    mem_.reserve(1 << 12);
-  }
+  ArchShadow() { mem_.reserve(1 << 12); }
 
   std::optional<u64> value(u64 raw_loc) const {
     if ((raw_loc & isa::Loc::kMemTag) == 0) {
-      const auto reg = static_cast<usize>(raw_loc);
-      if (!reg_known_[reg]) return std::nullopt;
-      return reg_value_[reg];
+      if ((known_mask_ >> raw_loc & 1) == 0) return std::nullopt;
+      return reg_value_[static_cast<usize>(raw_loc)];
     }
-    const auto it = mem_.find(raw_loc);
-    if (it == mem_.end()) return std::nullopt;
-    return it->second;
+    const u64* value = mem_.find(raw_loc);
+    if (value == nullptr) return std::nullopt;
+    return *value;
+  }
+
+  /// Exactly `value(raw_loc) == expected` without materialising the
+  /// optional — the reuse test's inner comparison (DESIGN.md §10).
+  bool matches(u64 raw_loc, u64 expected) const {
+    if ((raw_loc & isa::Loc::kMemTag) == 0) {
+      return (known_mask_ >> raw_loc & 1) != 0 &&
+             reg_value_[static_cast<usize>(raw_loc)] == expected;
+    }
+    const u64* value = mem_.find(raw_loc);
+    return value != nullptr && *value == expected;
   }
 
   void set(u64 raw_loc, u64 value) {
     if ((raw_loc & isa::Loc::kMemTag) == 0) {
-      const auto reg = static_cast<usize>(raw_loc);
-      reg_known_[reg] = true;
-      reg_value_[reg] = value;
+      known_mask_ |= u64{1} << raw_loc;
+      reg_value_[static_cast<usize>(raw_loc)] = value;
     } else {
       mem_[raw_loc] = value;
     }
@@ -114,6 +144,7 @@ class ArchShadow {
 
   /// Record everything an executed instruction reveals: its input
   /// values (pre-state of the locations it read) and its output.
+  /// Runs once per executed instruction (DESIGN.md §10).
   void observe(const isa::DynInst& inst) {
     for (u8 k = 0; k < inst.num_inputs; ++k) {
       set(inst.inputs[k].loc.raw(), inst.inputs[k].value);
@@ -123,8 +154,10 @@ class ArchShadow {
 
  private:
   std::array<u64, isa::kNumRegs> reg_value_{};
-  std::array<bool, isa::kNumRegs> reg_known_{};
-  std::unordered_map<u64, u64> mem_;
+  /// Bit per register (the 64 register locs are raw values 0..63):
+  /// one-instruction wide known/unknown state instead of a bool array.
+  u64 known_mask_ = 0;
+  FlatHashMap<u64, u64> mem_;
 };
 
 /// Which reuse test the RTM implements (§3.3 describes both):
@@ -172,6 +205,8 @@ class Rtm {
 
   /// Reuse test at fetch: search the traces stored for `pc` (MRU
   /// first) for one whose every input matches the current state.
+  /// Defined inline below: this runs once per simulated fetch and is
+  /// the hottest loop in the finite-RTM experiments (DESIGN.md §10).
   std::optional<LookupResult> lookup(isa::Pc pc, const ArchShadow& state);
 
   /// Side-effect-free candidate enumeration: every trace stored for
@@ -184,8 +219,10 @@ class Rtm {
   void peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const;
 
   /// Store a collected trace (LRU replacement at both levels). A trace
-  /// with identical content to a stored one only refreshes LRU.
-  void insert(const StoredTrace& trace);
+  /// with identical content to a stored one only refreshes LRU. Taken
+  /// by value: the collection paths hand over freshly finalized traces,
+  /// which then move into the slot instead of being deep-copied.
+  void insert(StoredTrace trace);
 
   /// Replace the trace behind `handle` with an expanded version.
   /// Returns false (and inserts nothing) if the slot no longer holds
@@ -193,9 +230,14 @@ class Rtm {
   bool replace(const Handle& handle, const StoredTrace& expanded);
 
   /// Valid-bit mode: a write to `raw_loc` invalidates every stored
-  /// trace with that location in its input list. No-op in
-  /// value-compare mode.
-  void notify_write(u64 raw_loc);
+  /// trace with that location in its input list. No-op in value-compare
+  /// mode — and called once per simulated write, so the mode check
+  /// stays inline.
+  void notify_write(u64 raw_loc) {
+    if (test_ == ReuseTestKind::kValidBit) [[unlikely]] {
+      notify_write_slow(raw_loc);
+    }
+  }
 
   const Stats& stats() const { return stats_; }
   const RtmGeometry& geometry() const { return geometry_; }
@@ -208,12 +250,26 @@ class Rtm {
   u32 max_stored_length() const { return max_stored_length_; }
 
  private:
+  /// Trace payload of one slot. All per-slot reuse-test metadata lives
+  /// in the parallel ScanRec array so the per-fetch scan never touches
+  /// these fat records until a slot survives the fast reject.
   struct Slot {
     StoredTrace trace;
-    u64 stamp = 0;
-    bool valid = false;
-    bool live = false;  // valid-bit mode reuse test
     u32 generation = 0; // guards stale reverse-index references
+  };
+
+  /// Compact 32-byte per-slot scan record (DESIGN.md §10). The reuse
+  /// test walks these contiguously: LRU stamp (0 = empty slot; live
+  /// stamps start at 1), the trace's leading input for the
+  /// first-operand reject, and the input_multiset_hash fast-reject key
+  /// that also decides duplicate detection in insert() with one
+  /// compare. Per-slot booleans (no-inputs, valid-bit liveness) live
+  /// in Way-level bit masks.
+  struct ScanRec {
+    u64 stamp = 0;
+    u64 input_hash = 0;
+    u64 first_loc = 0;
+    u64 first_value = 0;
   };
 
   struct SlotRef {
@@ -223,31 +279,137 @@ class Rtm {
     u32 generation = 0;
   };
 
-  Slot& slot_at(const SlotRef& ref) {
-    return ways_[u64{ref.set} * geometry_.pc_ways + ref.way].slots[ref.slot];
-  }
-
-  void register_inputs(const SlotRef& ref, const StoredTrace& trace);
-
   struct Way {
     isa::Pc pc = isa::kInvalidPc;
     u64 stamp = 0;
     bool valid = false;
+    /// Slots in use. Stored traces fill slot indices from 0 upward and
+    /// a filled slot never empties (eviction replaces in place), so
+    /// every scan — reuse test, duplicate check, peek — runs over
+    /// [0, used) instead of the full geometry width.
+    u32 used = 0;
+    u32 empty_inputs_mask = 0;  // slots whose trace has no live-ins
+    u32 live_mask = 0;          // valid-bit mode liveness, bit per slot
     std::vector<Slot> slots;
+    std::vector<ScanRec> scan;  // parallel to slots
   };
+
+  Way& way_at(const SlotRef& ref) {
+    return ways_[u64{ref.set} * geometry_.pc_ways + ref.way];
+  }
+  Slot& slot_at(const SlotRef& ref) { return way_at(ref).slots[ref.slot]; }
+
+  void register_inputs(const SlotRef& ref, const StoredTrace& trace);
+
+  /// Fills slot `s`'s scan metadata in `way` (stamp set by callers).
+  static void set_scan_inputs(Way& way, u32 s, const StoredTrace& trace,
+                              u64 input_hash) {
+    ScanRec& rec = way.scan[s];
+    rec.input_hash = input_hash;
+    if (trace.inputs.empty()) {
+      way.empty_inputs_mask |= u32{1} << s;
+      rec.first_loc = 0;
+      rec.first_value = 0;
+    } else {
+      way.empty_inputs_mask &= ~(u32{1} << s);
+      rec.first_loc = trace.inputs[0].loc;
+      rec.first_value = trace.inputs[0].value;
+    }
+  }
 
   u32 set_index(isa::Pc pc) const { return pc & (geometry_.sets - 1); }
   Way* find_way(u32 set, isa::Pc pc);
+  void notify_write_slow(u64 raw_loc);
 
   RtmGeometry geometry_;
   ReuseTestKind test_;
   std::vector<Way> ways_;  // sets * pc_ways, set-major
+  /// Initial-PC tags parallel to ways_ (kInvalidPc when the way is
+  /// empty): the per-fetch way match scans this dense array instead of
+  /// striding through the fat Way records (DESIGN.md §10).
+  std::vector<isa::Pc> way_tags_;
   u64 clock_ = 0;
   u32 max_stored_length_ = 0;
   Stats stats_;
   /// Valid-bit mode reverse index: input location -> traces to kill on
   /// write. Entries are validated against slot generations lazily.
-  std::unordered_map<u64, std::vector<SlotRef>> watchers_;
+  FlatHashMap<u64, std::vector<SlotRef>> watchers_;
 };
+
+// ---- hot-path inline definitions -------------------------------------
+
+inline Rtm::Way* Rtm::find_way(u32 set, isa::Pc pc) {
+  // Tag scan over the dense PC array; kInvalidPc marks empty ways and
+  // can never equal a fetch PC, so no validity check is needed.
+  const isa::Pc* tags = &way_tags_[u64{set} * geometry_.pc_ways];
+  for (u32 w = 0; w < geometry_.pc_ways; ++w) {
+    if (tags[w] == pc) return &ways_[u64{set} * geometry_.pc_ways + w];
+  }
+  return nullptr;
+}
+
+inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
+                                                    const ArchShadow& state) {
+  ++stats_.lookups;
+  const u32 set = set_index(pc);
+  Way* way = find_way(set, pc);
+  if (way == nullptr) return std::nullopt;
+
+  // Scan stored traces MRU-first so the freshest expansion wins. The
+  // scan runs over the compact ScanRec array: an empty slot is stamp 0
+  // (live stamps start at 1), and in value-compare mode the record's
+  // leading (loc, value) pair rejects ~90% of candidate slots without
+  // touching the fat trace storage at all; only survivors walk their
+  // remaining inputs, early-exiting on the first mismatch. The accept
+  // condition is bit-for-bit the original full walk.
+  const ScanRec* const scan = way->scan.data();
+  const u32 used = way->used;
+  u32 best_slot = 0;
+  bool found = false;
+  u64 best_stamp = 1;  // every stored slot's stamp is >= 1
+  for (u32 s = 0; s < used; ++s) {
+    const ScanRec& rec = scan[s];
+    if (rec.stamp < best_stamp) continue;
+    bool match;
+    if (test_ == ReuseTestKind::kValidBit) {
+      // Single-bit test: live means no input location was written
+      // since the trace was stored (§3.3, second approach).
+      match = (way->live_mask >> s & 1) != 0;
+    } else if ((way->empty_inputs_mask >> s & 1) == 0) {
+      if (!state.matches(rec.first_loc, rec.first_value)) continue;
+      const SmallVector<LocVal, 12>& inputs = way->slots[s].trace.inputs;
+      match = true;
+      const LocVal* in = inputs.begin() + 1;
+      const LocVal* const in_end = inputs.end();
+      for (; in != in_end; ++in) {
+        if (!state.matches(in->loc, in->value)) {
+          match = false;
+          break;
+        }
+      }
+    } else {
+      match = true;  // a trace with no live-ins always passes the test
+    }
+    if (match) {
+      found = true;
+      best_slot = s;
+      best_stamp = rec.stamp;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  ++clock_;
+  way->stamp = clock_;
+  way->scan[best_slot].stamp = clock_;
+  ++stats_.hits;
+
+  const StoredTrace* best = &way->slots[best_slot].trace;
+  LookupResult result;
+  result.trace = best;
+  result.handle =
+      Handle{set, static_cast<u32>(way - &ways_[u64{set} * geometry_.pc_ways]),
+             best_slot, pc, best->length};
+  return result;
+}
 
 }  // namespace tlr::reuse

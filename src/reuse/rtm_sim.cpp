@@ -1,6 +1,7 @@
 #include "reuse/rtm_sim.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -37,14 +38,55 @@ RtmSimulator::RtmSimulator(const RtmSimConfig& config)
 void RtmSimulator::set_spec_gate(SpecGate* gate) {
   TLR_ASSERT_MSG(config_.reuse_test == ReuseTestKind::kValueCompare,
                  "speculation gating requires the value-compare test");
-  TLR_ASSERT_MSG(buf_.empty() && !finished_, "set the gate before feeding");
+  TLR_ASSERT_MSG(buf_.empty() && base_index_ == 0 && !finished_,
+                 "set the gate before feeding");
   gate_ = gate;
 }
 
 void RtmSimulator::feed(std::span<const DynInst> insts) {
   TLR_ASSERT_MSG(!finished_, "feed after finish");
-  buf_.insert(buf_.end(), insts.begin(), insts.end());
+  if (insts.empty()) return;
+
+  if (buf_.empty()) {
+    // Common case: no unresolved tail — drain straight off the
+    // caller's chunk, copy nothing but the leftover tail.
+    set_window(insts.data(), insts.size());
+    pos_ = 0;
+    drain(/*stream_done=*/false);
+    save_tail();
+    return;
+  }
+
+  // A tail is pending from the previous feed. Stitch just enough of
+  // the new chunk onto it to let the tail's positions resolve; once
+  // consumption crosses into the stitched region, continue in place on
+  // the chunk (the copy and the chunk agree on that region).
+  const usize old_size = buf_.size();
+  const usize lookahead =
+      2 * static_cast<usize>(std::max<u32>(1, rtm_.max_stored_length()));
+  const usize stitch = std::min(insts.size(), std::max<usize>(lookahead, 64));
+  buf_.insert(buf_.end(), insts.begin(),
+              insts.begin() + static_cast<std::ptrdiff_t>(stitch));
+  set_window(buf_.data(), buf_.size());
   drain(/*stream_done=*/false);
+  if (pos_ >= old_size) {
+    const usize chunk_pos = pos_ - old_size;
+    base_index_ += old_size;
+    buf_.clear();
+    set_window(insts.data(), insts.size());
+    pos_ = chunk_pos;
+    drain(/*stream_done=*/false);
+    save_tail();
+  } else {
+    // The tail still lacks lookahead (a very long stored trace):
+    // fall back to buffering the whole chunk.
+    buf_.insert(buf_.end(),
+                insts.begin() + static_cast<std::ptrdiff_t>(stitch),
+                insts.end());
+    set_window(buf_.data(), buf_.size());
+    drain(/*stream_done=*/false);
+    compact_buffer();
+  }
 }
 
 RtmSimResult RtmSimulator::finish() {
@@ -70,7 +112,7 @@ RtmSimResult RtmSimulator::run(std::span<const DynInst> stream) {
 /// once and exactly as a whole-stream walk would take it.
 void RtmSimulator::drain(bool stream_done) {
   for (;;) {
-    const usize avail = buf_.size() - buf_pos_;
+    const usize avail = win_size_ - pos_;
     if (avail == 0) break;
     if (!stream_done &&
         avail < std::max<usize>(1, rtm_.max_stored_length())) {
@@ -82,16 +124,14 @@ void RtmSimulator::drain(bool stream_done) {
       resolve_front_gated(avail);
       continue;
     }
-    const DynInst& inst = buf_[buf_pos_];
+    const DynInst& inst = win_[pos_];
     const auto hit = rtm_.lookup(inst.pc, shadow_);
     if (hit.has_value() && hit->trace->length <= avail) {
-      const StoredTrace trace = *hit->trace;  // copy: the RTM may mutate
-      take_reuse(trace);
+      take_reuse(*hit->trace);  // copies: the RTM may mutate underneath
     } else {
       execute_front();
     }
   }
-  compact_buffer();
 }
 
 /// Gated fetch (DESIGN.md §8): the actual reuse test still runs first —
@@ -101,7 +141,7 @@ void RtmSimulator::drain(bool stream_done) {
 /// state: agreement commits the reuse, disagreement squashes (the
 /// instructions then re-execute through the normal path).
 void RtmSimulator::resolve_front_gated(usize avail) {
-  const DynInst& inst = buf_[buf_pos_];
+  const DynInst& inst = win_[pos_];
   const auto hit = rtm_.lookup(inst.pc, shadow_);
   const StoredTrace* oracle_choice =
       (hit.has_value() && hit->trace->length <= avail) ? hit->trace : nullptr;
@@ -132,30 +172,30 @@ void RtmSimulator::resolve_front_gated(usize avail) {
   bool verified = pick->length <= avail;
   if (verified) {
     for (const LocVal& in : pick->inputs) {
-      const auto current = shadow_.value(in.loc);
-      if (!current.has_value() || *current != in.value) {
+      if (!shadow_.matches(in.loc, in.value)) {
         verified = false;
         break;
       }
     }
   }
   if (verified) {
-    const StoredTrace trace = *pick;  // copy: the RTM may mutate
     gate_->on_outcome(fetch, pick, SpecOutcome::kCorrect);
-    take_reuse(trace);
+    take_reuse(*pick);  // the by-value parameter is the protective copy
   } else {
     gate_->on_outcome(fetch, pick, SpecOutcome::kMisspec);
     execute_front();
   }
 }
 
-void RtmSimulator::store(const StoredTrace& trace) {
-  rtm_.insert(trace);
+void RtmSimulator::store(StoredTrace trace) {
+  // The gate only reads the trace (predictor training), so training
+  // first lets the RTM consume the trace without a copy.
   if (gate_ != nullptr) gate_->on_store(trace);
+  rtm_.insert(std::move(trace));
 }
 
-void RtmSimulator::take_reuse(const StoredTrace& trace) {
-  const std::span<const DynInst> insts(buf_.data() + buf_pos_, trace.length);
+void RtmSimulator::take_reuse(StoredTrace trace) {
+  const std::span<const DynInst> insts(win_ + pos_, trace.length);
   if (config_.verify_matches) {
     // Determinism cross-check: the stored trace must describe exactly
     // the instructions sitting in the stream at the match point.
@@ -184,7 +224,7 @@ void RtmSimulator::take_reuse(const StoredTrace& trace) {
 
   if (config_.build_plan || event_sink_ != nullptr) {
     const timing::PlanTrace plan_trace =
-        to_plan_trace(trace, base_index_ + buf_pos_);
+        to_plan_trace(trace, base_index_ + pos_);
     if (config_.build_plan) {
       const u32 trace_id = static_cast<u32>(result_.plan.traces.size());
       result_.plan.traces.push_back(plan_trace);
@@ -201,17 +241,17 @@ void RtmSimulator::take_reuse(const StoredTrace& trace) {
     shadow_.set(out.loc, out.value);
     rtm_.notify_write(out.loc);
   }
-  buf_pos_ += trace.length;
+  pos_ += trace.length;
 
   if (config_.heuristic != CollectHeuristic::kIlrNoExpand) {
     ext_active_ = true;
-    ext_base_ = trace;
+    ext_base_ = std::move(trace);
     ext_budget_ = config_.fixed_n;
   }
 }
 
 void RtmSimulator::execute_front() {
-  const DynInst& inst = buf_[buf_pos_];
+  const DynInst& inst = win_[pos_];
   if (ext_active_) {
     if (config_.heuristic == CollectHeuristic::kIlrExpand) {
       const bool reusable = ilr_->lookup_insert(inst);
@@ -239,7 +279,7 @@ void RtmSimulator::execute_front() {
     result_.plan.trace_of.push_back(0);
   }
   if (event_sink_ != nullptr) event_sink_->on_executed(inst);
-  ++buf_pos_;
+  ++pos_;
 }
 
 // Collection step for an executed instruction. For the ILR heuristics
@@ -292,12 +332,21 @@ void RtmSimulator::flush_acc() {
   if (!acc_.empty()) store(acc_.finalize());
 }
 
+void RtmSimulator::save_tail() {
+  TLR_ASSERT(win_ < buf_.data() || win_ >= buf_.data() + buf_.capacity());
+  buf_.assign(win_ + pos_, win_ + win_size_);
+  base_index_ += pos_;
+  pos_ = 0;
+  set_window(buf_.data(), buf_.size());
+}
+
 void RtmSimulator::compact_buffer() {
-  if (buf_pos_ == 0) return;
-  buf_.erase(buf_.begin(),
-             buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
-  base_index_ += buf_pos_;
-  buf_pos_ = 0;
+  if (pos_ != 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    base_index_ += pos_;
+    pos_ = 0;
+  }
+  set_window(buf_.data(), buf_.size());
 }
 
 }  // namespace tlr::reuse

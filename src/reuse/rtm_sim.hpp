@@ -170,12 +170,24 @@ class RtmSimulator {
  private:
   void drain(bool stream_done);
   void resolve_front_gated(usize avail);
-  void store(const StoredTrace& trace);
-  void take_reuse(const StoredTrace& trace);
+  void store(StoredTrace trace);
+  void take_reuse(StoredTrace trace);
   void execute_front();
   void collect(const isa::DynInst& inst, std::optional<bool> pre_tested);
   void flush_ext();
   void flush_acc();
+
+  /// Points the drain window at [data, data+size); pos_ keeps its
+  /// meaning as the consumed prefix of the window.
+  void set_window(const isa::DynInst* data, usize size) {
+    win_ = data;
+    win_size_ = size;
+  }
+  /// Copies the window's unresolved tail into buf_ and re-anchors the
+  /// window there (the inter-feed invariant). `win_` must not alias
+  /// buf_ when calling this.
+  void save_tail();
+  /// Same when the window already is buf_: drop the consumed prefix.
   void compact_buffer();
 
   RtmSimConfig config_;
@@ -192,10 +204,16 @@ class RtmSimulator {
   TraceAccumulator ext_acc_;
   u32 ext_budget_ = 0;
 
-  // Lookahead buffer: instructions fed but not yet resolved. buf_pos_
-  // is the consumed prefix; base_index_ the dynamic index of buf_[0].
+  // Drain window: the contiguous run of fed-but-unresolved
+  // instructions. During feed() it points directly into the caller's
+  // span (zero copy — DESIGN.md §10); between feeds only the small
+  // unresolved tail, bounded by the RTM's longest stored trace, is
+  // saved into buf_. pos_ is the consumed prefix of the window;
+  // base_index_ the dynamic index of win_[0].
   std::vector<isa::DynInst> buf_;
-  usize buf_pos_ = 0;
+  const isa::DynInst* win_ = nullptr;
+  usize win_size_ = 0;
+  usize pos_ = 0;
   u64 base_index_ = 0;
 
   RtmEventSink* event_sink_ = nullptr;

@@ -1,8 +1,7 @@
 #include "spec/predictor.hpp"
 
-#include <unordered_map>
-
 #include "util/assert.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/small_vector.hpp"
 
 namespace tlr::spec {
@@ -52,10 +51,10 @@ class LastValuePredictor : public TracePredictor {
   std::string_view name() const override { return "last_value"; }
 
   const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
-    const auto it = snapshots_.find(fetch.pc);
-    if (it == snapshots_.end()) return nullptr;
+    const Snapshot* snapshot = snapshots_.find(fetch.pc);
+    if (snapshot == nullptr) return nullptr;
     for (const StoredTrace* candidate : fetch.candidates) {
-      if (matches(*candidate, it->second)) return candidate;
+      if (matches(*candidate, *snapshot)) return candidate;
     }
     return nullptr;
   }
@@ -63,10 +62,33 @@ class LastValuePredictor : public TracePredictor {
   void train(const SpecGate::Fetch& fetch, const StoredTrace*,
              SpecOutcome) override {
     // Remember the values the candidates' input locations hold *now*:
-    // the prediction for this PC's next visit.
+    // the prediction for this PC's next visit. Candidates of one PC
+    // overwhelmingly share input locations, and remembering the same
+    // location twice in one resolution writes the same current value —
+    // so repeats are skipped outright (a register bit mask plus a
+    // short memory-location list; an overflowing list only costs
+    // harmless re-remembering). Training runs once per gated fetch
+    // (DESIGN.md §10).
     Snapshot& snapshot = snapshots_[fetch.pc];
+    u64 seen_regs = 0;
+    SmallVector<u64, 8> seen_mem;
     for (const StoredTrace* candidate : fetch.candidates) {
       for (const LocVal& in : candidate->inputs) {
+        if ((in.loc & isa::Loc::kMemTag) == 0) {
+          const u64 bit = u64{1} << in.loc;
+          if ((seen_regs & bit) != 0) continue;
+          seen_regs |= bit;
+        } else {
+          bool seen = false;
+          for (const u64 loc : seen_mem) {
+            if (loc == in.loc) {
+              seen = true;
+              break;
+            }
+          }
+          if (seen) continue;
+          if (seen_mem.size() < 8) seen_mem.push_back(in.loc);
+        }
         if (const auto value = fetch.state->value(in.loc)) {
           remember(snapshot, in.loc, *value);
         }
@@ -115,7 +137,7 @@ class LastValuePredictor : public TracePredictor {
   // snapshot only costs conservative no-attempts.
   static constexpr usize kMaxSnapshot = 24;
 
-  std::unordered_map<isa::Pc, Snapshot> snapshots_;
+  FlatHashMap<isa::Pc, Snapshot> snapshots_;
 };
 
 /// The last-value pick, gated by a per-PC saturating confidence
@@ -136,8 +158,8 @@ class ConfidencePredictor final : public LastValuePredictor {
   std::string_view name() const override { return "confidence"; }
 
   const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
-    const auto it = counters_.find(fetch.pc);
-    const u64 confidence = it == counters_.end() ? initial_ : it->second;
+    const u64* counter = counters_.find(fetch.pc);
+    const u64 confidence = counter == nullptr ? initial_ : *counter;
     if (confidence < threshold_) return nullptr;
     return LastValuePredictor::choose(fetch);
   }
@@ -145,7 +167,9 @@ class ConfidencePredictor final : public LastValuePredictor {
   void train(const SpecGate::Fetch& fetch, const StoredTrace* attempted,
              SpecOutcome outcome) override {
     LastValuePredictor::train(fetch, attempted, outcome);
-    u64& counter = counters_.try_emplace(fetch.pc, initial_).first->second;
+    const auto [slot, inserted] = counters_.try_emplace(fetch.pc);
+    if (inserted) *slot = initial_;
+    u64& counter = *slot;
     if (outcome == SpecOutcome::kMisspec) {
       counter = 0;  // a squash costs real cycles: back off hard
     } else if (outcome == SpecOutcome::kCorrect ||
@@ -160,7 +184,7 @@ class ConfidencePredictor final : public LastValuePredictor {
   u64 max_;
   u64 threshold_;
   u64 initial_;
-  std::unordered_map<isa::Pc, u64> counters_;
+  FlatHashMap<isa::Pc, u64> counters_;
 };
 
 }  // namespace

@@ -42,8 +42,8 @@ StreamingTimer::StreamingTimer(const TimerConfig& config)
 
 Cycle StreamingTimer::loc_ready(Loc loc) const {
   if (loc.is_reg()) return reg_ready_[loc.reg_index()];
-  const auto it = mem_ready_.find(loc.raw());
-  return it == mem_ready_.end() ? 0 : it->second;
+  const Cycle* ready = mem_ready_.find(loc.raw());
+  return ready == nullptr ? 0 : *ready;
 }
 
 void StreamingTimer::set_loc_ready(Loc loc, Cycle cycle) {

@@ -24,12 +24,12 @@
 #include <algorithm>
 #include <array>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
 #include "isa/latency.hpp"
 #include "timing/plan.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/types.hpp"
 
 namespace tlr::timing {
@@ -116,7 +116,7 @@ class StreamingTimer {
 
   TimerConfig config_;
   std::array<Cycle, isa::kNumRegs> reg_ready_;
-  std::unordered_map<u64, Cycle> mem_ready_;
+  FlatHashMap<u64, Cycle> mem_ready_;
   std::vector<Cycle> ring_;  // prefix-max graduation times
   u64 slots_ = 0;
   Cycle gmax_ = 0;

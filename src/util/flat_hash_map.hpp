@@ -1,0 +1,210 @@
+// Open-addressing hash containers for the per-instruction hot paths.
+//
+// std::unordered_map costs one heap node per entry and a pointer chase
+// per probe; at tens of millions of lookups per simulated workload that
+// dominates several engine loops (DESIGN.md §10). FlatHashMap stores
+// slots in one contiguous array with a parallel byte of control state
+// (empty / tombstone / full), probes linearly from a mixed hash, and
+// keeps capacity a power of two so the index mask is a single AND.
+//
+// Scope: exactly what the engine needs, not a drop-in std replacement.
+//   - keys and values must be default-constructible and move-assignable
+//     (erase resets the slot to a default-constructed state);
+//   - pointer-returning find (no iterator invalidation contract to
+//     honour beyond "insert may rehash");
+//   - iteration order is unspecified — callers on results-bearing paths
+//     must not depend on it (tests/util/flat_hash_map_test.cpp checks
+//     the engine-facing behaviour against std::unordered_map).
+#pragma once
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace tlr {
+
+/// Default hasher: mix64 for anything convertible to u64 (the common
+/// key shape here: raw Loc names, addresses, PCs, page indices).
+struct FlatHashU64 {
+  constexpr u64 operator()(u64 key) const noexcept { return mix64(key); }
+};
+
+template <class Key, class T, class Hash = FlatHashU64>
+class FlatHashMap {
+  enum : u8 { kEmpty = 0, kTombstone = 1, kFull = 2 };
+
+  struct Slot {
+    Key key{};
+    T value{};
+  };
+
+ public:
+  FlatHashMap() = default;
+
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  usize capacity() const { return ctrl_.size(); }
+
+  void clear() {
+    ctrl_.assign(ctrl_.size(), u8{kEmpty});
+    for (Slot& slot : slots_) slot = Slot{};
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Grow so that `count` entries fit without rehashing.
+  void reserve(usize count) {
+    const usize needed = required_capacity(count);
+    if (needed > ctrl_.size()) rehash(needed);
+  }
+
+  T* find(const Key& key) {
+    const usize index = find_index(key);
+    return index == kNotFound ? nullptr : &slots_[index].value;
+  }
+  const T* find(const Key& key) const {
+    const usize index = find_index(key);
+    return index == kNotFound ? nullptr : &slots_[index].value;
+  }
+  bool contains(const Key& key) const { return find_index(key) != kNotFound; }
+
+  /// Insert a default-constructed value if absent; returns the value
+  /// slot either way (the std::unordered_map::operator[] contract).
+  T& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  /// {value slot, inserted?}. The value is default-constructed on
+  /// insertion (callers assign); an existing entry is left untouched.
+  std::pair<T*, bool> try_emplace(const Key& key) {
+    grow_if_needed();
+    const u64 mask = ctrl_.size() - 1;
+    usize index = static_cast<usize>(hash_(key)) & mask;
+    usize insert_at = kNotFound;
+    for (;;) {
+      const u8 state = ctrl_[index];
+      if (state == kFull) {
+        if (slots_[index].key == key) return {&slots_[index].value, false};
+      } else if (state == kTombstone) {
+        if (insert_at == kNotFound) insert_at = index;
+      } else {  // kEmpty terminates the probe chain
+        if (insert_at == kNotFound) insert_at = index;
+        break;
+      }
+      index = (index + 1) & mask;
+    }
+    if (ctrl_[insert_at] == kTombstone) --tombstones_;
+    ctrl_[insert_at] = kFull;
+    slots_[insert_at].key = key;
+    ++size_;
+    return {&slots_[insert_at].value, true};
+  }
+
+  /// Returns true if the key was present. The slot's key/value are
+  /// reset to default-constructed state (releasing owned resources).
+  bool erase(const Key& key) {
+    const usize index = find_index(key);
+    if (index == kNotFound) return false;
+    ctrl_[index] = kTombstone;
+    slots_[index] = Slot{};
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  // ---- iteration (unspecified order; tests and cold paths only) ------
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (usize i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  static constexpr usize kNotFound = ~usize{0};
+  static constexpr usize kMinCapacity = 16;
+
+  /// Max load factor 7/8 counting tombstones (they lengthen probe
+  /// chains exactly like live entries).
+  static usize required_capacity(usize count) {
+    if (count == 0) return 0;
+    return std::bit_ceil(std::max(kMinCapacity, count + count / 7 + 1));
+  }
+
+  usize find_index(const Key& key) const {
+    if (ctrl_.empty()) return kNotFound;
+    const u64 mask = ctrl_.size() - 1;
+    usize index = static_cast<usize>(hash_(key)) & mask;
+    for (;;) {
+      const u8 state = ctrl_[index];
+      if (state == kFull && slots_[index].key == key) return index;
+      if (state == kEmpty) return kNotFound;
+      index = (index + 1) & mask;
+    }
+  }
+
+  void grow_if_needed() {
+    // size+tombstones is the occupied-probe count; keep it under 7/8.
+    if (ctrl_.empty() ||
+        (size_ + tombstones_ + 1) * 8 > ctrl_.size() * 7) {
+      // When tombstones dominate, rehashing at the same capacity
+      // reclaims them instead of doubling forever.
+      const usize target = std::max(kMinCapacity, size_ + size_ / 2 + 1);
+      rehash(std::max(required_capacity(target), ctrl_.size()));
+    }
+  }
+
+  void rehash(usize new_capacity) {
+    TLR_ASSERT(std::has_single_bit(new_capacity));
+    std::vector<u8> old_ctrl = std::move(ctrl_);
+    std::vector<Slot> old_slots = std::move(slots_);
+    ctrl_.assign(new_capacity, u8{kEmpty});
+    slots_.clear();
+    slots_.resize(new_capacity);  // (not assign: Slot may be move-only)
+    tombstones_ = 0;
+    const u64 mask = new_capacity - 1;
+    for (usize i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] != kFull) continue;
+      usize index = static_cast<usize>(hash_(old_slots[i].key)) & mask;
+      while (ctrl_[index] == kFull) index = (index + 1) & mask;
+      ctrl_[index] = kFull;
+      slots_[index] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<u8> ctrl_;
+  std::vector<Slot> slots_;
+  usize size_ = 0;
+  usize tombstones_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+/// Same layout without a value array: membership testing (the
+/// infinite-history reuse tables).
+template <class Key, class Hash = FlatHashU64>
+class FlatHashSet {
+  struct Empty {};
+
+ public:
+  usize size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(usize count) { map_.reserve(count); }
+  bool contains(const Key& key) const { return map_.contains(key); }
+
+  /// Returns true if the key was newly inserted.
+  bool insert(const Key& key) { return map_.try_emplace(key).second; }
+  bool erase(const Key& key) { return map_.erase(key); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](const Key& key, const Empty&) { fn(key); });
+  }
+
+ private:
+  FlatHashMap<Key, Empty, Hash> map_;
+};
+
+}  // namespace tlr

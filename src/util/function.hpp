@@ -1,0 +1,125 @@
+// SmallFunction: a move-only `void()` callable with inline storage.
+//
+// The thread pool enqueues one task per parallel_for index; wrapping
+// each tiny lambda in std::function heap-allocates per task (libstdc++
+// only inlines trivially-copyable callables up to two words). This
+// wrapper stores any callable up to kInlineBytes in the object itself
+// — comfortably covering the pool's `[&fn, i]` closures — and only
+// falls back to the heap beyond that. Move-only on purpose: tasks own
+// their captures and are invoked exactly once from one thread, so
+// copyability would only force std::function's copy machinery back in.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace tlr {
+
+class SmallFunction {
+  static constexpr usize kInlineBytes = 48;
+
+  /// Per-callable-type operation table (manual vtable: one static
+  /// instance per F, no RTTI, no virtual dispatch on the hot path
+  /// beyond a single indirect call).
+  struct Ops {
+    void (*call)(void* payload);
+    /// Move-construct the payload into `dst` storage and destroy the
+    /// source (used when the SmallFunction object itself moves).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* payload);
+  };
+
+  template <class F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  struct InlineOps {
+    static void call(void* payload) { (*static_cast<F*>(payload))(); }
+    static void relocate(void* dst, void* src) {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* payload) { static_cast<F*>(payload)->~F(); }
+    static constexpr Ops ops{call, relocate, destroy};
+  };
+
+  template <class F>
+  struct HeapOps {
+    // Payload is F*, stored by value in the inline buffer.
+    static void call(void* payload) { (**static_cast<F**>(payload))(); }
+    static void relocate(void* dst, void* src) {
+      *static_cast<F**>(dst) = *static_cast<F**>(src);
+    }
+    static void destroy(void* payload) { delete *static_cast<F**>(payload); }
+    static constexpr Ops ops{call, relocate, destroy};
+  };
+
+ public:
+  SmallFunction() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction>>>
+  SmallFunction(F&& fn) {  // NOLINT: implicit from callables, like std::function
+    using Decayed = std::decay_t<F>;
+    if constexpr (kFitsInline<Decayed>) {
+      ::new (storage_) Decayed(std::forward<F>(fn));
+      ops_ = &InlineOps<Decayed>::ops;
+    } else {
+      *reinterpret_cast<Decayed**>(storage_) =
+          new Decayed(std::forward<F>(fn));
+      ops_ = &HeapOps<Decayed>::ops;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    TLR_ASSERT_MSG(ops_ != nullptr, "calling an empty SmallFunction");
+    ops_->call(storage_);
+  }
+
+ private:
+  void move_from(SmallFunction& other) {
+    if (other.ops_ == nullptr) return;
+    ops_ = other.ops_;
+    ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tlr

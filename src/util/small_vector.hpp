@@ -119,8 +119,13 @@ class SmallVector {
   }
 
   void copy_from(const SmallVector& other) {
-    size_ = 0;
-    for (const T& v : other) push_back(v);
+    // Bulk copy: trace live-in/out sets are copied millions of times on
+    // the RTM hot paths, and per-element push_back (a capacity branch
+    // per element) showed up in profiles. T is trivially copyable, so
+    // std::copy lowers to memmove.
+    while (capacity_ < other.size_) grow();
+    std::copy(other.data(), other.data() + other.size_, data());
+    size_ = other.size_;
   }
 
   void move_from(SmallVector&& other) {
@@ -132,8 +137,9 @@ class SmallVector {
       other.capacity_ = N;
       other.size_ = 0;
     } else {
-      size_ = 0;
-      for (const T& v : other) push_back(v);
+      std::copy(other.data(), other.data() + other.size_,
+                reinterpret_cast<T*>(inline_));
+      size_ = other.size_;
       other.size_ = 0;
     }
   }

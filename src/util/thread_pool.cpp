@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(SmallFunction task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
@@ -52,7 +52,7 @@ void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    SmallFunction task;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

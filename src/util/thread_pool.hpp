@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/function.hpp"
 #include "util/types.hpp"
 
 namespace tlr {
@@ -33,8 +34,10 @@ class ThreadPool {
   /// — workers keep draining the queue either way. When several tasks
   /// throw before the wait, the first one captured wins and the rest
   /// are dropped (which of a batch's failures that is depends on
-  /// completion order).
-  void submit(std::function<void()> task);
+  /// completion order). Tasks are SmallFunctions: small closures (like
+  /// parallel_for's per-index lambdas) are stored inline, so enqueueing
+  /// a task performs no allocation beyond the queue node itself.
+  void submit(SmallFunction task);
 
   /// Block until every submitted task has finished; rethrows the first
   /// captured task exception, leaving the pool reusable.
@@ -52,7 +55,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<SmallFunction> queue_;
   std::vector<std::thread> workers_;
   std::exception_ptr error_;  // first escaping task exception
   usize in_flight_ = 0;

@@ -13,7 +13,142 @@ using isa::Instruction;
 using isa::Loc;
 using isa::Op;
 
-Interpreter::Interpreter(Program program) : program_(std::move(program)) {}
+namespace {
+
+/// Dense dispatch index. Binary integer operations are split into
+/// register and immediate variants at predecode time, so the per-step
+/// dispatch needs no use_imm test; loads (kLdq/kLdt) and indirect
+/// jumps (kJmp/kRet) collapse to one handler each — the DynInst record
+/// still carries the original Op.
+enum class Handler : u8 {
+  kAddR, kAddI, kSubR, kSubI, kMulR, kMulI, kDivR, kDivI, kRemR, kRemI,
+  kAndR, kAndI, kOrR, kOrI, kXorR, kXorI, kAndNotR, kAndNotI,
+  kSllR, kSllI, kSrlR, kSrlI, kSraR, kSraI,
+  kCmpEqR, kCmpEqI, kCmpLtR, kCmpLtI, kCmpLeR, kCmpLeI, kCmpULtR, kCmpULtI,
+  kLdi, kMov, kLoad, kStore,
+  kBr, kBeqz, kBnez, kBltz, kBgez, kCall, kJmpInd,
+  kFAdd, kFSub, kFMul, kFDiv, kFSqrt, kFNeg, kFAbs, kFCmpLt, kFCmpEq,
+  kFLdi, kCvtQT, kCvtTQ,
+  kHalt,
+};
+
+/// Handler for a binary integer op: base + 1 selects the immediate
+/// variant.
+constexpr Handler int_handler(Handler base, bool use_imm) {
+  return static_cast<Handler>(static_cast<u8>(base) +
+                              static_cast<u8>(use_imm));
+}
+
+/// Records a register read on the DynInst (zero registers excluded; see
+/// dyn_inst.hpp) and returns the value.
+u64 read_src(MachineState& state, DynInst& inst, isa::Reg reg) {
+  const u64 value = state.read_reg(reg);
+  if (!isa::is_zero_reg(reg)) inst.add_input(Loc::reg(reg), value);
+  return value;
+}
+
+/// Register write + output record (discarded for zero registers).
+void write_dest(MachineState& state, DynInst& inst, isa::Reg reg, u64 value) {
+  state.write_reg(reg, value);
+  if (!isa::is_zero_reg(reg)) inst.set_output(Loc::reg(reg), value);
+}
+
+double as_fp(u64 bits) { return std::bit_cast<double>(bits); }
+u64 fp_bits(double value) { return std::bit_cast<u64>(value); }
+
+}  // namespace
+
+Interpreter::Interpreter(Program program)
+    : Interpreter(std::make_shared<const Program>(std::move(program))) {}
+
+Interpreter::Interpreter(std::shared_ptr<const Program> program)
+    : program_(std::move(program)) {
+  TLR_ASSERT(program_ != nullptr);
+  predecode();
+}
+
+void Interpreter::predecode() {
+  decoded_.resize(program_->size());
+  for (usize pc = 0; pc < program_->size(); ++pc) {
+    const Instruction& si = program_->code()[pc];
+    Decoded& d = decoded_[pc];
+    d.imm = si.imm;
+    d.op = si.op;
+    d.ra = si.ra;
+    d.rb = si.rb;
+    d.rc = si.rc;
+    Handler handler = Handler::kHalt;
+    switch (si.op) {
+      case Op::kAdd: handler = int_handler(Handler::kAddR, si.use_imm); break;
+      case Op::kSub: handler = int_handler(Handler::kSubR, si.use_imm); break;
+      case Op::kMul: handler = int_handler(Handler::kMulR, si.use_imm); break;
+      case Op::kDiv: handler = int_handler(Handler::kDivR, si.use_imm); break;
+      case Op::kRem: handler = int_handler(Handler::kRemR, si.use_imm); break;
+      case Op::kAnd: handler = int_handler(Handler::kAndR, si.use_imm); break;
+      case Op::kOr: handler = int_handler(Handler::kOrR, si.use_imm); break;
+      case Op::kXor: handler = int_handler(Handler::kXorR, si.use_imm); break;
+      case Op::kAndNot:
+        handler = int_handler(Handler::kAndNotR, si.use_imm);
+        break;
+      case Op::kSll: handler = int_handler(Handler::kSllR, si.use_imm); break;
+      case Op::kSrl: handler = int_handler(Handler::kSrlR, si.use_imm); break;
+      case Op::kSra: handler = int_handler(Handler::kSraR, si.use_imm); break;
+      case Op::kCmpEq:
+        handler = int_handler(Handler::kCmpEqR, si.use_imm);
+        break;
+      case Op::kCmpLt:
+        handler = int_handler(Handler::kCmpLtR, si.use_imm);
+        break;
+      case Op::kCmpLe:
+        handler = int_handler(Handler::kCmpLeR, si.use_imm);
+        break;
+      case Op::kCmpULt:
+        handler = int_handler(Handler::kCmpULtR, si.use_imm);
+        break;
+      case Op::kLdi: handler = Handler::kLdi; break;
+      case Op::kMov: handler = Handler::kMov; break;
+      case Op::kLdq:
+      case Op::kLdt: handler = Handler::kLoad; break;
+      case Op::kStq:
+      case Op::kStt: handler = Handler::kStore; break;
+      case Op::kBr: handler = Handler::kBr; break;
+      case Op::kBeqz: handler = Handler::kBeqz; break;
+      case Op::kBnez: handler = Handler::kBnez; break;
+      case Op::kBltz: handler = Handler::kBltz; break;
+      case Op::kBgez: handler = Handler::kBgez; break;
+      case Op::kCall: handler = Handler::kCall; break;
+      case Op::kJmp:
+      case Op::kRet: handler = Handler::kJmpInd; break;
+      case Op::kFAdd: handler = Handler::kFAdd; break;
+      case Op::kFSub: handler = Handler::kFSub; break;
+      case Op::kFMul: handler = Handler::kFMul; break;
+      case Op::kFDiv: handler = Handler::kFDiv; break;
+      case Op::kFSqrt: handler = Handler::kFSqrt; break;
+      case Op::kFNeg: handler = Handler::kFNeg; break;
+      case Op::kFAbs: handler = Handler::kFAbs; break;
+      case Op::kFCmpLt: handler = Handler::kFCmpLt; break;
+      case Op::kFCmpEq: handler = Handler::kFCmpEq; break;
+      case Op::kFLdi: handler = Handler::kFLdi; break;
+      case Op::kCvtQT: handler = Handler::kCvtQT; break;
+      case Op::kCvtTQ: handler = Handler::kCvtTQ; break;
+      case Op::kHalt: handler = Handler::kHalt; break;
+    }
+    d.handler = static_cast<u8>(handler);
+    // Direct control transfers resolve their target once, here.
+    switch (handler) {
+      case Handler::kBr:
+      case Handler::kBeqz:
+      case Handler::kBnez:
+      case Handler::kBltz:
+      case Handler::kBgez:
+      case Handler::kCall:
+        d.target = static_cast<isa::Pc>(si.imm);
+        break;
+      default:
+        break;
+    }
+  }
+}
 
 RunResult Interpreter::run(const RunLimits& limits, const InstSink& sink) {
   begin(limits);
@@ -35,213 +170,218 @@ RunResult Interpreter::run(const RunLimits& limits, const InstSink& sink) {
 
 void Interpreter::begin(const RunLimits& limits) {
   state_ = MachineState{};
-  for (const DataWord& w : program_.initial_data()) {
+  for (const DataWord& w : program_->initial_data()) {
     state_.store(w.addr, w.value);
   }
-  pc_ = program_.entry();
+  pc_ = program_->entry();
   limits_ = limits;
   progress_ = RunResult{};
 }
 
 usize Interpreter::emit(std::vector<isa::DynInst>& out, usize max) {
+  // The warm-up prefix steps into a scratch record; emitted
+  // instructions are stepped directly into the output buffer, so the
+  // hot phase performs no extra per-instruction copy.
   usize appended = 0;
-  DynInst inst;
+  DynInst scratch;
   while (appended < max && progress_.executed < limits_.max_executed &&
          progress_.emitted < limits_.max_emitted) {
-    if (!step(inst)) {
-      progress_.halted = true;
-      break;
-    }
-    ++progress_.executed;
-    if (progress_.executed > limits_.skip) {
+    if (progress_.executed >= limits_.skip) {
+      out.emplace_back();
+      if (!step(out.back())) {
+        out.pop_back();
+        progress_.halted = true;
+        break;
+      }
+      ++progress_.executed;
       ++progress_.emitted;
-      out.push_back(inst);
       ++appended;
+    } else {
+      if (!step(scratch)) {
+        progress_.halted = true;
+        break;
+      }
+      ++progress_.executed;
     }
   }
   return appended;
 }
 
-namespace {
-
-/// Records a register read on the DynInst (zero registers excluded; see
-/// dyn_inst.hpp) and returns the value.
-u64 read_src(MachineState& state, DynInst& inst, isa::Reg reg) {
-  const u64 value = state.read_reg(reg);
-  if (!isa::is_zero_reg(reg)) inst.add_input(Loc::reg(reg), value);
-  return value;
-}
-
-/// Register write + output record (discarded for zero registers).
-void write_dest(MachineState& state, DynInst& inst, isa::Reg reg, u64 value) {
-  state.write_reg(reg, value);
-  if (!isa::is_zero_reg(reg)) inst.set_output(Loc::reg(reg), value);
-}
-
-double as_fp(u64 bits) { return std::bit_cast<double>(bits); }
-u64 fp_bits(double value) { return std::bit_cast<u64>(value); }
-
-}  // namespace
-
 bool Interpreter::step(DynInst& out) {
-  if (pc_ >= program_.size()) return false;
-  const Instruction& si = program_.at(pc_);
-  if (si.op == Op::kHalt) return false;
+  if (pc_ >= decoded_.size()) return false;
+  const Decoded& d = decoded_[pc_];
 
-  out = DynInst{};
   out.pc = pc_;
-  out.op = si.op;
+  out.op = d.op;
+  out.num_inputs = 0;
+  out.has_output = false;
+  out.output_value = 0;  // observable even without an output (tests pin it)
   isa::Pc next = pc_ + 1;
 
-  auto binary_int = [&](auto fn) {
-    const u64 a = read_src(state_, out, si.ra);
-    const u64 b = si.use_imm ? static_cast<u64>(si.imm)
-                             : read_src(state_, out, si.rb);
-    write_dest(state_, out, si.rc, fn(a, b));
+  auto bin_r = [&](auto fn) {
+    const u64 a = read_src(state_, out, d.ra);
+    const u64 b = read_src(state_, out, d.rb);
+    write_dest(state_, out, d.rc, fn(a, b));
+  };
+  auto bin_i = [&](auto fn) {
+    const u64 a = read_src(state_, out, d.ra);
+    write_dest(state_, out, d.rc, fn(a, static_cast<u64>(d.imm)));
   };
   auto binary_fp = [&](auto fn) {
-    const double a = as_fp(read_src(state_, out, si.ra));
-    const double b = as_fp(read_src(state_, out, si.rb));
-    write_dest(state_, out, si.rc, fp_bits(fn(a, b)));
+    const double a = as_fp(read_src(state_, out, d.ra));
+    const double b = as_fp(read_src(state_, out, d.rb));
+    write_dest(state_, out, d.rc, fp_bits(fn(a, b)));
   };
   auto unary_fp = [&](auto fn) {
-    const double a = as_fp(read_src(state_, out, si.ra));
-    write_dest(state_, out, si.rc, fp_bits(fn(a)));
+    const double a = as_fp(read_src(state_, out, d.ra));
+    write_dest(state_, out, d.rc, fp_bits(fn(a)));
   };
 
-  switch (si.op) {
-    case Op::kAdd: binary_int([](u64 a, u64 b) { return a + b; }); break;
-    case Op::kSub: binary_int([](u64 a, u64 b) { return a - b; }); break;
-    case Op::kMul: binary_int([](u64 a, u64 b) { return a * b; }); break;
-    case Op::kDiv:
-      // Division by zero is defined to produce 0 (the ISA has no traps).
-      binary_int([](u64 a, u64 b) {
-        if (b == 0) return u64{0};
-        return static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
-      });
+  const auto add = [](u64 a, u64 b) { return a + b; };
+  const auto sub = [](u64 a, u64 b) { return a - b; };
+  const auto mul = [](u64 a, u64 b) { return a * b; };
+  // Division by zero is defined to produce 0 (the ISA has no traps).
+  const auto div = [](u64 a, u64 b) {
+    if (b == 0) return u64{0};
+    return static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+  };
+  const auto rem = [](u64 a, u64 b) {
+    if (b == 0) return u64{0};
+    return static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+  };
+  const auto band = [](u64 a, u64 b) { return a & b; };
+  const auto bor = [](u64 a, u64 b) { return a | b; };
+  const auto bxor = [](u64 a, u64 b) { return a ^ b; };
+  const auto bandnot = [](u64 a, u64 b) { return a & ~b; };
+  const auto sll = [](u64 a, u64 b) { return a << (b & 63); };
+  const auto srl = [](u64 a, u64 b) { return a >> (b & 63); };
+  const auto sra = [](u64 a, u64 b) {
+    return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+  };
+  const auto cmp_eq = [](u64 a, u64 b) { return static_cast<u64>(a == b); };
+  const auto cmp_lt = [](u64 a, u64 b) {
+    return static_cast<u64>(static_cast<i64>(a) < static_cast<i64>(b));
+  };
+  const auto cmp_le = [](u64 a, u64 b) {
+    return static_cast<u64>(static_cast<i64>(a) <= static_cast<i64>(b));
+  };
+  const auto cmp_ult = [](u64 a, u64 b) { return static_cast<u64>(a < b); };
+
+  switch (static_cast<Handler>(d.handler)) {
+    case Handler::kAddR: bin_r(add); break;
+    case Handler::kAddI: bin_i(add); break;
+    case Handler::kSubR: bin_r(sub); break;
+    case Handler::kSubI: bin_i(sub); break;
+    case Handler::kMulR: bin_r(mul); break;
+    case Handler::kMulI: bin_i(mul); break;
+    case Handler::kDivR: bin_r(div); break;
+    case Handler::kDivI: bin_i(div); break;
+    case Handler::kRemR: bin_r(rem); break;
+    case Handler::kRemI: bin_i(rem); break;
+    case Handler::kAndR: bin_r(band); break;
+    case Handler::kAndI: bin_i(band); break;
+    case Handler::kOrR: bin_r(bor); break;
+    case Handler::kOrI: bin_i(bor); break;
+    case Handler::kXorR: bin_r(bxor); break;
+    case Handler::kXorI: bin_i(bxor); break;
+    case Handler::kAndNotR: bin_r(bandnot); break;
+    case Handler::kAndNotI: bin_i(bandnot); break;
+    case Handler::kSllR: bin_r(sll); break;
+    case Handler::kSllI: bin_i(sll); break;
+    case Handler::kSrlR: bin_r(srl); break;
+    case Handler::kSrlI: bin_i(srl); break;
+    case Handler::kSraR: bin_r(sra); break;
+    case Handler::kSraI: bin_i(sra); break;
+    case Handler::kCmpEqR: bin_r(cmp_eq); break;
+    case Handler::kCmpEqI: bin_i(cmp_eq); break;
+    case Handler::kCmpLtR: bin_r(cmp_lt); break;
+    case Handler::kCmpLtI: bin_i(cmp_lt); break;
+    case Handler::kCmpLeR: bin_r(cmp_le); break;
+    case Handler::kCmpLeI: bin_i(cmp_le); break;
+    case Handler::kCmpULtR: bin_r(cmp_ult); break;
+    case Handler::kCmpULtI: bin_i(cmp_ult); break;
+
+    case Handler::kLdi:
+      write_dest(state_, out, d.rc, static_cast<u64>(d.imm));
       break;
-    case Op::kRem:
-      binary_int([](u64 a, u64 b) {
-        if (b == 0) return u64{0};
-        return static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
-      });
-      break;
-    case Op::kAnd: binary_int([](u64 a, u64 b) { return a & b; }); break;
-    case Op::kOr: binary_int([](u64 a, u64 b) { return a | b; }); break;
-    case Op::kXor: binary_int([](u64 a, u64 b) { return a ^ b; }); break;
-    case Op::kAndNot: binary_int([](u64 a, u64 b) { return a & ~b; }); break;
-    case Op::kSll: binary_int([](u64 a, u64 b) { return a << (b & 63); }); break;
-    case Op::kSrl: binary_int([](u64 a, u64 b) { return a >> (b & 63); }); break;
-    case Op::kSra:
-      binary_int([](u64 a, u64 b) {
-        return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
-      });
-      break;
-    case Op::kCmpEq:
-      binary_int([](u64 a, u64 b) { return static_cast<u64>(a == b); });
-      break;
-    case Op::kCmpLt:
-      binary_int([](u64 a, u64 b) {
-        return static_cast<u64>(static_cast<i64>(a) < static_cast<i64>(b));
-      });
-      break;
-    case Op::kCmpLe:
-      binary_int([](u64 a, u64 b) {
-        return static_cast<u64>(static_cast<i64>(a) <= static_cast<i64>(b));
-      });
-      break;
-    case Op::kCmpULt:
-      binary_int([](u64 a, u64 b) { return static_cast<u64>(a < b); });
+    case Handler::kMov:
+      write_dest(state_, out, d.rc, read_src(state_, out, d.ra));
       break;
 
-    case Op::kLdi:
-      write_dest(state_, out, si.rc, static_cast<u64>(si.imm));
-      break;
-    case Op::kMov:
-      write_dest(state_, out, si.rc, read_src(state_, out, si.ra));
-      break;
-
-    case Op::kLdq:
-    case Op::kLdt: {
-      const u64 base = read_src(state_, out, si.ra);
-      const Addr ea = base + static_cast<u64>(si.imm);
+    case Handler::kLoad: {
+      const u64 base = read_src(state_, out, d.ra);
+      const Addr ea = base + static_cast<u64>(d.imm);
       const u64 value = state_.load(ea);
       out.add_input(Loc::mem(ea), value);
-      write_dest(state_, out, si.rc, value);
+      write_dest(state_, out, d.rc, value);
       break;
     }
-    case Op::kStq:
-    case Op::kStt: {
-      const u64 base = read_src(state_, out, si.ra);
-      const u64 value = read_src(state_, out, si.rb);
-      const Addr ea = base + static_cast<u64>(si.imm);
+    case Handler::kStore: {
+      const u64 base = read_src(state_, out, d.ra);
+      const u64 value = read_src(state_, out, d.rb);
+      const Addr ea = base + static_cast<u64>(d.imm);
       state_.store(ea, value);
       out.set_output(Loc::mem(ea), value);
       break;
     }
 
-    case Op::kBr:
-      next = static_cast<isa::Pc>(si.imm);
+    case Handler::kBr:
+      next = d.target;
       break;
-    case Op::kBeqz:
-      if (read_src(state_, out, si.ra) == 0) next = static_cast<isa::Pc>(si.imm);
+    case Handler::kBeqz:
+      if (read_src(state_, out, d.ra) == 0) next = d.target;
       break;
-    case Op::kBnez:
-      if (read_src(state_, out, si.ra) != 0) next = static_cast<isa::Pc>(si.imm);
+    case Handler::kBnez:
+      if (read_src(state_, out, d.ra) != 0) next = d.target;
       break;
-    case Op::kBltz:
-      if (static_cast<i64>(read_src(state_, out, si.ra)) < 0) {
-        next = static_cast<isa::Pc>(si.imm);
-      }
+    case Handler::kBltz:
+      if (static_cast<i64>(read_src(state_, out, d.ra)) < 0) next = d.target;
       break;
-    case Op::kBgez:
-      if (static_cast<i64>(read_src(state_, out, si.ra)) >= 0) {
-        next = static_cast<isa::Pc>(si.imm);
-      }
+    case Handler::kBgez:
+      if (static_cast<i64>(read_src(state_, out, d.ra)) >= 0) next = d.target;
       break;
-    case Op::kCall:
+    case Handler::kCall:
       write_dest(state_, out, isa::kLinkReg, pc_ + 1);
-      next = static_cast<isa::Pc>(si.imm);
+      next = d.target;
       break;
-    case Op::kJmp:
-    case Op::kRet:
-      next = static_cast<isa::Pc>(read_src(state_, out, si.ra));
+    case Handler::kJmpInd:
+      next = static_cast<isa::Pc>(read_src(state_, out, d.ra));
       break;
 
-    case Op::kFAdd: binary_fp([](double a, double b) { return a + b; }); break;
-    case Op::kFSub: binary_fp([](double a, double b) { return a - b; }); break;
-    case Op::kFMul: binary_fp([](double a, double b) { return a * b; }); break;
-    case Op::kFDiv: binary_fp([](double a, double b) { return a / b; }); break;
-    case Op::kFSqrt: unary_fp([](double a) { return std::sqrt(a); }); break;
-    case Op::kFNeg: unary_fp([](double a) { return -a; }); break;
-    case Op::kFAbs: unary_fp([](double a) { return std::fabs(a); }); break;
-    case Op::kFCmpLt: {
-      const double a = as_fp(read_src(state_, out, si.ra));
-      const double b = as_fp(read_src(state_, out, si.rb));
-      write_dest(state_, out, si.rc, static_cast<u64>(a < b));
+    case Handler::kFAdd: binary_fp([](double a, double b) { return a + b; }); break;
+    case Handler::kFSub: binary_fp([](double a, double b) { return a - b; }); break;
+    case Handler::kFMul: binary_fp([](double a, double b) { return a * b; }); break;
+    case Handler::kFDiv: binary_fp([](double a, double b) { return a / b; }); break;
+    case Handler::kFSqrt: unary_fp([](double a) { return std::sqrt(a); }); break;
+    case Handler::kFNeg: unary_fp([](double a) { return -a; }); break;
+    case Handler::kFAbs: unary_fp([](double a) { return std::fabs(a); }); break;
+    case Handler::kFCmpLt: {
+      const double a = as_fp(read_src(state_, out, d.ra));
+      const double b = as_fp(read_src(state_, out, d.rb));
+      write_dest(state_, out, d.rc, static_cast<u64>(a < b));
       break;
     }
-    case Op::kFCmpEq: {
-      const double a = as_fp(read_src(state_, out, si.ra));
-      const double b = as_fp(read_src(state_, out, si.rb));
-      write_dest(state_, out, si.rc, static_cast<u64>(a == b));
+    case Handler::kFCmpEq: {
+      const double a = as_fp(read_src(state_, out, d.ra));
+      const double b = as_fp(read_src(state_, out, d.rb));
+      write_dest(state_, out, d.rc, static_cast<u64>(a == b));
       break;
     }
-    case Op::kFLdi:
-      write_dest(state_, out, si.rc, static_cast<u64>(si.imm));
+    case Handler::kFLdi:
+      write_dest(state_, out, d.rc, static_cast<u64>(d.imm));
       break;
-    case Op::kCvtQT:
-      write_dest(state_, out, si.rc,
+    case Handler::kCvtQT:
+      write_dest(state_, out, d.rc,
                  fp_bits(static_cast<double>(
-                     static_cast<i64>(read_src(state_, out, si.ra)))));
+                     static_cast<i64>(read_src(state_, out, d.ra)))));
       break;
-    case Op::kCvtTQ: {
-      const double a = as_fp(read_src(state_, out, si.ra));
-      write_dest(state_, out, si.rc, static_cast<u64>(static_cast<i64>(a)));
+    case Handler::kCvtTQ: {
+      const double a = as_fp(read_src(state_, out, d.ra));
+      write_dest(state_, out, d.rc, static_cast<u64>(static_cast<i64>(a)));
       break;
     }
 
-    case Op::kHalt:
+    case Handler::kHalt:
       return false;
   }
 
@@ -252,6 +392,11 @@ bool Interpreter::step(DynInst& out) {
 
 StreamSource::StreamSource(Program program, const RunLimits& limits,
                            usize chunk_size)
+    : StreamSource(std::make_shared<const Program>(std::move(program)),
+                   limits, chunk_size) {}
+
+StreamSource::StreamSource(std::shared_ptr<const Program> program,
+                           const RunLimits& limits, usize chunk_size)
     : interp_(std::move(program)), chunk_size_(chunk_size) {
   TLR_ASSERT_MSG(chunk_size_ > 0, "chunk size must be positive");
   interp_.begin(limits);

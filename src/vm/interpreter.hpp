@@ -5,9 +5,16 @@
 // it exposes the dynamic instruction stream together with every operand
 // location and value. Like the paper we support skipping a warm-up
 // prefix (their 25M) and emitting a bounded window (their 50M).
+//
+// The front end is predecoded (DESIGN.md §10): construction resolves
+// every static instruction once into a dense handler index plus a flat
+// operand record, so the per-dynamic-instruction step dispatches
+// through a compact jump table without re-examining the Instruction
+// encoding (immediate-vs-register selection, target casts) each time.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,11 +44,14 @@ using InstSink = std::function<bool(const isa::DynInst&)>;
 
 class Interpreter {
  public:
-  /// The interpreter owns a copy of the program: callers may pass
-  /// temporaries (e.g. `Interpreter interp(builder.build());`) without
-  /// lifetime hazards. Programs are small (instruction vector + data
-  /// image), so the copy is cheap relative to any run.
+  /// Programs are shared, not copied: the study fans one workload's
+  /// program out to many (section × configuration) jobs, and sharing
+  /// keeps the instruction vector and data image single-instanced
+  /// across all of them. The by-value overload wraps a temporary
+  /// (e.g. `Interpreter interp(builder.build());`) without lifetime
+  /// hazards.
   explicit Interpreter(Program program);
+  explicit Interpreter(std::shared_ptr<const Program> program);
 
   /// Execute from the program's entry point. The machine state is reset
   /// and the initial data image applied.
@@ -62,11 +72,25 @@ class Interpreter {
   const MachineState& state() const { return state_; }
 
  private:
+  /// One predecoded static instruction: the dense dispatch index, the
+  /// operand registers, and the already-resolved immediate/target.
+  /// `op` is kept for the DynInst record.
+  struct Decoded {
+    i64 imm = 0;
+    isa::Pc target = 0;  // pre-cast branch/call target
+    isa::Op op = isa::Op::kHalt;
+    u8 handler = 0;      // Handler enum (interpreter.cpp)
+    isa::Reg ra = 0, rb = 0, rc = 0;
+  };
+
+  void predecode();
+
   /// Executes one instruction at pc_, filling `out`. Returns false when
   /// the program halts.
   bool step(isa::DynInst& out);
 
-  Program program_;
+  std::shared_ptr<const Program> program_;
+  std::vector<Decoded> decoded_;
   MachineState state_;
   isa::Pc pc_ = 0;
   RunLimits limits_;
@@ -86,11 +110,16 @@ struct StreamChunk {
 /// `collect_stream` would produce, but in fixed-size chunks, so callers
 /// can analyse arbitrarily long streams with O(chunk) memory. This is
 /// the vm-side half of the single-pass study engine (core/engine.hpp).
+/// The chunk's instruction buffer is caller-owned and reused across
+/// `next` calls, so a steady-state stream performs no allocation.
 class StreamSource {
  public:
   static constexpr usize kDefaultChunkSize = usize{1} << 15;
 
   StreamSource(Program program, const RunLimits& limits,
+               usize chunk_size = kDefaultChunkSize);
+  StreamSource(std::shared_ptr<const Program> program,
+               const RunLimits& limits,
                usize chunk_size = kDefaultChunkSize);
 
   /// Refills `chunk` with the next instructions of the stream. Returns

@@ -6,10 +6,10 @@
 #include <array>
 #include <bit>
 #include <memory>
-#include <unordered_map>
 
 #include "isa/reg.hpp"
 #include "util/assert.hpp"
+#include "util/flat_hash_map.hpp"
 #include "util/types.hpp"
 
 namespace tlr::vm {
@@ -43,16 +43,39 @@ class MachineState {
   }
 
   // ---- memory (8-byte aligned word access) ---------------------------
+  //
+  // Loads and stores run once per simulated memory instruction, so the
+  // page walk is a hot path (DESIGN.md §10): pages live in a flat hash
+  // map, and a one-entry cache short-circuits the lookup entirely for
+  // the sequential/strided access the workloads mostly perform. Page
+  // storage is heap-allocated and never freed during a run, so cached
+  // pointers survive map rehashes.
   u64 load(Addr addr) const {
     TLR_ASSERT_MSG((addr & 7) == 0, "unaligned load");
-    const auto it = pages_.find(addr / kPageBytes);
-    if (it == pages_.end()) return 0;
-    return (*it->second)[(addr % kPageBytes) / 8];
+    const u64 page_index = addr / kPageBytes;
+    if (page_index + 1 == cached_index_plus_1_) {
+      return (*cached_page_)[(addr % kPageBytes) / 8];
+    }
+    const auto* slot = pages_.find(page_index);
+    if (slot == nullptr) return 0;
+    cached_index_plus_1_ = page_index + 1;
+    cached_page_ = slot->get();
+    return (**slot)[(addr % kPageBytes) / 8];
   }
 
   void store(Addr addr, u64 value) {
     TLR_ASSERT_MSG((addr & 7) == 0, "unaligned store");
-    page(addr / kPageBytes)[(addr % kPageBytes) / 8] = value;
+    const u64 page_index = addr / kPageBytes;
+    if (page_index + 1 != cached_index_plus_1_) {
+      auto [slot, inserted] = pages_.try_emplace(page_index);
+      if (inserted) {
+        *slot = std::make_unique<Page>();
+        (*slot)->fill(0);
+      }
+      cached_index_plus_1_ = page_index + 1;
+      cached_page_ = slot->get();
+    }
+    (*cached_page_)[(addr % kPageBytes) / 8] = value;
   }
 
   double load_fp(Addr addr) const { return std::bit_cast<double>(load(addr)); }
@@ -65,17 +88,12 @@ class MachineState {
  private:
   using Page = std::array<u64, kPageWords>;
 
-  Page& page(u64 page_index) {
-    auto& slot = pages_[page_index];
-    if (!slot) {
-      slot = std::make_unique<Page>();
-      slot->fill(0);
-    }
-    return *slot;
-  }
-
   std::array<u64, isa::kNumRegs> regs_;
-  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+  FlatHashMap<u64, std::unique_ptr<Page>> pages_;
+  // Last page touched (index biased by one so zero means "none").
+  // Mutable: a load warming the cache is still logically const.
+  mutable u64 cached_index_plus_1_ = 0;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace tlr::vm

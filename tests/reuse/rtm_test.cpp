@@ -77,6 +77,45 @@ TEST(RtmTest, MissWhenEmptyHitAfterInsert) {
   EXPECT_EQ(rtm.stats().hits, 1u);
 }
 
+TEST(RtmTest, InputHashCollisionStillFailsReuseTest) {
+  // The reuse test fast-rejects slots by a 64-bit multiset hash of
+  // their stored inputs (rtm.hpp). The hash combines per-element terms
+  // with a wrapping sum and values enter linearly, so shifting value
+  // mass between two locations preserves the hash: the stored trace
+  // below and the architectural state constructed here collide by
+  // design while disagreeing on every input value. A colliding-but-
+  // unequal state is a fast-reject *false positive* — the exact
+  // value-compare walk must still reject it, proving false positives
+  // are safe and never manufacture a reuse.
+  const u64 loc_a = Loc::reg(r(1)).raw();
+  const u64 loc_b = Loc::reg(r(2)).raw();
+
+  StoredTrace trace = make_trace(5, loc_a, 100, Loc::reg(r(3)).raw(), 9);
+  trace.inputs.push_back(LocVal{loc_b, 200});
+  trace.reg_inputs = 2;
+
+  // The colliding input multiset: +1 on one value, -1 on the other.
+  const LocVal collided[] = {{loc_a, 101}, {loc_b, 199}};
+  ASSERT_EQ(input_multiset_hash(std::span<const LocVal>(
+                trace.inputs.begin(), trace.inputs.size())),
+            input_multiset_hash(std::span<const LocVal>(collided, 2)));
+
+  Rtm rtm(RtmGeometry{8, 2, 2});
+  rtm.insert(trace);
+
+  ArchShadow colliding_state;
+  colliding_state.set(loc_a, 101);
+  colliding_state.set(loc_b, 199);
+  EXPECT_FALSE(rtm.lookup(5, colliding_state).has_value());
+  EXPECT_EQ(rtm.stats().hits, 0u);
+
+  // Sanity: the genuinely matching state still hits.
+  ArchShadow matching_state;
+  matching_state.set(loc_a, 100);
+  matching_state.set(loc_b, 200);
+  EXPECT_TRUE(rtm.lookup(5, matching_state).has_value());
+}
+
 TEST(RtmTest, ValueMismatchMisses) {
   Rtm rtm(RtmGeometry{8, 2, 2});
   rtm.insert(make_trace(100, Loc::reg(r(1)).raw(), 5, Loc::reg(r(2)).raw(), 9));

@@ -1,0 +1,255 @@
+// FlatHashMap / FlatHashSet property suite (vs std::unordered_map as
+// the reference model) and SmallFunction behaviour tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/flat_hash_map.hpp"
+#include "util/function.hpp"
+#include "util/rng.hpp"
+
+namespace tlr {
+namespace {
+
+TEST(FlatHashMapTest, EmptyBehaviour) {
+  FlatHashMap<u64, u64> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_FALSE(map.contains(42));
+  EXPECT_FALSE(map.erase(42));
+}
+
+TEST(FlatHashMapTest, InsertFindOverwrite) {
+  FlatHashMap<u64, u64> map;
+  map[7] = 70;
+  map[8] = 80;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70u);
+  map[7] = 71;  // overwrite in place
+  EXPECT_EQ(*map.find(7), 71u);
+  EXPECT_EQ(map.size(), 2u);
+  const auto [slot, inserted] = map.try_emplace(7);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*slot, 71u);
+}
+
+TEST(FlatHashMapTest, EraseAndTombstoneReuse) {
+  FlatHashMap<u64, u64> map;
+  for (u64 k = 0; k < 100; ++k) map[k] = k * 10;
+  for (u64 k = 0; k < 100; k += 2) EXPECT_TRUE(map.erase(k));
+  EXPECT_EQ(map.size(), 50u);
+  for (u64 k = 0; k < 100; ++k) {
+    EXPECT_EQ(map.contains(k), k % 2 == 1) << k;
+  }
+  // Reinsert into the tombstoned range: values must be fresh and the
+  // map must not lose the surviving odd keys.
+  for (u64 k = 0; k < 100; k += 2) map[k] = k + 1;
+  EXPECT_EQ(map.size(), 100u);
+  for (u64 k = 0; k < 100; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k % 2 == 0 ? k + 1 : k * 10) << k;
+  }
+}
+
+TEST(FlatHashMapTest, HeavyChurnKeepsCapacityBounded) {
+  // Insert/erase cycles over a fixed key set must not grow the table
+  // forever: same-capacity rehashes reclaim tombstones.
+  FlatHashMap<u64, u64> map;
+  for (int round = 0; round < 200; ++round) {
+    for (u64 k = 0; k < 64; ++k) map[k] = k;
+    for (u64 k = 0; k < 64; ++k) EXPECT_TRUE(map.erase(k));
+  }
+  EXPECT_TRUE(map.empty());
+  EXPECT_LE(map.capacity(), 1024u);
+}
+
+TEST(FlatHashMapTest, RandomOpsMatchUnorderedMap) {
+  // Property check: a long random op sequence must be observationally
+  // identical to std::unordered_map.
+  FlatHashMap<u64, u64> flat;
+  std::unordered_map<u64, u64> reference;
+  Rng rng(0xFEEDFACE);
+  for (int step = 0; step < 20000; ++step) {
+    const u64 key = rng.below(512) * 0x10001ULL;  // clustered keys
+    switch (rng.below(4)) {
+      case 0:
+      case 1:  // insert/overwrite
+        flat[key] = static_cast<u64>(step);
+        reference[key] = static_cast<u64>(step);
+        break;
+      case 2: {  // find
+        const u64* value = flat.find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(value != nullptr, it != reference.end());
+        if (value != nullptr) {
+          EXPECT_EQ(*value, it->second);
+        }
+        break;
+      }
+      case 3:  // erase
+        EXPECT_EQ(flat.erase(key), reference.erase(key) == 1);
+        break;
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+  // Full-content equality at the end.
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(flat.find(key), nullptr);
+    EXPECT_EQ(*flat.find(key), value);
+  }
+}
+
+TEST(FlatHashMapTest, IterationOrderIndependence) {
+  // for_each visits every entry exactly once; the *set* of entries
+  // matches the reference whatever the internal order, and rehashing
+  // (which reorders) must not change it.
+  FlatHashMap<u64, u64> flat;
+  std::map<u64, u64> reference;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 key = rng.next();
+    flat[key] = key ^ 1;
+    reference[key] = key ^ 1;
+  }
+  std::map<u64, u64> seen;
+  flat.for_each([&seen](u64 key, const u64& value) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate visit";
+  });
+  EXPECT_EQ(seen, reference);
+}
+
+TEST(FlatHashMapTest, RehashGrowthPreservesEntries) {
+  FlatHashMap<u64, u64> map;
+  map.reserve(4);
+  const usize initial_capacity = map.capacity();
+  for (u64 k = 0; k < 10000; ++k) map[k] = ~k;
+  EXPECT_GT(map.capacity(), initial_capacity);
+  for (u64 k = 0; k < 10000; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), ~k);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+}
+
+TEST(FlatHashMapTest, MoveOnlyValues) {
+  FlatHashMap<u64, std::unique_ptr<u64>> map;
+  for (u64 k = 0; k < 100; ++k) {
+    map[k] = std::make_unique<u64>(k * 3);
+  }
+  for (u64 k = 0; k < 100; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+    EXPECT_EQ(**map.find(k), k * 3);
+  }
+  EXPECT_TRUE(map.erase(50));  // must release the owned allocation
+  EXPECT_EQ(map.find(50), nullptr);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatHashSetTest, MatchesUnorderedSet) {
+  FlatHashSet<u64> flat;
+  std::unordered_set<u64> reference;
+  Rng rng(99);
+  for (int step = 0; step < 10000; ++step) {
+    const u64 key = rng.below(256);
+    if (rng.below(3) == 0) {
+      EXPECT_EQ(flat.erase(key), reference.erase(key) == 1);
+    } else {
+      EXPECT_EQ(flat.insert(key), reference.insert(key).second);
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+  for (u64 k = 0; k < 256; ++k) {
+    EXPECT_EQ(flat.contains(k), reference.count(k) == 1) << k;
+  }
+}
+
+struct CompositeKey {
+  u64 a = 0;
+  u64 b = 0;
+  friend bool operator==(const CompositeKey&, const CompositeKey&) = default;
+};
+struct CompositeKeyHash {
+  u64 operator()(const CompositeKey& key) const noexcept {
+    return hash_combine(mix64(key.a), key.b);
+  }
+};
+
+TEST(FlatHashSetTest, CustomKeyAndHash) {
+  FlatHashSet<CompositeKey, CompositeKeyHash> set;
+  EXPECT_TRUE(set.insert({1, 2}));
+  EXPECT_FALSE(set.insert({1, 2}));
+  EXPECT_TRUE(set.insert({2, 1}));
+  EXPECT_TRUE(set.contains({1, 2}));
+  EXPECT_FALSE(set.contains({3, 3}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ---- SmallFunction ---------------------------------------------------
+
+TEST(SmallFunctionTest, EmptyAndBool) {
+  SmallFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] {};
+  EXPECT_TRUE(static_cast<bool>(fn));
+}
+
+TEST(SmallFunctionTest, CallsInlineCapture) {
+  int calls = 0;
+  SmallFunction fn = [&calls] { ++calls; };
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  SmallFunction a = [&calls] { ++calls; };
+  SmallFunction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(calls, 1);
+  SmallFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunctionTest, LargeCaptureFallsBackToHeap) {
+  // A capture bigger than the inline buffer must still work (heap
+  // path), and destruction must release it (checked by the shared_ptr
+  // count).
+  auto witness = std::make_shared<int>(7);
+  std::array<u64, 32> big{};
+  big[31] = 42;
+  {
+    SmallFunction fn = [witness, big] {
+      EXPECT_EQ(big[31], 42u);
+      EXPECT_EQ(*witness, 7);
+    };
+    EXPECT_EQ(witness.use_count(), 2);
+    fn();
+  }
+  EXPECT_EQ(witness.use_count(), 1);
+}
+
+TEST(SmallFunctionTest, MoveOnlyCapture) {
+  auto owned = std::make_unique<int>(5);
+  int seen = 0;
+  SmallFunction fn = [owned = std::move(owned), &seen] { seen = *owned; };
+  SmallFunction moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 5);
+}
+
+}  // namespace
+}  // namespace tlr

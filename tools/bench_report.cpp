@@ -1,0 +1,314 @@
+// bench_report: the perf trajectory recorder (DESIGN.md §10,
+// docs/benchmarks.md).
+//
+// Times the study's three report sections — the suite pass (figures
+// 3-8), the finite-RTM matrix (figure 9) and the speculative-reuse
+// matrix (figure 10) — on a pinned scale profile, and emits a small
+// JSON document (schema tlr-bench/1) with Minstr/s per section, wall
+// times, and the git SHA. One such document is committed per perf PR
+// (tools/BENCH_<pr>.json) so later changes have a trajectory to
+// defend.
+//
+// The run's *results* are validated at the same time: the tool builds
+// the full tlr-report/1 document from the very pass it timed, and
+// --compare diffs it against a committed golden at zero tolerance —
+// a throughput number only counts if the bytes still match.
+//
+//   bench_report --out BENCH.json --compare tools/baseline_ci.json
+//   bench_report --profile ci --report report-ci.json --out BENCH.json
+//   bench_report --out BENCH.json --reference tools/BENCH_5.json
+//
+// Exit codes: 0 success / comparison passed, 1 usage or I/O error,
+// 2 comparison found differences.
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "core/report.hpp"
+#include "tools/throughput.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace tlr;
+
+constexpr std::string_view kBenchSchema = "tlr-bench/1";
+
+struct CliOptions {
+  std::string profile = "ci";
+  std::string out_path;        // bench JSON (default stdout)
+  std::string report_path;     // also write the tlr-report
+  std::string compare_path;    // golden to diff the tlr-report against
+  std::string reference_path;  // previous bench JSON to embed
+  core::EngineOptions engine;
+  bool quiet = false;
+};
+
+struct Section {
+  std::string name;
+  u64 instructions = 0;
+  double wall_seconds = 0.0;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: bench_report [options]\n"
+        "\n"
+        "Times the suite/fig9/fig10 sections of the reuse study on a\n"
+        "pinned profile and emits a tlr-bench/1 JSON document\n"
+        "(Minstr/s per section, wall seconds, git SHA). The timed\n"
+        "pass's full tlr-report is byte-validated against a committed\n"
+        "golden via --compare, so throughput numbers never come from a\n"
+        "run whose results drifted.\n"
+        "\n"
+        "options:\n"
+        "  --profile NAME     scale profile to time (default ci)\n"
+        "  --out PATH         write the bench JSON to PATH (default\n"
+        "                     stdout)\n"
+        "  --report PATH      also write the produced tlr-report\n"
+        "  --compare PATH     diff the produced tlr-report against the\n"
+        "                     golden at PATH with zero tolerance; exit\n"
+        "                     2 on any difference\n"
+        "  --reference PATH   embed a previous bench JSON under\n"
+        "                     \"reference\" and report the wall-time\n"
+        "                     speedup against it\n"
+        "  --threads N        engine worker threads (default: all)\n"
+        "  --chunk N          stream chunk size in instructions\n"
+        "  --quiet            suppress progress output on stderr\n"
+        "  --help             this text\n";
+}
+
+int fail_usage(const std::string& message) {
+  std::cerr << "bench_report: " << message << "\n\n";
+  print_usage(std::cerr);
+  return 1;
+}
+
+util::Json section_to_json(const Section& section) {
+  util::Json json = util::Json::object();
+  json.set("instructions", util::Json(section.instructions));
+  json.set("wall_seconds", util::Json(section.wall_seconds));
+  json.set("minstr_per_s",
+           util::Json(tools::minstr_per_s(section.instructions,
+                                          section.wall_seconds)));
+  return json;
+}
+
+int run(const CliOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  const auto named = core::ScaleProfile::named(options.profile);
+  if (!named.has_value()) {
+    return fail_usage("unknown profile '" + options.profile + "'");
+  }
+  const core::ScaleProfile profile = *named;
+
+  core::StudyEngine engine(options.engine);
+  const core::MetricOptions metric_options;
+  std::vector<Section> sections;
+
+  if (!options.quiet) {
+    std::cerr << "bench_report: profile " << profile.name << ", "
+              << engine.thread_count() << " thread(s)\n";
+  }
+
+  // ---- suite (figures 3-8) -------------------------------------------
+  const auto suite_start = Clock::now();
+  const std::vector<core::WorkloadMetrics> suite =
+      engine.analyze_profile(profile, metric_options);
+  sections.push_back(
+      {"suite", tools::suite_instructions(suite),
+       std::chrono::duration<double>(Clock::now() - suite_start).count()});
+
+  // ---- fig9 ----------------------------------------------------------
+  core::ReportFigures figures;
+  figures.series = core::ReportFigures::all_series().series;
+  const auto fig9_start = Clock::now();
+  figures.fig9 = core::fig9_finite_rtm(engine, profile);
+  sections.push_back(
+      {"fig9", tools::fig9_instructions(suite),
+       std::chrono::duration<double>(Clock::now() - fig9_start).count()});
+
+  // ---- fig10 ---------------------------------------------------------
+  const auto fig10_start = Clock::now();
+  figures.fig10 = core::fig10_speculative_reuse(engine, profile);
+  sections.push_back(
+      {"fig10",
+       tools::fig10_instructions(suite, core::fig10_predictors().size()),
+       std::chrono::duration<double>(Clock::now() - fig10_start).count()});
+
+  // ---- the produced report, written/validated ------------------------
+  core::ReportMeta meta;
+  meta.tool = "bench_report";
+  meta.threads = engine.thread_count();
+  meta.chunk_size = engine.options().chunk_size;
+  double total_wall = 0.0;
+  u64 total_instructions = 0;
+  for (const Section& section : sections) {
+    total_wall += section.wall_seconds;
+    total_instructions += section.instructions;
+  }
+  meta.wall_seconds = total_wall;
+  const util::Json report =
+      core::build_report(profile, metric_options, suite, meta, figures);
+
+  if (!options.report_path.empty()) {
+    std::string error;
+    if (!core::write_report_file(report, options.report_path, &error)) {
+      std::cerr << "bench_report: " << error << "\n";
+      return 1;
+    }
+  }
+
+  // ---- bench document ------------------------------------------------
+  util::Json bench = util::Json::object();
+  bench.set("schema", util::Json(std::string(kBenchSchema)));
+  bench.set("git_sha", util::Json(std::string(core::report_git_sha())));
+  bench.set("profile", util::Json(profile.name));
+  bench.set("threads", util::Json(static_cast<u64>(engine.thread_count())));
+  bench.set("chunk_size",
+            util::Json(static_cast<u64>(engine.options().chunk_size)));
+  util::Json sections_json = util::Json::object();
+  for (const Section& section : sections) {
+    sections_json.set(section.name, section_to_json(section));
+  }
+  bench.set("sections", std::move(sections_json));
+  Section total{"total", total_instructions, total_wall};
+  bench.set("total", section_to_json(total));
+
+  if (!options.reference_path.empty()) {
+    std::string error;
+    const auto reference =
+        core::read_report_file(options.reference_path, &error);
+    if (!reference.has_value()) {
+      std::cerr << "bench_report: " << error << "\n";
+      return 1;
+    }
+    bench.set("reference", *reference);
+    // Wall-time speedup vs the reference's total (if it has one).
+    if (reference->is_object() && reference->contains("total")) {
+      const util::Json& ref_total = reference->at("total");
+      if (ref_total.is_object() && ref_total.contains("wall_seconds") &&
+          ref_total.at("wall_seconds").is_number()) {
+        const double ref_wall = ref_total.at("wall_seconds").as_double();
+        if (ref_wall > 0.0 && total_wall > 0.0) {
+          bench.set("speedup_vs_reference",
+                    util::Json(ref_wall / total_wall));
+        }
+      }
+    }
+  }
+
+  if (!options.out_path.empty()) {
+    std::string error;
+    if (!core::write_report_file(bench, options.out_path, &error)) {
+      std::cerr << "bench_report: " << error << "\n";
+      return 1;
+    }
+  } else {
+    std::cout << bench.dump(/*indent=*/2);
+  }
+
+  if (!options.quiet) {
+    for (const Section& section : sections) {
+      std::cerr << "bench_report: " << section.name << " "
+                << tools::minstr_per_s(section.instructions,
+                                       section.wall_seconds)
+                << " Minstr/s (" << section.wall_seconds << "s)\n";
+    }
+  }
+
+  // ---- golden validation ---------------------------------------------
+  if (!options.compare_path.empty()) {
+    std::string error;
+    const auto baseline = core::read_report_file(options.compare_path, &error);
+    if (!baseline.has_value()) {
+      std::cerr << "bench_report: " << error << "\n";
+      return 1;
+    }
+    core::CompareOptions zero;
+    zero.rel_tol = 0.0;
+    zero.abs_tol = 0.0;
+    const std::vector<std::string> diffs =
+        core::compare_reports(report, *baseline, zero);
+    if (!diffs.empty()) {
+      std::cerr << "bench_report: timed run's report differs from "
+                << options.compare_path << " (" << diffs.size()
+                << " difference(s)):\n";
+      for (const std::string& diff : diffs) {
+        std::cerr << "  " << diff << "\n";
+      }
+      return 2;
+    }
+    if (!options.quiet) {
+      std::cerr << "bench_report: report matches " << options.compare_path
+                << " (zero tolerance)\n";
+    }
+  }
+  return 0;
+}
+
+bool parse_u64(const char* text, u64& out) {
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  const auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "bench_report: " << flag << " needs a value\n";
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--profile") {
+      options.profile = next_value(i, "--profile");
+    } else if (arg == "--out") {
+      options.out_path = next_value(i, "--out");
+    } else if (arg == "--report") {
+      options.report_path = next_value(i, "--report");
+    } else if (arg == "--compare") {
+      options.compare_path = next_value(i, "--compare");
+    } else if (arg == "--reference") {
+      options.reference_path = next_value(i, "--reference");
+    } else if (arg == "--threads") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--threads"), value)) {
+        return fail_usage("bad --threads value");
+      }
+      options.engine.threads = value;
+    } else if (arg == "--chunk") {
+      u64 value = 0;
+      if (!parse_u64(next_value(i, "--chunk"), value) || value == 0) {
+        return fail_usage("bad --chunk value");
+      }
+      options.engine.chunk_size = value;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      return fail_usage("unknown option '" + arg + "'");
+    }
+  }
+  return run(options);
+}

@@ -35,6 +35,7 @@
 #include "core/profile.hpp"
 #include "core/report.hpp"
 #include "core/shard.hpp"
+#include "tools/throughput.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -318,8 +319,23 @@ int run(const CliOptions& options) {
       std::cerr << "reuse_study: [" << done << "/" << total << "] "
                 << workload << "\n";
     };
+    const auto suite_start = Clock::now();
     const std::vector<core::WorkloadMetrics> suite = engine.analyze_profile(
         profile, metric_options, options.workloads, progress);
+    const double suite_seconds =
+        std::chrono::duration<double>(Clock::now() - suite_start).count();
+
+    // Per-section throughput, reported to stderr at the end of the run
+    // so paper-scale shard logs show Minstr/s without a separate tool
+    // (tools/bench_report measures the same sections for the record).
+    struct SectionRate {
+      const char* label;
+      u64 instructions;
+      double seconds;
+    };
+    std::vector<SectionRate> rates;
+    rates.push_back({"suite", tools::suite_instructions(suite),
+                     suite_seconds});
 
     core::ReportFigures figures;
     if (options.run_series) {
@@ -341,7 +357,11 @@ int run(const CliOptions& options) {
         }
         last_percent = percent;
       };
+      const auto fig9_start = Clock::now();
       figures.fig9 = core::fig9_finite_rtm(engine, profile, fig9_options);
+      rates.push_back(
+          {"fig9", tools::fig9_instructions(suite),
+           std::chrono::duration<double>(Clock::now() - fig9_start).count()});
     }
     if (options.run_fig10) {
       if (!options.quiet) {
@@ -365,8 +385,15 @@ int run(const CliOptions& options) {
         }
         last_percent = percent;
       };
+      const auto fig10_start = Clock::now();
       figures.fig10 =
           core::fig10_speculative_reuse(engine, profile, fig10_options);
+      const usize predictors = fig10_options.predictors.empty()
+                                   ? core::fig10_predictors().size()
+                                   : fig10_options.predictors.size();
+      rates.push_back(
+          {"fig10", tools::fig10_instructions(suite, predictors),
+           std::chrono::duration<double>(Clock::now() - fig10_start).count()});
     }
 
     core::ReportMeta meta;
@@ -377,6 +404,13 @@ int run(const CliOptions& options) {
     report = core::build_report(profile, metric_options, suite, meta,
                                 figures);
     if (!options.quiet) {
+      std::cerr << "reuse_study: throughput:";
+      for (const SectionRate& rate : rates) {
+        std::cerr << " " << rate.label << " "
+                  << tools::minstr_per_s(rate.instructions, rate.seconds)
+                  << " Minstr/s";
+      }
+      std::cerr << "\n";
       std::cerr << "reuse_study: done in " << meta.wall_seconds << "s\n";
     }
   }

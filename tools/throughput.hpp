@@ -1,0 +1,48 @@
+// Shared throughput accounting for the CLI tools (tools/reuse_study,
+// tools/bench_report): how many dynamic instructions a report section
+// streams under a profile, and the Minstr/s rate a wall time implies.
+//
+// The suite section's count is exact (one pass per workload; the
+// engine reports the stream length). The fig9/fig10 matrices run one
+// pass per (workload x heuristic) / (workload x predictor) job over
+// the same per-workload stream, so their counts are the suite counts
+// scaled by the job multiplicity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/figures.hpp"
+#include "core/study.hpp"
+#include "util/types.hpp"
+
+namespace tlr::tools {
+
+/// Σ instructions over the analyzed workloads (exact stream lengths).
+inline u64 suite_instructions(const std::vector<core::WorkloadMetrics>& suite) {
+  u64 total = 0;
+  for (const core::WorkloadMetrics& metrics : suite) {
+    total += metrics.instructions;
+  }
+  return total;
+}
+
+/// Instructions the fig9 matrix streams: one pass per heuristic per
+/// workload.
+inline u64 fig9_instructions(const std::vector<core::WorkloadMetrics>& suite) {
+  return suite_instructions(suite) * core::fig9_heuristics().size();
+}
+
+/// Instructions the fig10 matrix streams: one pass per predictor per
+/// workload.
+inline u64 fig10_instructions(const std::vector<core::WorkloadMetrics>& suite,
+                              usize predictor_count) {
+  return suite_instructions(suite) * predictor_count;
+}
+
+inline double minstr_per_s(u64 instructions, double wall_seconds) {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(instructions) / 1e6 / wall_seconds;
+}
+
+}  // namespace tlr::tools
