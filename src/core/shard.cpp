@@ -644,10 +644,21 @@ void merge_error(std::vector<std::string>* errors, std::string message) {
   if (errors != nullptr) errors->push_back(std::move(message));
 }
 
+/// How error messages cite partial `i`: its source file when the
+/// caller provided one, the bare positional index otherwise (in-memory
+/// merges, tests).
+std::string partial_label(usize i, std::span<const std::string> labels) {
+  if (i < labels.size() && !labels[i].empty()) {
+    return "partial " + labels[i];
+  }
+  return "partial " + std::to_string(i);
+}
+
 }  // namespace
 
 std::optional<Json> merge_partials(std::span<const Json> partials,
-                                   std::vector<std::string>* errors) {
+                                   std::vector<std::string>* errors,
+                                   std::span<const std::string> labels) {
   if (partials.empty()) {
     merge_error(errors, "no partials to merge");
     return std::nullopt;
@@ -660,7 +671,7 @@ std::optional<Json> merge_partials(std::span<const Json> partials,
     std::string why;
     if (!partials[i].is_object() ||
         !parse_shard_block(partials[i], blocks[i], &why)) {
-      merge_error(errors, "partial " + std::to_string(i) + ": " +
+      merge_error(errors, partial_label(i, labels) + ": " +
                               (why.empty() ? "malformed" : why));
       return std::nullopt;
     }
@@ -672,16 +683,19 @@ std::optional<Json> merge_partials(std::span<const Json> partials,
   if (reference_profile == nullptr || reference_options == nullptr ||
       reference_meta == nullptr || !reference_meta->is_object() ||
       !reference_meta->at("git_sha").is_string()) {
-    merge_error(errors, "partial 0: missing profile/options/meta blocks");
+    merge_error(errors, partial_label(0, labels) +
+                            ": missing profile/options/meta blocks");
     return std::nullopt;
   }
   const std::string git_sha = reference_meta->at("git_sha").as_string();
 
   bool consistent = true;
   double wall_seconds = 0.0;
-  std::vector<bool> seen(reference.count, false);
+  // Which partial first claimed each shard slot, so a duplicate can
+  // name both offending files, not just an index.
+  std::vector<std::optional<usize>> claimed_by(reference.count);
   for (usize i = 0; i < partials.size(); ++i) {
-    const std::string label = "partial " + std::to_string(i);
+    const std::string label = partial_label(i, labels);
     const ShardBlock& block = blocks[i];
     if (block.count != reference.count) {
       merge_error(errors, label + ": shard count " +
@@ -690,12 +704,17 @@ std::optional<Json> merge_partials(std::span<const Json> partials,
       consistent = false;
       continue;
     }
-    if (seen[block.index - 1]) {
+    if (claimed_by[block.index - 1].has_value()) {
       merge_error(errors, label + ": duplicate shard index " +
-                              std::to_string(block.index));
+                              std::to_string(block.index) +
+                              " (already provided by " +
+                              partial_label(*claimed_by[block.index - 1],
+                                            labels) +
+                              ")");
       consistent = false;
+    } else {
+      claimed_by[block.index - 1] = i;
     }
-    seen[block.index - 1] = true;
     if (block.sections != reference.sections) {
       merge_error(errors, label + ": figure selection differs");
       consistent = false;
@@ -738,15 +757,17 @@ std::optional<Json> merge_partials(std::span<const Json> partials,
   const ShardPlan plan =
       ShardPlan::enumerate(reference.sections, reference.workloads);
   for (usize k = 0; k < reference.count; ++k) {
-    if (!seen[k]) {
+    if (!claimed_by[k].has_value()) {
       merge_error(errors, "missing shard " + std::to_string(k + 1) + "/" +
-                              std::to_string(reference.count));
+                              std::to_string(reference.count) +
+                              " (no partial for " +
+                              shard_file_name(k + 1, reference.count) + ")");
       consistent = false;
     }
   }
   for (usize i = 0; i < partials.size(); ++i) {
     if (blocks[i].keys != plan.slice(blocks[i].index, reference.count)) {
-      merge_error(errors, "partial " + std::to_string(i) +
+      merge_error(errors, partial_label(i, labels) +
                               ": key list is not slice " +
                               std::to_string(blocks[i].index) + "/" +
                               std::to_string(reference.count) +

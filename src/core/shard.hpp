@@ -163,8 +163,15 @@ bool validate_partial(const util::Json& partial, const ScaleProfile& profile,
 /// result is byte-identical to the monolithic run's report outside
 /// the `meta` block (merged meta: threads/chunk_size 0, wall_seconds
 /// summed across partials).
+///
+/// `labels` optionally names each partial's source (the file path the
+/// CLI read it from, parallel to `partials`): error messages then cite
+/// the offending file instead of the bare positional index — a
+/// duplicate names both files that claim the slot, a missing shard
+/// names its canonical checkpoint file.
 std::optional<util::Json> merge_partials(
     std::span<const util::Json> partials,
-    std::vector<std::string>* errors = nullptr);
+    std::vector<std::string>* errors = nullptr,
+    std::span<const std::string> labels = {});
 
 }  // namespace tlr::core

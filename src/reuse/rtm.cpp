@@ -53,39 +53,99 @@ void Rtm::peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const {
   }
   if (way == nullptr) return;
 
-  // Every (stamp, slot) pair carries a distinct stamp — each clock tick
-  // touches exactly one slot — so the MRU order is total. Ways hold at
-  // most 16 traces, so an insertion sort beats std::sort here (peek
-  // runs once per gated fetch — DESIGN.md §10).
-  struct Stamped {
-    u64 stamp;
-    const StoredTrace* trace;
-  };
-  SmallVector<Stamped, 16> found;
-  for (u32 s = 0; s < way->used; ++s) {
-    const ScanRec& rec = way->scan[s];
+  // The way's MRU array is the stamp-descending order materialised, so
+  // enumeration is a straight read — no per-call sort (DESIGN.md §10).
+  for (u32 i = 0; i < way->used; ++i) {
+    const u32 s = way->mru[i];
     if (test_ == ReuseTestKind::kValidBit && (way->live_mask >> s & 1) == 0) {
       continue;
     }
-    const Stamped entry{rec.stamp, &way->slots[s].trace};
-    usize at = found.size();
-    found.push_back(entry);
-    while (at > 0 && found[at - 1].stamp < entry.stamp) {
-      found[at] = found[at - 1];
-      --at;
-    }
-    found[at] = entry;
+    out.push_back(&way->slots[s].trace);
   }
-  for (const Stamped& entry : found) out.push_back(entry.trace);
 }
 
-void Rtm::insert(StoredTrace trace) {
+void Rtm::lookup_gated(isa::Pc pc, const ArchShadow& state, GatedProbe& out,
+                       bool enumerate) {
+  TLR_ASSERT_MSG(test_ == ReuseTestKind::kValueCompare,
+                 "gated probes require the value-compare test");
+  out.traces.clear();
+  out.verdict.clear();
+  out.hit = nullptr;
+  out.stored = 0;
+
+  // ---- the reuse test, exactly as lookup() runs it ------------------
+  ++stats_.lookups;
+  const u32 set = set_index(pc);
+  Way* way = find_way(set, pc);
+  if (way == nullptr) return;
+
+  const ScanRec* const scan = way->scan.data();
+  const u32 used = way->used;
+  out.stored = used;
+  u32 match_at = used;  // position in the MRU order, `used` = no match
+  for (u32 i = 0; i < used; ++i) {
+    const u32 s = way->mru[i];
+    bool match;
+    if ((way->empty_inputs_mask >> s & 1) == 0) {
+      const ScanRec& rec = scan[s];
+      if (!state.matches(rec.first_loc, rec.first_value)) continue;
+      const SmallVector<LocVal, 12>& inputs = way->slots[s].trace.inputs;
+      match = true;
+      const LocVal* in = inputs.begin() + 1;
+      const LocVal* const in_end = inputs.end();
+      for (; in != in_end; ++in) {
+        if (!state.matches(in->loc, in->value)) {
+          match = false;
+          break;
+        }
+      }
+    } else {
+      match = true;  // a trace with no live-ins always passes the test
+    }
+    if (match) {
+      match_at = i;
+      break;
+    }
+  }
+  if (match_at < used) {
+    const u32 best_slot = way->mru[match_at];
+    ++clock_;
+    way->stamp = clock_;
+    way->scan[best_slot].stamp = clock_;
+    way->touch_mru(best_slot);
+    ++stats_.hits;
+    out.hit = &way->slots[best_slot].trace;
+  }
+  if (!enumerate) return;
+
+  // ---- candidate enumeration, exactly as peek() lists it ------------
+  // The MRU array read after the hit's LRU touch is the stamp-descend
+  // order the old lookup-then-peek sequence sorted out per fetch, so
+  // the reuse test's pick leads. The scan above decided the slots it
+  // visited: after the touch those sit at positions 1..match_at (all
+  // failed) with the pick at the front; everything behind the match —
+  // or, on a miss, nothing — was never tested and stays unknown.
+  const bool hit = match_at < used;
+  for (u32 i = 0; i < used; ++i) {
+    out.traces.push_back(&way->slots[way->mru[i]].trace);
+    Verdict v = Verdict::kFail;
+    if (hit && i == 0) {
+      v = Verdict::kPass;
+    } else if (hit && i > match_at) {
+      v = Verdict::kUnknown;
+    }
+    out.verdict.push_back(v);
+  }
+}
+
+Rtm::StoreResult Rtm::insert(StoredTrace trace) {
   TLR_ASSERT(trace.length > 0);
   max_stored_length_ = std::max(max_stored_length_, trace.length);
   const u64 trace_hash = input_multiset_hash(
       std::span<const LocVal>(trace.inputs.begin(), trace.inputs.size()));
   const u32 set = set_index(trace.start_pc);
   Way* way = find_way(set, trace.start_pc);
+  const bool fresh_way = way == nullptr;
   ++clock_;
 
   if (way == nullptr) {
@@ -133,14 +193,13 @@ void Rtm::insert(StoredTrace trace) {
   // content) differ, so only hash-equal slots — real duplicates, or
   // vanishing-probability collisions the structural compare then
   // rejects — are walked.
-  u32 victim_slot = 0;
-  u64 victim_stamp = ~u64{0};
   for (u32 s = 0; s < way->used; ++s) {
     ScanRec& rec = way->scan[s];
     if (rec.input_hash == trace_hash &&
         way->slots[s].trace.same_content(trace)) {
       Slot& slot = way->slots[s];
       rec.stamp = clock_;
+      way->touch_mru(s);
       ++stats_.duplicate_insertions;
       if (test_ == ReuseTestKind::kValidBit &&
           (way->live_mask >> s & 1) == 0 &&
@@ -150,20 +209,24 @@ void Rtm::insert(StoredTrace trace) {
         register_inputs(SlotRef{set, way_index, s, slot.generation},
                         slot.trace);
       }
-      return;
-    }
-    if (rec.stamp < victim_stamp) {
-      victim_slot = s;
-      victim_stamp = rec.stamp;
+      return {StoreKind::kRefreshed, &slot.trace};
     }
   }
   const bool evicting = way->used == geometry_.traces_per_pc;
-  if (!evicting) {
+  u32 victim_slot;
+  if (evicting) {
+    // The MRU array's tail is the minimum-stamp slot — the same LRU
+    // victim the full stamp scan used to select.
+    victim_slot = way->mru[way->used - 1];
+    way->touch_mru(victim_slot);
+  } else {
     // Free slots remain: fill the next one (index order), matching the
     // first-empty policy of the full scan. The slot object may already
     // exist from a previous way incarnation (see the reclaim comment).
     victim_slot = way->used++;
     if (victim_slot >= way->slots.size()) way->slots.emplace_back();
+    for (u32 i = way->used - 1; i > 0; --i) way->mru[i] = way->mru[i - 1];
+    way->mru[0] = static_cast<u8>(victim_slot);
   }
   ScanRec& rec = way->scan[victim_slot];
   Slot& victim = way->slots[victim_slot];
@@ -192,6 +255,10 @@ void Rtm::insert(StoredTrace trace) {
                       victim.trace);
     }
   }
+  const StoreKind kind = fresh_way  ? StoreKind::kFreshWay
+                         : evicting ? StoreKind::kEvicted
+                                    : StoreKind::kAppended;
+  return {kind, &victim.trace};
 }
 
 void Rtm::register_inputs(const SlotRef& ref, const StoredTrace& trace) {
@@ -242,6 +309,7 @@ bool Rtm::replace(const Handle& handle, const StoredTrace& expanded) {
                   input_multiset_hash(std::span<const LocVal>(
                       expanded.inputs.begin(), expanded.inputs.size())));
   rec.stamp = clock_;
+  way.touch_mru(handle.slot);
   way.live_mask |= u32{1} << handle.slot;
   ++slot.generation;
   way.stamp = clock_;

@@ -133,6 +133,14 @@ class ArchShadow {
     return value != nullptr && *value == expected;
   }
 
+  /// Bulk register view (bit r of known_regs ⇔ reg_values()[r] is
+  /// live): lets batched consumers — the predictor's keyed training
+  /// delta — replace per-register value() calls with mask arithmetic.
+  u64 known_regs() const { return known_mask_; }
+  const std::array<u64, isa::kNumRegs>& reg_values() const {
+    return reg_value_;
+  }
+
   void set(u64 raw_loc, u64 value) {
     if ((raw_loc & isa::Loc::kMemTag) == 0) {
       known_mask_ |= u64{1} << raw_loc;
@@ -188,6 +196,33 @@ class Rtm {
     Handle handle;
   };
 
+  /// What the fused gated scan already knows about one stored trace's
+  /// value test (lookup_gated): decided slots carry their verdict,
+  /// slots the MRU scan skipped (older than an already-found match)
+  /// stay kUnknown and must be walked on demand.
+  enum class Verdict : i8 {
+    kUnknown = -1,
+    kFail = 0,
+    kPass = 1,
+  };
+
+  /// Result of one fused gated probe (lookup_gated). `traces` and
+  /// `verdict` are parallel, MRU first by post-touch stamps — the
+  /// exact order the old lookup()-then-peek() pair produced. Pointers
+  /// stay valid until the next insert/replace.
+  struct GatedProbe {
+    SmallVector<const StoredTrace*, 16> traces;
+    SmallVector<Verdict, 16> verdict;
+    /// The reuse test's pick (already LRU-touched), or nullptr on an
+    /// actual miss. Unlike LookupResult this is just the trace: the
+    /// gated path never expands in place.
+    const StoredTrace* hit = nullptr;
+    /// Number of traces stored for the PC — also filled when the
+    /// caller asked not to enumerate them (enumerate=false), so gates
+    /// that never read candidates still learn whether any exist.
+    u32 stored = 0;
+  };
+
   struct Stats {
     u64 lookups = 0;
     u64 hits = 0;
@@ -218,11 +253,41 @@ class Rtm {
   /// next insert/replace.
   void peek(isa::Pc pc, SmallVector<const StoredTrace*, 16>& out) const;
 
+  /// One fused probe for the gated (speculative) path: the reuse test
+  /// of lookup() — bit-identical accept condition, LRU touch and stats
+  /// — and the candidate enumeration of peek(), off a single ScanRec
+  /// walk (DESIGN.md §10). Each candidate carries the value-test
+  /// verdict the scan already computed for it, so verifying the gate's
+  /// pick re-walks inputs only for stamp-skipped slots the scan never
+  /// decided. Value-compare mode only (the speculation precondition).
+  /// With enumerate=false only the test and `stored` are produced —
+  /// for gates that never read the candidate list (the oracle).
+  void lookup_gated(isa::Pc pc, const ArchShadow& state, GatedProbe& out,
+                    bool enumerate = true);
+
+  /// How an insert changed the start PC's way — enough for a
+  /// speculation gate to maintain a cached view of the way's contents
+  /// (the predictor's candidate-input union) without rescanning it.
+  enum class StoreKind : u8 {
+    kFreshWay,   // way (re)allocated: the way now holds exactly this trace
+    kAppended,   // a free slot filled: the way grew by this trace
+    kRefreshed,  // duplicate content: the way is unchanged
+    kEvicted,    // LRU slot overwritten: some other trace left the way
+  };
+
+  /// What insert() did, plus the trace's long-lived slot copy (for
+  /// kRefreshed the already-stored trace with identical content).
+  /// The pointer stays valid until the next insert/replace.
+  struct StoreResult {
+    StoreKind kind;
+    const StoredTrace* stored;
+  };
+
   /// Store a collected trace (LRU replacement at both levels). A trace
   /// with identical content to a stored one only refreshes LRU. Taken
   /// by value: the collection paths hand over freshly finalized traces,
   /// which then move into the slot instead of being deep-copied.
-  void insert(StoredTrace trace);
+  StoreResult insert(StoredTrace trace);
 
   /// Replace the trace behind `handle` with an expanded version.
   /// Returns false (and inserts nothing) if the slot no longer holds
@@ -292,6 +357,21 @@ class Rtm {
     u32 live_mask = 0;          // valid-bit mode liveness, bit per slot
     std::vector<Slot> slots;
     std::vector<ScanRec> scan;  // parallel to slots
+    /// Slot indices of [0, used) ordered most-recently-stamped first —
+    /// the stamp order materialised (DESIGN.md §10). Scans visit slots
+    /// through this array, so the reuse test stops at its first full
+    /// match (provably the max-stamp match) instead of stamp-skipping
+    /// through the whole way, candidate enumeration needs no per-fetch
+    /// sort, and the LRU victim is simply the tail. Maintained by
+    /// move-to-front wherever a stamp is written.
+    std::array<u8, 32> mru{};
+
+    void touch_mru(u32 slot) {
+      u32 at = 0;
+      while (mru[at] != slot) ++at;
+      for (; at > 0; --at) mru[at] = mru[at - 1];
+      mru[0] = static_cast<u8>(slot);
+    }
   };
 
   Way& way_at(const SlotRef& ref) {
@@ -355,27 +435,27 @@ inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
   Way* way = find_way(set, pc);
   if (way == nullptr) return std::nullopt;
 
-  // Scan stored traces MRU-first so the freshest expansion wins. The
-  // scan runs over the compact ScanRec array: an empty slot is stamp 0
-  // (live stamps start at 1), and in value-compare mode the record's
-  // leading (loc, value) pair rejects ~90% of candidate slots without
-  // touching the fat trace storage at all; only survivors walk their
-  // remaining inputs, early-exiting on the first mismatch. The accept
-  // condition is bit-for-bit the original full walk.
+  // Visit stored traces in materialised MRU order (Way::mru): the
+  // first slot whose full test passes is provably the max-stamp match
+  // the original whole-way scan selected, so the walk stops there. In
+  // value-compare mode the ScanRec's leading (loc, value) pair rejects
+  // ~90% of candidate slots without touching the fat trace storage at
+  // all; only survivors walk their remaining inputs, early-exiting on
+  // the first mismatch. The accept condition is bit-for-bit the
+  // original full walk.
   const ScanRec* const scan = way->scan.data();
   const u32 used = way->used;
   u32 best_slot = 0;
   bool found = false;
-  u64 best_stamp = 1;  // every stored slot's stamp is >= 1
-  for (u32 s = 0; s < used; ++s) {
-    const ScanRec& rec = scan[s];
-    if (rec.stamp < best_stamp) continue;
+  for (u32 i = 0; i < used; ++i) {
+    const u32 s = way->mru[i];
     bool match;
     if (test_ == ReuseTestKind::kValidBit) {
       // Single-bit test: live means no input location was written
       // since the trace was stored (§3.3, second approach).
       match = (way->live_mask >> s & 1) != 0;
     } else if ((way->empty_inputs_mask >> s & 1) == 0) {
+      const ScanRec& rec = scan[s];
       if (!state.matches(rec.first_loc, rec.first_value)) continue;
       const SmallVector<LocVal, 12>& inputs = way->slots[s].trace.inputs;
       match = true;
@@ -393,7 +473,7 @@ inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
     if (match) {
       found = true;
       best_slot = s;
-      best_stamp = rec.stamp;
+      break;
     }
   }
   if (!found) return std::nullopt;
@@ -401,6 +481,7 @@ inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
   ++clock_;
   way->stamp = clock_;
   way->scan[best_slot].stamp = clock_;
+  way->touch_mru(best_slot);
   ++stats_.hits;
 
   const StoredTrace* best = &way->slots[best_slot].trace;

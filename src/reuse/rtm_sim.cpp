@@ -41,6 +41,7 @@ void RtmSimulator::set_spec_gate(SpecGate* gate) {
   TLR_ASSERT_MSG(buf_.empty() && base_index_ == 0 && !finished_,
                  "set the gate before feeding");
   gate_ = gate;
+  gate_wants_candidates_ = gate == nullptr || gate->wants_candidates();
 }
 
 void RtmSimulator::feed(std::span<const DynInst> insts) {
@@ -137,26 +138,27 @@ void RtmSimulator::drain(bool stream_done) {
 /// Gated fetch (DESIGN.md §8): the actual reuse test still runs first —
 /// with exactly the limit simulator's LRU/stat side effects, so the
 /// oracle gate is bit-identical to no gate — but the *commit* decision
-/// belongs to the gate. An attempt is verified against the current
-/// state: agreement commits the reuse, disagreement squashes (the
-/// instructions then re-execute through the normal path).
+/// belongs to the gate. Test, candidate enumeration and (almost every)
+/// verification ride on one fused RTM probe: the scan already decided
+/// the value test for every slot it reached, so verifying the gate's
+/// pick against the unchanged state only re-walks inputs for slots the
+/// MRU scan skipped. An attempt that verifies commits the reuse;
+/// disagreement squashes (the instructions then re-execute normally).
 void RtmSimulator::resolve_front_gated(usize avail) {
   const DynInst& inst = win_[pos_];
-  const auto hit = rtm_.lookup(inst.pc, shadow_);
+  rtm_.lookup_gated(inst.pc, shadow_, probe_, gate_wants_candidates_);
   const StoredTrace* oracle_choice =
-      (hit.has_value() && hit->trace->length <= avail) ? hit->trace : nullptr;
-
-  peek_buf_.clear();
-  rtm_.peek(inst.pc, peek_buf_);
-  if (peek_buf_.empty()) {
+      (probe_.hit != nullptr && probe_.hit->length <= avail) ? probe_.hit
+                                                             : nullptr;
+  if (probe_.stored == 0) {
     execute_front();
     return;
   }
 
   SpecGate::Fetch fetch;
   fetch.pc = inst.pc;
-  fetch.candidates = std::span<const StoredTrace* const>(peek_buf_.begin(),
-                                                         peek_buf_.size());
+  fetch.candidates = std::span<const StoredTrace* const>(
+      probe_.traces.begin(), probe_.traces.size());
   fetch.oracle_choice = oracle_choice;
   fetch.state = &shadow_;
 
@@ -171,10 +173,29 @@ void RtmSimulator::resolve_front_gated(usize avail) {
 
   bool verified = pick->length <= avail;
   if (verified) {
-    for (const LocVal& in : pick->inputs) {
-      if (!shadow_.matches(in.loc, in.value)) {
-        verified = false;
-        break;
+    // The state has not changed since the probe, so a decided verdict
+    // IS the verification; only a pick the MRU scan stopped short of
+    // walks its inputs here — the common picks (the test's own hit,
+    // or a scanned-and-rejected MRU candidate) were already decided.
+    Rtm::Verdict verdict = Rtm::Verdict::kUnknown;
+    if (pick == probe_.hit) {
+      verdict = Rtm::Verdict::kPass;
+    } else {
+      for (usize i = 0; i < probe_.traces.size(); ++i) {
+        if (probe_.traces[i] == pick) {
+          verdict = probe_.verdict[i];
+          break;
+        }
+      }
+    }
+    if (verdict == Rtm::Verdict::kFail) {
+      verified = false;
+    } else if (verdict == Rtm::Verdict::kUnknown) {
+      for (const LocVal& in : pick->inputs) {
+        if (!shadow_.matches(in.loc, in.value)) {
+          verified = false;
+          break;
+        }
       }
     }
   }
@@ -188,10 +209,12 @@ void RtmSimulator::resolve_front_gated(usize avail) {
 }
 
 void RtmSimulator::store(StoredTrace trace) {
-  // The gate only reads the trace (predictor training), so training
-  // first lets the RTM consume the trace without a copy.
-  if (gate_ != nullptr) gate_->on_store(trace);
-  rtm_.insert(std::move(trace));
+  // The RTM consumes the trace without a copy; the gate trains off the
+  // long-lived slot copy (content-identical by construction) together
+  // with how the store changed the way — letting the predictor keep
+  // its per-PC candidate-input union current instead of rescanning.
+  const Rtm::StoreResult stored = rtm_.insert(std::move(trace));
+  if (gate_ != nullptr) gate_->on_store(*stored.stored, stored.kind);
 }
 
 void RtmSimulator::take_reuse(StoredTrace trace) {

@@ -110,7 +110,8 @@ class SpecGate {
   /// One fetch with stored candidates, as the gate sees it.
   struct Fetch {
     isa::Pc pc = isa::kInvalidPc;
-    /// Stored traces at `pc`, MRU first (Rtm::peek).
+    /// Stored traces at `pc`, MRU first (the fused Rtm::lookup_gated
+    /// probe — the same order Rtm::peek would list after the test).
     std::span<const StoredTrace* const> candidates;
     /// The trace the actual (oracle) reuse test selects, or nullptr on
     /// an actual miss. Realizable policies must not read it.
@@ -118,6 +119,13 @@ class SpecGate {
     /// Current architectural state — resolution-time training only.
     const ArchShadow* state = nullptr;
   };
+
+  /// Whether this gate ever reads `Fetch::candidates`. A gate that
+  /// decides and trains from `oracle_choice` alone (the oracle
+  /// predictor) returns false, and the simulator skips candidate
+  /// enumeration — decide() then sees an empty span at fetches whose
+  /// stored-candidate count is still reported via the probe.
+  virtual bool wants_candidates() const { return true; }
 
   /// The trace to speculatively attempt, or nullptr for no attempt.
   virtual const StoredTrace* decide(const Fetch& fetch) = 0;
@@ -129,8 +137,11 @@ class SpecGate {
   virtual void on_outcome(const Fetch& fetch, const StoredTrace* attempted,
                           SpecOutcome outcome) = 0;
 
-  /// A collected or expanded trace was stored at its start PC.
-  virtual void on_store(const StoredTrace& trace) = 0;
+  /// A collected or expanded trace was stored at its start PC. `kind`
+  /// says how the store changed the PC's way (Rtm::StoreKind), so a
+  /// gate caching per-PC way-content state knows when that cache can
+  /// be updated in place and when the way's contents must be rescanned.
+  virtual void on_store(const StoredTrace& trace, Rtm::StoreKind kind) = 0;
 };
 
 /// In-order listener on the simulated fetch stream: every dynamic
@@ -218,7 +229,11 @@ class RtmSimulator {
 
   RtmEventSink* event_sink_ = nullptr;
   SpecGate* gate_ = nullptr;
-  SmallVector<const StoredTrace*, 16> peek_buf_;
+  bool gate_wants_candidates_ = true;
+  /// Reused per-fetch fused probe result (Rtm::lookup_gated): one
+  /// ScanRec walk serves candidate enumeration, the oracle choice and
+  /// the verification of the gate's pick.
+  Rtm::GatedProbe probe_;
   bool finished_ = false;
   RtmSimResult result_;
 };

@@ -1,5 +1,8 @@
 #include "spec/predictor.hpp"
 
+#include <array>
+#include <bit>
+
 #include "util/assert.hpp"
 #include "util/flat_hash_map.hpp"
 #include "util/small_vector.hpp"
@@ -32,12 +35,13 @@ namespace {
 class OraclePredictor final : public TracePredictor {
  public:
   std::string_view name() const override { return "oracle"; }
+  bool wants_candidates() const override { return false; }
   const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
     return fetch.oracle_choice;
   }
   void train(const SpecGate::Fetch&, const StoredTrace*,
              SpecOutcome) override {}
-  void on_store(const StoredTrace&) override {}
+  void on_store(const StoredTrace&, reuse::Rtm::StoreKind) override {}
 };
 
 /// Per-PC last-value input prediction: remember, per initial PC, the
@@ -51,7 +55,12 @@ class LastValuePredictor : public TracePredictor {
   std::string_view name() const override { return "last_value"; }
 
   const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
-    const Snapshot* snapshot = snapshots_.find(fetch.pc);
+    Snapshot* snapshot = snapshots_.find(fetch.pc);
+    // choose and train run back to back on the same fetch with no map
+    // mutation in between (resolution pairs them; on_store clears the
+    // cache), so train reuses this probe instead of re-hashing.
+    cached_pc_ = fetch.pc;
+    cached_ = snapshot;
     if (snapshot == nullptr) return nullptr;
     for (const StoredTrace* candidate : fetch.candidates) {
       if (matches(*candidate, *snapshot)) return candidate;
@@ -62,14 +71,173 @@ class LastValuePredictor : public TracePredictor {
   void train(const SpecGate::Fetch& fetch, const StoredTrace*,
              SpecOutcome) override {
     // Remember the values the candidates' input locations hold *now*:
-    // the prediction for this PC's next visit. Candidates of one PC
-    // overwhelmingly share input locations, and remembering the same
-    // location twice in one resolution writes the same current value —
-    // so repeats are skipped outright (a register bit mask plus a
-    // short memory-location list; an overflowing list only costs
-    // harmless re-remembering). Training runs once per gated fetch
-    // (DESIGN.md §10).
-    Snapshot& snapshot = snapshots_[fetch.pc];
+    // the prediction for this PC's next visit — one merged keyed delta
+    // over the distinct input locations of the candidate set. That
+    // location set is a function of the way's contents alone (every
+    // fetch of a PC lists every stored trace; only the MRU order
+    // varies), and the way only changes through insertions the gate
+    // sees as on_store — so the union is computed once per way
+    // content version and cached on the snapshot, and steady-state
+    // training walks it instead of re-deduplicating candidate-by-
+    // candidate (DESIGN.md §10). Training runs once per gated fetch.
+    Snapshot* snapshot =
+        cached_pc_ == fetch.pc && cached_ != nullptr ? cached_ : nullptr;
+    if (snapshot == nullptr) snapshot = &snapshots_[fetch.pc];
+    cached_ = nullptr;
+    cached_pc_ = isa::kInvalidPc;
+    if (snapshot->count == kMaxSnapshot) {
+      // Saturated snapshot — the steady state for hot PCs. No location
+      // can ever be admitted again (count never decreases), so the
+      // exact walk's only effect is refreshing remembered locations
+      // that appear in some candidate's inputs. Refreshing *every*
+      // remembered location instead is indistinguishable: a location
+      // outside every candidate's inputs is one choose() cannot
+      // compare, and if it later rejoins the way it is re-remembered
+      // with its live value by on_store before the next read. That
+      // turns steady-state training into one mask-filtered register
+      // sweep plus at most kMaxMem value probes — no union, no
+      // rebuilds, no per-candidate walk.
+      const u64 known = fetch.state->known_regs();
+      const auto& live = fetch.state->reg_values();
+      u64 update = snapshot->reg_mask & known;
+      while (update != 0) {
+        const u32 reg = static_cast<u32>(std::countr_zero(update));
+        update &= update - 1;
+        snapshot->reg_value[reg] = live[reg];
+      }
+      for (LocVal& entry : snapshot->mem) {
+        const auto value = fetch.state->value(entry.loc);
+        if (value.has_value()) entry.value = *value;
+      }
+      return;
+    }
+    if (!snapshot->union_valid) {
+      rebuild_and_train(*snapshot, fetch);
+      return;
+    }
+    // Unsaturated with a current union: applying it in an order other
+    // than the per-fetch MRU first-seen order is indistinguishable
+    // from the exact walk except when an admission would *partially*
+    // fit under the snapshot cap: updates are keyed, and a batch of
+    // appends that all fit admits the same location set in any order
+    // (the snapshot is keyed too). Only the partial-fit transient (the
+    // fetch that crosses the cap) depends on the exact first-seen
+    // order and falls back to replaying it.
+    const u64 known = fetch.state->known_regs();
+    const auto& live = fetch.state->reg_values();
+    // Register refresh: union ∩ remembered ∩ live, three mask ANDs and
+    // one copy per set bit — no per-register known/value probes.
+    u64 update = snapshot->union_regs & snapshot->reg_mask & known;
+    while (update != 0) {
+      const u32 reg = static_cast<u32>(std::countr_zero(update));
+      update &= update - 1;
+      snapshot->reg_value[reg] = live[reg];
+    }
+    SmallVector<LocVal, 12> admit;
+    u64 fresh = snapshot->union_regs & ~snapshot->reg_mask & known;
+    while (fresh != 0) {
+      const u32 reg = static_cast<u32>(std::countr_zero(fresh));
+      fresh &= fresh - 1;
+      admit.push_back({reg, live[reg]});
+    }
+    for (const u64 loc : snapshot->union_mem) {
+      bool found = false;
+      for (LocVal& entry : snapshot->mem) {
+        if (entry.loc == loc) {
+          const auto value = fetch.state->value(loc);
+          if (value.has_value()) entry.value = *value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        const auto value = fetch.state->value(loc);
+        if (value.has_value()) admit.push_back({loc, *value});
+      }
+    }
+    if (admit.empty()) return;
+    if (snapshot->count + admit.size() <= kMaxSnapshot) {
+      for (const LocVal& add : admit) remember(*snapshot, add.loc, add.value);
+    } else {
+      // Crossing the cap: which locations get in depends on the exact
+      // first-seen order, so replay it (the keyed updates above are
+      // idempotent re-writes of the same current values).
+      train_exact(*snapshot, fetch);
+    }
+  }
+
+  void on_store(const StoredTrace& trace,
+                reuse::Rtm::StoreKind kind) override {
+    // A freshly collected trace's inputs were the live values. The
+    // insert may rehash, so any choose-time slot cache dies here —
+    // and the store changed (or confirmed) the PC's way contents, so
+    // the cached input-location union follows the store kind: a fresh
+    // way's union is exactly this trace's inputs, an appended trace
+    // only adds its inputs, a duplicate refresh changes nothing, and
+    // an eviction removed a trace whose inputs the gate never saw —
+    // the one case that forces a rescan (rebuild_and_train).
+    cached_ = nullptr;
+    cached_pc_ = isa::kInvalidPc;
+    Snapshot& snapshot = snapshots_[trace.start_pc];
+    if (snapshot.count == kMaxSnapshot) {
+      // Saturated snapshots train without the union (see train()).
+      snapshot.union_valid = false;
+    } else {
+      switch (kind) {
+        case reuse::Rtm::StoreKind::kFreshWay:
+          snapshot.union_regs = 0;
+          snapshot.union_mem.clear();
+          merge_into_union(snapshot, trace);
+          snapshot.union_valid = true;
+          break;
+        case reuse::Rtm::StoreKind::kAppended:
+          if (snapshot.union_valid) merge_into_union(snapshot, trace);
+          break;
+        case reuse::Rtm::StoreKind::kRefreshed:
+          break;  // identical content was already in the way
+        case reuse::Rtm::StoreKind::kEvicted:
+          // Some trace left the way and its inputs are unknown here:
+          // only a rescan can shrink the union, and before saturation
+          // a stale location could steal an admission.
+          snapshot.union_valid = false;
+          break;
+      }
+    }
+    for (const LocVal& in : trace.inputs) {
+      remember(snapshot, in.loc, in.value);
+    }
+  }
+
+ private:
+  /// Per-PC remembered input values, split by location kind so both
+  /// sides of the predictor are keyed lookups: registers (raw locs
+  /// 0..63) index a value array behind a presence bit mask, memory
+  /// locations stay a short list. `count` preserves the original
+  /// unified cap accounting exactly — a location is admitted iff fewer
+  /// than kMaxSnapshot distinct locations were remembered when it
+  /// first appeared, in the same remember() order as the old
+  /// append-only list, so the remembered set (and hence every choose
+  /// decision) is bit-identical to the pre-split layout.
+  struct Snapshot {
+    u64 reg_mask = 0;
+    std::array<u64, isa::kNumRegs> reg_value{};
+    SmallVector<LocVal, 8> mem;
+    u32 count = 0;
+    /// Cached distinct input locations of this PC's candidate set,
+    /// split like the snapshot itself: a register bit mask plus the
+    /// deduplicated memory locations. Invalidated by on_store (the
+    /// only event that changes the PC's way contents).
+    bool union_valid = false;
+    u64 union_regs = 0;
+    SmallVector<u64, 8> union_mem;
+  };
+
+  /// The original per-candidate training walk: remember each distinct
+  /// input location (this fetch's MRU first-seen order) with the value
+  /// it holds now. Repeats are skipped via a register bit mask plus a
+  /// short memory-location list; an overflowing list only costs
+  /// harmless re-remembering of the same current value.
+  static void train_exact(Snapshot& snapshot, const SpecGate::Fetch& fetch) {
     u64 seen_regs = 0;
     SmallVector<u64, 8> seen_mem;
     for (const StoredTrace* candidate : fetch.candidates) {
@@ -96,32 +264,104 @@ class LastValuePredictor : public TracePredictor {
     }
   }
 
-  void on_store(const StoredTrace& trace) override {
-    // A freshly collected trace's inputs were the live values.
-    Snapshot& snapshot = snapshots_[trace.start_pc];
+  /// train_exact plus rebuilding the candidate-input union cache,
+  /// with full (uncapped) memory deduplication so the list holds each
+  /// location once (seen_mem saturating at 8 only affects which
+  /// remember calls repeat, never the union contents).
+  static void rebuild_and_train(Snapshot& snapshot,
+                                const SpecGate::Fetch& fetch) {
+    snapshot.union_mem.clear();
+    u64 seen_regs = 0;
+    SmallVector<u64, 8> seen_mem;
+    for (const StoredTrace* candidate : fetch.candidates) {
+      for (const LocVal& in : candidate->inputs) {
+        if ((in.loc & isa::Loc::kMemTag) == 0) {
+          const u64 bit = u64{1} << in.loc;
+          if ((seen_regs & bit) != 0) continue;
+          seen_regs |= bit;
+        } else {
+          bool seen = false;
+          for (const u64 loc : seen_mem) {
+            if (loc == in.loc) {
+              seen = true;
+              break;
+            }
+          }
+          if (seen) continue;
+          if (seen_mem.size() < 8) seen_mem.push_back(in.loc);
+          bool in_union = false;
+          for (const u64 loc : snapshot.union_mem) {
+            if (loc == in.loc) {
+              in_union = true;
+              break;
+            }
+          }
+          if (!in_union) snapshot.union_mem.push_back(in.loc);
+        }
+        if (const auto value = fetch.state->value(in.loc)) {
+          remember(snapshot, in.loc, *value);
+        }
+      }
+    }
+    snapshot.union_regs = seen_regs;
+    snapshot.union_valid = true;
+  }
+
+  /// Adds a stored trace's input locations to the cached union (set
+  /// semantics — duplicates collapse into the mask / the deduped list).
+  static void merge_into_union(Snapshot& snapshot, const StoredTrace& trace) {
     for (const LocVal& in : trace.inputs) {
-      remember(snapshot, in.loc, in.value);
+      if ((in.loc & isa::Loc::kMemTag) == 0) {
+        snapshot.union_regs |= u64{1} << in.loc;
+        continue;
+      }
+      bool present = false;
+      for (const u64 loc : snapshot.union_mem) {
+        if (loc == in.loc) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) snapshot.union_mem.push_back(in.loc);
     }
   }
 
- private:
-  using Snapshot = SmallVector<LocVal, 12>;
-
   static void remember(Snapshot& snapshot, u64 loc, u64 value) {
-    for (LocVal& entry : snapshot) {
+    if ((loc & isa::Loc::kMemTag) == 0) {
+      const u64 bit = u64{1} << loc;
+      if ((snapshot.reg_mask & bit) != 0) {
+        snapshot.reg_value[static_cast<usize>(loc)] = value;
+      } else if (snapshot.count < kMaxSnapshot) {
+        snapshot.reg_mask |= bit;
+        snapshot.reg_value[static_cast<usize>(loc)] = value;
+        ++snapshot.count;
+      }
+      return;
+    }
+    for (LocVal& entry : snapshot.mem) {
       if (entry.loc == loc) {
         entry.value = value;
         return;
       }
     }
-    if (snapshot.size() < kMaxSnapshot) snapshot.push_back({loc, value});
+    if (snapshot.count < kMaxSnapshot) {
+      snapshot.mem.push_back({loc, value});
+      ++snapshot.count;
+    }
   }
 
   static bool matches(const StoredTrace& candidate,
                       const Snapshot& snapshot) {
     for (const LocVal& in : candidate.inputs) {
+      if ((in.loc & isa::Loc::kMemTag) == 0) {
+        if ((snapshot.reg_mask >> in.loc & 1) == 0 ||
+            snapshot.reg_value[static_cast<usize>(in.loc)] != in.value) {
+          return false;
+        }
+        continue;
+      }
       bool found = false;
-      for (const LocVal& entry : snapshot) {
+      for (const LocVal& entry : snapshot.mem) {
         if (entry.loc == in.loc) {
           found = entry.value == in.value;
           break;
@@ -138,6 +378,10 @@ class LastValuePredictor : public TracePredictor {
   static constexpr usize kMaxSnapshot = 24;
 
   FlatHashMap<isa::Pc, Snapshot> snapshots_;
+  /// One-shot choose→train slot cache (invalidated by on_store, and
+  /// consumed by the first train after it is set).
+  Snapshot* cached_ = nullptr;
+  isa::Pc cached_pc_ = isa::kInvalidPc;
 };
 
 /// The last-value pick, gated by a per-PC saturating confidence
@@ -158,7 +402,11 @@ class ConfidencePredictor final : public LastValuePredictor {
   std::string_view name() const override { return "confidence"; }
 
   const StoredTrace* choose(const SpecGate::Fetch& fetch) override {
-    const u64* counter = counters_.find(fetch.pc);
+    u64* counter = counters_.find(fetch.pc);
+    // Same one-shot choose→train pairing as the snapshot cache: the
+    // counter map only mutates in train, which consumes the cache.
+    cached_counter_ = counter;
+    cached_counter_pc_ = fetch.pc;
     const u64 confidence = counter == nullptr ? initial_ : *counter;
     if (confidence < threshold_) return nullptr;
     return LastValuePredictor::choose(fetch);
@@ -167,8 +415,14 @@ class ConfidencePredictor final : public LastValuePredictor {
   void train(const SpecGate::Fetch& fetch, const StoredTrace* attempted,
              SpecOutcome outcome) override {
     LastValuePredictor::train(fetch, attempted, outcome);
-    const auto [slot, inserted] = counters_.try_emplace(fetch.pc);
-    if (inserted) *slot = initial_;
+    u64* slot = cached_counter_pc_ == fetch.pc ? cached_counter_ : nullptr;
+    cached_counter_ = nullptr;
+    cached_counter_pc_ = isa::kInvalidPc;
+    if (slot == nullptr) {
+      const auto [fresh, inserted] = counters_.try_emplace(fetch.pc);
+      if (inserted) *fresh = initial_;
+      slot = fresh;
+    }
     u64& counter = *slot;
     if (outcome == SpecOutcome::kMisspec) {
       counter = 0;  // a squash costs real cycles: back off hard
@@ -185,6 +439,10 @@ class ConfidencePredictor final : public LastValuePredictor {
   u64 threshold_;
   u64 initial_;
   FlatHashMap<isa::Pc, u64> counters_;
+  /// One-shot choose→train counter-slot cache (nullptr also encodes
+  /// "probed and absent": train then inserts the initial counter).
+  u64* cached_counter_ = nullptr;
+  isa::Pc cached_counter_pc_ = isa::kInvalidPc;
 };
 
 }  // namespace

@@ -62,6 +62,12 @@ class TracePredictor {
 
   virtual std::string_view name() const = 0;
 
+  /// Whether choose/train ever read `fetch.candidates`. The oracle
+  /// policy decides from `fetch.oracle_choice` alone and returns
+  /// false, letting the simulator skip candidate enumeration
+  /// (reuse::SpecGate::wants_candidates).
+  virtual bool wants_candidates() const { return true; }
+
   /// The stored trace to speculatively attempt, or nullptr. Realizable
   /// policies must decide from `fetch.candidates` and their own
   /// trained state only; `fetch.oracle_choice` is for kOracle.
@@ -77,8 +83,11 @@ class TracePredictor {
                      reuse::SpecOutcome outcome) = 0;
 
   /// A trace was stored at its start PC (its recorded inputs were the
-  /// live values at collection time — free training data).
-  virtual void on_store(const reuse::StoredTrace& trace) = 0;
+  /// live values at collection time — free training data). `kind` says
+  /// how the store changed the PC's stored-trace set (SpecGate
+  /// contract), so cached per-PC views of it can be kept current.
+  virtual void on_store(const reuse::StoredTrace& trace,
+                        reuse::Rtm::StoreKind kind) = 0;
 };
 
 std::unique_ptr<TracePredictor> make_predictor(const PredictorConfig& config);

@@ -49,8 +49,9 @@ void RtmSpecSimulator::on_outcome(const Fetch& fetch,
   predictor_->train(fetch, attempted, outcome);
 }
 
-void RtmSpecSimulator::on_store(const StoredTrace& trace) {
-  predictor_->on_store(trace);
+void RtmSpecSimulator::on_store(const StoredTrace& trace,
+                                reuse::Rtm::StoreKind kind) {
+  predictor_->on_store(trace, kind);
 }
 
 void RtmSpecSimulator::on_executed(const isa::DynInst& inst) {

@@ -100,10 +100,14 @@ class RtmSpecSimulator final : private reuse::SpecGate,
 
  private:
   // SpecGate
+  bool wants_candidates() const override {
+    return predictor_->wants_candidates();
+  }
   const reuse::StoredTrace* decide(const Fetch& fetch) override;
   void on_outcome(const Fetch& fetch, const reuse::StoredTrace* attempted,
                   reuse::SpecOutcome outcome) override;
-  void on_store(const reuse::StoredTrace& trace) override;
+  void on_store(const reuse::StoredTrace& trace,
+                reuse::Rtm::StoreKind kind) override;
 
   // RtmEventSink (forwarded to every SpecEventSink)
   void on_executed(const isa::DynInst& inst) override;

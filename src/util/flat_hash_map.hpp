@@ -11,7 +11,7 @@
 //   - keys and values must be default-constructible and move-assignable
 //     (erase resets the slot to a default-constructed state);
 //   - pointer-returning find (no iterator invalidation contract to
-//     honour beyond "insert may rehash");
+//     honour beyond "insert and erase may rehash");
 //   - iteration order is unspecified — callers on results-bearing paths
 //     must not depend on it (tests/util/flat_hash_map_test.cpp checks
 //     the engine-facing behaviour against std::unordered_map).
@@ -104,6 +104,11 @@ class FlatHashMap {
 
   /// Returns true if the key was present. The slot's key/value are
   /// reset to default-constructed state (releasing owned resources).
+  /// May rehash (invalidating find() pointers): an erase-heavy phase
+  /// with no interleaved inserts never reaches grow_if_needed, so
+  /// probe chains would stay at the table's high-water length forever.
+  /// Past a quarter of the table, tombstones are reclaimed in place —
+  /// same capacity, freshly packed chains.
   bool erase(const Key& key) {
     const usize index = find_index(key);
     if (index == kNotFound) return false;
@@ -111,7 +116,32 @@ class FlatHashMap {
     slots_[index] = Slot{};
     --size_;
     ++tombstones_;
+    if (tombstones_ * 4 > ctrl_.size()) rehash(ctrl_.size());
     return true;
+  }
+
+  /// Dead control slots awaiting reclaim (diagnostics/tests).
+  usize tombstones() const { return tombstones_; }
+
+  /// Longest contiguous run of occupied (full or tombstone) control
+  /// slots, wrapping — an upper bound on any probe chain the table can
+  /// produce. O(capacity); diagnostics/tests only.
+  usize longest_occupied_run() const {
+    usize longest = 0;
+    usize run = 0;
+    // Two passes over the array resolve the wrap-around run; runs are
+    // capped at capacity when the table has no empty slot at all.
+    for (usize pass = 0; pass < 2; ++pass) {
+      for (const u8 state : ctrl_) {
+        if (state == kEmpty) {
+          longest = std::max(longest, run);
+          run = 0;
+        } else if (++run >= ctrl_.size()) {
+          return ctrl_.size();
+        }
+      }
+    }
+    return std::max(longest, run);
   }
 
   // ---- iteration (unspecified order; tests and cold paths only) ------

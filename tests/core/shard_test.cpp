@@ -283,7 +283,8 @@ TEST_F(ShardMergeTest, ValidatePartialRejectsMismatches) {
 }
 
 TEST_F(ShardMergeTest, MergeRejectsMissingAndDuplicateShards) {
-  // Missing shard.
+  // Missing shard: the message names the absent checkpoint file, not
+  // just the slot number, so a --resume user knows what to look for.
   {
     std::vector<Json> incomplete(state_->partials.begin(),
                                  state_->partials.end() - 1);
@@ -291,6 +292,9 @@ TEST_F(ShardMergeTest, MergeRejectsMissingAndDuplicateShards) {
     EXPECT_FALSE(merge_partials(incomplete, &errors).has_value());
     ASSERT_FALSE(errors.empty());
     EXPECT_NE(errors[0].find("missing shard"), std::string::npos)
+        << errors[0];
+    EXPECT_NE(errors[0].find(shard_file_name(kShardCount, kShardCount)),
+              std::string::npos)
         << errors[0];
   }
   // Duplicate shard.
@@ -304,6 +308,29 @@ TEST_F(ShardMergeTest, MergeRejectsMissingAndDuplicateShards) {
   }
   // Empty set.
   EXPECT_FALSE(merge_partials({}).has_value());
+}
+
+TEST_F(ShardMergeTest, MergeErrorsNameSourceFiles) {
+  // When the CLI hands over the file paths it read each partial from,
+  // duplicate errors cite both offending files (scan order is
+  // whatever the directory iterator produced, so "index 0 and 4"
+  // alone would send the user back to re-deriving the mapping).
+  std::vector<Json> duplicated = state_->partials;
+  duplicated.push_back(duplicated[0]);
+  std::vector<std::string> labels;
+  for (usize i = 1; i <= state_->partials.size(); ++i) {
+    labels.push_back("partials/" + shard_file_name(i, kShardCount));
+  }
+  labels.push_back("stale/" + shard_file_name(1, kShardCount));
+  std::vector<std::string> errors;
+  EXPECT_FALSE(merge_partials(duplicated, &errors, labels).has_value());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("stale/" + shard_file_name(1, kShardCount)),
+            std::string::npos)
+      << errors[0];
+  EXPECT_NE(errors[0].find("partials/" + shard_file_name(1, kShardCount)),
+            std::string::npos)
+      << errors[0];
 }
 
 TEST_F(ShardMergeTest, MergeRejectsMismatchedProvenance) {

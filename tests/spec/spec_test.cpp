@@ -179,6 +179,33 @@ TEST(Fig10Test, BitIdenticalAcrossThreadsAndChunks) {
   EXPECT_EQ(a.dump(), b.dump());
 }
 
+/// The fused fast path (Rtm::lookup_gated feeding both the reuse test
+/// and the predictor's candidate scan) must not cost a single byte at
+/// the committed scale: the full ci fig10 block reproduces the golden
+/// report exactly, whatever the engine's thread count or chunk size.
+TEST(Fig10Test, CiFig10MatchesCommittedGoldenAcrossEngineShapes) {
+  std::string error;
+  const auto golden =
+      core::read_report_file(TLR_REPO_DIR "/tools/baseline_ci.json", &error);
+  ASSERT_TRUE(golden.has_value()) << error;
+  const util::Json* want = golden->at("figures").find("fig10");
+  ASSERT_NE(want, nullptr);
+
+  const core::ScaleProfile profile = core::ScaleProfile::ci();
+  core::EngineOptions serial;
+  serial.threads = 1;
+  serial.chunk_size = 701;  // forces traces to straddle chunks
+  core::EngineOptions wide;
+  wide.threads = 4;  // default chunk size
+  for (const core::EngineOptions& shape : {serial, wide}) {
+    core::StudyEngine engine(shape);
+    const util::Json produced =
+        core::fig10_to_json(core::fig10_speculative_reuse(engine, profile));
+    EXPECT_EQ(produced.dump(2), want->dump(2))
+        << shape.threads << " thread(s), chunk " << shape.chunk_size;
+  }
+}
+
 // ---- classification ---------------------------------------------------
 
 /// Every fetch decision with stored candidates lands in exactly one
@@ -200,6 +227,36 @@ TEST(SpecStatsTest, ClassificationIsConsistent) {
     // hit on a *different* stored trace, so this is a lower bound).
     EXPECT_GE(result.sim.rtm.hits,
               result.spec.correct + result.spec.missed);
+  }
+}
+
+/// The exact fetch-decision split at ci scale, pinned. The golden
+/// report only keeps the derived rates (accuracy, misspec_rate); these
+/// are the raw correct/misspec/missed/decline counts they reduce from,
+/// so a change that shifts classifications while leaving the rounded
+/// rates intact still trips here.
+TEST(SpecStatsTest, CiClassificationCountsPinned) {
+  const core::ScaleProfile profile = core::ScaleProfile::ci();
+  const auto stream = core::collect_workload_stream(
+      "compress", profile.config_for("compress"));
+  struct Pin {
+    PredictorKind kind;
+    u64 correct, misspecs, missed, declines;
+  };
+  const Pin pins[] = {
+      {PredictorKind::kLastValue, 58, 10184, 1421, 68078},
+      {PredictorKind::kConfidence, 13, 104, 1718, 78058},
+  };
+  for (const Pin& pin : pins) {
+    RtmSpecConfig config;
+    config.sim = sim_config();
+    config.predictor.kind = pin.kind;
+    RtmSpecSimulator sim(config);
+    const RtmSpecResult result = sim.run(stream);
+    EXPECT_EQ(result.spec.correct, pin.correct) << predictor_name(pin.kind);
+    EXPECT_EQ(result.spec.misspecs, pin.misspecs) << predictor_name(pin.kind);
+    EXPECT_EQ(result.spec.missed, pin.missed) << predictor_name(pin.kind);
+    EXPECT_EQ(result.spec.declines, pin.declines) << predictor_name(pin.kind);
   }
 }
 

@@ -72,6 +72,64 @@ TEST(FlatHashMapTest, HeavyChurnKeepsCapacityBounded) {
   EXPECT_LE(map.capacity(), 1024u);
 }
 
+TEST(FlatHashMapTest, EraseOnlyPhaseReclaimsTombstones) {
+  // An erase-heavy phase with no interleaved inserts must shed its
+  // tombstones on its own: growth-time reclaim never fires without an
+  // insert, and a table left at its high-water probe lengths would
+  // tax every later find. The reclaim triggers inside erase() past a
+  // quarter of the table, so tombstones — and with them the longest
+  // possible probe chain — stay bounded by capacity at every point of
+  // the drain, not just at the end.
+  FlatHashMap<u64, u64> map;
+  constexpr u64 kEntries = 4096;
+  for (u64 k = 0; k < kEntries; ++k) map[k] = k;
+  const usize capacity = map.capacity();
+  for (u64 k = 0; k < kEntries; ++k) {
+    ASSERT_TRUE(map.erase(k));
+    ASSERT_LE(map.tombstones() * 4, map.capacity()) << "after erasing " << k;
+  }
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), capacity);  // reclaim, not regrowth
+  // Fully drained: every chain is gone once the last reclaim ran.
+  EXPECT_LE(map.longest_occupied_run(), map.capacity() / 4);
+  // Survivors stay findable through the in-place rehashes.
+  for (u64 k = 0; k < kEntries; ++k) map[k] = k * 2;
+  for (u64 k = 0; k < kEntries; k += 2) ASSERT_TRUE(map.erase(k));
+  for (u64 k = 1; k < kEntries; k += 2) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k * 2) << k;
+  }
+}
+
+TEST(FlatHashMapTest, ChurnKeepsProbeChainsBounded) {
+  // Insert/erase churn at a steady size: occupied runs (the ceiling on
+  // any probe chain) must stay a modest fraction of capacity instead
+  // of creeping toward the full table as tombstones accumulate.
+  FlatHashMap<u64, u64> map;
+  Rng rng(0xC0FFEE);
+  std::vector<u64> live;
+  for (int step = 0; step < 50000; ++step) {
+    if (live.size() < 256 || rng.below(2) == 0) {
+      const u64 key = rng.next();
+      map[key] = key;
+      live.push_back(key);
+    } else {
+      const usize pick = rng.below(live.size());
+      map.erase(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (step % 1024 == 0) {
+      // size + tombstones <= 7/8 capacity (growth invariant) and
+      // tombstones <= capacity/4 (erase-time reclaim) cap how much of
+      // the table can be occupied at once; a run longer than half the
+      // table would mean one of the two stopped holding.
+      ASSERT_LE(map.longest_occupied_run(), map.capacity() / 2)
+          << "step " << step;
+    }
+  }
+}
+
 TEST(FlatHashMapTest, RandomOpsMatchUnorderedMap) {
   // Property check: a long random op sequence must be observationally
   // identical to std::unordered_map.

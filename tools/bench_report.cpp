@@ -19,7 +19,9 @@
 //   bench_report --out BENCH.json --reference tools/BENCH_5.json
 //
 // Exit codes: 0 success / comparison passed, 1 usage or I/O error,
-// 2 comparison found differences.
+// 2 comparison found differences — or the golden could not be loaded
+// (missing/truncated baselines are comparison verdicts, checked before
+// the timed run so they fail fast).
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -109,6 +111,21 @@ int run(const CliOptions& options) {
     return fail_usage("unknown profile '" + options.profile + "'");
   }
   const core::ScaleProfile profile = *named;
+
+  // Load the golden before the timed run: a missing or truncated
+  // baseline must fail in milliseconds with the comparison exit code
+  // (2) and the offending path, not after minutes of timing — and
+  // never as an assert/JSON-parse crash mid-comparison.
+  std::optional<util::Json> golden;
+  if (!options.compare_path.empty()) {
+    std::string error;
+    golden = core::read_report_file(options.compare_path, &error);
+    if (!golden.has_value()) {
+      std::cerr << "bench_report: cannot load golden '"
+                << options.compare_path << "': " << error << "\n";
+      return 2;
+    }
+  }
 
   core::StudyEngine engine(options.engine);
   const core::MetricOptions metric_options;
@@ -219,25 +236,20 @@ int run(const CliOptions& options) {
   if (!options.quiet) {
     for (const Section& section : sections) {
       std::cerr << "bench_report: " << section.name << " "
-                << tools::minstr_per_s(section.instructions,
-                                       section.wall_seconds)
+                << tools::format_minstr(section.instructions,
+                                        section.wall_seconds)
                 << " Minstr/s (" << section.wall_seconds << "s)\n";
     }
   }
 
   // ---- golden validation ---------------------------------------------
-  if (!options.compare_path.empty()) {
-    std::string error;
-    const auto baseline = core::read_report_file(options.compare_path, &error);
-    if (!baseline.has_value()) {
-      std::cerr << "bench_report: " << error << "\n";
-      return 1;
-    }
+  if (golden.has_value()) {
+    const util::Json& baseline = *golden;
     core::CompareOptions zero;
     zero.rel_tol = 0.0;
     zero.abs_tol = 0.0;
     const std::vector<std::string> diffs =
-        core::compare_reports(report, *baseline, zero);
+        core::compare_reports(report, baseline, zero);
     if (!diffs.empty()) {
       std::cerr << "bench_report: timed run's report differs from "
                 << options.compare_path << " (" << diffs.size()

@@ -407,7 +407,7 @@ int run(const CliOptions& options) {
       std::cerr << "reuse_study: throughput:";
       for (const SectionRate& rate : rates) {
         std::cerr << " " << rate.label << " "
-                  << tools::minstr_per_s(rate.instructions, rate.seconds)
+                  << tools::format_minstr(rate.instructions, rate.seconds)
                   << " Minstr/s";
       }
       std::cerr << "\n";
@@ -553,12 +553,17 @@ int run_resume(const CliOptions& options) {
   }
 
   std::vector<util::Json> partials;
-  for (std::optional<util::Json>& partial : by_index) {
-    if (partial.has_value()) partials.push_back(std::move(*partial));
+  std::vector<std::string> labels;  // checkpoint path per partial
+  for (usize index = 1; index <= count; ++index) {
+    std::optional<util::Json>& partial = by_index[index - 1];
+    if (partial.has_value()) {
+      partials.push_back(std::move(*partial));
+      labels.push_back(shard_path(index).string());
+    }
   }
 
   std::vector<std::string> errors;
-  const auto merged = core::merge_partials(partials, &errors);
+  const auto merged = core::merge_partials(partials, &errors, labels);
   if (!merged.has_value()) return fail_merge(errors);
   if (!options.quiet) {
     std::cerr << "reuse_study: merged " << partials.size() << " partial(s) ("
@@ -631,7 +636,7 @@ int run_merge(int argc, char** argv) {
   }
 
   std::vector<std::string> errors;
-  const auto merged = core::merge_partials(partials, &errors);
+  const auto merged = core::merge_partials(partials, &errors, paths);
   if (!merged.has_value()) return fail_merge(errors);
   if (!quiet) {
     std::cerr << "reuse_study: merged " << partials.size()
@@ -756,9 +761,11 @@ int main(int argc, char** argv) {
       options.skip = value;
     } else if (arg == "--length") {
       u64 value = 0;
-      if (!parse_u64(next_value(i, "--length"), value) || value == 0) {
+      if (!parse_u64(next_value(i, "--length"), value)) {
         return fail_usage("bad --length value");
       }
+      // 0 is allowed: measure nothing (the workload is skipped), so
+      // plumbing runs can exercise report emission without streaming.
       options.length = value;
     } else if (arg == "--seed") {
       u64 value = 0;

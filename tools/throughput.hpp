@@ -9,6 +9,8 @@
 // scaled by the job multiplicity.
 #pragma once
 
+#include <cmath>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,21 @@ inline u64 fig10_instructions(const std::vector<core::WorkloadMetrics>& suite,
 inline double minstr_per_s(u64 instructions, double wall_seconds) {
   if (wall_seconds <= 0.0) return 0.0;
   return static_cast<double>(instructions) / 1e6 / wall_seconds;
+}
+
+/// Human-readable rate for the per-section stderr summaries. A section
+/// that streamed nothing (skipped workload, empty shard slice) or
+/// finished under the clock's resolution has no meaningful rate:
+/// dividing there prints 0, inf or NaN depending on which operand
+/// collapsed first, so those render as "--" instead of a number.
+inline std::string format_minstr(u64 instructions, double wall_seconds) {
+  if (instructions == 0 || !std::isfinite(wall_seconds) ||
+      wall_seconds < 1e-9) {
+    return "--";
+  }
+  std::ostringstream out;
+  out << minstr_per_s(instructions, wall_seconds);
+  return out.str();
 }
 
 }  // namespace tlr::tools
