@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "reuse/instr_table.hpp"
 #include "util/assert.hpp"
 #include "workloads/workload.hpp"
@@ -96,6 +98,7 @@ usize StudyEngine::thread_count() { return pool().thread_count(); }
 
 void StudyEngine::parallel_for(usize n,
                                const std::function<void(usize)>& job) {
+  if (n > 0) obs::count(obs::Counter::kEngineJobs, n);
   pool().parallel_for(n, job);
 }
 
@@ -114,6 +117,7 @@ u64 StudyEngine::run_stream(std::shared_ptr<const vm::Program> program,
     want_flags = want_flags || consumer->wants_reusability();
   }
 
+  obs::Span span("stream", "engine");
   vm::StreamSource source(std::move(program), limits, options_.chunk_size);
   reuse::InfiniteInstrTable table;
   std::vector<u8> flags;
@@ -133,6 +137,10 @@ u64 StudyEngine::run_stream(std::shared_ptr<const vm::Program> program,
   }
   const u64 total = source.emitted();
   for (StreamConsumer* consumer : consumers) consumer->finish(total);
+  obs::MetricsBlock block;
+  block.add(obs::Counter::kEngineStreams, 1);
+  block.add(obs::Counter::kEngineInstructions, total);
+  obs::flush(block);
   return total;
 }
 
@@ -163,6 +171,8 @@ u64 StudyEngine::run_workload_stream(
 WorkloadMetrics StudyEngine::analyze(std::string_view workload_name,
                                      const SuiteConfig& config,
                                      const MetricOptions& options) const {
+  obs::Span span("analyze", "engine");
+  span.set_arg("workload", workload_name);
   const auto workload_ptr = shared_workload(workload_name, config.seed);
   const workloads::Workload& workload = *workload_ptr;
 

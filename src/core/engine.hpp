@@ -194,7 +194,12 @@ class RtmSimConsumer final : public StreamConsumer,
   RtmSimConsumer& operator=(const RtmSimConsumer&) = delete;
 
   void consume(const ChunkView& chunk) override { sim_.feed(chunk.insts); }
-  void finish(u64) override { result_ = sim_.finish(); }
+  void finish(u64) override {
+    result_ = sim_.finish();
+    obs::MetricsBlock block;
+    reuse::accumulate_metrics(result_, block);
+    obs::flush(block);
+  }
 
   const reuse::RtmSimResult& result() const { return result_; }
   timing::TimerResult timing_result() const;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 #include "spec/consumer.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -250,6 +251,8 @@ std::vector<Fig9Cell> fig9_workload_heuristic(const StudyEngine& engine,
                                               std::string_view workload,
                                               const Fig9Heuristic& heuristic,
                                               reuse::ReuseTestKind test) {
+  obs::Span span("fig9_job", "figures");
+  span.set_arg("workload", workload);
   const auto geometries = fig9_geometries();
   std::vector<std::unique_ptr<RtmSimConsumer>> sims;
   std::vector<StreamConsumer*> consumers;
@@ -390,6 +393,8 @@ std::vector<Fig10WorkloadCell> fig10_workload_predictor(
     const StudyEngine& engine, const SuiteConfig& config,
     std::string_view workload, const spec::PredictorConfig& predictor,
     const Fig10Options& options) {
+  obs::Span span("fig10_job", "figures");
+  span.set_arg("workload", workload);
   TLR_ASSERT(!options.penalties.empty());
   const auto geometries = fig9_geometries();
 

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 #include "spec/predictor.hpp"
 #include "util/assert.hpp"
 #include "workloads/workload.hpp"
@@ -482,6 +483,7 @@ void run_shard_partials(
   }
 
   engine.parallel_for(jobs.size(), [&](usize j) {
+    obs::Span span("shard_job", "shard");
     const JobRef& job = jobs[j];
     ShardSlot& slot = slots[job.slot];
     const ShardKey& key = slot.keys[job.key];
@@ -504,6 +506,7 @@ void run_shard_partials(
     }
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
+    span.set_arg("key", label);
 
     const std::lock_guard<std::mutex> lock(mutex);
     slot.wall_seconds += elapsed;
@@ -659,6 +662,7 @@ std::string partial_label(usize i, std::span<const std::string> labels) {
 std::optional<Json> merge_partials(std::span<const Json> partials,
                                    std::vector<std::string>* errors,
                                    std::span<const std::string> labels) {
+  obs::Span span("merge", "shard");
   if (partials.empty()) {
     merge_error(errors, "no partials to merge");
     return std::nullopt;

@@ -1,0 +1,135 @@
+#include "obs/counters.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace tlr::obs {
+
+namespace {
+
+constexpr CounterDef kCatalog[kCounterCount] = {
+    {"engine.streams", true},
+    {"engine.instructions", true},
+    {"engine.jobs", true},
+    {"rtm.lookups", true},
+    {"rtm.hits", true},
+    {"rtm.probe_slots", true},
+    {"rtm.insertions", true},
+    {"rtm.duplicate_insertions", true},
+    {"rtm.way_evictions", true},
+    {"rtm.trace_evictions", true},
+    {"rtm.replacements", true},
+    {"rtm.stale_replacements", true},
+    {"rtm.invalidations", true},
+    {"sim.instructions", true},
+    {"sim.reused_instructions", true},
+    {"sim.reuse_ops", true},
+    {"sim.expansions", true},
+    {"sim.merges", true},
+    {"spec.correct", true},
+    {"spec.misspecs", true},
+    {"spec.missed", true},
+    {"spec.declines", true},
+    {"table.rehashes", true},
+    {"table.tombstone_reclaims", true},
+    {"vm.chunks", false},
+};
+
+/// The process-wide totals. Relaxed atomics: every mutation is an
+/// unordered add and every read a whole-array snapshot, so the only
+/// guarantee needed is per-counter atomicity — the sum is the same
+/// whatever interleaving the threads produced.
+std::atomic<u64> g_totals[kCounterCount]{};
+
+}  // namespace
+
+std::span<const CounterDef> counter_catalog() {
+  return std::span<const CounterDef>(kCatalog, kCounterCount);
+}
+
+void flush(const MetricsBlock& block) {
+  for (usize i = 0; i < kCounterCount; ++i) {
+    const u64 delta = block.values()[i];
+    if (delta != 0) g_totals[i].fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void count(Counter counter, u64 delta) {
+  g_totals[static_cast<usize>(counter)].fetch_add(delta,
+                                                  std::memory_order_relaxed);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot snapshot;
+  for (usize i = 0; i < kCounterCount; ++i) {
+    snapshot.values[i] = g_totals[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void reset_metrics() {
+  for (usize i = 0; i < kCounterCount; ++i) {
+    g_totals[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool MetricsSnapshot::invariant_equal(const MetricsSnapshot& other) const {
+  for (usize i = 0; i < kCounterCount; ++i) {
+    if (kCatalog[i].invariant && values[i] != other.values[i]) return false;
+  }
+  return true;
+}
+
+util::Json metrics_json(const MetricsSnapshot& snapshot,
+                        const MetricsMeta& meta) {
+  util::Json doc = util::Json::object();
+  doc.set("schema", util::Json("tlr-metrics/1"));
+  util::Json meta_json = util::Json::object();
+  meta_json.set("tool", util::Json(meta.tool));
+  meta_json.set("threads", util::Json(static_cast<u64>(meta.threads)));
+  meta_json.set("chunk_size", util::Json(static_cast<u64>(meta.chunk_size)));
+  doc.set("meta", std::move(meta_json));
+  util::Json counters = util::Json::object();
+  util::Json shape = util::Json::object();
+  for (usize i = 0; i < kCounterCount; ++i) {
+    (kCatalog[i].invariant ? counters : shape)
+        .set(kCatalog[i].name, util::Json(snapshot.values[i]));
+  }
+  doc.set("counters", std::move(counters));
+  doc.set("shape", std::move(shape));
+  return doc;
+}
+
+bool write_metrics_file(const MetricsSnapshot& snapshot,
+                        const MetricsMeta& meta, const std::string& path,
+                        std::string* error) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot create directory " + target.parent_path().string() +
+                 ": " + ec.message();
+      }
+      return false;
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << metrics_json(snapshot, meta).dump(/*indent=*/2);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tlr::obs

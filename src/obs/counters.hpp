@@ -1,0 +1,154 @@
+// Deterministic run counters (DESIGN.md §11).
+//
+// The study engine computes a wealth of internal event counts — RTM
+// lookups and evictions, speculation outcomes, interpreter stream
+// lengths, hash-table rehashes — that the paper's own analysis hinges
+// on, yet until now they died with the job that produced them. This
+// registry aggregates them into one process-wide array of named u64
+// counters with a determinism contract: every counter in the
+// *invariant* class has the same final value for any engine thread
+// count and any stream chunk size, because each is a pure sum of
+// per-job event counts and u64 addition commutes. Run-shape counters
+// (chunk counts) are kept in a separate class so the pinned golden
+// never depends on how a run was sliced.
+//
+// Aggregation is two-level to keep hot paths clean: simulation loops
+// keep counting into the per-component stats structs they already
+// maintain (Rtm::Stats, RtmSimResult, spec::SpecStats); at job
+// completion those totals are folded into a local MetricsBlock and
+// flushed with one call — a handful of relaxed atomic adds per
+// *job*, never per instruction. Only rare structural events with no
+// natural job-end summary (FlatHashMap rehashes) count directly via
+// count().
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace tlr::util {
+class Json;
+}
+
+namespace tlr::obs {
+
+/// The counter catalog. Order is part of the tlr-metrics/1 schema:
+/// the exported document lists counters exactly in this order.
+enum class Counter : u32 {
+  // Study engine (core/engine.cpp).
+  kEngineStreams,       // chunked interpreter passes run
+  kEngineInstructions,  // dynamic instructions streamed (sum of passes)
+  kEngineJobs,          // parallel_for jobs dispatched across the pool
+  // Finite-RTM reuse trace memory (reuse/rtm.cpp, per-simulation
+  // Rtm::Stats summed over every simulator the engine ran).
+  kRtmLookups,
+  kRtmHits,
+  kRtmProbeSlots,  // trace slots examined across all reuse tests
+  kRtmInsertions,
+  kRtmDuplicateInsertions,
+  kRtmWayEvictions,
+  kRtmTraceEvictions,
+  kRtmReplacements,
+  kRtmStaleReplacements,
+  kRtmInvalidations,
+  // Finite-RTM simulation results (reuse/rtm_sim.cpp).
+  kSimInstructions,
+  kSimReusedInstructions,
+  kSimReuseOps,
+  kSimExpansions,
+  kSimMerges,
+  // Speculative reuse outcomes (spec/spec_sim.cpp taxonomy).
+  kSpecCorrect,
+  kSpecMisspecs,
+  kSpecMissed,
+  kSpecDeclines,
+  // Flat hash tables (util/flat_hash_map.hpp), whole-process.
+  kTableRehashes,
+  kTableTombstoneReclaims,
+  // Run shape (not invariant): how the stream was sliced.
+  kVmChunks,
+
+  kCount,
+};
+
+inline constexpr usize kCounterCount = static_cast<usize>(Counter::kCount);
+
+struct CounterDef {
+  std::string_view name;  // dotted, e.g. "rtm.lookups"
+  /// Whether the counter's final value is independent of engine thread
+  /// count and chunk size (the determinism contract above). Invariant
+  /// counters form the pinned "counters" section of tlr-metrics/1;
+  /// the rest go to "shape".
+  bool invariant = true;
+};
+
+/// Catalog entry per Counter, in enum order.
+std::span<const CounterDef> counter_catalog();
+
+/// Local, allocation-free accumulator: fold a job's stats in, then
+/// flush() once. Zero-initialised.
+class MetricsBlock {
+ public:
+  void add(Counter counter, u64 delta) {
+    values_[static_cast<usize>(counter)] += delta;
+  }
+  u64 value(Counter counter) const {
+    return values_[static_cast<usize>(counter)];
+  }
+  const std::array<u64, kCounterCount>& values() const { return values_; }
+
+ private:
+  std::array<u64, kCounterCount> values_{};
+};
+
+/// Add `block` to the process-wide totals (one relaxed atomic add per
+/// non-zero entry). Thread-safe; ordering-independent by construction.
+void flush(const MetricsBlock& block);
+
+/// Directly count a rare structural event (hash-table rehashes). Do
+/// not call this from per-instruction paths — fold into a stats
+/// struct and flush() at job end instead.
+void count(Counter counter, u64 delta = 1);
+
+/// Point-in-time copy of the process-wide totals.
+struct MetricsSnapshot {
+  std::array<u64, kCounterCount> values{};
+
+  u64 value(Counter counter) const {
+    return values[static_cast<usize>(counter)];
+  }
+  /// Equality over the invariant counters only — the determinism
+  /// contract two runs of the same work must satisfy.
+  bool invariant_equal(const MetricsSnapshot& other) const;
+};
+
+MetricsSnapshot metrics_snapshot();
+
+/// Reset every total to zero (tests; a fresh CLI process starts at
+/// zero anyway).
+void reset_metrics();
+
+/// Run-description keys for the metrics document's meta block. These
+/// describe the run shape and are never part of the pinned counters.
+struct MetricsMeta {
+  std::string_view tool = "reuse_study";
+  usize threads = 0;
+  usize chunk_size = 0;
+};
+
+/// The tlr-metrics/1 document: schema, meta, then the "counters"
+/// object (invariant counters, catalog order) and the "shape" object
+/// (the rest). Byte-deterministic for a given snapshot and meta.
+util::Json metrics_json(const MetricsSnapshot& snapshot,
+                        const MetricsMeta& meta);
+
+/// Write metrics_json(...) pretty-printed to `path` (parent
+/// directories created). False + `error` on I/O failure.
+bool write_metrics_file(const MetricsSnapshot& snapshot,
+                        const MetricsMeta& meta, const std::string& path,
+                        std::string* error = nullptr);
+
+}  // namespace tlr::obs

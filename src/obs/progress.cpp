@@ -1,0 +1,263 @@
+#include "obs/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+#include "util/json.hpp"
+
+namespace tlr::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Minimum gap between throttled emissions: fast enough to feel live,
+/// slow enough that tiny --chunk runs with thousands of jobs cannot
+/// spam a terminal or a CI log.
+constexpr double kMinEmitIntervalSeconds = 0.25;
+
+double seconds_since(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return std::string(buffer);
+}
+
+u64 process_id() {
+#if defined(__unix__)
+  return static_cast<u64>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::optional<ProgressMode> progress_mode_from_name(std::string_view name) {
+  if (name == "none") return ProgressMode::kNone;
+  if (name == "line") return ProgressMode::kLine;
+  if (name == "json") return ProgressMode::kJson;
+  return std::nullopt;
+}
+
+std::string format_minstr_rate(u64 instructions, double wall_seconds) {
+  if (instructions == 0 || !std::isfinite(wall_seconds) ||
+      wall_seconds < 1e-9) {
+    return "--";
+  }
+  std::ostringstream out;
+  out << static_cast<double>(instructions) / 1e6 / wall_seconds;
+  return out.str();
+}
+
+ProgressReporter::ProgressReporter(ProgressMode mode, std::ostream* out,
+                                   std::string_view tool)
+    : mode_(mode), out_(out != nullptr ? out : &std::cerr), tool_(tool) {}
+
+void ProgressReporter::emit_json(const std::string& event_body) {
+  *out_ << event_body << "\n";
+}
+
+double ProgressReporter::section_elapsed() const {
+  return seconds_since(section_start_);
+}
+
+void ProgressReporter::note(std::string_view text) {
+  if (mode_ == ProgressMode::kNone) return;
+  if (mode_ == ProgressMode::kLine) {
+    *out_ << tool_ << ": " << text << "\n";
+    return;
+  }
+  util::Json event = util::Json::object();
+  event.set("event", util::Json("note"));
+  event.set("tool", util::Json(tool_));
+  event.set("text", util::Json(text));
+  emit_json(event.dump(/*indent=*/-1));
+}
+
+void ProgressReporter::begin_section(std::string_view section,
+                                     usize total_jobs) {
+  section_ = section;
+  total_jobs_ = total_jobs;
+  section_start_ = Clock::now();
+  last_emit_ = section_start_;
+  emitted_any_ = false;
+  if (mode_ != ProgressMode::kJson) return;
+  util::Json event = util::Json::object();
+  event.set("event", util::Json("begin_section"));
+  event.set("tool", util::Json(tool_));
+  event.set("section", util::Json(section_));
+  event.set("total_jobs", util::Json(static_cast<u64>(total_jobs_)));
+  emit_json(event.dump(/*indent=*/-1));
+}
+
+void ProgressReporter::update(usize done, usize total,
+                              std::string_view label) {
+  if (mode_ == ProgressMode::kNone) return;
+  if (total != 0) total_jobs_ = total;
+  const Clock::time_point now = Clock::now();
+  const bool final_tick = total_jobs_ != 0 && done >= total_jobs_;
+  if (emitted_any_ && !final_tick &&
+      std::chrono::duration<double>(now - last_emit_).count() <
+          kMinEmitIntervalSeconds) {
+    return;
+  }
+  emitted_any_ = true;
+  last_emit_ = now;
+
+  const double elapsed = section_elapsed();
+  const double rate = elapsed > 1e-9 ? static_cast<double>(done) / elapsed
+                                     : 0.0;
+  const double eta =
+      rate > 1e-12 && total_jobs_ >= done
+          ? static_cast<double>(total_jobs_ - done) / rate
+          : -1.0;
+
+  if (mode_ == ProgressMode::kLine) {
+    *out_ << tool_ << ": ";
+    if (!label.empty()) {
+      *out_ << "[" << done << "/" << total_jobs_ << "] " << label;
+      if (rate > 0.0 && eta >= 0.0 && done < total_jobs_) {
+        *out_ << " (" << format_fixed(rate, 1) << " jobs/s, ETA "
+              << format_fixed(eta, 0) << "s)";
+      }
+    } else {
+      const usize percent = total_jobs_ != 0 ? done * 100 / total_jobs_ : 0;
+      *out_ << section_ << " " << percent << "% (" << done << "/"
+            << total_jobs_ << " jobs";
+      if (rate > 0.0 && eta >= 0.0 && done < total_jobs_) {
+        *out_ << ", ETA " << format_fixed(eta, 0) << "s";
+      }
+      *out_ << ")";
+    }
+    *out_ << "\n";
+    return;
+  }
+
+  util::Json event = util::Json::object();
+  event.set("event", util::Json("progress"));
+  event.set("tool", util::Json(tool_));
+  event.set("section", util::Json(section_));
+  event.set("done", util::Json(static_cast<u64>(done)));
+  event.set("total", util::Json(static_cast<u64>(total_jobs_)));
+  if (!label.empty()) event.set("label", util::Json(label));
+  event.set("jobs_per_s", util::Json(rate));
+  if (eta >= 0.0) event.set("eta_s", util::Json(eta));
+  emit_json(event.dump(/*indent=*/-1));
+}
+
+void ProgressReporter::end_section(u64 instructions) {
+  const double seconds = section_elapsed();
+  rates_.push_back({section_, instructions, seconds});
+  if (mode_ != ProgressMode::kJson) return;
+  util::Json event = util::Json::object();
+  event.set("event", util::Json("end_section"));
+  event.set("tool", util::Json(tool_));
+  event.set("section", util::Json(section_));
+  event.set("instructions", util::Json(instructions));
+  event.set("wall_seconds", util::Json(seconds));
+  const std::string rate = format_minstr_rate(instructions, seconds);
+  if (rate != "--") {
+    event.set("minstr_per_s",
+              util::Json(static_cast<double>(instructions) / 1e6 / seconds));
+  }
+  emit_json(event.dump(/*indent=*/-1));
+}
+
+void ProgressReporter::finish(double wall_seconds) {
+  if (mode_ == ProgressMode::kNone) return;
+  if (mode_ == ProgressMode::kLine) {
+    // Historical footer format: scripts and the skipped-throughput test
+    // grep these exact bytes.
+    if (!rates_.empty()) {
+      *out_ << tool_ << ": throughput:";
+      for (const SectionRate& rate : rates_) {
+        *out_ << " " << rate.label << " "
+              << format_minstr_rate(rate.instructions, rate.seconds)
+              << " Minstr/s";
+      }
+      *out_ << "\n";
+    }
+    *out_ << tool_ << ": done in " << wall_seconds << "s\n";
+    return;
+  }
+  util::Json event = util::Json::object();
+  event.set("event", util::Json("done"));
+  event.set("tool", util::Json(tool_));
+  event.set("wall_seconds", util::Json(wall_seconds));
+  util::Json sections = util::Json::object();
+  for (const SectionRate& rate : rates_) {
+    sections.set(rate.label,
+                 util::Json(format_minstr_rate(rate.instructions,
+                                               rate.seconds)));
+  }
+  event.set("minstr_per_s", std::move(sections));
+  emit_json(event.dump(/*indent=*/-1));
+}
+
+Heartbeat::Heartbeat(std::string path, double min_interval_s)
+    : path_(std::move(path)),
+      min_interval_s_(min_interval_s),
+      start_(Clock::now()),
+      last_write_(start_) {}
+
+void Heartbeat::update(usize done, usize total, std::string_view label) {
+  if (!enabled()) return;
+  const Clock::time_point now = Clock::now();
+  if (wrote_any_ &&
+      std::chrono::duration<double>(now - last_write_).count() <
+          min_interval_s_) {
+    return;
+  }
+  write(done, total, label);
+}
+
+void Heartbeat::finish(usize done, usize total) {
+  if (!enabled()) return;
+  write(done, total, "done");
+}
+
+void Heartbeat::write(usize done, usize total, std::string_view label) {
+  util::Json doc = util::Json::object();
+  doc.set("schema", util::Json("tlr-heartbeat/1"));
+  doc.set("pid", util::Json(process_id()));
+  doc.set("done", util::Json(static_cast<u64>(done)));
+  doc.set("total", util::Json(static_cast<u64>(total)));
+  doc.set("label", util::Json(label));
+  doc.set("wall_seconds", util::Json(seconds_since(start_)));
+  doc.set("updated_unix",
+          util::Json(static_cast<u64>(
+              std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count())));
+
+  // tmp + rename: a reader polling the file never observes a torn
+  // write. Failures are swallowed — the heartbeat is best-effort.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return;
+    out << doc.dump(/*indent=*/2);
+    out.flush();
+    if (!out) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (!ec) {
+    wrote_any_ = true;
+    last_write_ = Clock::now();
+  }
+}
+
+}  // namespace tlr::obs

@@ -1,0 +1,124 @@
+// Throttled run telemetry for the CLI tools (DESIGN.md §11).
+//
+// ProgressReporter replaces the tools' ad-hoc stderr prints with one
+// stateful reporter: free-form notes, throttled per-job progress
+// ticks with rate and ETA, and a per-section Minstr/s summary.
+// Three modes:
+//   kNone  — silent (--quiet / --progress none)
+//   kLine  — human-readable stderr lines, prefixed "<tool>: " (the
+//            historical format; scripts that grep the throughput
+//            summary keep working byte-for-byte)
+//   kJson  — one compact JSON object per line on stderr
+//            ({"event":...}), machine-tailable run telemetry
+//
+// Heartbeat writes a small tlr-heartbeat/1 JSON file (atomically:
+// tmp + rename) at a bounded rate so resumable paper-scale runs are
+// observable from outside the process — a stalled shard shows up as
+// a stale mtime, not as silence.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace tlr::obs {
+
+enum class ProgressMode : u8 { kNone, kLine, kJson };
+
+/// Parses a --progress value; nullopt on unknown names.
+std::optional<ProgressMode> progress_mode_from_name(std::string_view name);
+
+class ProgressReporter {
+ public:
+  /// `out` defaults to std::cerr. `tool` is the line prefix and the
+  /// "tool" key of JSON events.
+  explicit ProgressReporter(ProgressMode mode, std::ostream* out = nullptr,
+                            std::string_view tool = "reuse_study");
+
+  ProgressMode mode() const { return mode_; }
+  bool enabled() const { return mode_ != ProgressMode::kNone; }
+
+  /// Unthrottled free-form status ("profile ci (...), 4 thread(s)").
+  /// kLine emits the text verbatim after the tool prefix.
+  void note(std::string_view text);
+
+  /// Starts a section: resets the throttle window and the section
+  /// clock that update() rates and end_section() Minstr/s use.
+  void begin_section(std::string_view section, usize total_jobs);
+
+  /// One job-completion tick; emitted at most every ~0.25s (the first
+  /// and final ticks always emit). `total` refreshes the job count —
+  /// the fig9/fig10 fan-outs only learn it inside their progress
+  /// callback (0 keeps the begin_section() value). `label` names the
+  /// finished unit for list-style sections (suite workloads, shard
+  /// keys); empty renders the percent style used by the job grids.
+  void update(usize done, usize total = 0, std::string_view label = {});
+
+  /// Ends the current section, recording `instructions` streamed for
+  /// the final throughput summary.
+  void end_section(u64 instructions);
+
+  /// The run footer: the per-section "throughput: <name> <rate>
+  /// Minstr/s ..." line and the total wall time.
+  void finish(double wall_seconds);
+
+ private:
+  struct SectionRate {
+    std::string label;
+    u64 instructions = 0;
+    double seconds = 0.0;
+  };
+
+  void emit_json(const std::string& event_body);
+  double section_elapsed() const;
+
+  ProgressMode mode_;
+  std::ostream* out_;
+  std::string tool_;
+  std::string section_;
+  usize total_jobs_ = 0;
+  std::chrono::steady_clock::time_point section_start_;
+  std::chrono::steady_clock::time_point last_emit_;
+  bool emitted_any_ = false;
+  std::vector<SectionRate> rates_;
+};
+
+/// Formats instructions/seconds as the Minstr/s rate string used in
+/// throughput summaries; "--" when the section streamed nothing or
+/// finished under the clock's resolution (matches
+/// tools::format_minstr byte-for-byte).
+std::string format_minstr_rate(u64 instructions, double wall_seconds);
+
+class Heartbeat {
+ public:
+  /// Disabled: update()/finish() are no-ops.
+  Heartbeat() = default;
+  /// Writes `path` at most every `min_interval_s` (plus one final
+  /// unconditional write from finish()).
+  explicit Heartbeat(std::string path, double min_interval_s = 5.0);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Throttled progress write; silently keeps the previous file on
+  /// I/O failure (a heartbeat must never fail the run).
+  void update(usize done, usize total, std::string_view label);
+
+  /// Unconditional final write.
+  void finish(usize done, usize total);
+
+ private:
+  void write(usize done, usize total, std::string_view label);
+
+  std::string path_;
+  double min_interval_s_ = 5.0;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_write_;
+  bool wrote_any_ = false;
+};
+
+}  // namespace tlr::obs

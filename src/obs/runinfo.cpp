@@ -1,0 +1,29 @@
+#include "obs/runinfo.hpp"
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace tlr::obs {
+
+RunInfo run_info() {
+  RunInfo info;
+  info.hostname = "unknown";
+#if defined(__unix__)
+  char buffer[256];
+  if (::gethostname(buffer, sizeof(buffer)) == 0) {
+    buffer[sizeof(buffer) - 1] = '\0';
+    info.hostname = buffer;
+  }
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // Linux reports ru_maxrss in kilobytes (BSD reports bytes; this
+    // codebase targets the Linux toolchain image).
+    info.peak_rss_kb = static_cast<u64>(usage.ru_maxrss);
+  }
+#endif
+  return info;
+}
+
+}  // namespace tlr::obs

@@ -1,0 +1,25 @@
+// Host provenance for published measurement documents (DESIGN.md §11).
+//
+// Perf numbers without the machine that produced them are folklore:
+// tools/bench_report stamps its tlr-bench/1 meta with the hostname
+// and the process peak RSS so a trajectory of committed documents is
+// attributable to a host and a memory footprint. Kept out of the
+// report schema proper — run provenance, never a result.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace tlr::obs {
+
+struct RunInfo {
+  std::string hostname;  // "unknown" when the platform cannot say
+  u64 peak_rss_kb = 0;   // peak resident set, kilobytes; 0 if unknown
+};
+
+/// Snapshot of the current process's host info. Peak RSS is as of the
+/// call — sample it after the measured work.
+RunInfo run_info();
+
+}  // namespace tlr::obs

@@ -1,0 +1,269 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "util/json.hpp"
+
+namespace tlr::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::string arg_key;
+  std::string arg_value;
+  u64 start_us = 0;
+  u64 end_us = 0;
+};
+
+/// One thread's span log. Only the owner thread appends; records live
+/// in fixed blocks that never move once linked, and the committed
+/// count is published with release ordering, so a reader that loads
+/// it with acquire may copy the first `committed` records without a
+/// lock. The mutex guards only block-list growth and the dump-side
+/// copy of the list.
+class ThreadBuffer {
+ public:
+  static constexpr usize kBlockCapacity = 512;
+  using Block = std::array<SpanRecord, kBlockCapacity>;
+
+  explicit ThreadBuffer(u32 tid) : tid_(tid) {}
+
+  void push(SpanRecord record) {
+    const usize n = committed_.load(std::memory_order_relaxed);
+    if (n == capacity_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      blocks_.push_back(std::make_unique<Block>());
+      capacity_ += kBlockCapacity;
+    }
+    (*blocks_[n / kBlockCapacity])[n % kBlockCapacity] = std::move(record);
+    committed_.store(n + 1, std::memory_order_release);
+  }
+
+  std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const usize n = committed_.load(std::memory_order_acquire);
+    std::vector<SpanRecord> records;
+    records.reserve(n);
+    for (usize i = 0; i < n; ++i) {
+      records.push_back((*blocks_[i / kBlockCapacity])[i % kBlockCapacity]);
+    }
+    return records;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    committed_.store(0, std::memory_order_release);
+    blocks_.clear();
+    capacity_ = 0;
+  }
+
+  u32 tid() const { return tid_; }
+
+  void set_name(std::string name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    name_ = std::move(name);
+  }
+  std::string name() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return name_;
+  }
+
+ private:
+  const u32 tid_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  usize capacity_ = 0;
+  std::atomic<usize> committed_{0};
+  std::string name_;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  u32 next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all threads
+  return *instance;
+}
+
+/// The calling thread's buffer, registered on first use. shared_ptr:
+/// the registry keeps buffers of exited threads alive for the dump.
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto created = std::make_shared<ThreadBuffer>(reg.next_tid++);
+    reg.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  if (enabled) trace_epoch();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+u64 trace_now_us() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - trace_epoch())
+                              .count());
+}
+
+void set_thread_name(std::string_view name) {
+#if defined(__linux__)
+  // The kernel limit is 15 characters + NUL; truncate rather than fail.
+  char short_name[16];
+  const usize n = name.size() < 15 ? name.size() : 15;
+  name.copy(short_name, n);
+  short_name[n] = '\0';
+  pthread_setname_np(pthread_self(), short_name);
+#endif
+  thread_buffer().set_name(std::string(name));
+}
+
+void record_span(std::string_view name, std::string_view category,
+                 std::string_view arg_key, std::string_view arg_value,
+                 u64 start_us, u64 end_us) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.category = std::string(category);
+  record.arg_key = std::string(arg_key);
+  record.arg_value = std::string(arg_value);
+  record.start_us = start_us;
+  record.end_us = end_us;
+  thread_buffer().push(std::move(record));
+}
+
+void Span::begin(std::string_view name, std::string_view category) {
+  active_ = true;
+  name_ = name;
+  category_ = category;
+  start_us_ = trace_now_us();
+}
+
+void Span::finish() {
+  const u64 end_us = trace_now_us();
+  record_span(name_, category_, arg_key_, arg_value_, start_us_, end_us);
+}
+
+util::Json trace_json() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+
+  util::Json events = util::Json::array();
+  for (const auto& buffer : buffers) {
+    const u64 tid = buffer->tid();
+    const std::string name = buffer->name();
+    if (!name.empty()) {
+      util::Json meta = util::Json::object();
+      meta.set("name", util::Json("thread_name"));
+      meta.set("ph", util::Json("M"));
+      meta.set("pid", util::Json(u64{1}));
+      meta.set("tid", util::Json(tid));
+      util::Json args = util::Json::object();
+      args.set("name", util::Json(name));
+      meta.set("args", std::move(args));
+      events.push_back(std::move(meta));
+    }
+    for (SpanRecord& record : buffer->snapshot()) {
+      util::Json begin = util::Json::object();
+      begin.set("name", util::Json(record.name));
+      begin.set("cat", util::Json(record.category.empty()
+                                      ? std::string("tlr")
+                                      : record.category));
+      begin.set("ph", util::Json("B"));
+      begin.set("pid", util::Json(u64{1}));
+      begin.set("tid", util::Json(tid));
+      begin.set("ts", util::Json(record.start_us));
+      if (!record.arg_key.empty()) {
+        util::Json args = util::Json::object();
+        args.set(record.arg_key, util::Json(record.arg_value));
+        begin.set("args", std::move(args));
+      }
+      events.push_back(std::move(begin));
+
+      util::Json end = util::Json::object();
+      end.set("name", util::Json(std::move(record.name)));
+      end.set("ph", util::Json("E"));
+      end.set("pid", util::Json(u64{1}));
+      end.set("tid", util::Json(tid));
+      end.set("ts", util::Json(record.end_us));
+      events.push_back(std::move(end));
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc.set("displayTimeUnit", util::Json("ms"));
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+bool write_trace_file(const std::string& path, std::string* error) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot create directory " + target.parent_path().string() +
+                 ": " + ec.message();
+      }
+      return false;
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << trace_json().dump(/*indent=*/-1) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void reset_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  for (const auto& buffer : buffers) buffer->clear();
+}
+
+}  // namespace tlr::obs

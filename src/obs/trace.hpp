@@ -1,0 +1,115 @@
+// Scoped spans and Chrome trace_event emission (DESIGN.md §11).
+//
+// A Span marks a timed region — an engine section, one per-workload
+// job, a pool task, a shard merge — on the thread that runs it. Spans
+// accumulate in per-thread buffers and serialize as Chrome
+// `trace_event` JSON, so any run's --trace file opens directly in
+// Perfetto or chrome://tracing with one timeline row per worker.
+//
+// Overhead contract:
+//   - Disabled (the default): constructing a Span is one relaxed
+//     atomic load and a branch; members are empty SSO strings, so no
+//     allocation happens anywhere on the disabled path.
+//   - Enabled: the record fast path is lock-free — only the owner
+//     thread appends to its buffer, records live in fixed-capacity
+//     blocks that never move, and a mutex is taken only to link a new
+//     block (every 512 spans) or to register a thread's buffer once.
+//
+// Each span is recorded at *destruction* as an adjacent B/E event
+// pair carrying the saved start timestamp. Scoped lifetimes nest, so
+// file-order stack balance holds by construction (the well-formedness
+// test checks exactly this); viewers sort events by timestamp.
+//
+// write_trace_file / trace_json / reset_trace must be called at a
+// quiescent point (no spans being recorded) — in the tools that is
+// after the engine finished, when workers are idle with no open spans.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace tlr::util {
+class Json;
+}
+
+namespace tlr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled);
+
+/// Microseconds since the process trace epoch (steady clock).
+u64 trace_now_us();
+
+/// Names the calling thread for spans, profilers and gdb: sets the OS
+/// thread name where supported (Linux, 15-char limit) and attaches
+/// the full name to this thread's trace timeline as a `thread_name`
+/// metadata event.
+void set_thread_name(std::string_view name);
+
+/// Append one completed span to the calling thread's buffer. Prefer
+/// the Span RAII wrapper; this is the primitive it records through.
+void record_span(std::string_view name, std::string_view category,
+                 std::string_view arg_key, std::string_view arg_value,
+                 u64 start_us, u64 end_us);
+
+/// Scoped span. Captures the start timestamp at construction when
+/// tracing is enabled and records the completed B/E pair when the
+/// scope exits. Inactive spans (tracing disabled, or default-
+/// constructed) cost nothing and allocate nothing.
+class Span {
+ public:
+  Span() = default;
+  Span(std::string_view name, std::string_view category) {
+    if (trace_enabled()) begin(name, category);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { if (active_) finish(); }
+
+  bool active() const { return active_; }
+
+  /// Attach one key/value argument shown in the viewer's span detail
+  /// pane. Guard arg *construction* behind active() at the call site
+  /// so building the value string is skipped when tracing is off.
+  void set_arg(std::string_view key, std::string_view value) {
+    if (active_) {
+      arg_key_ = key;
+      arg_value_ = value;
+    }
+  }
+
+ private:
+  void begin(std::string_view name, std::string_view category);
+  void finish();
+
+  bool active_ = false;
+  u64 start_us_ = 0;
+  std::string name_;
+  std::string category_;
+  std::string arg_key_;
+  std::string arg_value_;
+};
+
+/// The Chrome trace document: {"displayTimeUnit":..,"traceEvents":[..]}
+/// over every committed span from every registered thread.
+util::Json trace_json();
+
+/// Write trace_json() to `path` (parent directories created).
+/// False + `error` on I/O failure.
+bool write_trace_file(const std::string& path, std::string* error = nullptr);
+
+/// Drop every recorded span (thread registrations survive). Tests
+/// only; callers must be quiescent.
+void reset_trace();
+
+}  // namespace tlr::obs

@@ -107,6 +107,7 @@ void Rtm::lookup_gated(isa::Pc pc, const ArchShadow& state, GatedProbe& out,
       break;
     }
   }
+  stats_.probe_slots += match_at < used ? match_at + 1 : used;
   if (match_at < used) {
     const u32 best_slot = way->mru[match_at];
     ++clock_;

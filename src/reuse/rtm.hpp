@@ -226,6 +226,11 @@ class Rtm {
   struct Stats {
     u64 lookups = 0;
     u64 hits = 0;
+    /// Trace slots examined across all reuse tests (MRU-walk length
+    /// summed over lookups) — the probe-chain length distribution's
+    /// numerator; pathological chains show as probe_slots/lookups
+    /// far above 1.
+    u64 probe_slots = 0;
     u64 insertions = 0;
     u64 duplicate_insertions = 0;  // content already present
     u64 way_evictions = 0;
@@ -447,8 +452,9 @@ inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
   const u32 used = way->used;
   u32 best_slot = 0;
   bool found = false;
-  for (u32 i = 0; i < used; ++i) {
-    const u32 s = way->mru[i];
+  u32 visited = 0;
+  for (; visited < used; ++visited) {
+    const u32 s = way->mru[visited];
     bool match;
     if (test_ == ReuseTestKind::kValidBit) {
       // Single-bit test: live means no input location was written
@@ -476,6 +482,8 @@ inline std::optional<Rtm::LookupResult> Rtm::lookup(isa::Pc pc,
       break;
     }
   }
+  // One add after the walk, outside the per-slot path.
+  stats_.probe_slots += found ? visited + 1 : visited;
   if (!found) return std::nullopt;
 
   ++clock_;

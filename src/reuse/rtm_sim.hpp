@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "isa/dyn_inst.hpp"
+#include "obs/counters.hpp"
 #include "reuse/accumulator.hpp"
 #include "reuse/instr_table.hpp"
 #include "reuse/rtm.hpp"
@@ -83,6 +84,31 @@ struct RtmSimResult {
 
   timing::ReusePlan plan;  // populated when config.build_plan
 };
+
+/// Folds one finished simulation's totals into a local counter block
+/// (obs/counters.hpp two-level aggregation: the sim loops keep
+/// counting into RtmSimResult/Rtm::Stats; the consumer flushes once
+/// per job at finish()).
+inline void accumulate_metrics(const RtmSimResult& result,
+                               obs::MetricsBlock& block) {
+  using obs::Counter;
+  block.add(Counter::kSimInstructions, result.instructions);
+  block.add(Counter::kSimReusedInstructions, result.reused_instructions);
+  block.add(Counter::kSimReuseOps, result.reuse_operations);
+  block.add(Counter::kSimExpansions, result.expansions);
+  block.add(Counter::kSimMerges, result.merges);
+  const Rtm::Stats& rtm = result.rtm;
+  block.add(Counter::kRtmLookups, rtm.lookups);
+  block.add(Counter::kRtmHits, rtm.hits);
+  block.add(Counter::kRtmProbeSlots, rtm.probe_slots);
+  block.add(Counter::kRtmInsertions, rtm.insertions);
+  block.add(Counter::kRtmDuplicateInsertions, rtm.duplicate_insertions);
+  block.add(Counter::kRtmWayEvictions, rtm.way_evictions);
+  block.add(Counter::kRtmTraceEvictions, rtm.trace_evictions);
+  block.add(Counter::kRtmReplacements, rtm.replacements);
+  block.add(Counter::kRtmStaleReplacements, rtm.stale_replacements);
+  block.add(Counter::kRtmInvalidations, rtm.invalidations);
+}
 
 /// Converts a stored trace to the timing layer's reuse annotation;
 /// `first_index` stamps the trace's dynamic stream position.

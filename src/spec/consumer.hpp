@@ -39,7 +39,16 @@ class SpecSimConsumer final : public core::StreamConsumer,
   void consume(const core::ChunkView& chunk) override {
     sim_.feed(chunk.insts);
   }
-  void finish(u64) override { result_ = sim_.finish(); }
+  void finish(u64) override {
+    result_ = sim_.finish();
+    obs::MetricsBlock block;
+    reuse::accumulate_metrics(result_.sim, block);
+    block.add(obs::Counter::kSpecCorrect, result_.spec.correct);
+    block.add(obs::Counter::kSpecMisspecs, result_.spec.misspecs);
+    block.add(obs::Counter::kSpecMissed, result_.spec.missed);
+    block.add(obs::Counter::kSpecDeclines, result_.spec.declines);
+    obs::flush(block);
+  }
 
   const RtmSpecResult& result() const { return result_; }
   usize timer_count() const { return timers_.size(); }

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 #include "util/hash.hpp"
 #include "util/types.hpp"
@@ -116,7 +117,10 @@ class FlatHashMap {
     slots_[index] = Slot{};
     --size_;
     ++tombstones_;
-    if (tombstones_ * 4 > ctrl_.size()) rehash(ctrl_.size());
+    if (tombstones_ * 4 > ctrl_.size()) {
+      obs::count(obs::Counter::kTableTombstoneReclaims);
+      rehash(ctrl_.size());
+    }
     return true;
   }
 
@@ -188,6 +192,9 @@ class FlatHashMap {
 
   void rehash(usize new_capacity) {
     TLR_ASSERT(std::has_single_bit(new_capacity));
+    // Rare structural event with no job-end summary to fold into;
+    // counted directly (obs/counters.hpp aggregation contract).
+    obs::count(obs::Counter::kTableRehashes);
     std::vector<u8> old_ctrl = std::move(ctrl_);
     std::vector<Slot> old_slots = std::move(slots_);
     ctrl_.assign(new_capacity, u8{kEmpty});

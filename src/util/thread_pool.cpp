@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/trace.hpp"
 
 namespace tlr {
 
@@ -11,7 +14,7 @@ ThreadPool::ThreadPool(usize threads) {
   }
   workers_.reserve(threads);
   for (usize i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -50,8 +53,18 @@ void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
   wait_idle();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(usize index) {
+  // Profilers, gdb and trace timelines show "tlr-worker-N" instead of
+  // an anonymous thread (obs/trace.hpp; 15-char OS name limit holds
+  // for any realistic worker count).
+  obs::set_thread_name("tlr-worker-" + std::to_string(index));
   for (;;) {
+    // Queue-wait spans make idle workers visible in the trace: a long
+    // "queue_wait" next to a long task on another row is the
+    // load-imbalance signature. Recorded only after a task was
+    // dequeued, so a worker blocked at shutdown leaves no open span.
+    const bool trace = obs::trace_enabled();
+    const u64 wait_start_us = trace ? obs::trace_now_us() : 0;
     SmallFunction task;
     {
       std::unique_lock lock(mutex_);
@@ -60,8 +73,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (trace) {
+      obs::record_span("queue_wait", "pool", {}, {}, wait_start_us,
+                       obs::trace_now_us());
+    }
     std::exception_ptr error;
     try {
+      obs::Span span("task", "pool");
       task();
     } catch (...) {
       error = std::current_exception();

@@ -50,7 +50,7 @@ class ThreadPool {
   void parallel_for(usize n, const std::function<void(usize)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(usize index);
 
   std::mutex mutex_;
   std::condition_variable task_ready_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace tlr::vm {
@@ -402,6 +403,10 @@ StreamSource::StreamSource(std::shared_ptr<const Program> program,
   interp_.begin(limits);
 }
 
+StreamSource::~StreamSource() {
+  if (chunks_ > 0) obs::count(obs::Counter::kVmChunks, chunks_);
+}
+
 bool StreamSource::next(StreamChunk& chunk) {
   chunk.insts.clear();
   chunk.first_index = next_index_;
@@ -410,6 +415,7 @@ bool StreamSource::next(StreamChunk& chunk) {
   const usize got = interp_.emit(chunk.insts, chunk_size_);
   if (got < chunk_size_) done_ = true;
   next_index_ += got;
+  if (got > 0) ++chunks_;
   return got > 0;
 }
 

@@ -121,6 +121,9 @@ class StreamSource {
   StreamSource(std::shared_ptr<const Program> program,
                const RunLimits& limits,
                usize chunk_size = kDefaultChunkSize);
+  /// Flushes the chunk count to the run counters (obs::kVmChunks, a
+  /// run-*shape* counter: it depends on the chunk size by definition).
+  ~StreamSource();
 
   /// Refills `chunk` with the next instructions of the stream. Returns
   /// false — leaving the chunk empty — once the stream is exhausted.
@@ -136,6 +139,7 @@ class StreamSource {
   Interpreter interp_;
   usize chunk_size_;
   u64 next_index_ = 0;
+  u64 chunks_ = 0;  // non-empty chunks handed out
   bool done_ = false;
 };
 

@@ -1,0 +1,242 @@
+// Flight-recorder tests (DESIGN.md §11): the counter registry must
+// aggregate identically across thread counts and chunk sizes, the
+// span trace must serialize as well-formed Chrome trace_event JSON
+// with balanced B/E pairs, and the disabled telemetry path must not
+// allocate — the whole subsystem is observationally invisible.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "core/profile.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+// ---- allocation counter ----------------------------------------------
+// Global operator new/delete overrides counting every allocation in
+// the test binary. The zero-allocation test below reads the counter
+// around disabled-telemetry calls; everything else just pays one
+// relaxed increment per allocation.
+//
+// GCC pairs the replaced operator new with operator delete and flags
+// the inlined std::free as mismatched; every new here is malloc and
+// every delete is free, so the pairing is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<unsigned long long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tlr::obs {
+namespace {
+
+core::SuiteConfig small_config() {
+  core::SuiteConfig config;
+  config.skip = 10000;
+  config.length = 50000;
+  return config;
+}
+
+/// One engine pass that touches every counter family: the suite
+/// analysis (engine/sim/table counters) plus a one-workload fig9
+/// matrix (RTM counters) and fig10 column (spec counters).
+void run_instrumented_study(const core::EngineOptions& engine_options) {
+  core::StudyEngine engine(engine_options);
+  const core::ScaleProfile profile =
+      core::ScaleProfile::custom(small_config());
+  engine.analyze("compress", profile.config_for("compress"),
+                 core::MetricOptions{});
+  core::Fig9Options fig9;
+  fig9.workloads = {"compress"};
+  core::fig9_finite_rtm(engine, profile, fig9);
+  core::Fig10Options fig10;
+  fig10.workloads = {"compress"};
+  core::fig10_speculative_reuse(engine, profile, fig10);
+}
+
+TEST(ObsCounters, CatalogMatchesEnum) {
+  const auto catalog = counter_catalog();
+  ASSERT_EQ(catalog.size(), kCounterCount);
+  // Names are unique and dotted ("family.counter"); exactly one
+  // counter (vm.chunks) is a run-shape counter.
+  usize shape = 0;
+  for (usize i = 0; i < catalog.size(); ++i) {
+    EXPECT_NE(catalog[i].name.find('.'), std::string_view::npos)
+        << catalog[i].name;
+    for (usize j = i + 1; j < catalog.size(); ++j) {
+      EXPECT_NE(catalog[i].name, catalog[j].name);
+    }
+    if (!catalog[i].invariant) ++shape;
+  }
+  EXPECT_EQ(shape, 1u);
+  EXPECT_FALSE(catalog[static_cast<usize>(Counter::kVmChunks)].invariant);
+}
+
+TEST(ObsCounters, InvariantAcrossThreadsAndChunks) {
+  reset_metrics();
+  core::EngineOptions parallel;
+  parallel.threads = 4;
+  run_instrumented_study(parallel);
+  const MetricsSnapshot with_threads = metrics_snapshot();
+
+  reset_metrics();
+  core::EngineOptions serial;
+  serial.threads = 1;
+  serial.chunk_size = 1009;  // deliberately odd: no chunk ever aligns
+  run_instrumented_study(serial);
+  const MetricsSnapshot serial_odd = metrics_snapshot();
+
+  // The study actually counted something in every family.
+  EXPECT_GT(serial_odd.value(Counter::kEngineInstructions), 0u);
+  EXPECT_GT(serial_odd.value(Counter::kRtmLookups), 0u);
+  EXPECT_GT(serial_odd.value(Counter::kSimInstructions), 0u);
+  EXPECT_GT(serial_odd.value(Counter::kSpecCorrect), 0u);
+  EXPECT_GT(serial_odd.value(Counter::kVmChunks), 0u);
+
+  // Deterministic counters are bit-identical whatever the thread
+  // count or chunk size; the chunk count itself must differ (that is
+  // why it is a shape counter, excluded from the golden).
+  EXPECT_TRUE(with_threads.invariant_equal(serial_odd));
+  EXPECT_NE(with_threads.value(Counter::kVmChunks),
+            serial_odd.value(Counter::kVmChunks));
+
+  reset_metrics();
+}
+
+TEST(ObsCounters, MetricsJsonShape) {
+  reset_metrics();
+  MetricsBlock block;
+  block.add(Counter::kEngineStreams, 3);
+  block.add(Counter::kVmChunks, 7);
+  flush(block);
+
+  MetricsMeta meta;
+  meta.threads = 2;
+  meta.chunk_size = 4096;
+  const util::Json doc = metrics_json(metrics_snapshot(), meta);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").as_string(), "tlr-metrics/1");
+  EXPECT_EQ(doc.at("meta").at("threads").as_u64(), 2u);
+  const util::Json& counters = doc.at("counters");
+  EXPECT_EQ(counters.at("engine.streams").as_u64(), 3u);
+  // Shape counters live outside the golden-pinned object.
+  EXPECT_FALSE(counters.contains("vm.chunks"));
+  EXPECT_EQ(doc.at("shape").at("vm.chunks").as_u64(), 7u);
+  // Key order is the catalog order — the golden diff depends on it.
+  const auto catalog = counter_catalog();
+  usize at = 0;
+  for (const CounterDef& def : catalog) {
+    if (!def.invariant) continue;
+    ASSERT_LT(at, counters.items().size());
+    EXPECT_EQ(counters.items()[at].first, def.name);
+    ++at;
+  }
+  reset_metrics();
+}
+
+TEST(ObsTrace, WellFormedBalancedTrace) {
+  reset_trace();
+  set_trace_enabled(true);
+  set_thread_name("tlr-test-main");
+  {
+    core::EngineOptions engine_options;
+    engine_options.threads = 2;
+    core::StudyEngine engine(engine_options);
+    // analyze_profile, not analyze: the suite fan-out spawns the
+    // pool, so the trace gets task/queue_wait spans and the worker
+    // thread_name metadata alongside the engine spans.
+    const std::vector<std::string> names = {"compress"};
+    engine.analyze_profile(core::ScaleProfile::custom(small_config()),
+                           core::MetricOptions{}, names);
+  }  // pool joined: every span is closed before the dump
+  set_trace_enabled(false);
+  const util::Json doc = trace_json();
+  reset_trace();
+
+  // Round-trip through the serialized form: the emitted bytes, not
+  // just the in-memory tree, must parse.
+  std::string parse_error;
+  const auto parsed = util::Json::parse(doc.dump(/*indent=*/-1),
+                                        &parse_error);
+  ASSERT_TRUE(parsed.has_value()) << parse_error;
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->at("displayTimeUnit").as_string(), "ms");
+  const util::Json& events = parsed->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  // Balanced B/E per thread, in file order; every event carries the
+  // keys viewers require. M metadata events name the worker threads.
+  std::map<u64, std::vector<std::string>> open;
+  bool saw_worker_name = false;
+  bool saw_engine_span = false;
+  for (usize i = 0; i < events.size(); ++i) {
+    const util::Json& event = events.at(i);
+    const std::string& phase = event.at("ph").as_string();
+    if (phase == "M") {
+      const std::string& name = event.at("args").at("name").as_string();
+      if (name.rfind("tlr-worker-", 0) == 0) saw_worker_name = true;
+      continue;
+    }
+    ASSERT_TRUE(phase == "B" || phase == "E") << phase;
+    ASSERT_TRUE(event.at("ts").is_number());
+    const u64 tid = event.at("tid").as_u64();
+    const std::string& name = event.at("name").as_string();
+    if (phase == "B") {
+      if (name == "analyze" || name == "stream") saw_engine_span = true;
+      open[tid].push_back(name);
+    } else {
+      ASSERT_FALSE(open[tid].empty()) << "E without B: " << name;
+      EXPECT_EQ(open[tid].back(), name);
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  EXPECT_TRUE(saw_worker_name);
+  EXPECT_TRUE(saw_engine_span);
+}
+
+TEST(ObsDisabled, TelemetryOffDoesNotAllocate) {
+  ASSERT_FALSE(trace_enabled());
+  MetricsBlock block;
+  ProgressReporter reporter(ProgressMode::kNone);
+  Heartbeat heartbeat;  // disabled
+
+  const unsigned long long before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    Span span("steady.state.span", "category");
+    block.add(Counter::kEngineInstructions, 17);
+    reporter.update(static_cast<usize>(i), 1000, "label");
+    heartbeat.update(static_cast<usize>(i), 1000, "label");
+  }
+  flush(block);
+  const unsigned long long after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace tlr::obs

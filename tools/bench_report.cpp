@@ -35,6 +35,7 @@
 #include "core/figures.hpp"
 #include "core/profile.hpp"
 #include "core/report.hpp"
+#include "obs/runinfo.hpp"
 #include "tools/throughput.hpp"
 #include "util/json.hpp"
 
@@ -192,6 +193,16 @@ int run(const CliOptions& options) {
   bench.set("threads", util::Json(static_cast<u64>(engine.thread_count())));
   bench.set("chunk_size",
             util::Json(static_cast<u64>(engine.options().chunk_size)));
+  // Machine provenance: perf numbers without the box they ran on are
+  // not comparable. Additive to tlr-bench/1 — trajectory tooling that
+  // reads sections/total ignores unknown keys.
+  {
+    const obs::RunInfo info = obs::run_info();
+    util::Json host = util::Json::object();
+    host.set("name", util::Json(info.hostname));
+    host.set("peak_rss_kb", util::Json(info.peak_rss_kb));
+    bench.set("host", std::move(host));
+  }
   util::Json sections_json = util::Json::object();
   for (const Section& section : sections) {
     sections_json.set(section.name, section_to_json(section));

@@ -27,6 +27,7 @@
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,9 @@
 #include "core/profile.hpp"
 #include "core/report.hpp"
 #include "core/shard.hpp"
+#include "obs/counters.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "tools/throughput.hpp"
 #include "workloads/workload.hpp"
 
@@ -59,6 +63,11 @@ struct CliOptions {
   std::optional<u64> skip, length, seed;
   core::CompareOptions tolerances;
   bool quiet = false;
+  // Telemetry (DESIGN.md §11, docs/observability.md): span trace,
+  // counter metrics, and the stderr progress mode.
+  std::string trace_path;
+  std::string metrics_path;
+  obs::ProgressMode progress = obs::ProgressMode::kLine;
   // Sharding (DESIGN.md §9): --shard K/N runs one slice, --resume DIR
   // drives the whole plan with checkpointed partials.
   std::optional<std::pair<usize, usize>> shard;
@@ -119,7 +128,16 @@ void print_usage(std::ostream& os) {
         "(default 1e-9)\n"
         "  --abs-tol X        absolute tolerance for --compare "
         "(default 1e-12)\n"
+        "  --trace PATH       write a Chrome trace_event JSON span\n"
+        "                     trace to PATH (open in Perfetto or\n"
+        "                     chrome://tracing)\n"
+        "  --metrics PATH     write the run's tlr-metrics/1 counter\n"
+        "                     snapshot to PATH\n"
+        "  --progress MODE    stderr progress: none, line (default),\n"
+        "                     json (one machine-readable JSON object\n"
+        "                     per line)\n"
         "  --quiet            suppress progress output on stderr\n"
+        "                     (same as --progress none)\n"
         "  --list-profiles    print the profile table and exit\n"
         "  --list-workloads   print the suite's workload names and exit\n"
         "  --help             this text\n";
@@ -242,6 +260,40 @@ core::ShardRunOptions shard_options_from(const CliOptions& options) {
   return shard_options;
 }
 
+obs::ProgressMode progress_mode(const CliOptions& options) {
+  return options.quiet ? obs::ProgressMode::kNone : options.progress;
+}
+
+/// Writes the --metrics counter snapshot and the --trace span file at
+/// the end of a run mode; 1 on I/O failure. `threads`/`chunk_size`
+/// are the engine's effective values, recorded as metrics provenance.
+int write_telemetry(const CliOptions& options, usize threads,
+                    usize chunk_size) {
+  if (!options.metrics_path.empty()) {
+    obs::MetricsMeta meta;
+    meta.threads = threads;
+    meta.chunk_size = chunk_size;
+    std::string error;
+    if (!obs::write_metrics_file(obs::metrics_snapshot(), meta,
+                                 options.metrics_path, &error)) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    obs::ProgressReporter(progress_mode(options))
+        .note("wrote metrics " + options.metrics_path);
+  }
+  if (!options.trace_path.empty()) {
+    std::string error;
+    if (!obs::write_trace_file(options.trace_path, &error)) {
+      std::cerr << "reuse_study: " << error << "\n";
+      return 1;
+    }
+    obs::ProgressReporter(progress_mode(options))
+        .note("wrote trace " + options.trace_path);
+  }
+  return 0;
+}
+
 /// The --compare tail shared by every mode that produced a report:
 /// 0 match, 1 I/O error, 2 differences.
 int compare_report(const util::Json& report, const CliOptions& options) {
@@ -261,11 +313,11 @@ int compare_report(const util::Json& report, const CliOptions& options) {
     }
     return 2;
   }
-  if (!options.quiet) {
-    std::cerr << "reuse_study: report matches " << options.compare_path
-              << " (rel tol " << options.tolerances.rel_tol << ", abs tol "
-              << options.tolerances.abs_tol << ")\n";
-  }
+  std::ostringstream matched;
+  matched << "report matches " << options.compare_path << " (rel tol "
+          << options.tolerances.rel_tol << ", abs tol "
+          << options.tolerances.abs_tol << ")";
+  obs::ProgressReporter(progress_mode(options)).note(matched.str());
   return 0;
 }
 
@@ -278,9 +330,8 @@ int emit_report(const util::Json& report, const CliOptions& options) {
       std::cerr << "reuse_study: " << error << "\n";
       return 1;
     }
-    if (!options.quiet) {
-      std::cerr << "reuse_study: wrote " << options.out_path << "\n";
-    }
+    obs::ProgressReporter(progress_mode(options))
+        .note("wrote " + options.out_path);
   } else if (options.compare_path.empty()) {
     std::cout << report.dump(/*indent=*/2);
   }
@@ -292,6 +343,10 @@ int run(const CliOptions& options) {
 
   core::ScaleProfile profile;
   util::Json report;
+  // Engine provenance for the metrics file; stays 0/0 in --in mode
+  // (no engine runs, the counters are empty).
+  usize telemetry_threads = 0;
+  usize telemetry_chunk = 0;
 
   if (!options.in_path.empty()) {
     std::string error;
@@ -307,66 +362,47 @@ int run(const CliOptions& options) {
     const auto start = Clock::now();
     core::StudyEngine engine(options.engine);
     const core::MetricOptions metric_options;
+    obs::ProgressReporter reporter(progress_mode(options));
 
-    if (!options.quiet) {
-      std::cerr << "reuse_study: profile " << profile.name << " (skip "
-                << profile.base.skip << ", measure " << profile.base.length
-                << "), " << engine.thread_count() << " thread(s)\n";
+    {
+      std::ostringstream header;
+      header << "profile " << profile.name << " (skip " << profile.base.skip
+             << ", measure " << profile.base.length << "), "
+             << engine.thread_count() << " thread(s)";
+      reporter.note(header.str());
     }
+    const usize suite_total = options.workloads.empty()
+                                  ? workloads::workload_names().size()
+                                  : options.workloads.size();
+    reporter.begin_section("suite", suite_total);
     const auto progress = [&](std::string_view workload, usize done,
                               usize total) {
-      if (options.quiet) return;
-      std::cerr << "reuse_study: [" << done << "/" << total << "] "
-                << workload << "\n";
+      reporter.update(done, total, workload);
     };
-    const auto suite_start = Clock::now();
     const std::vector<core::WorkloadMetrics> suite = engine.analyze_profile(
         profile, metric_options, options.workloads, progress);
-    const double suite_seconds =
-        std::chrono::duration<double>(Clock::now() - suite_start).count();
-
-    // Per-section throughput, reported to stderr at the end of the run
-    // so paper-scale shard logs show Minstr/s without a separate tool
+    // Per-section throughput lands in the reporter's run footer so
+    // paper-scale shard logs show Minstr/s without a separate tool
     // (tools/bench_report measures the same sections for the record).
-    struct SectionRate {
-      const char* label;
-      u64 instructions;
-      double seconds;
-    };
-    std::vector<SectionRate> rates;
-    rates.push_back({"suite", tools::suite_instructions(suite),
-                     suite_seconds});
+    reporter.end_section(tools::suite_instructions(suite));
 
     core::ReportFigures figures;
     if (options.run_series) {
       figures.series = core::ReportFigures::all_series().series;
     }
     if (options.run_fig9) {
-      if (!options.quiet) {
-        std::cerr << "reuse_study: finite-RTM matrix (figure 9)\n";
-      }
+      reporter.note("finite-RTM matrix (figure 9)");
       core::Fig9Options fig9_options;
       fig9_options.workloads = options.workloads;
-      usize last_percent = 0;
+      reporter.begin_section("fig9", 0);
       fig9_options.progress = [&](usize done, usize total) {
-        if (options.quiet) return;
-        const usize percent = done * 100 / total;
-        if (percent / 10 > last_percent / 10) {
-          std::cerr << "reuse_study: fig9 " << percent << "% (" << done
-                    << "/" << total << " jobs)\n";
-        }
-        last_percent = percent;
+        reporter.update(done, total);
       };
-      const auto fig9_start = Clock::now();
       figures.fig9 = core::fig9_finite_rtm(engine, profile, fig9_options);
-      rates.push_back(
-          {"fig9", tools::fig9_instructions(suite),
-           std::chrono::duration<double>(Clock::now() - fig9_start).count()});
+      reporter.end_section(tools::fig9_instructions(suite));
     }
     if (options.run_fig10) {
-      if (!options.quiet) {
-        std::cerr << "reuse_study: speculative-reuse matrix (figure 10)\n";
-      }
+      reporter.note("speculative-reuse matrix (figure 10)");
       core::Fig10Options fig10_options;
       fig10_options.workloads = options.workloads;
       if (!options.predictors.empty()) {
@@ -375,25 +411,16 @@ int run(const CliOptions& options) {
       if (!options.penalties.empty()) {
         fig10_options.penalties = options.penalties;
       }
-      usize last_percent = 0;
+      reporter.begin_section("fig10", 0);
       fig10_options.progress = [&](usize done, usize total) {
-        if (options.quiet) return;
-        const usize percent = done * 100 / total;
-        if (percent / 10 > last_percent / 10) {
-          std::cerr << "reuse_study: fig10 " << percent << "% (" << done
-                    << "/" << total << " jobs)\n";
-        }
-        last_percent = percent;
+        reporter.update(done, total);
       };
-      const auto fig10_start = Clock::now();
       figures.fig10 =
           core::fig10_speculative_reuse(engine, profile, fig10_options);
       const usize predictors = fig10_options.predictors.empty()
                                    ? core::fig10_predictors().size()
                                    : fig10_options.predictors.size();
-      rates.push_back(
-          {"fig10", tools::fig10_instructions(suite, predictors),
-           std::chrono::duration<double>(Clock::now() - fig10_start).count()});
+      reporter.end_section(tools::fig10_instructions(suite, predictors));
     }
 
     core::ReportMeta meta;
@@ -403,18 +430,16 @@ int run(const CliOptions& options) {
         std::chrono::duration<double>(Clock::now() - start).count();
     report = core::build_report(profile, metric_options, suite, meta,
                                 figures);
-    if (!options.quiet) {
-      std::cerr << "reuse_study: throughput:";
-      for (const SectionRate& rate : rates) {
-        std::cerr << " " << rate.label << " "
-                  << tools::format_minstr(rate.instructions, rate.seconds)
-                  << " Minstr/s";
-      }
-      std::cerr << "\n";
-      std::cerr << "reuse_study: done in " << meta.wall_seconds << "s\n";
-    }
+    reporter.finish(meta.wall_seconds);
+    telemetry_threads = meta.threads;
+    telemetry_chunk = meta.chunk_size;
   }
 
+  if (const int code =
+          write_telemetry(options, telemetry_threads, telemetry_chunk);
+      code != 0) {
+    return code;
+  }
   if (const int code = emit_report(report, options); code != 0) return code;
   if (!options.compare_path.empty()) return compare_report(report, options);
   return 0;
@@ -430,14 +455,6 @@ int fail_merge(const std::vector<std::string>& errors) {
   return 1;
 }
 
-core::ShardProgress shard_progress(const CliOptions& options) {
-  if (options.quiet) return nullptr;
-  return [](std::string_view label, usize done, usize total) {
-    std::cerr << "reuse_study: [" << done << "/" << total << "] " << label
-              << "\n";
-  };
-}
-
 /// --shard K/N: run one slice, emit its partial report.
 int run_shard(const CliOptions& options) {
   core::ScaleProfile profile;
@@ -447,19 +464,29 @@ int run_shard(const CliOptions& options) {
       core::ShardPlan::enumerate(selection_from(options), options.workloads);
 
   core::StudyEngine engine(options.engine);
+  obs::ProgressReporter reporter(progress_mode(options));
   core::ReportMeta meta;
   meta.threads = engine.thread_count();
   meta.chunk_size = engine.options().chunk_size;
-  if (!options.quiet) {
-    std::cerr << "reuse_study: profile " << profile.name << ", shard "
-              << index << "/" << count << " (" << plan.slice(index, count).size()
-              << " of " << plan.size() << " keys), "
-              << engine.thread_count() << " thread(s)\n";
+  {
+    std::ostringstream header;
+    header << "profile " << profile.name << ", shard " << index << "/"
+           << count << " (" << plan.slice(index, count).size() << " of "
+           << plan.size() << " keys), " << engine.thread_count()
+           << " thread(s)";
+    reporter.note(header.str());
   }
-  const util::Json partial =
-      core::run_shard_partial(engine, profile, plan, index, count,
-                              shard_options_from(options), meta,
-                              shard_progress(options));
+  reporter.begin_section("shard", plan.slice(index, count).size());
+  const util::Json partial = core::run_shard_partial(
+      engine, profile, plan, index, count, shard_options_from(options), meta,
+      [&](std::string_view label, usize done, usize total) {
+        reporter.update(done, total, label);
+      });
+  if (const int code = write_telemetry(options, meta.threads,
+                                       meta.chunk_size);
+      code != 0) {
+    return code;
+  }
   return emit_report(partial, options);
 }
 
@@ -483,11 +510,20 @@ int run_resume(const CliOptions& options) {
   }
 
   core::StudyEngine engine(options.engine);
-  if (!options.quiet) {
-    std::cerr << "reuse_study: profile " << profile.name << ", "
-              << count << " shard(s) over " << plan.size() << " keys, "
-              << engine.thread_count() << " thread(s), resuming in "
-              << options.resume_dir << "\n";
+  obs::ProgressReporter reporter(progress_mode(options));
+  // The heartbeat file makes a long resume run observable from outside
+  // the process (docs/observability.md): a stalled shard shows up as a
+  // stale mtime, not as silence. Written regardless of --progress mode.
+  obs::Heartbeat heartbeat(
+      (std::filesystem::path(options.resume_dir) / "heartbeat.json")
+          .string());
+  {
+    std::ostringstream header;
+    header << "profile " << profile.name << ", " << count
+           << " shard(s) over " << plan.size() << " keys, "
+           << engine.thread_count() << " thread(s), resuming in "
+           << options.resume_dir;
+    reporter.note(header.str());
   }
 
   const auto shard_path = [&](usize index) {
@@ -508,17 +544,19 @@ int run_resume(const CliOptions& options) {
       if (existing.has_value() &&
           core::validate_partial(*existing, profile, shard_options, plan,
                                  index, count, &why)) {
-        if (!options.quiet) {
-          std::cerr << "reuse_study: shard " << index << "/" << count
-                    << " already done (" << path.string() << "), skipping\n";
-        }
+        std::ostringstream text;
+        text << "shard " << index << "/" << count << " already done ("
+             << path.string() << "), skipping";
+        reporter.note(text.str());
         by_index[index - 1] = *existing;
         ++skipped;
         continue;
       }
-      if (!options.quiet) {
-        std::cerr << "reuse_study: shard " << index << "/" << count
-                  << " partial invalid (" << why << "), re-running\n";
+      {
+        std::ostringstream text;
+        text << "shard " << index << "/" << count << " partial invalid ("
+             << why << "), re-running";
+        reporter.note(text.str());
       }
     }
     pending.push_back(index);
@@ -532,6 +570,7 @@ int run_resume(const CliOptions& options) {
     meta.threads = engine.thread_count();
     meta.chunk_size = engine.options().chunk_size;
     std::string write_error;
+    reporter.begin_section("shards", 0);
     core::run_shard_partials(
         engine, profile, plan, pending, count, shard_options, meta,
         [&](usize index, util::Json partial) {
@@ -539,13 +578,18 @@ int run_resume(const CliOptions& options) {
           std::string error;
           if (!core::write_report_file(partial, path.string(), &error)) {
             if (write_error.empty()) write_error = error;
-          } else if (!options.quiet) {
-            std::cerr << "reuse_study: shard " << index << "/" << count
-                      << " -> " << path.string() << "\n";
+          } else {
+            std::ostringstream text;
+            text << "shard " << index << "/" << count << " -> "
+                 << path.string();
+            reporter.note(text.str());
           }
           by_index[index - 1] = std::move(partial);
         },
-        shard_progress(options));
+        [&](std::string_view label, usize done, usize total) {
+          reporter.update(done, total, label);
+          heartbeat.update(done, total, label);
+        });
     if (!write_error.empty()) {
       std::cerr << "reuse_study: " << write_error << "\n";
       return 1;
@@ -565,9 +609,17 @@ int run_resume(const CliOptions& options) {
   std::vector<std::string> errors;
   const auto merged = core::merge_partials(partials, &errors, labels);
   if (!merged.has_value()) return fail_merge(errors);
-  if (!options.quiet) {
-    std::cerr << "reuse_study: merged " << partials.size() << " partial(s) ("
-              << skipped << " reused)\n";
+  heartbeat.finish(count, count);
+  {
+    std::ostringstream text;
+    text << "merged " << partials.size() << " partial(s) (" << skipped
+         << " reused)";
+    reporter.note(text.str());
+  }
+  if (const int code = write_telemetry(options, engine.thread_count(),
+                                       engine.options().chunk_size);
+      code != 0) {
+    return code;
   }
   if (const int code = emit_report(*merged, options); code != 0) return code;
   if (!options.compare_path.empty()) return compare_report(*merged, options);
@@ -785,6 +837,18 @@ int main(int argc, char** argv) {
         return fail_usage("bad --abs-tol value");
       }
       options.tolerances.abs_tol = value;
+    } else if (arg == "--trace") {
+      options.trace_path = next_value(i, "--trace");
+    } else if (arg == "--metrics") {
+      options.metrics_path = next_value(i, "--metrics");
+    } else if (arg == "--progress") {
+      const std::string name = next_value(i, "--progress");
+      const auto mode = obs::progress_mode_from_name(name);
+      if (!mode.has_value()) {
+        return fail_usage("bad --progress '" + name +
+                          "' (want none, line, json)");
+      }
+      options.progress = *mode;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -825,6 +889,12 @@ int main(int argc, char** argv) {
     return fail_usage("--resume runs the study; it cannot be combined "
                       "with --in");
   }
+  // Arm span recording before any engine work so worker threads start
+  // with tracing visible; the disabled path stays a single relaxed
+  // load per would-be span.
+  if (!options.trace_path.empty()) obs::set_trace_enabled(true);
+  obs::set_thread_name("tlr-main");
+
   if (options.shard.has_value()) return run_shard(options);
   if (!options.resume_dir.empty()) return run_resume(options);
   return run(options);

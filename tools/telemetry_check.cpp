@@ -1,0 +1,305 @@
+// telemetry_check: validates the flight-recorder artifacts the study
+// tools emit (DESIGN.md §11, docs/observability.md).
+//
+//   telemetry_check --trace trace.json
+//   telemetry_check --metrics metrics.json
+//   telemetry_check --metrics metrics.json --golden tools/metrics_ci.json
+//
+// --trace checks that the file is a well-formed Chrome trace_event
+// document: it parses with the repo's own JSON parser, has the
+// {"displayTimeUnit", "traceEvents"} shape, and every B (begin) event
+// is matched by an E (end) event with the same name on the same
+// thread, in file order — the invariant viewers rely on.
+//
+// --metrics checks the tlr-metrics/1 shape: schema tag, meta
+// provenance, and a "counters" object whose keys are exactly the
+// deterministic-counter catalog, in catalog order. With --golden it
+// additionally diffs the "counters" object against a committed
+// snapshot — counter values are thread- and chunk-invariant by
+// design, so the comparison is exact, not tolerance-based. The
+// "shape" object (run-shape counters like vm.chunks) and "meta" are
+// deliberately ignored: they legitimately vary across machines.
+//
+// Exit codes: 0 all checks passed, 1 usage/I-O/malformed file,
+// 2 golden mismatch.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace tlr;
+
+void print_usage(std::ostream& os) {
+  os << "usage: telemetry_check [--trace PATH] [--metrics PATH "
+        "[--golden PATH]]\n"
+        "\n"
+        "Validates reuse_study telemetry artifacts: --trace checks\n"
+        "Chrome trace_event well-formedness (parses, balanced B/E\n"
+        "per thread); --metrics checks the tlr-metrics/1 counter\n"
+        "snapshot against the built-in catalog and, with --golden,\n"
+        "against a committed counter golden (exact match; meta and\n"
+        "run-shape counters are ignored).\n"
+        "\n"
+        "Exit codes: 0 ok, 1 usage/IO/malformed, 2 golden mismatch.\n";
+}
+
+int fail(const std::string& message) {
+  std::cerr << "telemetry_check: " << message << "\n";
+  return 1;
+}
+
+bool read_file(const std::string& path, std::string& out,
+               std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    error = "cannot read " + path;
+    return false;
+  }
+  out = buffer.str();
+  return true;
+}
+
+bool load_json(const std::string& path, util::Json& out,
+               std::string& error) {
+  std::string text;
+  if (!read_file(path, text, error)) return false;
+  std::string parse_error;
+  const auto parsed = util::Json::parse(text, &parse_error);
+  if (!parsed.has_value()) {
+    error = path + ": " + parse_error;
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+// ---- --trace ---------------------------------------------------------
+
+int check_trace(const std::string& path) {
+  util::Json doc;
+  std::string error;
+  if (!load_json(path, doc, error)) return fail(error);
+  if (!doc.is_object() || !doc.contains("traceEvents") ||
+      !doc.at("traceEvents").is_array()) {
+    return fail(path + ": not a trace_event document (no traceEvents "
+                       "array)");
+  }
+
+  // Per-thread stacks of open B events. The writer emits each span's
+  // B/E as an adjacent pair, so file order is also stack order; a
+  // violation means the writer (or a hand-edited file) is broken.
+  struct Open {
+    u64 tid;
+    std::string name;
+  };
+  std::vector<Open> stack;
+  const util::Json& events = doc.at("traceEvents");
+  usize begins = 0;
+  usize metadata = 0;
+  for (usize i = 0; i < events.size(); ++i) {
+    const util::Json& event = events.at(i);
+    if (!event.is_object() || !event.contains("ph") ||
+        !event.at("ph").is_string()) {
+      return fail(path + ": event " + std::to_string(i) +
+                  " has no phase");
+    }
+    const std::string& phase = event.at("ph").as_string();
+    if (phase == "M") {
+      ++metadata;
+      continue;
+    }
+    if (phase != "B" && phase != "E") {
+      return fail(path + ": event " + std::to_string(i) +
+                  " has unexpected phase '" + phase + "'");
+    }
+    if (!event.contains("tid") || !event.at("tid").is_number() ||
+        !event.contains("name") || !event.at("name").is_string() ||
+        !event.contains("ts") || !event.at("ts").is_number()) {
+      return fail(path + ": event " + std::to_string(i) +
+                  " is missing tid/name/ts");
+    }
+    const u64 tid = event.at("tid").as_u64();
+    const std::string& name = event.at("name").as_string();
+    if (phase == "B") {
+      ++begins;
+      stack.push_back({tid, name});
+      continue;
+    }
+    // E: must close the innermost open span of the same thread.
+    usize open = stack.size();
+    while (open > 0 && stack[open - 1].tid != tid) --open;
+    if (open == 0) {
+      return fail(path + ": event " + std::to_string(i) + " ends '" +
+                  name + "' on tid " + std::to_string(tid) +
+                  " with no open span");
+    }
+    if (stack[open - 1].name != name) {
+      return fail(path + ": event " + std::to_string(i) + " ends '" +
+                  name + "' but '" + stack[open - 1].name +
+                  "' is open on tid " + std::to_string(tid));
+    }
+    stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(open - 1));
+  }
+  if (!stack.empty()) {
+    return fail(path + ": " + std::to_string(stack.size()) +
+                " span(s) never ended (first: '" + stack.front().name +
+                "')");
+  }
+  std::cout << "telemetry_check: trace ok: " << begins << " span(s), "
+            << metadata << " metadata event(s)\n";
+  return 0;
+}
+
+// ---- --metrics -------------------------------------------------------
+
+int check_metrics(const std::string& path, const std::string& golden_path) {
+  util::Json doc;
+  std::string error;
+  if (!load_json(path, doc, error)) return fail(error);
+  if (!doc.is_object() || !doc.contains("schema") ||
+      !doc.at("schema").is_string() ||
+      doc.at("schema").as_string() != "tlr-metrics/1") {
+    return fail(path + ": not a tlr-metrics/1 document");
+  }
+  if (!doc.contains("counters") || !doc.at("counters").is_object()) {
+    return fail(path + ": no counters object");
+  }
+
+  // The invariant-counter keys must be exactly the catalog, in catalog
+  // order: the golden diff below (and the committed golden itself)
+  // depends on a stable, complete key set.
+  const util::Json& counters = doc.at("counters");
+  const auto& items = counters.items();
+  usize expected = 0;
+  for (const obs::CounterDef& def : obs::counter_catalog()) {
+    if (!def.invariant) continue;
+    if (expected >= items.size() || items[expected].first != def.name) {
+      return fail(path + ": counters key " + std::to_string(expected) +
+                  " should be '" + std::string(def.name) + "', got '" +
+                  (expected < items.size() ? items[expected].first
+                                           : std::string("<missing>")) +
+                  "'");
+    }
+    if (!items[expected].second.is_number()) {
+      return fail(path + ": counter '" + items[expected].first +
+                  "' is not a number");
+    }
+    ++expected;
+  }
+  if (items.size() != expected) {
+    return fail(path + ": counters object has " +
+                std::to_string(items.size()) + " keys, catalog has " +
+                std::to_string(expected));
+  }
+
+  if (!golden_path.empty()) {
+    util::Json golden;
+    if (!load_json(golden_path, golden, error)) return fail(error);
+    if (!golden.is_object() || !golden.contains("counters") ||
+        !golden.at("counters").is_object()) {
+      return fail(golden_path + ": no counters object");
+    }
+    // Exact comparison on the invariant counters only: they aggregate
+    // identically across thread counts and chunk sizes, so any drift
+    // is a real behavior change, not noise.
+    std::vector<std::string> diffs;
+    const util::Json& golden_counters = golden.at("counters");
+    for (const auto& [key, value] : golden_counters.items()) {
+      const util::Json* actual = counters.find(key);
+      if (actual == nullptr) {
+        diffs.push_back(key + ": missing (golden " + value.dump() + ")");
+      } else if (!(*actual == value)) {
+        diffs.push_back(key + ": " + actual->dump() + " != golden " +
+                        value.dump());
+      }
+    }
+    for (const auto& [key, value] : counters.items()) {
+      if (golden_counters.find(key) == nullptr) {
+        diffs.push_back(key + ": not in golden (actual " + value.dump() +
+                        ")");
+      }
+    }
+    if (!diffs.empty()) {
+      std::cerr << "telemetry_check: counters differ from " << golden_path
+                << " (" << diffs.size() << " difference(s)):\n";
+      for (const std::string& diff : diffs) {
+        std::cerr << "  " << diff << "\n";
+      }
+      return 2;
+    }
+    std::cout << "telemetry_check: metrics ok: " << expected
+              << " counter(s) match " << golden_path << "\n";
+    return 0;
+  }
+  std::cout << "telemetry_check: metrics ok: " << expected
+            << " counter(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string golden_path;
+
+  const auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "telemetry_check: " << flag << " needs a value\n";
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--trace") {
+      trace_path = next_value(i, "--trace");
+    } else if (arg == "--metrics") {
+      metrics_path = next_value(i, "--metrics");
+    } else if (arg == "--golden") {
+      golden_path = next_value(i, "--golden");
+    } else {
+      std::cerr << "telemetry_check: unknown option '" << arg << "'\n\n";
+      print_usage(std::cerr);
+      return 1;
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::cerr << "telemetry_check: nothing to check (want --trace "
+                 "and/or --metrics)\n\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+  if (!golden_path.empty() && metrics_path.empty()) {
+    std::cerr << "telemetry_check: --golden needs --metrics\n\n";
+    print_usage(std::cerr);
+    return 1;
+  }
+
+  if (!trace_path.empty()) {
+    if (const int code = check_trace(trace_path); code != 0) return code;
+  }
+  if (!metrics_path.empty()) {
+    if (const int code = check_metrics(metrics_path, golden_path);
+        code != 0) {
+      return code;
+    }
+  }
+  return 0;
+}
