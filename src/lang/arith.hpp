@@ -1,0 +1,59 @@
+// TLC operator semantics, shared by the parser's constant folder and
+// the reference evaluator so a folded constant can never disagree with
+// a runtime value. These mirror the mini-ISA exactly (vm/interpreter):
+// wrapping two's-complement arithmetic, division by zero yields 0,
+// INT64_MIN / -1 yields INT64_MIN (remainder 0), shift counts are
+// masked to 6 bits, `>>` is arithmetic. All computation runs on u64 to
+// keep signed overflow out of the C++ abstract machine.
+#pragma once
+
+#include <limits>
+
+#include "lang/ast.hpp"
+#include "util/types.hpp"
+
+namespace tlr::lang {
+
+inline i64 apply_un(UnOp op, i64 a) {
+  const u64 ua = static_cast<u64>(a);
+  switch (op) {
+    case UnOp::kNeg: return static_cast<i64>(u64{0} - ua);
+    case UnOp::kBitNot: return static_cast<i64>(~ua);
+    case UnOp::kLogNot: return a == 0 ? 1 : 0;
+  }
+  return 0;
+}
+
+inline i64 apply_bin(BinOp op, i64 a, i64 b) {
+  const u64 ua = static_cast<u64>(a);
+  const u64 ub = static_cast<u64>(b);
+  switch (op) {
+    case BinOp::kAdd: return static_cast<i64>(ua + ub);
+    case BinOp::kSub: return static_cast<i64>(ua - ub);
+    case BinOp::kMul: return static_cast<i64>(ua * ub);
+    case BinOp::kDiv:
+      if (b == 0) return 0;
+      if (a == std::numeric_limits<i64>::min() && b == -1) return a;
+      return a / b;
+    case BinOp::kRem:
+      if (b == 0) return 0;
+      if (a == std::numeric_limits<i64>::min() && b == -1) return 0;
+      return a % b;
+    case BinOp::kAnd: return static_cast<i64>(ua & ub);
+    case BinOp::kOr: return static_cast<i64>(ua | ub);
+    case BinOp::kXor: return static_cast<i64>(ua ^ ub);
+    case BinOp::kShl: return static_cast<i64>(ua << (ub & 63));
+    case BinOp::kShr: return a >> (ub & 63);  // i64 >> is arithmetic
+    case BinOp::kEq: return a == b ? 1 : 0;
+    case BinOp::kNe: return a != b ? 1 : 0;
+    case BinOp::kLt: return a < b ? 1 : 0;
+    case BinOp::kLe: return a <= b ? 1 : 0;
+    case BinOp::kGt: return a > b ? 1 : 0;
+    case BinOp::kGe: return a >= b ? 1 : 0;
+    case BinOp::kLAnd: return (a != 0) && (b != 0) ? 1 : 0;
+    case BinOp::kLOr: return (a != 0) || (b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace tlr::lang

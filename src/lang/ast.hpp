@@ -1,0 +1,113 @@
+// TLC typed AST (docs/tlc.md).
+//
+// The parser produces a fully resolved Unit: every name reference
+// carries the index of its Symbol, every call the index of its
+// Function, and every array length / global initialiser is already
+// constant-folded. Both back ends — the ProgramBuilder code generator
+// (compile.hpp) and the reference evaluator (eval.hpp) — consume this
+// one representation, which is what makes the differential oracle
+// meaningful: they share the front end and nothing else.
+//
+// TLC values are 64-bit signed integers with wrapping arithmetic (the
+// mini-ISA's semantics). Arrays are global-only with power-of-two
+// lengths; indices are masked by `len - 1`, which makes every access
+// total and identical between the evaluator and the compiled `andi`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/diag.hpp"
+#include "util/types.hpp"
+
+namespace tlr::lang {
+
+enum class BinOp : u8 {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,   // kShr is arithmetic (values are signed)
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLAnd, kLOr,  // non-short-circuiting: both operands always evaluate
+};
+
+enum class UnOp : u8 { kNeg, kBitNot, kLogNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : u8 { kNum, kVar, kIndex, kUnary, kBinary, kCall };
+
+  Kind kind = Kind::kNum;
+  SourceLoc loc;
+  i64 number = 0;        // kNum
+  u32 sym = ~u32{0};     // kVar/kIndex: symbol index; kCall: function index
+  std::string name;      // spelling, for diagnostics
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  ExprPtr lhs, rhs;      // kUnary uses lhs; kIndex uses lhs as the index
+  std::vector<ExprPtr> args;  // kCall
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : u8 {
+    kBlock,    // body
+    kIf,       // cond, body, else_body
+    kWhile,    // cond, body
+    kFor,      // init, cond, step, body
+    kReturn,   // value
+    kAssign,   // sym [index] = value
+    kDecl,     // local decl: sym = value (value may be null -> 0)
+    kCallStmt, // value holds a kCall expression; result discarded
+  };
+
+  Kind kind = Kind::kBlock;
+  SourceLoc loc;
+  u32 sym = ~u32{0};     // kAssign/kDecl target symbol
+  std::string name;      // target spelling, for diagnostics
+  ExprPtr index;         // kAssign to an array element (null for scalar)
+  ExprPtr cond;          // kIf/kWhile/kFor
+  ExprPtr value;         // kAssign/kDecl/kReturn/kCallStmt
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  StmtPtr init, step;    // kFor (both kAssign or kDecl / kAssign)
+};
+
+struct Symbol {
+  enum class Kind : u8 {
+    kGlobalScalar,
+    kGlobalArray,
+    kLocal,    // locals and parameters; parameters fill the first slots
+    kConst,    // the SCALE / SEED builtins
+  };
+
+  Kind kind = Kind::kGlobalScalar;
+  std::string name;
+  SourceLoc loc;
+  i64 init = 0;          // global-scalar initialiser / kConst value
+  u32 array_len = 0;     // kGlobalArray: element count (power of two)
+  u32 slot = 0;          // kLocal: frame slot within its function
+};
+
+struct Function {
+  std::string name;
+  SourceLoc loc;
+  u32 num_params = 0;
+  std::vector<u32> locals;  // symbol indices, slot order (params first)
+  std::vector<StmtPtr> body;
+};
+
+/// A parsed, resolved, checked TLC program. `seed`/`scale` record the
+/// values the SCALE/SEED builtins were bound to.
+struct Unit {
+  std::vector<Symbol> symbols;
+  std::vector<Function> functions;
+  u32 main_index = ~u32{0};
+  u64 seed = 0;
+  u32 scale = 1;
+};
+
+}  // namespace tlr::lang

@@ -1,0 +1,382 @@
+#include "lang/compile.hpp"
+
+#include <utility>
+
+#include "isa/reg.hpp"
+#include "util/assert.hpp"
+#include "vm/builder.hpp"
+#include "workloads/common.hpp"
+
+namespace tlr::lang {
+
+namespace {
+
+using isa::Reg;
+using isa::r;
+
+/// Expression register stack base: values live in r1..r16.
+constexpr unsigned kExprBase = 1;
+/// First argument register (r20..r25).
+constexpr unsigned kArgBase = 20;
+constexpr Reg kRetReg = r(19);
+constexpr Reg kCounterReg = r(27);  // outer-loop pass counter
+/// Stack region size in words (512 KiB): kMaxParams-wide frames at the
+/// evaluator's call-depth ceiling fit with two orders of margin.
+constexpr usize kStackWords = usize{1} << 16;
+
+class CodeGen {
+ public:
+  CodeGen(const Unit& unit, const CompileOptions& options)
+      : unit_(unit), options_(options), builder_(options.name) {}
+
+  CompiledProgram finish() {
+    CompiledProgram out;
+
+    // Data layout: result word, then globals in declaration order,
+    // then the stack region. Symbol order makes it reproducible.
+    out.result_addr = builder_.alloc(1);
+    global_addr_.assign(unit_.symbols.size(), 0);
+    for (usize i = 0; i < unit_.symbols.size(); ++i) {
+      const Symbol& sym = unit_.symbols[i];
+      if (sym.kind == Symbol::Kind::kGlobalScalar) {
+        const Addr addr = builder_.alloc(1);
+        global_addr_[i] = addr;
+        if (sym.init != 0) {
+          builder_.init_word(addr, static_cast<u64>(sym.init));
+        }
+        out.globals.push_back({sym.name, addr, 0});
+      } else if (sym.kind == Symbol::Kind::kGlobalArray) {
+        const Addr addr = builder_.alloc(sym.array_len);
+        global_addr_[i] = addr;
+        out.globals.push_back({sym.name, addr, sym.array_len});
+      }
+    }
+    const Addr stack_base = builder_.alloc(kStackWords);
+    const Addr stack_top = stack_base + kStackWords * 8;
+
+    fn_labels_.reserve(unit_.functions.size());
+    for (usize i = 0; i < unit_.functions.size(); ++i) {
+      fn_labels_.push_back(builder_.label());
+    }
+
+    // Entry stub first, so the program's entry point is pc 0.
+    builder_.ldi(isa::kStackReg, static_cast<i64>(stack_top));
+    if (options_.stream) {
+      workloads::detail::OuterLoop outer(builder_, kCounterReg);
+      builder_.call(fn_labels_[unit_.main_index]);
+      builder_.stq(kRetReg, isa::kIntZero, static_cast<i64>(out.result_addr));
+      outer.close();
+    } else {
+      builder_.call(fn_labels_[unit_.main_index]);
+      builder_.stq(kRetReg, isa::kIntZero, static_cast<i64>(out.result_addr));
+      builder_.halt();
+    }
+
+    for (usize i = 0; i < unit_.functions.size(); ++i) {
+      emit_function(static_cast<u32>(i));
+    }
+
+    out.program = builder_.build();
+    return out;
+  }
+
+ private:
+  static Reg expr_reg(u32 depth) { return r(kExprBase + depth); }
+  static i64 local_disp(u32 slot) { return 8 + 8 * static_cast<i64>(slot); }
+
+  void emit_function(u32 fn_index) {
+    const Function& fn = unit_.functions[fn_index];
+    builder_.bind(fn_labels_[fn_index]);
+    epilogue_ = builder_.label();
+
+    const i64 frame_bytes = 8 * (1 + static_cast<i64>(fn.locals.size()));
+    builder_.subi(isa::kStackReg, isa::kStackReg, frame_bytes);
+    builder_.stq(isa::kLinkReg, isa::kStackReg, 0);
+    for (u32 slot = 0; slot < fn.num_params; ++slot) {
+      builder_.stq(r(kArgBase + slot), isa::kStackReg, local_disp(slot));
+    }
+    // Stack memory is recycled across calls; zero the remaining locals
+    // to match the evaluator's zero-initialisation.
+    for (u32 slot = fn.num_params; slot < fn.locals.size(); ++slot) {
+      builder_.stq(isa::kIntZero, isa::kStackReg, local_disp(slot));
+    }
+
+    for (const StmtPtr& stmt : fn.body) emit_stmt(*stmt);
+
+    // Implicit `return 0` on fallthrough.
+    builder_.mov(kRetReg, isa::kIntZero);
+    builder_.bind(epilogue_);
+    builder_.ldq(isa::kLinkReg, isa::kStackReg, 0);
+    builder_.addi(isa::kStackReg, isa::kStackReg, frame_bytes);
+    builder_.ret();
+  }
+
+  void emit_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock:
+        for (const StmtPtr& sub : stmt.body) emit_stmt(*sub);
+        return;
+      case Stmt::Kind::kIf: {
+        emit_expr(*stmt.cond, 0);
+        if (stmt.else_body.empty()) {
+          vm::Label end = builder_.label();
+          builder_.beqz(expr_reg(0), end);
+          for (const StmtPtr& sub : stmt.body) emit_stmt(*sub);
+          builder_.bind(end);
+        } else {
+          vm::Label other = builder_.label();
+          vm::Label end = builder_.label();
+          builder_.beqz(expr_reg(0), other);
+          for (const StmtPtr& sub : stmt.body) emit_stmt(*sub);
+          builder_.br(end);
+          builder_.bind(other);
+          for (const StmtPtr& sub : stmt.else_body) emit_stmt(*sub);
+          builder_.bind(end);
+        }
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        vm::Label top = builder_.here();
+        vm::Label end = builder_.label();
+        emit_expr(*stmt.cond, 0);
+        builder_.beqz(expr_reg(0), end);
+        for (const StmtPtr& sub : stmt.body) emit_stmt(*sub);
+        builder_.br(top);
+        builder_.bind(end);
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        emit_stmt(*stmt.init);
+        vm::Label top = builder_.here();
+        vm::Label end = builder_.label();
+        emit_expr(*stmt.cond, 0);
+        builder_.beqz(expr_reg(0), end);
+        for (const StmtPtr& sub : stmt.body) emit_stmt(*sub);
+        emit_stmt(*stmt.step);
+        builder_.br(top);
+        builder_.bind(end);
+        return;
+      }
+      case Stmt::Kind::kReturn:
+        emit_expr(*stmt.value, 0);
+        builder_.mov(kRetReg, expr_reg(0));
+        builder_.br(epilogue_);
+        return;
+      case Stmt::Kind::kDecl: {
+        const Symbol& sym = unit_.symbols[stmt.sym];
+        if (stmt.value != nullptr) {
+          emit_expr(*stmt.value, 0);
+          builder_.stq(expr_reg(0), isa::kStackReg, local_disp(sym.slot));
+        } else {
+          builder_.stq(isa::kIntZero, isa::kStackReg, local_disp(sym.slot));
+        }
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        const Symbol& sym = unit_.symbols[stmt.sym];
+        if (stmt.index != nullptr) {
+          // Index at depth 0, value at depth 1 (the evaluator matches).
+          emit_expr(*stmt.index, 0);
+          emit_expr(*stmt.value, 1);
+          const Reg idx = expr_reg(0);
+          builder_.andi(idx, idx, static_cast<i64>(sym.array_len) - 1);
+          builder_.slli(idx, idx, 3);
+          builder_.stq(expr_reg(1), idx,
+                       static_cast<i64>(global_addr_[stmt.sym]));
+          return;
+        }
+        emit_expr(*stmt.value, 0);
+        if (sym.kind == Symbol::Kind::kLocal) {
+          builder_.stq(expr_reg(0), isa::kStackReg, local_disp(sym.slot));
+        } else {
+          builder_.stq(expr_reg(0), isa::kIntZero,
+                       static_cast<i64>(global_addr_[stmt.sym]));
+        }
+        return;
+      }
+      case Stmt::Kind::kCallStmt:
+        emit_expr(*stmt.value, 0);  // result discarded
+        return;
+    }
+  }
+
+  /// Tries the immediate form for `dst <- dst OP literal`; returns
+  /// false when the operator has no immediate encoding.
+  bool emit_bin_imm(BinOp op, Reg dst, i64 imm) {
+    switch (op) {
+      case BinOp::kAdd: builder_.addi(dst, dst, imm); return true;
+      case BinOp::kSub: builder_.subi(dst, dst, imm); return true;
+      case BinOp::kMul: builder_.muli(dst, dst, imm); return true;
+      case BinOp::kRem: builder_.remi(dst, dst, imm); return true;
+      case BinOp::kAnd: builder_.andi(dst, dst, imm); return true;
+      case BinOp::kOr: builder_.ori(dst, dst, imm); return true;
+      case BinOp::kXor: builder_.xori(dst, dst, imm); return true;
+      case BinOp::kShl: builder_.slli(dst, dst, imm); return true;
+      case BinOp::kShr: builder_.srai(dst, dst, imm); return true;
+      case BinOp::kEq: builder_.cmpeqi(dst, dst, imm); return true;
+      case BinOp::kLt: builder_.cmplti(dst, dst, imm); return true;
+      default: return false;
+    }
+  }
+
+  void emit_bin_reg(BinOp op, Reg dst, Reg rhs) {
+    switch (op) {
+      case BinOp::kAdd: builder_.add(dst, dst, rhs); return;
+      case BinOp::kSub: builder_.sub(dst, dst, rhs); return;
+      case BinOp::kMul: builder_.mul(dst, dst, rhs); return;
+      case BinOp::kDiv: builder_.div(dst, dst, rhs); return;
+      case BinOp::kRem: builder_.rem(dst, dst, rhs); return;
+      case BinOp::kAnd: builder_.and_(dst, dst, rhs); return;
+      case BinOp::kOr: builder_.or_(dst, dst, rhs); return;
+      case BinOp::kXor: builder_.xor_(dst, dst, rhs); return;
+      case BinOp::kShl: builder_.sll(dst, dst, rhs); return;
+      case BinOp::kShr: builder_.sra(dst, dst, rhs); return;
+      case BinOp::kEq: builder_.cmpeq(dst, dst, rhs); return;
+      case BinOp::kNe:
+        builder_.cmpeq(dst, dst, rhs);
+        builder_.cmpeqi(dst, dst, 0);
+        return;
+      case BinOp::kLt: builder_.cmplt(dst, dst, rhs); return;
+      case BinOp::kLe: builder_.cmple(dst, dst, rhs); return;
+      case BinOp::kGt: builder_.cmplt(dst, rhs, dst); return;
+      case BinOp::kGe: builder_.cmple(dst, rhs, dst); return;
+      case BinOp::kLAnd:
+        // both nonzero == !(a==0 | b==0); no short circuit by design.
+        builder_.cmpeqi(dst, dst, 0);
+        builder_.cmpeqi(rhs, rhs, 0);
+        builder_.or_(dst, dst, rhs);
+        builder_.cmpeqi(dst, dst, 0);
+        return;
+      case BinOp::kLOr:
+        // (a|b) != 0
+        builder_.or_(dst, dst, rhs);
+        builder_.cmpeqi(dst, dst, 0);
+        builder_.cmpeqi(dst, dst, 0);
+        return;
+    }
+  }
+
+  /// Evaluates `expr` into expr_reg(depth); regs below `depth` are live.
+  void emit_expr(const Expr& expr, u32 depth) {
+    TLR_ASSERT_MSG(kExprBase + depth <= kMaxExprRegs, "parser bounds depth");
+    const Reg dst = expr_reg(depth);
+    switch (expr.kind) {
+      case Expr::Kind::kNum:
+        builder_.ldi(dst, expr.number);
+        return;
+      case Expr::Kind::kVar: {
+        const Symbol& sym = unit_.symbols[expr.sym];
+        switch (sym.kind) {
+          case Symbol::Kind::kLocal:
+            builder_.ldq(dst, isa::kStackReg, local_disp(sym.slot));
+            return;
+          case Symbol::Kind::kGlobalScalar:
+            builder_.ldq(dst, isa::kIntZero,
+                         static_cast<i64>(global_addr_[expr.sym]));
+            return;
+          case Symbol::Kind::kConst:
+            builder_.ldi(dst, sym.init);
+            return;
+          case Symbol::Kind::kGlobalArray:
+            TLR_ASSERT_MSG(false, "parser rejects unindexed arrays");
+            return;
+        }
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        const Symbol& sym = unit_.symbols[expr.sym];
+        emit_expr(*expr.lhs, depth);
+        builder_.andi(dst, dst, static_cast<i64>(sym.array_len) - 1);
+        builder_.slli(dst, dst, 3);
+        builder_.ldq(dst, dst, static_cast<i64>(global_addr_[expr.sym]));
+        return;
+      }
+      case Expr::Kind::kUnary:
+        emit_expr(*expr.lhs, depth);
+        switch (expr.un_op) {
+          case UnOp::kNeg: builder_.sub(dst, isa::kIntZero, dst); return;
+          case UnOp::kBitNot: builder_.xori(dst, dst, -1); return;
+          case UnOp::kLogNot: builder_.cmpeqi(dst, dst, 0); return;
+        }
+        return;
+      case Expr::Kind::kBinary:
+        emit_expr(*expr.lhs, depth);
+        if (expr.rhs->kind == Expr::Kind::kNum &&
+            emit_bin_imm_probe(expr.bin_op)) {
+          emit_bin_imm(expr.bin_op, dst, expr.rhs->number);
+          return;
+        }
+        emit_expr(*expr.rhs, depth + 1);
+        emit_bin_reg(expr.bin_op, dst, expr_reg(depth + 1));
+        return;
+      case Expr::Kind::kCall:
+        emit_call(expr, depth);
+        return;
+    }
+  }
+
+  static bool emit_bin_imm_probe(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul:
+      case BinOp::kRem: case BinOp::kAnd: case BinOp::kOr:
+      case BinOp::kXor: case BinOp::kShl: case BinOp::kShr:
+      case BinOp::kEq: case BinOp::kLt:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void emit_call(const Expr& expr, u32 depth) {
+    // Arguments evaluate left to right onto the stack above `depth`.
+    for (usize i = 0; i < expr.args.size(); ++i) {
+      emit_expr(*expr.args[i], depth + static_cast<u32>(i));
+    }
+    // Spill the live registers below `depth`; the callee reuses the
+    // whole expression stack.
+    const i64 spill_bytes = 8 * static_cast<i64>(depth);
+    if (depth > 0) {
+      builder_.subi(isa::kStackReg, isa::kStackReg, spill_bytes);
+      for (u32 j = 0; j < depth; ++j) {
+        builder_.stq(expr_reg(j), isa::kStackReg, 8 * static_cast<i64>(j));
+      }
+    }
+    for (usize i = 0; i < expr.args.size(); ++i) {
+      builder_.mov(r(kArgBase + static_cast<unsigned>(i)),
+                   expr_reg(depth + static_cast<u32>(i)));
+    }
+    builder_.call(fn_labels_[expr.sym]);
+    builder_.mov(expr_reg(depth), kRetReg);
+    if (depth > 0) {
+      for (u32 j = 0; j < depth; ++j) {
+        builder_.ldq(expr_reg(j), isa::kStackReg, 8 * static_cast<i64>(j));
+      }
+      builder_.addi(isa::kStackReg, isa::kStackReg, spill_bytes);
+    }
+  }
+
+  const Unit& unit_;
+  const CompileOptions& options_;
+  vm::ProgramBuilder builder_;
+  std::vector<Addr> global_addr_;    // symbol-indexed
+  std::vector<vm::Label> fn_labels_;
+  vm::Label epilogue_;               // current function's exit
+};
+
+}  // namespace
+
+CompiledProgram compile(const Unit& unit, const CompileOptions& options) {
+  CodeGen gen(unit, options);
+  return gen.finish();
+}
+
+std::optional<CompiledProgram> compile_source(std::string_view source,
+                                              const ParseParams& params,
+                                              const CompileOptions& options,
+                                              Diag* diag) {
+  std::optional<Unit> unit = parse(source, params, diag);
+  if (!unit.has_value()) return std::nullopt;
+  return compile(*unit, options);
+}
+
+}  // namespace tlr::lang

@@ -1,0 +1,62 @@
+// TLC code generator: lowers a parsed Unit onto vm::ProgramBuilder.
+//
+// Calling convention (docs/tlc.md):
+//  * expressions evaluate on a register stack r1..r16 (kMaxExprRegs;
+//    the parser bounds every expression's need, so codegen never
+//    spills mid-expression),
+//  * arguments pass in r20..r25, the result returns in r19,
+//  * r26 is the link register, r30 the stack pointer, and r27 is left
+//    untouched for the streaming outer-loop counter,
+//  * frames hold the saved link word plus one 8-byte slot per local
+//    (parameters occupy the first slots); locals are zeroed on entry.
+//
+// In stream mode the program wraps `call main` in the same
+// workloads::detail::OuterLoop the hand-written workloads use, so a
+// TLC program streams through StudyEngine exactly like an analog.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/diag.hpp"
+#include "lang/parser.hpp"
+#include "vm/program.hpp"
+
+namespace tlr::lang {
+
+struct CompileOptions {
+  std::string name = "tlc";
+  /// true: wrap main in an unbounded outer loop (study streaming).
+  /// false: run main once, store its result, halt (differential tests).
+  bool stream = true;
+};
+
+/// Where a global landed in the data segment (for state comparison).
+struct GlobalSlot {
+  std::string name;
+  Addr addr = 0;
+  u32 array_len = 0;  // 0 for scalars
+};
+
+struct CompiledProgram {
+  vm::Program program;
+  /// Word receiving main's return value after each pass.
+  Addr result_addr = 0;
+  std::vector<GlobalSlot> globals;
+};
+
+/// Lowers a checked Unit. Cannot fail: the parser's finalize pass
+/// already enforced every bound the generator relies on.
+CompiledProgram compile(const Unit& unit, const CompileOptions& options = {});
+
+/// parse + compile in one step. On failure returns nullopt with `*diag`
+/// holding the one-line message and location.
+std::optional<CompiledProgram> compile_source(std::string_view source,
+                                              const ParseParams& params,
+                                              const CompileOptions& options,
+                                              Diag* diag);
+
+}  // namespace tlr::lang

@@ -1,0 +1,39 @@
+// Source locations and one-line diagnostics for the TLC frontend.
+//
+// Every frontend failure — lex error, parse error, type error, codegen
+// restriction — is reported as a single Diag carrying the 1-based
+// line:col of the offending token, so tools can print the conventional
+// `file:line:col: message` form and property tests can pin the exact
+// position (tests/lang/lang_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace tlr::lang {
+
+/// 1-based position inside a TLC source buffer.
+struct SourceLoc {
+  u32 line = 1;
+  u32 col = 1;
+};
+
+struct Diag {
+  std::string message;
+  SourceLoc loc;
+
+  /// `file:line:col: message` — the one-line form the CLI prints.
+  std::string to_string(std::string_view file) const {
+    std::string out(file);
+    out += ':';
+    out += std::to_string(loc.line);
+    out += ':';
+    out += std::to_string(loc.col);
+    out += ": ";
+    out += message;
+    return out;
+  }
+};
+
+}  // namespace tlr::lang

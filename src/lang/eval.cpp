@@ -1,0 +1,246 @@
+#include "lang/eval.hpp"
+
+#include <utility>
+
+#include "lang/arith.hpp"
+#include "util/assert.hpp"
+
+namespace tlr::lang {
+
+namespace {
+
+struct Frame {
+  std::vector<i64> locals;  // slot-indexed, zero-initialised
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Unit& unit, const EvalLimits& limits)
+      : unit_(unit), limits_(limits) {
+    scalars_.resize(unit.symbols.size(), 0);
+    arrays_.resize(unit.symbols.size());
+    for (usize i = 0; i < unit.symbols.size(); ++i) {
+      const Symbol& sym = unit.symbols[i];
+      if (sym.kind == Symbol::Kind::kGlobalScalar ||
+          sym.kind == Symbol::Kind::kConst) {
+        scalars_[i] = sym.init;
+      } else if (sym.kind == Symbol::Kind::kGlobalArray) {
+        arrays_[i].assign(sym.array_len, 0);
+      }
+    }
+  }
+
+  EvalResult run() {
+    EvalResult result;
+    i64 value = 0;
+    if (!call(unit_.main_index, {}, &value)) {
+      result.error = error_;
+      result.steps = steps_;
+      return result;
+    }
+    result.ok = true;
+    result.return_value = value;
+    result.steps = steps_;
+    for (usize i = 0; i < unit_.symbols.size(); ++i) {
+      const Symbol& sym = unit_.symbols[i];
+      if (sym.kind == Symbol::Kind::kGlobalScalar) {
+        result.globals[sym.name] = scalars_[i];
+      } else if (sym.kind == Symbol::Kind::kGlobalArray) {
+        result.arrays[sym.name] = arrays_[i];
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool tick() {
+    if (++steps_ > limits_.max_steps) {
+      if (error_.empty()) error_ = "step limit exceeded";
+      return false;
+    }
+    return true;
+  }
+
+  bool call(u32 fn_index, std::vector<i64> args, i64* out) {
+    if (++depth_ > limits_.max_call_depth) {
+      if (error_.empty()) error_ = "call depth exceeded";
+      --depth_;
+      return false;
+    }
+    const Function& fn = unit_.functions[fn_index];
+    Frame frame;
+    frame.locals.resize(fn.locals.size(), 0);
+    TLR_ASSERT_MSG(args.size() == fn.num_params,
+                   "arity checked by the parser");
+    for (usize i = 0; i < args.size(); ++i) frame.locals[i] = args[i];
+    frames_.push_back(std::move(frame));
+
+    i64 ret = 0;  // implicit `return 0` when the body falls off the end
+    bool ok = true;
+    for (const StmtPtr& stmt : fn.body) {
+      Flow flow = exec(*stmt, &ret);
+      if (flow == Flow::kError) {
+        ok = false;
+        break;
+      }
+      if (flow == Flow::kReturn) break;
+    }
+    frames_.pop_back();
+    --depth_;
+    if (ok) *out = ret;
+    return ok;
+  }
+
+  enum class Flow : u8 { kNext, kReturn, kError };
+
+  Flow exec(const Stmt& stmt, i64* ret) {
+    if (!tick()) return Flow::kError;
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock: {
+        for (const StmtPtr& sub : stmt.body) {
+          const Flow flow = exec(*sub, ret);
+          if (flow != Flow::kNext) return flow;
+        }
+        return Flow::kNext;
+      }
+      case Stmt::Kind::kIf: {
+        i64 cond = 0;
+        if (!eval(*stmt.cond, &cond)) return Flow::kError;
+        const auto& arm = cond != 0 ? stmt.body : stmt.else_body;
+        for (const StmtPtr& sub : arm) {
+          const Flow flow = exec(*sub, ret);
+          if (flow != Flow::kNext) return flow;
+        }
+        return Flow::kNext;
+      }
+      case Stmt::Kind::kWhile: {
+        for (;;) {
+          if (!tick()) return Flow::kError;
+          i64 cond = 0;
+          if (!eval(*stmt.cond, &cond)) return Flow::kError;
+          if (cond == 0) return Flow::kNext;
+          for (const StmtPtr& sub : stmt.body) {
+            const Flow flow = exec(*sub, ret);
+            if (flow != Flow::kNext) return flow;
+          }
+        }
+      }
+      case Stmt::Kind::kFor: {
+        const Flow init = exec(*stmt.init, ret);
+        if (init != Flow::kNext) return init;
+        for (;;) {
+          if (!tick()) return Flow::kError;
+          i64 cond = 0;
+          if (!eval(*stmt.cond, &cond)) return Flow::kError;
+          if (cond == 0) return Flow::kNext;
+          for (const StmtPtr& sub : stmt.body) {
+            const Flow flow = exec(*sub, ret);
+            if (flow != Flow::kNext) return flow;
+          }
+          const Flow step = exec(*stmt.step, ret);
+          if (step != Flow::kNext) return step;
+        }
+      }
+      case Stmt::Kind::kReturn: {
+        if (!eval(*stmt.value, ret)) return Flow::kError;
+        return Flow::kReturn;
+      }
+      case Stmt::Kind::kDecl: {
+        i64 value = 0;
+        if (stmt.value != nullptr && !eval(*stmt.value, &value)) {
+          return Flow::kError;
+        }
+        frames_.back().locals[unit_.symbols[stmt.sym].slot] = value;
+        return Flow::kNext;
+      }
+      case Stmt::Kind::kAssign: {
+        // Index evaluates before the value (matches the compiler).
+        if (stmt.index != nullptr) {
+          i64 index = 0, value = 0;
+          if (!eval(*stmt.index, &index)) return Flow::kError;
+          if (!eval(*stmt.value, &value)) return Flow::kError;
+          std::vector<i64>& arr = arrays_[stmt.sym];
+          arr[static_cast<u64>(index) & (arr.size() - 1)] = value;
+          return Flow::kNext;
+        }
+        i64 value = 0;
+        if (!eval(*stmt.value, &value)) return Flow::kError;
+        const Symbol& sym = unit_.symbols[stmt.sym];
+        if (sym.kind == Symbol::Kind::kLocal) {
+          frames_.back().locals[sym.slot] = value;
+        } else {
+          scalars_[stmt.sym] = value;
+        }
+        return Flow::kNext;
+      }
+      case Stmt::Kind::kCallStmt: {
+        i64 discard = 0;
+        return eval(*stmt.value, &discard) ? Flow::kNext : Flow::kError;
+      }
+    }
+    return Flow::kError;
+  }
+
+  bool eval(const Expr& expr, i64* out) {
+    if (!tick()) return false;
+    switch (expr.kind) {
+      case Expr::Kind::kNum:
+        *out = expr.number;
+        return true;
+      case Expr::Kind::kVar: {
+        const Symbol& sym = unit_.symbols[expr.sym];
+        *out = sym.kind == Symbol::Kind::kLocal
+                   ? frames_.back().locals[sym.slot]
+                   : scalars_[expr.sym];
+        return true;
+      }
+      case Expr::Kind::kIndex: {
+        i64 index = 0;
+        if (!eval(*expr.lhs, &index)) return false;
+        const std::vector<i64>& arr = arrays_[expr.sym];
+        *out = arr[static_cast<u64>(index) & (arr.size() - 1)];
+        return true;
+      }
+      case Expr::Kind::kUnary: {
+        i64 a = 0;
+        if (!eval(*expr.lhs, &a)) return false;
+        *out = apply_un(expr.un_op, a);
+        return true;
+      }
+      case Expr::Kind::kBinary: {
+        // Left to right; && and || still evaluate both sides.
+        i64 a = 0, b = 0;
+        if (!eval(*expr.lhs, &a)) return false;
+        if (!eval(*expr.rhs, &b)) return false;
+        *out = apply_bin(expr.bin_op, a, b);
+        return true;
+      }
+      case Expr::Kind::kCall: {
+        std::vector<i64> args(expr.args.size(), 0);
+        for (usize i = 0; i < expr.args.size(); ++i) {
+          if (!eval(*expr.args[i], &args[i])) return false;
+        }
+        return call(expr.sym, std::move(args), out);
+      }
+    }
+    return false;
+  }
+
+  const Unit& unit_;
+  const EvalLimits& limits_;
+  std::vector<i64> scalars_;               // symbol-indexed
+  std::vector<std::vector<i64>> arrays_;   // symbol-indexed
+  std::vector<Frame> frames_;
+  u64 steps_ = 0;
+  u32 depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+EvalResult evaluate(const Unit& unit, const EvalLimits& limits) {
+  Evaluator evaluator(unit, limits);
+  return evaluator.run();
+}
+
+}  // namespace tlr::lang

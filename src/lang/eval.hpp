@@ -1,0 +1,40 @@
+// TLC reference evaluator — the differential-testing oracle.
+//
+// A direct tree walk over the parsed Unit, sharing only arith.hpp with
+// the code generator. If the compiled program and this evaluator agree
+// on main's return value and on every global (scalars and array
+// contents), the compilation pipeline is exercised end to end with an
+// independent second opinion on the semantics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "util/types.hpp"
+
+namespace tlr::lang {
+
+struct EvalLimits {
+  /// Statement + expression-node budget; generated programs terminate
+  /// by construction, but the oracle must survive any input.
+  u64 max_steps = u64{1} << 26;
+  u32 max_call_depth = 200;
+};
+
+struct EvalResult {
+  bool ok = false;
+  std::string error;  // "step limit exceeded" / "call depth exceeded"
+  i64 return_value = 0;
+  u64 steps = 0;
+  /// Final global state, keyed by symbol name.
+  std::map<std::string, i64> globals;
+  std::map<std::string, std::vector<i64>> arrays;
+};
+
+/// Runs `unit`'s main function from the initial state (globals at their
+/// initialisers, arrays zeroed).
+EvalResult evaluate(const Unit& unit, const EvalLimits& limits = {});
+
+}  // namespace tlr::lang

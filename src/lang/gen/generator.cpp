@@ -1,0 +1,269 @@
+#include "lang/gen/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tlr::lang::gen {
+
+namespace {
+
+struct ArrayInfo {
+  std::string name;
+  u32 len = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const GenConfig& config)
+      : config_(config), rng_(config.seed) {
+    config_.size = std::min(config_.size, u32{4});
+  }
+
+  std::string run() {
+    line("// tlgen seed=" + std::to_string(config_.seed) +
+         " size=" + std::to_string(config_.size));
+    emit_globals();
+    emit_helpers();
+    emit_main();
+    return std::move(out_);
+  }
+
+ private:
+  // ---- output helpers ------------------------------------------------
+  void line(const std::string& text) {
+    out_.append(static_cast<usize>(indent_) * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+  void open(const std::string& head) {
+    line(head + " {");
+    ++indent_;
+  }
+  void close() {
+    --indent_;
+    line("}");
+  }
+
+  std::string num(u64 bound) { return std::to_string(rng_.below(bound)); }
+
+  // ---- expressions ---------------------------------------------------
+  /// A random scalar the current scope can read.
+  std::string scalar() {
+    const usize n = scalars_.size();
+    return n == 0 ? num(64) : scalars_[rng_.below(n)];
+  }
+
+  /// An array element; the language masks the index, so any integer
+  /// subexpression is a valid subscript.
+  std::string array_read() {
+    const ArrayInfo& arr = arrays_[rng_.below(arrays_.size())];
+    std::string index = scalar();
+    if (rng_.chance(1, 2)) index += " + " + num(arr.len);
+    return arr.name + "[" + index + "]";
+  }
+
+  std::string leaf() {
+    const u64 kind = rng_.below(10);
+    if (kind < 4) return scalar();
+    if (kind < 7 && !arrays_.empty()) return array_read();
+    if (kind < 9) return num(256);
+    return "0x" + std::to_string(rng_.below(0xfff));  // decimal digits: fine
+  }
+
+  /// Random expression of bounded depth. Shift amounts are literal and
+  /// small; divisor/modulus operands are forced odd (`| 1`) so values
+  /// stay lively without ever dividing by zero (which TLC defines
+  /// anyway, but zero quotients everywhere make dull programs).
+  std::string expr(u32 depth) {
+    if (depth == 0 || rng_.chance(1, 4)) return leaf();
+    const u64 pick = rng_.below(20);
+    const std::string a = expr(depth - 1);
+    if (pick < 1) return "(-" + a + ")";
+    if (pick < 2) return "(~" + a + ")";
+    if (pick < 4) return "(" + a + " >> " + num(5) + ")";
+    if (pick < 6) return "(" + a + " << " + num(4) + ")";
+    const std::string b = expr(depth - 1);
+    if (pick < 9) return "(" + a + " + " + b + ")";
+    if (pick < 11) return "(" + a + " - " + b + ")";
+    if (pick < 13) return "(" + a + " * " + b + ")";
+    if (pick < 15) return "(" + a + " ^ " + b + ")";
+    if (pick < 16) return "(" + a + " & " + b + ")";
+    if (pick < 17) return "(" + a + " | " + b + ")";
+    if (pick < 18) return "(" + a + " / (" + b + " | 1))";
+    if (pick < 19) return "(" + a + " % (" + b + " | 1))";
+    return "(" + a + (rng_.chance(1, 2) ? " < " : " == ") + b + ")";
+  }
+
+  /// A call expression over a deliberately small argument domain, so
+  /// the same (function, arguments) pairs recur — the paper's repeated
+  /// computation at function granularity.
+  std::string call_expr() {
+    const usize which = rng_.below(helpers_.size());
+    std::string call = helpers_[which] + "(";
+    for (u32 i = 0; i < helper_arity_[which]; ++i) {
+      if (i > 0) call += ", ";
+      call += scalar() + " & " + std::to_string((u64{1} << rng_.range(2, 4)) - 1);
+    }
+    return call + ")";
+  }
+
+  // ---- program sections ----------------------------------------------
+  void emit_globals() {
+    const u64 num_arrays = rng_.range(1, 2 + (config_.size >= 2 ? 1 : 0));
+    for (u64 i = 0; i < num_arrays; ++i) {
+      ArrayInfo arr;
+      arr.name = std::string(1, static_cast<char>('A' + i));
+      arr.len = u32{1} << rng_.range(4, 5 + config_.size);
+      line("int " + arr.name + "[" + std::to_string(arr.len) + "];");
+      arrays_.push_back(arr);
+    }
+    const u64 num_globals = rng_.range(1, 3);
+    for (u64 i = 0; i < num_globals; ++i) {
+      const std::string name = "g" + std::to_string(i);
+      line("int " + name + " = (SEED >> " + std::to_string(8 * i) +
+           ") & " + num(4096) + ";");
+      globals_.push_back(name);
+      scalars_.push_back(name);
+    }
+    line("");
+  }
+
+  void emit_helpers() {
+    const u64 count = rng_.range(config_.size >= 1 ? 1 : 0, 2);
+    for (u64 i = 0; i < count; ++i) {
+      const std::string name = "h" + std::to_string(i);
+      const u32 arity = static_cast<u32>(rng_.range(1, 3));
+      // Helper scope: parameters (+ globals, already in scalars_).
+      const std::vector<std::string> saved = scalars_;
+      std::string head = "int " + name + "(";
+      for (u32 p = 0; p < arity; ++p) {
+        const std::string param = "p" + std::to_string(p);
+        if (p > 0) head += ", ";
+        head += "int " + param;
+        scalars_.push_back(param);
+      }
+      open(head + ")");
+      if (i == 0 && rng_.chance(1, 2)) {
+        // Constant-depth recursion on the first parameter.
+        open("if (p0 < 1)");
+        line("return " + expr(2) + ";");
+        close();
+        std::string rec = name + "(p0 - 1";
+        for (u32 p = 1; p < arity; ++p) rec += ", " + expr(1);
+        line("return " + rec + ") ^ p0;");
+      } else {
+        line("int u = " + expr(2) + ";");
+        scalars_.push_back("u");
+        if (rng_.chance(1, 2)) {
+          open("for (int k = 0; k < " + std::to_string(rng_.range(2, 6)) +
+               "; k = k + 1)");
+          line("u = " + expr(2) + ";");
+          close();
+        }
+        line("return " + expr(2) + ";");
+      }
+      close();
+      line("");
+      scalars_ = saved;
+      helpers_.push_back(name);
+      helper_arity_.push_back(arity);
+    }
+  }
+
+  void emit_main() {
+    open("int main()");
+    line("int t = SEED & 0xffff;");
+    line("int acc = 0;");
+    scalars_.push_back("t");
+    scalars_.push_back("acc");
+
+    // Initialise every array from a cheap index recurrence.
+    for (const ArrayInfo& arr : arrays_) {
+      open("for (int i = 0; i < " + std::to_string(arr.len) +
+           "; i = i + 1)");
+      scalars_.push_back("i");
+      line(arr.name + "[i] = " + expr(2) + ";");
+      scalars_.pop_back();
+      close();
+    }
+
+    // Re-traversal rounds: the reuse-heavy core. The traversed prefix
+    // stretches with SCALE (indices self-mask past the array length).
+    const u64 rounds = rng_.range(2, 3 + config_.size);
+    const ArrayInfo& hot = arrays_[rng_.below(arrays_.size())];
+    const u64 span = std::min<u64>(hot.len, u64{1} << rng_.range(4, 6));
+    line("int limit = " + std::to_string(span) +
+         (config_.use_scale ? " * SCALE;" : ";"));
+    scalars_.push_back("limit");
+    open("for (int r = 0; r < " + std::to_string(rounds) + "; r = r + 1)");
+    scalars_.push_back("r");
+    open("for (int j = 0; j < limit; j = j + 1)");
+    scalars_.push_back("j");
+    line("acc = acc + " + hot.name + "[j] * " + num(16) + ";");
+    const u64 extras = rng_.range(1, 2 + config_.size / 2);
+    for (u64 i = 0; i < extras; ++i) {
+      switch (rng_.below(4)) {
+        case 0:  // slow mutation: a sparse subset of elements changes
+          open("if ((j & " + std::to_string((u64{1} << rng_.range(3, 5)) - 1) +
+               ") == 0)");
+          line(hot.name + "[j] = " + hot.name + "[j] + " + num(8) + ";");
+          close();
+          break;
+        case 1:
+          if (!helpers_.empty()) {
+            line("t = " + call_expr() + ";");
+            break;
+          }
+          [[fallthrough]];
+        case 2:
+          line("acc = " + expr(3) + ";");
+          break;
+        default: {
+          const ArrayInfo& arr = arrays_[rng_.below(arrays_.size())];
+          line(arr.name + "[" + expr(1) + "] = " + expr(2) + ";");
+          break;
+        }
+      }
+    }
+    // Quasi-invariant global: written rarely, read every iteration.
+    line("acc = acc ^ " + globals_[0] + ";");
+    open("if ((r ^ j) == " + std::to_string(rounds - 1) + ")");
+    line(globals_[0] + " = " + globals_[0] + " + 1;");
+    close();
+    close();  // inner for
+    scalars_.pop_back();
+    close();  // outer for
+    scalars_.pop_back();
+
+    // Strictly-shrinking while loop (halving terminates in <= 64 steps).
+    line("int x = (acc | 1) & 0xffffff;");
+    open("while (x > 0)");
+    line("x = x >> 1;");
+    line("t = t + 1;");
+    close();
+
+    line("return acc ^ t;");
+    close();
+  }
+
+  GenConfig config_;
+  Rng rng_;
+  std::string out_;
+  u32 indent_ = 0;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<std::string> globals_;
+  std::vector<std::string> scalars_;  // readable scalars in scope
+  std::vector<std::string> helpers_;
+  std::vector<u32> helper_arity_;
+};
+
+}  // namespace
+
+std::string generate_program(const GenConfig& config) {
+  Generator generator(config);
+  return generator.run();
+}
+
+}  // namespace tlr::lang::gen

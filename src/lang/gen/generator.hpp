@@ -1,0 +1,34 @@
+// tlgen: seeded random TLC program generator.
+//
+// Emits well-formed, terminating-by-construction TLC sources biased
+// toward the shapes the reuse study cares about (PAPER.md): nested
+// loops re-traversing slowly-mutating global arrays, repeated calls
+// over small argument domains, and quasi-invariant globals. Every
+// loop has a constant trip bound or a strictly-shrinking shift
+// variable, and recursion depth is a compile-time constant, so the
+// differential oracle never needs a timeout verdict.
+//
+// Generation is bit-deterministic: the same GenConfig always yields
+// the same source text (tlr::Rng, no global state).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace tlr::lang::gen {
+
+struct GenConfig {
+  u64 seed = 1;
+  /// Program size/complexity knob, 0 (tiny) .. 4 (large). Values above
+  /// 4 are clamped.
+  u32 size = 2;
+  /// Reference the SCALE builtin in traversal bounds so the working
+  /// set stretches with WorkloadParams::scale.
+  bool use_scale = true;
+};
+
+/// Returns the TLC source text for `config`.
+std::string generate_program(const GenConfig& config);
+
+}  // namespace tlr::lang::gen

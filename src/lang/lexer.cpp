@@ -1,0 +1,219 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace tlr::lang {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return c == '_' || std::isalpha(static_cast<unsigned char>(c));
+}
+bool is_ident_char(char c) {
+  return c == '_' || std::isalnum(static_cast<unsigned char>(c));
+}
+
+struct Cursor {
+  std::string_view source;
+  usize pos = 0;
+  u32 line = 1;
+  u32 col = 1;
+
+  bool done() const { return pos >= source.size(); }
+  char peek(usize ahead = 0) const {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  }
+  char take() {
+    const char c = source[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line, col}; }
+};
+
+}  // namespace
+
+std::string_view tok_name(Tok tok) {
+  switch (tok) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kInt: return "'int'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+std::optional<std::vector<Token>> lex(std::string_view source, Diag* diag) {
+  std::vector<Token> tokens;
+  Cursor cur{source};
+
+  const auto fail = [&](SourceLoc loc, std::string message) {
+    if (diag != nullptr) *diag = {std::move(message), loc};
+    return std::nullopt;
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.take();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+
+    Token token;
+    token.loc = cur.loc();
+
+    if (is_ident_start(c)) {
+      const usize start = cur.pos;
+      while (!cur.done() && is_ident_char(cur.peek())) cur.take();
+      token.text = source.substr(start, cur.pos - start);
+      if (token.text == "int") token.kind = Tok::kInt;
+      else if (token.text == "if") token.kind = Tok::kIf;
+      else if (token.text == "else") token.kind = Tok::kElse;
+      else if (token.text == "while") token.kind = Tok::kWhile;
+      else if (token.text == "for") token.kind = Tok::kFor;
+      else if (token.text == "return") token.kind = Tok::kReturn;
+      else token.kind = Tok::kIdent;
+      tokens.push_back(token);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const bool hex = c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X');
+      u64 value = 0;
+      if (hex) {
+        cur.take();
+        cur.take();
+        if (!std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          return fail(token.loc, "malformed hex literal");
+        }
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          const char d = cur.take();
+          const u64 digit =
+              std::isdigit(static_cast<unsigned char>(d))
+                  ? static_cast<u64>(d - '0')
+                  : static_cast<u64>(std::tolower(d) - 'a') + 10;
+          if (value > (~u64{0} >> 4)) {
+            return fail(token.loc, "integer literal overflows 64 bits");
+          }
+          value = (value << 4) | digit;
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+          const u64 digit = static_cast<u64>(cur.take() - '0');
+          if (value > (~u64{0} - digit) / 10) {
+            return fail(token.loc, "integer literal overflows 64 bits");
+          }
+          value = value * 10 + digit;
+        }
+      }
+      if (is_ident_start(cur.peek())) {
+        return fail(cur.loc(), "unexpected character in number");
+      }
+      token.kind = Tok::kNumber;
+      token.number = static_cast<i64>(value);
+      tokens.push_back(token);
+      continue;
+    }
+
+    cur.take();
+    const auto two = [&](char second, Tok with, Tok without) {
+      if (cur.peek() == second) {
+        cur.take();
+        return with;
+      }
+      return without;
+    };
+    switch (c) {
+      case '(': token.kind = Tok::kLParen; break;
+      case ')': token.kind = Tok::kRParen; break;
+      case '{': token.kind = Tok::kLBrace; break;
+      case '}': token.kind = Tok::kRBrace; break;
+      case '[': token.kind = Tok::kLBracket; break;
+      case ']': token.kind = Tok::kRBracket; break;
+      case ',': token.kind = Tok::kComma; break;
+      case ';': token.kind = Tok::kSemi; break;
+      case '+': token.kind = Tok::kPlus; break;
+      case '-': token.kind = Tok::kMinus; break;
+      case '*': token.kind = Tok::kStar; break;
+      case '/': token.kind = Tok::kSlash; break;
+      case '%': token.kind = Tok::kPercent; break;
+      case '^': token.kind = Tok::kCaret; break;
+      case '~': token.kind = Tok::kTilde; break;
+      case '=': token.kind = two('=', Tok::kEq, Tok::kAssign); break;
+      case '!': token.kind = two('=', Tok::kNe, Tok::kBang); break;
+      case '&': token.kind = two('&', Tok::kAndAnd, Tok::kAmp); break;
+      case '|': token.kind = two('|', Tok::kOrOr, Tok::kPipe); break;
+      case '<':
+        if (cur.peek() == '<') {
+          cur.take();
+          token.kind = Tok::kShl;
+        } else {
+          token.kind = two('=', Tok::kLe, Tok::kLt);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '>') {
+          cur.take();
+          token.kind = Tok::kShr;
+        } else {
+          token.kind = two('=', Tok::kGe, Tok::kGt);
+        }
+        break;
+      default:
+        return fail(token.loc,
+                    std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(token);
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.loc = cur.loc();
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace tlr::lang

@@ -1,0 +1,78 @@
+// TLC lexer: source text -> token stream.
+//
+// TLC is the tiny C-like workload language (docs/tlc.md): `int`
+// scalars and global arrays, `if`/`while`/`for`, functions, and the
+// arithmetic/bitwise/comparison operator set of the mini-ISA. The
+// lexer handles `//` comments, decimal and hex integer literals, and
+// reports malformed input as a Diag with the exact line:col.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/diag.hpp"
+#include "util/types.hpp"
+
+namespace tlr::lang {
+
+enum class Tok : u8 {
+  kEof,
+  kIdent,
+  kNumber,
+  // keywords
+  kInt,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kReturn,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  // operators
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kShl,      // <<
+  kShr,      // >>
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+};
+
+/// Token spelling for diagnostics ("expected ';', got '}'").
+std::string_view tok_name(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SourceLoc loc;
+  std::string_view text;  // identifier spelling (view into the source)
+  i64 number = 0;         // kNumber value
+};
+
+/// Tokenizes `source` in one pass. On failure returns nullopt and
+/// fills `*diag` (never asserts: source text is untrusted input).
+std::optional<std::vector<Token>> lex(std::string_view source, Diag* diag);
+
+}  // namespace tlr::lang

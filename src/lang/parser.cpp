@@ -1,0 +1,779 @@
+#include "lang/parser.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "lang/arith.hpp"
+#include "lang/lexer.hpp"
+
+namespace tlr::lang {
+
+namespace {
+
+/// Parenthesis/unary/call nesting cap: malformed or adversarial input
+/// must produce a Diag, not a stack overflow in the parser itself.
+constexpr u32 kMaxNesting = 64;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const ParseParams& params, Diag* diag)
+      : tokens_(std::move(tokens)), diag_(diag) {
+    unit_.seed = params.seed;
+    unit_.scale = params.scale;
+  }
+
+  std::optional<Unit> run() {
+    // Builtins live in the global scope as const symbols.
+    scopes_.emplace_back();
+    declare_const("SCALE", static_cast<i64>(unit_.scale));
+    declare_const("SEED", static_cast<i64>(unit_.seed));
+
+    while (!at(Tok::kEof)) {
+      if (!parse_top_level()) return std::nullopt;
+    }
+    if (!finalize()) return std::nullopt;
+    return std::move(unit_);
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------
+  const Token& peek(usize ahead = 0) const {
+    const usize i = pos_ + ahead;
+    return tokens_[i < tokens_.size() ? i : tokens_.size() - 1];
+  }
+  bool at(Tok kind) const { return peek().kind == kind; }
+  const Token& take() { return tokens_[pos_++]; }
+
+  bool error(SourceLoc loc, std::string message) {
+    if (diag_ != nullptr && diag_->message.empty()) {
+      *diag_ = {std::move(message), loc};
+    }
+    return false;
+  }
+
+  bool expect(Tok kind, const char* context) {
+    if (at(kind)) {
+      take();
+      return true;
+    }
+    return error(peek().loc, std::string("expected ") +
+                                 std::string(tok_name(kind)) + " " + context +
+                                 ", got " + std::string(tok_name(peek().kind)));
+  }
+
+  // ---- symbols -------------------------------------------------------
+  void declare_const(std::string name, i64 value) {
+    Symbol sym;
+    sym.kind = Symbol::Kind::kConst;
+    sym.name = name;
+    sym.init = value;
+    scopes_[0].push_back(static_cast<u32>(unit_.symbols.size()));
+    unit_.symbols.push_back(std::move(sym));
+  }
+
+  const Symbol* lookup(std::string_view name, u32* index) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      for (auto it = scope->rbegin(); it != scope->rend(); ++it) {
+        if (unit_.symbols[*it].name == name) {
+          *index = *it;
+          return &unit_.symbols[*it];
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool declared_in_current_scope(std::string_view name) const {
+    for (const u32 index : scopes_.back()) {
+      if (unit_.symbols[index].name == name) return true;
+    }
+    return false;
+  }
+
+  bool declare(Symbol sym, u32* index) {
+    if (declared_in_current_scope(sym.name)) {
+      const bool builtin = sym.name == "SCALE" || sym.name == "SEED";
+      return error(sym.loc, std::string("redefinition of ") +
+                                (builtin ? "builtin '" : "'") + sym.name +
+                                "'");
+    }
+    if (scopes_.size() == 1 && functions_by_name_.count(sym.name) != 0) {
+      return error(sym.loc, "redefinition of '" + sym.name +
+                                "' (already a function)");
+    }
+    *index = static_cast<u32>(unit_.symbols.size());
+    scopes_.back().push_back(*index);
+    unit_.symbols.push_back(std::move(sym));
+    return true;
+  }
+
+  // ---- constant expressions ------------------------------------------
+  /// Folds `expr` to a constant; only literals, builtins, and operators
+  /// are allowed (array sizes, global initialisers).
+  bool fold_const(const Expr& expr, i64* out) {
+    switch (expr.kind) {
+      case Expr::Kind::kNum:
+        *out = expr.number;
+        return true;
+      case Expr::Kind::kVar: {
+        const Symbol& sym = unit_.symbols[expr.sym];
+        if (sym.kind == Symbol::Kind::kConst) {
+          *out = sym.init;
+          return true;
+        }
+        return error(expr.loc, "'" + expr.name +
+                                   "' is not a constant (only literals and "
+                                   "SCALE/SEED are allowed here)");
+      }
+      case Expr::Kind::kUnary: {
+        i64 a = 0;
+        if (!fold_const(*expr.lhs, &a)) return false;
+        *out = apply_un(expr.un_op, a);
+        return true;
+      }
+      case Expr::Kind::kBinary: {
+        i64 a = 0, b = 0;
+        if (!fold_const(*expr.lhs, &a) || !fold_const(*expr.rhs, &b)) {
+          return false;
+        }
+        *out = apply_bin(expr.bin_op, a, b);
+        return true;
+      }
+      default:
+        return error(expr.loc, "expected a constant expression");
+    }
+  }
+
+  // ---- expressions ---------------------------------------------------
+  ExprPtr parse_primary() {
+    const Token& token = peek();
+    if (token.kind == Tok::kNumber) {
+      take();
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kNum;
+      expr->loc = token.loc;
+      expr->number = token.number;
+      return expr;
+    }
+    if (token.kind == Tok::kLParen) {
+      if (++nesting_ > kMaxNesting) {
+        error(token.loc, "expression nesting too deep");
+        return nullptr;
+      }
+      take();
+      ExprPtr inner = parse_expr();
+      --nesting_;
+      if (inner == nullptr) return nullptr;
+      if (!expect(Tok::kRParen, "to close '('")) return nullptr;
+      return inner;
+    }
+    if (token.kind == Tok::kIdent) {
+      take();
+      if (at(Tok::kLParen)) return parse_call(token);
+      auto expr = std::make_unique<Expr>();
+      expr->loc = token.loc;
+      expr->name = std::string(token.text);
+      u32 index = 0;
+      const Symbol* sym = lookup(token.text, &index);
+      if (sym == nullptr) {
+        error(token.loc,
+              "undefined name '" + std::string(token.text) + "'");
+        return nullptr;
+      }
+      expr->sym = index;
+      if (at(Tok::kLBracket)) {
+        if (sym->kind != Symbol::Kind::kGlobalArray) {
+          error(token.loc,
+                "cannot index scalar '" + std::string(token.text) + "'");
+          return nullptr;
+        }
+        take();
+        expr->kind = Expr::Kind::kIndex;
+        expr->lhs = parse_expr();
+        if (expr->lhs == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "to close '['")) return nullptr;
+        return expr;
+      }
+      if (sym->kind == Symbol::Kind::kGlobalArray) {
+        error(token.loc,
+              "array '" + std::string(token.text) + "' needs an index");
+        return nullptr;
+      }
+      expr->kind = Expr::Kind::kVar;
+      return expr;
+    }
+    error(token.loc, std::string("expected an expression, got ") +
+                         std::string(tok_name(token.kind)));
+    return nullptr;
+  }
+
+  ExprPtr parse_call(const Token& name) {
+    if (++nesting_ > kMaxNesting) {
+      error(name.loc, "expression nesting too deep");
+      return nullptr;
+    }
+    take();  // '('
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kCall;
+    expr->loc = name.loc;
+    expr->name = std::string(name.text);
+    if (!at(Tok::kRParen)) {
+      for (;;) {
+        ExprPtr arg = parse_expr();
+        if (arg == nullptr) return nullptr;
+        expr->args.push_back(std::move(arg));
+        if (!at(Tok::kComma)) break;
+        take();
+      }
+    }
+    --nesting_;
+    if (!expect(Tok::kRParen, "to close the call")) return nullptr;
+    return expr;
+  }
+
+  ExprPtr parse_unary() {
+    const Token& token = peek();
+    UnOp op;
+    if (token.kind == Tok::kMinus) op = UnOp::kNeg;
+    else if (token.kind == Tok::kTilde) op = UnOp::kBitNot;
+    else if (token.kind == Tok::kBang) op = UnOp::kLogNot;
+    else return parse_primary();
+    if (++nesting_ > kMaxNesting) {
+      error(token.loc, "expression nesting too deep");
+      return nullptr;
+    }
+    take();
+    ExprPtr operand = parse_unary();
+    --nesting_;
+    if (operand == nullptr) return nullptr;
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kUnary;
+    expr->loc = token.loc;
+    expr->un_op = op;
+    expr->lhs = std::move(operand);
+    return expr;
+  }
+
+  /// Binary precedence, C-like (tightest last).
+  static int precedence(Tok kind) {
+    switch (kind) {
+      case Tok::kOrOr: return 1;
+      case Tok::kAndAnd: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq: case Tok::kNe: return 6;
+      case Tok::kLt: case Tok::kLe: case Tok::kGt: case Tok::kGe: return 7;
+      case Tok::kShl: case Tok::kShr: return 8;
+      case Tok::kPlus: case Tok::kMinus: return 9;
+      case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+      default: return 0;
+    }
+  }
+
+  static BinOp bin_op_for(Tok kind) {
+    switch (kind) {
+      case Tok::kOrOr: return BinOp::kLOr;
+      case Tok::kAndAnd: return BinOp::kLAnd;
+      case Tok::kPipe: return BinOp::kOr;
+      case Tok::kCaret: return BinOp::kXor;
+      case Tok::kAmp: return BinOp::kAnd;
+      case Tok::kEq: return BinOp::kEq;
+      case Tok::kNe: return BinOp::kNe;
+      case Tok::kLt: return BinOp::kLt;
+      case Tok::kLe: return BinOp::kLe;
+      case Tok::kGt: return BinOp::kGt;
+      case Tok::kGe: return BinOp::kGe;
+      case Tok::kShl: return BinOp::kShl;
+      case Tok::kShr: return BinOp::kShr;
+      case Tok::kPlus: return BinOp::kAdd;
+      case Tok::kMinus: return BinOp::kSub;
+      case Tok::kStar: return BinOp::kMul;
+      case Tok::kSlash: return BinOp::kDiv;
+      default: return BinOp::kRem;
+    }
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    if (lhs == nullptr) return nullptr;
+    for (;;) {
+      const Token& token = peek();
+      const int prec = precedence(token.kind);
+      if (prec == 0 || prec < min_prec) return lhs;
+      take();
+      ExprPtr rhs = parse_binary(prec + 1);  // left-associative
+      if (rhs == nullptr) return nullptr;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kBinary;
+      expr->loc = token.loc;
+      expr->bin_op = bin_op_for(token.kind);
+      expr->lhs = std::move(lhs);
+      expr->rhs = std::move(rhs);
+      lhs = std::move(expr);
+    }
+  }
+
+  ExprPtr parse_expr() { return parse_binary(1); }
+
+  // ---- statements ----------------------------------------------------
+  /// Local declaration: `int name (= expr)? ;` (the ';' is consumed by
+  /// the caller when `consume_semi` is false, for `for` headers).
+  StmtPtr parse_decl(bool consume_semi) {
+    const Token& kw = take();  // 'int'
+    if (!at(Tok::kIdent)) {
+      error(peek().loc, "expected a name after 'int'");
+      return nullptr;
+    }
+    const Token& name = take();
+    if (at(Tok::kLBracket)) {
+      error(name.loc, "arrays must be global (locals are scalars)");
+      return nullptr;
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kDecl;
+    stmt->loc = kw.loc;
+    stmt->name = std::string(name.text);
+    if (at(Tok::kAssign)) {
+      take();
+      stmt->value = parse_expr();
+      if (stmt->value == nullptr) return nullptr;
+    }
+    // The name enters scope only after its initialiser parses, so
+    // `int x = x;` is an undefined-name error, as in C.
+    Symbol sym;
+    sym.kind = Symbol::Kind::kLocal;
+    sym.name = std::string(name.text);
+    sym.loc = name.loc;
+    sym.slot = static_cast<u32>(current_fn_->locals.size());
+    u32 index = 0;
+    if (!declare(std::move(sym), &index)) return nullptr;
+    current_fn_->locals.push_back(index);
+    stmt->sym = index;
+    if (consume_semi && !expect(Tok::kSemi, "after declaration")) {
+      return nullptr;
+    }
+    return stmt;
+  }
+
+  /// Assignment or call statement (the only expression statements TLC
+  /// has — a computed-and-discarded value cannot affect state).
+  StmtPtr parse_simple() {
+    if (!at(Tok::kIdent)) {
+      error(peek().loc, std::string("expected a statement, got ") +
+                            std::string(tok_name(peek().kind)));
+      return nullptr;
+    }
+    const Token& name = take();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = name.loc;
+    stmt->name = std::string(name.text);
+
+    if (at(Tok::kLParen)) {
+      stmt->kind = Stmt::Kind::kCallStmt;
+      stmt->value = parse_call(name);
+      return stmt->value == nullptr ? nullptr : std::move(stmt);
+    }
+
+    u32 index = 0;
+    const Symbol* sym = lookup(name.text, &index);
+    if (sym == nullptr) {
+      error(name.loc, "undefined name '" + std::string(name.text) + "'");
+      return nullptr;
+    }
+    if (sym->kind == Symbol::Kind::kConst) {
+      error(name.loc, "cannot assign to builtin constant '" +
+                          std::string(name.text) + "'");
+      return nullptr;
+    }
+    stmt->sym = index;
+    if (at(Tok::kLBracket)) {
+      if (sym->kind != Symbol::Kind::kGlobalArray) {
+        error(name.loc,
+              "cannot index scalar '" + std::string(name.text) + "'");
+        return nullptr;
+      }
+      take();
+      stmt->index = parse_expr();
+      if (stmt->index == nullptr) return nullptr;
+      if (!expect(Tok::kRBracket, "to close '['")) return nullptr;
+    } else if (sym->kind == Symbol::Kind::kGlobalArray) {
+      error(name.loc,
+            "array '" + std::string(name.text) + "' needs an index");
+      return nullptr;
+    }
+    stmt->kind = Stmt::Kind::kAssign;
+    if (!expect(Tok::kAssign, "in assignment")) return nullptr;
+    stmt->value = parse_expr();
+    return stmt->value == nullptr ? nullptr : std::move(stmt);
+  }
+
+  bool parse_block_into(std::vector<StmtPtr>* body) {
+    if (!expect(Tok::kLBrace, "to open a block")) return false;
+    scopes_.emplace_back();
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEof)) {
+        scopes_.pop_back();
+        return error(peek().loc, "unexpected end of input inside a block");
+      }
+      StmtPtr stmt = parse_stmt();
+      if (stmt == nullptr) {
+        scopes_.pop_back();
+        return false;
+      }
+      body->push_back(std::move(stmt));
+    }
+    take();  // '}'
+    scopes_.pop_back();
+    return true;
+  }
+
+  StmtPtr parse_stmt() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case Tok::kLBrace: {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kBlock;
+        stmt->loc = token.loc;
+        if (!parse_block_into(&stmt->body)) return nullptr;
+        return stmt;
+      }
+      case Tok::kIf: {
+        take();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kIf;
+        stmt->loc = token.loc;
+        if (!expect(Tok::kLParen, "after 'if'")) return nullptr;
+        stmt->cond = parse_expr();
+        if (stmt->cond == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "to close the condition")) return nullptr;
+        if (!parse_block_into(&stmt->body)) return nullptr;
+        if (at(Tok::kElse)) {
+          take();
+          if (at(Tok::kIf)) {  // else-if chains nest as a one-stmt body
+            StmtPtr nested = parse_stmt();
+            if (nested == nullptr) return nullptr;
+            stmt->else_body.push_back(std::move(nested));
+          } else if (!parse_block_into(&stmt->else_body)) {
+            return nullptr;
+          }
+        }
+        return stmt;
+      }
+      case Tok::kWhile: {
+        take();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kWhile;
+        stmt->loc = token.loc;
+        if (!expect(Tok::kLParen, "after 'while'")) return nullptr;
+        stmt->cond = parse_expr();
+        if (stmt->cond == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "to close the condition")) return nullptr;
+        if (!parse_block_into(&stmt->body)) return nullptr;
+        return stmt;
+      }
+      case Tok::kFor: {
+        take();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kFor;
+        stmt->loc = token.loc;
+        if (!expect(Tok::kLParen, "after 'for'")) return nullptr;
+        scopes_.emplace_back();  // `for (int i = ...)` scopes to the loop
+        const auto fail = [&]() -> StmtPtr {
+          scopes_.pop_back();
+          return nullptr;
+        };
+        stmt->init = at(Tok::kInt) ? parse_decl(/*consume_semi=*/false)
+                                   : parse_simple();
+        if (stmt->init == nullptr) return fail();
+        if (!expect(Tok::kSemi, "after the 'for' initialiser")) return fail();
+        stmt->cond = parse_expr();
+        if (stmt->cond == nullptr) return fail();
+        if (!expect(Tok::kSemi, "after the 'for' condition")) return fail();
+        stmt->step = parse_simple();
+        if (stmt->step == nullptr) return fail();
+        if (!expect(Tok::kRParen, "to close the 'for' header")) return fail();
+        if (!parse_block_into(&stmt->body)) return fail();
+        scopes_.pop_back();
+        return stmt;
+      }
+      case Tok::kReturn: {
+        take();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = Stmt::Kind::kReturn;
+        stmt->loc = token.loc;
+        stmt->value = parse_expr();
+        if (stmt->value == nullptr) return nullptr;
+        if (!expect(Tok::kSemi, "after 'return'")) return nullptr;
+        return stmt;
+      }
+      case Tok::kInt:
+        return parse_decl(/*consume_semi=*/true);
+      default: {
+        StmtPtr stmt = parse_simple();
+        if (stmt == nullptr) return nullptr;
+        if (!expect(Tok::kSemi, "after the statement")) return nullptr;
+        return stmt;
+      }
+    }
+  }
+
+  // ---- top level -----------------------------------------------------
+  bool parse_top_level() {
+    if (!at(Tok::kInt)) {
+      return error(peek().loc,
+                   std::string("expected 'int' at top level, got ") +
+                       std::string(tok_name(peek().kind)));
+    }
+    take();
+    if (!at(Tok::kIdent)) {
+      return error(peek().loc, "expected a name after 'int'");
+    }
+    const Token& name = take();
+    if (at(Tok::kLParen)) return parse_function(name);
+    return parse_global(name);
+  }
+
+  bool parse_global(const Token& name) {
+    Symbol sym;
+    sym.name = std::string(name.text);
+    sym.loc = name.loc;
+    if (at(Tok::kLBracket)) {
+      take();
+      ExprPtr size = parse_expr();
+      if (size == nullptr) return false;
+      if (!expect(Tok::kRBracket, "to close the array size")) return false;
+      i64 len = 0;
+      if (!fold_const(*size, &len)) return false;
+      if (len < 1 || len > static_cast<i64>(kMaxArrayLen) ||
+          (len & (len - 1)) != 0) {
+        return error(size->loc,
+                     "array length must be a power of two in [1, " +
+                         std::to_string(kMaxArrayLen) + "], got " +
+                         std::to_string(len));
+      }
+      sym.kind = Symbol::Kind::kGlobalArray;
+      sym.array_len = static_cast<u32>(len);
+    } else {
+      sym.kind = Symbol::Kind::kGlobalScalar;
+      if (at(Tok::kAssign)) {
+        take();
+        ExprPtr init = parse_expr();
+        if (init == nullptr) return false;
+        if (!fold_const(*init, &sym.init)) return false;
+      }
+    }
+    u32 index = 0;
+    if (!declare(std::move(sym), &index)) return false;
+    return expect(Tok::kSemi, "after the global declaration");
+  }
+
+  bool parse_function(const Token& name) {
+    if (functions_by_name_.count(std::string(name.text)) != 0) {
+      return error(name.loc,
+                   "redefinition of '" + std::string(name.text) + "'");
+    }
+    u32 shadow = 0;
+    if (lookup(name.text, &shadow) != nullptr) {
+      return error(name.loc, "redefinition of '" + std::string(name.text) +
+                                 "' (already a variable)");
+    }
+    Function fn;
+    fn.name = std::string(name.text);
+    fn.loc = name.loc;
+    unit_.functions.push_back(std::move(fn));
+    current_fn_ = &unit_.functions.back();
+    functions_by_name_[current_fn_->name] =
+        static_cast<u32>(unit_.functions.size() - 1);
+
+    take();  // '('
+    scopes_.emplace_back();  // parameter + body scope
+    if (!at(Tok::kRParen)) {
+      for (;;) {
+        if (!at(Tok::kInt)) {
+          return error(peek().loc, "expected 'int' parameter");
+        }
+        take();
+        if (!at(Tok::kIdent)) {
+          return error(peek().loc, "expected a parameter name");
+        }
+        const Token& param = take();
+        Symbol sym;
+        sym.kind = Symbol::Kind::kLocal;
+        sym.name = std::string(param.text);
+        sym.loc = param.loc;
+        sym.slot = static_cast<u32>(current_fn_->locals.size());
+        u32 index = 0;
+        if (!declare(std::move(sym), &index)) return false;
+        current_fn_->locals.push_back(index);
+        ++current_fn_->num_params;
+        if (current_fn_->num_params > kMaxParams) {
+          return error(param.loc,
+                       "too many parameters (max " +
+                           std::to_string(kMaxParams) + ")");
+        }
+        if (!at(Tok::kComma)) break;
+        take();
+      }
+    }
+    if (!expect(Tok::kRParen, "to close the parameter list")) return false;
+    const bool ok = parse_block_into(&current_fn_->body);
+    scopes_.pop_back();
+    current_fn_ = nullptr;
+    return ok;
+  }
+
+  // ---- finalize: call resolution + register-need bounds ---------------
+  bool resolve_calls_expr(Expr& expr) {
+    if (expr.kind == Expr::Kind::kCall) {
+      const auto it = functions_by_name_.find(expr.name);
+      if (it == functions_by_name_.end()) {
+        u32 index = 0;
+        if (lookup(expr.name, &index) != nullptr) {
+          return error(expr.loc, "'" + expr.name + "' is not a function");
+        }
+        return error(expr.loc,
+                     "call to undefined function '" + expr.name + "'");
+      }
+      expr.sym = it->second;
+      const Function& fn = unit_.functions[it->second];
+      if (fn.num_params != expr.args.size()) {
+        return error(expr.loc, "function '" + expr.name + "' takes " +
+                                   std::to_string(fn.num_params) +
+                                   " argument(s), got " +
+                                   std::to_string(expr.args.size()));
+      }
+    }
+    if (expr.lhs != nullptr && !resolve_calls_expr(*expr.lhs)) return false;
+    if (expr.rhs != nullptr && !resolve_calls_expr(*expr.rhs)) return false;
+    for (const ExprPtr& arg : expr.args) {
+      if (!resolve_calls_expr(*arg)) return false;
+    }
+    return true;
+  }
+
+  bool resolve_calls_stmt(Stmt& stmt) {
+    for (const ExprPtr* expr : {&stmt.index, &stmt.cond, &stmt.value}) {
+      if (*expr != nullptr && !resolve_calls_expr(**expr)) return false;
+    }
+    for (const StmtPtr* sub : {&stmt.init, &stmt.step}) {
+      if (*sub != nullptr && !resolve_calls_stmt(**sub)) return false;
+    }
+    for (const StmtPtr& sub : stmt.body) {
+      if (!resolve_calls_stmt(*sub)) return false;
+    }
+    for (const StmtPtr& sub : stmt.else_body) {
+      if (!resolve_calls_stmt(*sub)) return false;
+    }
+    return true;
+  }
+
+  /// Registers the code generator needs to evaluate `expr` (its
+  /// operand plus everything held live beneath it). Mirrors
+  /// compile.cpp's evaluation scheme exactly.
+  u32 need_regs(const Expr& expr) const {
+    switch (expr.kind) {
+      case Expr::Kind::kNum:
+      case Expr::Kind::kVar:
+        return 1;
+      case Expr::Kind::kIndex:
+      case Expr::Kind::kUnary:
+        return need_regs(*expr.lhs);
+      case Expr::Kind::kBinary:
+        return std::max(need_regs(*expr.lhs), need_regs(*expr.rhs) + 1);
+      case Expr::Kind::kCall: {
+        u32 need = 1;  // the result slot
+        for (usize i = 0; i < expr.args.size(); ++i) {
+          need = std::max(need,
+                          need_regs(*expr.args[i]) + static_cast<u32>(i));
+        }
+        return need;
+      }
+    }
+    return 1;
+  }
+
+  bool check_depth_expr(const Expr& expr, u32 base) {
+    if (base + need_regs(expr) > kMaxExprRegs) {
+      return error(expr.loc, "expression too deep (needs more than " +
+                                 std::to_string(kMaxExprRegs) +
+                                 " evaluation registers)");
+    }
+    return true;
+  }
+
+  bool check_depth_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign:
+        if (stmt.index != nullptr) {
+          // Array store: index at depth 0, value at depth 1.
+          if (!check_depth_expr(*stmt.index, 0)) return false;
+          if (!check_depth_expr(*stmt.value, 1)) return false;
+          return true;
+        }
+        return check_depth_expr(*stmt.value, 0);
+      case Stmt::Kind::kDecl:
+        return stmt.value == nullptr || check_depth_expr(*stmt.value, 0);
+      case Stmt::Kind::kReturn:
+      case Stmt::Kind::kCallStmt:
+        return check_depth_expr(*stmt.value, 0);
+      default:
+        break;
+    }
+    if (stmt.cond != nullptr && !check_depth_expr(*stmt.cond, 0)) {
+      return false;
+    }
+    for (const StmtPtr* sub : {&stmt.init, &stmt.step}) {
+      if (*sub != nullptr && !check_depth_stmt(**sub)) return false;
+    }
+    for (const StmtPtr& sub : stmt.body) {
+      if (!check_depth_stmt(*sub)) return false;
+    }
+    for (const StmtPtr& sub : stmt.else_body) {
+      if (!check_depth_stmt(*sub)) return false;
+    }
+    return true;
+  }
+
+  bool finalize() {
+    for (Function& fn : unit_.functions) {
+      for (const StmtPtr& stmt : fn.body) {
+        if (!resolve_calls_stmt(*stmt)) return false;
+        if (!check_depth_stmt(*stmt)) return false;
+      }
+    }
+    const auto main_it = functions_by_name_.find("main");
+    if (main_it == functions_by_name_.end()) {
+      return error({1, 1}, "program has no 'main' function");
+    }
+    unit_.main_index = main_it->second;
+    const Function& main_fn = unit_.functions[unit_.main_index];
+    if (main_fn.num_params != 0) {
+      return error(main_fn.loc, "'main' must take no parameters");
+    }
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  usize pos_ = 0;
+  Diag* diag_;
+  Unit unit_;
+  std::vector<std::vector<u32>> scopes_;
+  std::map<std::string, u32> functions_by_name_;
+  Function* current_fn_ = nullptr;
+  u32 nesting_ = 0;
+};
+
+}  // namespace
+
+std::optional<Unit> parse(std::string_view source, const ParseParams& params,
+                          Diag* diag) {
+  if (diag != nullptr) *diag = {};
+  auto tokens = lex(source, diag);
+  if (!tokens.has_value()) return std::nullopt;
+  Parser parser(std::move(*tokens), params, diag);
+  return parser.run();
+}
+
+}  // namespace tlr::lang

@@ -1,0 +1,46 @@
+// TLC recursive-descent parser and checker.
+//
+// One pass builds the AST with names resolved against lexical scopes;
+// a finalize pass resolves forward function calls, checks arities, and
+// bounds every expression's register need against the code generator's
+// evaluation stack (kMaxExprRegs). All failures are Diags with
+// line:col — the parser never asserts on malformed source.
+//
+// Language restrictions enforced here (docs/tlc.md):
+//  * values are 64-bit ints; arrays are global-only,
+//  * array lengths are power-of-two constants (indices are masked),
+//  * functions take at most kMaxParams int parameters,
+//  * array sizes and global initialisers are constant expressions over
+//    literals and the SCALE/SEED builtins.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "lang/diag.hpp"
+
+namespace tlr::lang {
+
+/// Values bound to the builtin constants: SEED is the workload data
+/// seed, SCALE the working-set multiplier (WorkloadParams).
+struct ParseParams {
+  u64 seed = 0xC0FFEE;
+  u32 scale = 1;
+};
+
+/// The code generator evaluates expressions on a register stack of
+/// this many registers; the parser rejects programs that would need
+/// more ("expression too deep").
+inline constexpr u32 kMaxExprRegs = 16;
+/// Arguments are passed in registers r20..r25.
+inline constexpr u32 kMaxParams = 6;
+/// Array length ceiling (words); keeps data segments sane.
+inline constexpr u32 kMaxArrayLen = 1u << 20;
+
+/// Parses and checks `source`. On failure returns nullopt and fills
+/// `*diag` with a one-line message plus the offending line:col.
+std::optional<Unit> parse(std::string_view source, const ParseParams& params,
+                          Diag* diag);
+
+}  // namespace tlr::lang

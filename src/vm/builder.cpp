@@ -86,6 +86,7 @@ void ProgramBuilder::sll(Reg rc, Reg ra, Reg rb) { emit3(Op::kSll, rc, ra, rb); 
 void ProgramBuilder::slli(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSll, rc, ra, imm); }
 void ProgramBuilder::srl(Reg rc, Reg ra, Reg rb) { emit3(Op::kSrl, rc, ra, rb); }
 void ProgramBuilder::srli(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSrl, rc, ra, imm); }
+void ProgramBuilder::sra(Reg rc, Reg ra, Reg rb) { emit3(Op::kSra, rc, ra, rb); }
 void ProgramBuilder::srai(Reg rc, Reg ra, i64 imm) { emit3i(Op::kSra, rc, ra, imm); }
 void ProgramBuilder::cmpeq(Reg rc, Reg ra, Reg rb) { emit3(Op::kCmpEq, rc, ra, rb); }
 void ProgramBuilder::cmpeqi(Reg rc, Reg ra, i64 imm) { emit3i(Op::kCmpEq, rc, ra, imm); }

@@ -59,6 +59,7 @@ class ProgramBuilder {
   void slli(isa::Reg rc, isa::Reg ra, i64 imm);
   void srl(isa::Reg rc, isa::Reg ra, isa::Reg rb);
   void srli(isa::Reg rc, isa::Reg ra, i64 imm);
+  void sra(isa::Reg rc, isa::Reg ra, isa::Reg rb);
   void srai(isa::Reg rc, isa::Reg ra, i64 imm);
   void cmpeq(isa::Reg rc, isa::Reg ra, isa::Reg rb);
   void cmpeqi(isa::Reg rc, isa::Reg ra, i64 imm);

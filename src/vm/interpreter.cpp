@@ -242,12 +242,16 @@ bool Interpreter::step(DynInst& out) {
   const auto sub = [](u64 a, u64 b) { return a - b; };
   const auto mul = [](u64 a, u64 b) { return a * b; };
   // Division by zero is defined to produce 0 (the ISA has no traps).
+  // INT64_MIN / -1 overflows (SIGFPE on x86); it quotients to the
+  // dividend with remainder 0, the two's-complement wrap.
   const auto div = [](u64 a, u64 b) {
     if (b == 0) return u64{0};
+    if (b == ~u64{0} && a == (u64{1} << 63)) return a;
     return static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
   };
   const auto rem = [](u64 a, u64 b) {
     if (b == 0) return u64{0};
+    if (b == ~u64{0} && a == (u64{1} << 63)) return u64{0};
     return static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
   };
   const auto band = [](u64 a, u64 b) { return a & b; };

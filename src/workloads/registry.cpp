@@ -5,6 +5,12 @@
 
 namespace tlr::workloads {
 
+namespace detail {
+// source.cpp: registered-TLC-source fallback for make_workload.
+std::optional<Workload> make_registered(std::string_view name,
+                                        const WorkloadParams& params);
+}  // namespace detail
+
 namespace {
 
 constexpr std::array<std::string_view, 7> kFpNames = {
@@ -38,6 +44,9 @@ Workload make_workload(std::string_view name, const WorkloadParams& params) {
   if (name == "su2cor") return make_su2cor(params);
   if (name == "tomcatv") return make_tomcatv(params);
   if (name == "turb3d") return make_turb3d(params);
+  if (std::optional<Workload> registered = detail::make_registered(name, params)) {
+    return *std::move(registered);
+  }
   TLR_ASSERT_MSG(false, "unknown workload name");
   return {};
 }

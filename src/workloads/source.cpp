@@ -1,0 +1,126 @@
+// TLC source workloads: the bridge between the compiled frontend
+// (src/lang) and the name-keyed workload factory everything else —
+// StudyEngine, the shard planner, the figure tooling — is built on.
+// A registered source behaves exactly like a fifteenth analog.
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "lang/compile.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::workloads {
+
+namespace {
+
+struct SourceRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::string, std::less<>> sources;
+  std::vector<std::string> order;
+};
+
+SourceRegistry& registry() {
+  static SourceRegistry instance;
+  return instance;
+}
+
+bool is_builtin(std::string_view name) {
+  for (std::string_view builtin : workload_names()) {
+    if (builtin == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Workload> make_from_source(std::string_view name,
+                                         std::string_view source,
+                                         const WorkloadParams& params,
+                                         std::string* error) {
+  lang::ParseParams parse_params;
+  parse_params.seed = params.seed;
+  parse_params.scale = params.scale;
+  lang::CompileOptions options;
+  options.name = std::string(name);
+  options.stream = true;
+  lang::Diag diag;
+  std::optional<lang::CompiledProgram> compiled =
+      lang::compile_source(source, parse_params, options, &diag);
+  if (!compiled.has_value()) {
+    if (error != nullptr) *error = diag.to_string(std::string(name));
+    return std::nullopt;
+  }
+  Workload workload;
+  workload.name = std::string(name);
+  workload.is_fp = false;  // TLC is integer-only
+  workload.description = "TLC source workload (docs/tlc.md)";
+  workload.program = std::move(compiled->program);
+  return workload;
+}
+
+bool register_source(std::string_view name, std::string_view source,
+                     std::string* error) {
+  if (is_builtin(name)) {
+    if (error != nullptr) {
+      *error = std::string(name) + ": name collides with a built-in analog";
+    }
+    return false;
+  }
+  // Compile-check up front so later make_workload calls cannot fail.
+  if (!make_from_source(name, source, {}, error).has_value()) return false;
+  SourceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.sources.count(std::string(name)) != 0) {
+    if (error != nullptr) {
+      *error = std::string(name) + ": source already registered";
+    }
+    return false;
+  }
+  reg.sources.emplace(std::string(name), std::string(source));
+  reg.order.emplace_back(name);
+  return true;
+}
+
+std::vector<std::string> registered_source_names() {
+  SourceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.order;
+}
+
+bool is_known_workload(std::string_view name) {
+  if (is_builtin(name)) return true;
+  SourceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.sources.find(name) != reg.sources.end();
+}
+
+void clear_registered_sources() {
+  SourceRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sources.clear();
+  reg.order.clear();
+}
+
+namespace detail {
+
+// Called by make_workload when no built-in matches.
+std::optional<Workload> make_registered(std::string_view name,
+                                        const WorkloadParams& params) {
+  std::string source;
+  {
+    SourceRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sources.find(name);
+    if (it == reg.sources.end()) return std::nullopt;
+    source = it->second;
+  }
+  // Registration validated the default-params compile; other params
+  // only rebind SEED/SCALE, which cannot introduce parse errors...
+  // except through SCALE-dependent array sizes, so keep the error path.
+  std::string error;
+  return make_from_source(name, source, params, &error);
+}
+
+}  // namespace detail
+
+}  // namespace tlr::workloads

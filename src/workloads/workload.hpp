@@ -14,6 +14,7 @@
 // per-workload .cpp files for what each analog computes.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -63,11 +64,40 @@ std::span<const std::string_view> workload_names();
 std::span<const std::string_view> int_workload_names();
 std::span<const std::string_view> fp_workload_names();
 
-/// Factory by name; asserts on unknown names.
+/// Factory by name; asserts on unknown names. Names registered via
+/// `register_source` resolve here too, after the built-in analogs.
 Workload make_workload(std::string_view name,
                        const WorkloadParams& params = {});
 
 /// The whole suite in figure order.
 std::vector<Workload> make_suite(const WorkloadParams& params = {});
+
+// -- TLC source workloads (src/lang, docs/tlc.md) ---------------------
+
+/// Compiles TLC source text into a streaming workload (the program is
+/// wrapped in the same outer loop the analogs use). On failure returns
+/// nullopt and, when non-null, fills `*error` with the one-line
+/// "name:line:col: message" diagnostic.
+std::optional<Workload> make_from_source(std::string_view name,
+                                         std::string_view source,
+                                         const WorkloadParams& params = {},
+                                         std::string* error = nullptr);
+
+/// Registers `source` so `make_workload(name)` — and therefore the
+/// study engine, shard planner, and figure tooling — can build it by
+/// name. The source is compile-checked at registration (with default
+/// params); failures are reported like make_from_source. Rejects names
+/// that collide with the built-in analogs or an earlier registration.
+bool register_source(std::string_view name, std::string_view source,
+                     std::string* error = nullptr);
+
+/// Names registered so far, in registration order.
+std::vector<std::string> registered_source_names();
+
+/// True if `name` is a built-in analog or a registered source.
+bool is_known_workload(std::string_view name);
+
+/// Drops all registered sources (test isolation).
+void clear_registered_sources();
 
 }  // namespace tlr::workloads

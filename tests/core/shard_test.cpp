@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/report.hpp"
 #include "core/shard.hpp"
+#include "lang/gen/generator.hpp"
 
 namespace tlr::core {
 namespace {
@@ -430,6 +431,57 @@ TEST_F(ShardMergeTest, MergeRejectsMismatchedPredictorConfig) {
   EXPECT_FALSE(merge_partials(partials, &errors).has_value());
   ASSERT_FALSE(errors.empty());
   EXPECT_NE(errors[0].find("fig10"), std::string::npos) << errors[0];
+}
+
+// ---- TLC source workloads through the shard pipeline -----------------
+//
+// Workloads that enter via workloads::make_from_source /
+// register_source (the `reuse_study --workload-file` path, docs/tlc.md)
+// must be first-class citizens of the shard plan: partials over a
+// generated program merge back to the monolithic report byte for byte,
+// exactly like the built-in analogs.
+TEST(ShardSourceWorkloadTest, GeneratedWorkloadsMergeToMonolithicBytes) {
+  lang::gen::GenConfig config;
+  config.seed = 4242;
+  config.size = 1;
+  std::string error;
+  ASSERT_TRUE(workloads::register_source(
+      "genshard", lang::gen::generate_program(config), &error))
+      << error;
+  const std::vector<std::string> mixed = {"compress", "genshard"};
+
+  StudyEngine engine;
+  SuiteConfig small;
+  small.skip = 10'000;
+  small.length = 40'000;
+  const ScaleProfile profile = ScaleProfile::custom(small);
+  const ShardRunOptions options;
+
+  const std::vector<WorkloadMetrics> suite =
+      engine.analyze_profile(profile, options.metrics, mixed);
+  const Json monolithic = build_report(profile, options.metrics, suite,
+                                       ReportMeta{}, ReportFigures::all_series());
+
+  SectionSelection sections;
+  sections.series = true;
+  sections.fig9 = false;
+  sections.fig10 = false;
+  const ShardPlan plan = ShardPlan::enumerate(sections, mixed);
+  constexpr usize kCount = 3;
+  std::vector<Json> partials;
+  for (usize index = 1; index <= kCount; ++index) {
+    partials.push_back(reparse(run_shard_partial(
+        engine, profile, plan, index, kCount, options, ReportMeta{})));
+    // Every partial must validate for --resume before it merges.
+    std::string why;
+    EXPECT_TRUE(validate_partial(partials.back(), profile, options, plan,
+                                 index, kCount, &why))
+        << "shard " << index << ": " << why;
+  }
+  std::vector<std::string> errors;
+  const auto merged = merge_partials(partials, &errors);
+  ASSERT_TRUE(merged.has_value()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_EQ(dump_without_meta(*merged), dump_without_meta(monolithic));
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+// The committed corpus (corpus/*.tlc) is the curated face of the TLC
+// frontend: every program must parse, agree with the reference
+// evaluator in one-shot mode, and build as a streaming workload via
+// workloads::make_from_source — the exact path `reuse_study
+// --workload-file` takes. Reads straight from the checkout
+// (TLR_REPO_DIR), so a corpus edit that breaks a program fails here,
+// not in the golden job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tlc_check.hpp"
+#include "workloads/workload.hpp"
+
+namespace tlr::lang {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  const std::filesystem::path dir =
+      std::filesystem::path(TLR_REPO_DIR) / "corpus";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tlc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TlcCorpusTest, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 10u)
+      << "corpus/ should hold the curated TLC programs (docs/tlc.md)";
+}
+
+TEST(TlcCorpusTest, EveryProgramMatchesTheOracle) {
+  for (const auto& path : corpus_files()) {
+    const std::string source = read_file(path);
+    ASSERT_FALSE(source.empty()) << path;
+    const std::string why = test::diff_against_oracle(source);
+    EXPECT_TRUE(why.empty()) << path.filename() << ": " << why;
+  }
+}
+
+TEST(TlcCorpusTest, EveryProgramBuildsAsAStreamingWorkload) {
+  for (const auto& path : corpus_files()) {
+    const std::string name = path.stem().string();
+    std::string error;
+    const auto workload =
+        workloads::make_from_source(name, read_file(path), {}, &error);
+    ASSERT_TRUE(workload.has_value()) << error;
+    EXPECT_EQ(workload->name, name);
+    EXPECT_FALSE(workload->program.code().empty());
+  }
+}
+
+TEST(TlcCorpusTest, ProgramsSurviveScaleAndSeedVariation) {
+  // The study sweeps WorkloadParams; corpus programs must compile and
+  // stay oracle-clean across the values CI exercises.
+  for (const auto& path : corpus_files()) {
+    const std::string source = read_file(path);
+    for (const auto& [seed, scale] :
+         std::vector<std::pair<u64, u32>>{{1, 1}, {0xC0FFEE, 2}}) {
+      ParseParams params;
+      params.seed = seed;
+      params.scale = scale;
+      const std::string why = test::diff_against_oracle(source, params);
+      EXPECT_TRUE(why.empty())
+          << path.filename() << " seed=" << seed << " scale=" << scale
+          << ": " << why;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlr::lang

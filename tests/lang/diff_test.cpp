@@ -1,0 +1,83 @@
+// Differential property test (the tlgen fuzz loop, pinned in ctest):
+// a batch of seeded random TLC programs must execute identically on
+// the compiled pipeline and the AST reference evaluator, and the
+// compiler must be bit-deterministic. A failure shrinks the size knob
+// for the offending seed and prints the smallest failing source, so a
+// red run is directly actionable.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/gen/generator.hpp"
+#include "tlc_check.hpp"
+
+namespace tlr::lang {
+namespace {
+
+constexpr u64 kSeeds = 200;
+
+/// Re-checks `seed` at every size below `size` and returns the
+/// smallest failing configuration's report (the shrink step: smaller
+/// sizes emit strictly fewer constructs, so the smallest reproducer is
+/// usually a few lines).
+std::string shrink_report(u64 seed, u32 size, const std::string& error) {
+  for (u32 smaller = 0; smaller < size; ++smaller) {
+    gen::GenConfig config;
+    config.seed = seed;
+    config.size = smaller;
+    const std::string source = gen::generate_program(config);
+    const std::string why = test::diff_against_oracle(source);
+    if (!why.empty()) {
+      return "seed " + std::to_string(seed) + " size " +
+             std::to_string(smaller) + " (shrunk from " +
+             std::to_string(size) + "): " + why + "\n--- source ---\n" +
+             source;
+    }
+  }
+  gen::GenConfig config;
+  config.seed = seed;
+  config.size = size;
+  return "seed " + std::to_string(seed) + " size " + std::to_string(size) +
+         ": " + error + "\n--- source ---\n" + gen::generate_program(config);
+}
+
+TEST(TlcDiffTest, GeneratedProgramsMatchTheOracle) {
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    gen::GenConfig config;
+    config.seed = seed;
+    config.size = static_cast<u32>(seed % 5);  // sweep every size knob
+    const std::string source = gen::generate_program(config);
+    const std::string why = test::diff_against_oracle(source);
+    ASSERT_TRUE(why.empty()) << shrink_report(seed, config.size, why);
+  }
+}
+
+TEST(TlcDiffTest, GenerationIsBitDeterministic) {
+  for (u64 seed = 1; seed <= 32; ++seed) {
+    gen::GenConfig config;
+    config.seed = seed;
+    ASSERT_EQ(gen::generate_program(config), gen::generate_program(config))
+        << "seed " << seed;
+  }
+}
+
+TEST(TlcDiffTest, ScaleDoesNotBreakGeneratedPrograms) {
+  // SCALE only stretches traversal bounds (never array lengths), so a
+  // generated program must stay correct — oracle included — when the
+  // study runs it at scale 2.
+  ParseParams params;
+  params.scale = 2;
+  for (u64 seed = 1; seed <= 24; ++seed) {
+    gen::GenConfig config;
+    config.seed = seed;
+    config.size = static_cast<u32>(seed % 3);
+    const std::string source = gen::generate_program(config);
+    const std::string why = test::diff_against_oracle(source, params);
+    ASSERT_TRUE(why.empty())
+        << "seed " << seed << " at scale 2: " << why << "\n--- source ---\n"
+        << source;
+  }
+}
+
+}  // namespace
+}  // namespace tlr::lang

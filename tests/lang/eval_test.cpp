@@ -1,0 +1,151 @@
+// TLC semantics pins: the corner cases where "what the compiled code
+// does" and "what a C programmer might expect" could diverge. Each
+// test states the contract (docs/tlc.md §semantics), checks the
+// reference evaluator's answer, and — via diff_against_oracle — that
+// the compiled program agrees bit for bit.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tlc_check.hpp"
+
+namespace tlr::lang {
+namespace {
+
+/// Compiled and evaluated executions must agree; returns the agreed
+/// main() result.
+i64 run_both(const std::string& source) {
+  const std::string why = test::diff_against_oracle(source);
+  EXPECT_TRUE(why.empty()) << why << "\n--- source ---\n" << source;
+  return test::oracle_result(source);
+}
+
+TEST(TlcSemanticsTest, DivisionFollowsTheMiniIsa) {
+  // Division/remainder by zero produce 0, not a trap (the mini-ISA's
+  // ALU contract, vm/interpreter.cpp).
+  EXPECT_EQ(run_both("int main() { return 7 / 0; }"), 0);
+  EXPECT_EQ(run_both("int main() { return 7 % 0; }"), 0);
+  EXPECT_EQ(run_both("int main() { return -7 / 2; }"), -3);  // trunc toward 0
+  EXPECT_EQ(run_both("int main() { return -7 % 2; }"), -1);
+  // INT64_MIN / -1 wraps to INT64_MIN with remainder 0 (would SIGFPE
+  // natively; both back ends guard it).
+  const std::string min = "(0 - 9223372036854775807 - 1)";
+  EXPECT_EQ(run_both("int main() { return " + min + " / (0 - 1); }"),
+            std::numeric_limits<i64>::min());
+  EXPECT_EQ(run_both("int main() { return " + min + " % (0 - 1); }"), 0);
+}
+
+TEST(TlcSemanticsTest, ShiftCountsAreMaskedTo63) {
+  EXPECT_EQ(run_both("int main() { return 1 << 64; }"), 1);   // 64 & 63 == 0
+  EXPECT_EQ(run_both("int main() { return 1 << 65; }"), 2);
+  EXPECT_EQ(run_both("int main() { return 256 >> 72; }"), 1); // 72 & 63 == 8
+  // >> is arithmetic: sign bits shift in.
+  EXPECT_EQ(run_both("int main() { return (0 - 8) >> 1; }"), -4);
+}
+
+TEST(TlcSemanticsTest, ArithmeticWraps) {
+  EXPECT_EQ(run_both("int main() { return 9223372036854775807 + 1; }"),
+            std::numeric_limits<i64>::min());
+  EXPECT_EQ(run_both("int main() { return 3037000500 * 3037000500; }"),
+            static_cast<i64>(u64{3037000500} * u64{3037000500}));
+}
+
+TEST(TlcSemanticsTest, ArrayIndicesAreMasked) {
+  // Index 11 into an 8-element array hits slot 3; negative indices mask
+  // through two's complement (-1 & 7 == 7). Every access is total.
+  EXPECT_EQ(run_both("int A[8];\n"
+                     "int main() { A[3] = 42; return A[11]; }"),
+            42);
+  EXPECT_EQ(run_both("int A[8];\n"
+                     "int main() { A[7] = 9; return A[0 - 1]; }"),
+            9);
+}
+
+TEST(TlcSemanticsTest, LogicalOpsDoNotShortCircuit) {
+  // Both operands always evaluate: the right-hand store happens even
+  // when the left side already decides the answer.
+  EXPECT_EQ(run_both("int g = 0;\n"
+                     "int set() { g = 1; return 0; }\n"
+                     "int main() { int r = 0 && set(); return g * 10 + r; }"),
+            10);
+  EXPECT_EQ(run_both("int g = 0;\n"
+                     "int set() { g = 1; return 0; }\n"
+                     "int main() { int r = 1 || set(); return g * 10 + r; }"),
+            11);
+}
+
+TEST(TlcSemanticsTest, LocalsZeroInitialiseAndReturnDefaultsToZero) {
+  EXPECT_EQ(run_both("int main() { int x; return x; }"), 0);
+  // A function that falls off the end returns 0.
+  EXPECT_EQ(run_both("int f() { int y = 5; y = y + 1; }\n"
+                     "int main() { return f(); }"),
+            0);
+}
+
+TEST(TlcSemanticsTest, EvaluationIsLeftToRight) {
+  // g reads before and after the mutating call must see different
+  // values in a fixed order.
+  EXPECT_EQ(run_both("int g = 1;\n"
+                     "int bump() { g = g + 10; return 100; }\n"
+                     "int main() { return g + bump() + g; }"),
+            1 + 100 + 11);
+}
+
+TEST(TlcSemanticsTest, BuiltinsBindParseParams) {
+  ParseParams params;
+  params.seed = 12345;
+  params.scale = 3;
+  const std::string source = "int main() { return SEED * 10 + SCALE; }";
+  const std::string why = test::diff_against_oracle(source, params);
+  EXPECT_TRUE(why.empty()) << why;
+  EXPECT_EQ(test::oracle_result(source, params), 12345 * 10 + 3);
+}
+
+TEST(TlcSemanticsTest, RecursionAndGlobalsPersistWithinARun) {
+  EXPECT_EQ(run_both("int fib(int n) {\n"
+                     "  if (n < 2) { return n; }\n"
+                     "  return fib(n - 1) + fib(n - 2);\n"
+                     "}\n"
+                     "int main() { return fib(15); }"),
+            610);
+}
+
+TEST(TlcEvalLimitsTest, RunawayProgramsGetAVerdictNotAHang) {
+  Diag diag;
+  const auto infinite =
+      parse("int main() { while (1) { } return 0; }", ParseParams{}, &diag);
+  ASSERT_TRUE(infinite.has_value()) << diag.to_string("test");
+  EvalLimits limits;
+  limits.max_steps = 10'000;
+  const EvalResult looped = evaluate(*infinite, limits);
+  EXPECT_FALSE(looped.ok);
+  EXPECT_NE(looped.error.find("step limit"), std::string::npos)
+      << looped.error;
+
+  const auto deep = parse("int f(int n) { return f(n + 1); }\n"
+                          "int main() { return f(0); }",
+                          ParseParams{}, &diag);
+  ASSERT_TRUE(deep.has_value()) << diag.to_string("test");
+  const EvalResult overflowed = evaluate(*deep);
+  EXPECT_FALSE(overflowed.ok);
+  EXPECT_NE(overflowed.error.find("call depth"), std::string::npos)
+      << overflowed.error;
+}
+
+TEST(TlcEvalTest, FinalStateReportsEveryGlobal) {
+  Diag diag;
+  const auto unit = parse("int A[4];\nint g = 7;\n"
+                          "int main() { A[1] = g; g = g + 1; return 0; }",
+                          ParseParams{}, &diag);
+  ASSERT_TRUE(unit.has_value()) << diag.to_string("test");
+  const EvalResult result = evaluate(*unit);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.globals.at("g"), 8);
+  const std::vector<i64> want = {0, 7, 0, 0};
+  EXPECT_EQ(result.arrays.at("A"), want);
+}
+
+}  // namespace
+}  // namespace tlr::lang

@@ -1,0 +1,77 @@
+// tlgen generator properties: determinism, seed diversity, size
+// monotonicity in spirit (bigger knob -> more source), and the
+// structural invariants the fuzz loop depends on (every program
+// compiles in both modes and terminates by construction).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "lang/compile.hpp"
+#include "lang/gen/generator.hpp"
+#include "lang/parser.hpp"
+
+namespace tlr::lang {
+namespace {
+
+TEST(TlgenTest, SameConfigSameBytes) {
+  for (u64 seed : {u64{1}, u64{77}, u64{0xDEADBEEF}}) {
+    for (u32 size = 0; size <= 4; ++size) {
+      gen::GenConfig config;
+      config.seed = seed;
+      config.size = size;
+      EXPECT_EQ(gen::generate_program(config),
+                gen::generate_program(config))
+          << "seed " << seed << " size " << size;
+    }
+  }
+}
+
+TEST(TlgenTest, SeedsProduceDistinctPrograms) {
+  std::set<std::string> sources;
+  for (u64 seed = 1; seed <= 50; ++seed) {
+    gen::GenConfig config;
+    config.seed = seed;
+    sources.insert(gen::generate_program(config));
+  }
+  // Hash-collision slack: at least 48 of 50 seeds must differ.
+  EXPECT_GE(sources.size(), 48u);
+}
+
+TEST(TlgenTest, EveryProgramCompilesInBothModes) {
+  for (u64 seed = 1; seed <= 50; ++seed) {
+    gen::GenConfig config;
+    config.seed = seed;
+    config.size = static_cast<u32>(seed % 5);
+    const std::string source = gen::generate_program(config);
+    Diag diag;
+    for (const bool stream : {false, true}) {
+      CompileOptions options;
+      options.stream = stream;
+      ASSERT_TRUE(
+          compile_source(source, ParseParams{}, options, &diag).has_value())
+          << "seed " << seed << " stream=" << stream << ": "
+          << diag.to_string("gen") << "\n--- source ---\n" << source;
+    }
+  }
+}
+
+TEST(TlgenTest, SizeKnobClampsAboveFour) {
+  gen::GenConfig four;
+  four.seed = 9;
+  four.size = 4;
+  gen::GenConfig big = four;
+  big.size = 99;
+  EXPECT_EQ(gen::generate_program(four), gen::generate_program(big));
+}
+
+TEST(TlgenTest, ScaleFreeProgramsNeverMentionScale) {
+  gen::GenConfig config;
+  config.seed = 3;
+  config.use_scale = false;
+  const std::string source = gen::generate_program(config);
+  EXPECT_EQ(source.find("SCALE"), std::string::npos) << source;
+}
+
+}  // namespace
+}  // namespace tlr::lang

@@ -1,0 +1,174 @@
+// TLC frontend error paths: every malformed input must come back as a
+// single Diag with the exact 1-based line:col of the offending token —
+// never an assert, never a crash (docs/tlc.md, satellite of the
+// compiled-workload frontend). Positions are pinned so diagnostics
+// stay stable for the CLI's `file:line:col: message` form.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "lang/parser.hpp"
+
+namespace tlr::lang {
+namespace {
+
+struct ExpectedDiag {
+  std::string message_part;
+  u32 line = 0;  // 0: any position
+  u32 col = 0;
+};
+
+void expect_rejected(const std::string& source, const ExpectedDiag& want) {
+  Diag diag;
+  const auto unit = parse(source, ParseParams{}, &diag);
+  ASSERT_FALSE(unit.has_value()) << source;
+  EXPECT_NE(diag.message.find(want.message_part), std::string::npos)
+      << "got: " << diag.to_string("test") << "\nwant: " << want.message_part;
+  if (want.line != 0) {
+    EXPECT_EQ(diag.loc.line, want.line) << diag.to_string("test");
+    EXPECT_EQ(diag.loc.col, want.col) << diag.to_string("test");
+  }
+}
+
+TEST(TlcParserTest, AcceptsTheKitchenSink) {
+  const std::string source = R"(// every construct once
+int A[8];
+int g = (SEED & 255) + SCALE;
+
+int helper(int a, int b) {
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    if (a > b) { acc = acc + A[i]; } else if (a == b) { acc = acc ^ i; }
+  }
+  while (acc > 100) { acc = acc >> 1; }
+  return acc | (a && b) | (a || b);
+}
+
+int main() {
+  A[g & 7] = -~!g;
+  helper(1, 2);
+  return helper(g, g % 3);
+}
+)";
+  Diag diag;
+  const auto unit = parse(source, ParseParams{}, &diag);
+  ASSERT_TRUE(unit.has_value()) << diag.to_string("test");
+  EXPECT_EQ(unit->functions.size(), 2u);
+  EXPECT_NE(unit->main_index, ~u32{0});
+}
+
+TEST(TlcParserTest, UndefinedName) {
+  expect_rejected("int main() { return x; }",
+                  {"undefined name 'x'", 1, 21});
+}
+
+TEST(TlcParserTest, UndefinedFunction) {
+  expect_rejected("int main() { return f(1); }",
+                  {"call to undefined function 'f'", 1, 21});
+}
+
+TEST(TlcParserTest, ArityMismatch) {
+  expect_rejected(
+      "int f(int a) { return a; }\nint main() { return f(1, 2); }",
+      {"function 'f' takes 1 argument(s), got 2", 2, 21});
+}
+
+TEST(TlcParserTest, CallingAVariable) {
+  expect_rejected("int g = 1;\nint main() { return g(); }",
+                  {"'g' is not a function", 2, 21});
+}
+
+TEST(TlcParserTest, Redefinition) {
+  expect_rejected("int main() { int a = 1; int a = 2; return a; }",
+                  {"redefinition of 'a'", 1, 29});
+  // The SCALE/SEED builtins live in the outermost scope; shadowing them
+  // at global scope is a redefinition, with the builtin called out.
+  expect_rejected("int SCALE = 3;\nint main() { return 0; }",
+                  {"redefinition of builtin 'SCALE'", 1, 5});
+}
+
+TEST(TlcParserTest, AssigningABuiltin) {
+  expect_rejected("int main() { SEED = 1; return 0; }",
+                  {"cannot assign to builtin constant", 1, 14});
+}
+
+TEST(TlcParserTest, ArrayMisuse) {
+  expect_rejected("int A[8];\nint main() { return A; }",
+                  {"array 'A' needs an index", 2, 21});
+  expect_rejected("int g = 1;\nint main() { return g[0]; }",
+                  {"cannot index scalar 'g'", 2, 21});
+  expect_rejected("int main() { int A[8]; return 0; }",
+                  {"arrays must be global", 1, 18});
+}
+
+TEST(TlcParserTest, ArrayLengthMustBePowerOfTwo) {
+  expect_rejected("int A[6];\nint main() { return 0; }",
+                  {"array length must be a power of two", 1, 7});
+  expect_rejected("int A[2097152];\nint main() { return 0; }",
+                  {"array length must be a power of two", 1, 7});
+  expect_rejected("int A[0];\nint main() { return 0; }",
+                  {"array length must be a power of two", 1, 7});
+}
+
+TEST(TlcParserTest, NonConstantGlobalInitialiser) {
+  expect_rejected("int f() { return 1; }\nint g = f();\nint main() { return 0; }",
+                  {"constant expression", 2, 9});
+}
+
+TEST(TlcParserTest, TooManyParameters) {
+  expect_rejected(
+      "int f(int a, int b, int c, int d, int e, int g, int h) { return 0; }\n"
+      "int main() { return 0; }",
+      {"too many parameters (max 6)", 1, 53});
+}
+
+TEST(TlcParserTest, ExpressionTooDeep) {
+  // Each nested call shifts the argument evaluation window one
+  // register to the right; 17 levels exceed the r1..r16 stack.
+  std::string source = "int f(int a) { return a; }\nint main() { return ";
+  for (int i = 0; i < 17; ++i) source += "f(1 + ";
+  source += "1";
+  for (int i = 0; i < 17; ++i) source += ")";
+  source += "; }";
+  expect_rejected(source, {"expression too deep"});
+}
+
+TEST(TlcParserTest, NestingTooDeep) {
+  std::string source = "int main() { return ";
+  for (int i = 0; i < 80; ++i) source += "(";
+  source += "1";
+  for (int i = 0; i < 80; ++i) source += ")";
+  source += "; }";
+  expect_rejected(source, {"nesting too deep"});
+}
+
+TEST(TlcParserTest, MainIsRequiredAndNullary) {
+  expect_rejected("int f() { return 1; }", {"program has no 'main'", 1, 1});
+  expect_rejected("int main(int a) { return a; }",
+                  {"'main' must take no parameters"});
+}
+
+TEST(TlcLexerTest, BadTokens) {
+  expect_rejected("int main() { return 1 $ 2; }", {"unexpected character"});
+  expect_rejected("int main() { return 99999999999999999999; }",
+                  {"overflow"});
+  expect_rejected("int main() { return 0x; }", {"hex"});
+}
+
+TEST(TlcParserTest, StructuralErrors) {
+  expect_rejected("int main() { return 1; ", {"unexpected end of input"});
+  expect_rejected("int main() { if 1 { return 1; } }", {"'('"});
+  expect_rejected("int main() { return ; }", {"expected"});
+  expect_rejected("", {"program has no 'main'", 1, 1});
+}
+
+TEST(TlcParserTest, DiagWithoutSinkStillFails) {
+  // Passing a null Diag* must be safe (the CLI always passes one, but
+  // the API shouldn't trap without it).
+  EXPECT_FALSE(parse("int main() { return x; }", ParseParams{}, nullptr)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace tlr::lang

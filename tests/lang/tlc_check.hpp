@@ -1,0 +1,82 @@
+// Shared differential-oracle check for the TLC test suites: compile a
+// source (one-shot mode), run it on the interpreter, and compare the
+// full observable state — main's result word, every global scalar,
+// every array element — against the AST reference evaluator
+// (lang/eval.hpp). diff_test.cpp applies it to generated programs,
+// corpus_test.cpp to the committed corpus.
+#pragma once
+
+#include <string>
+
+#include "lang/compile.hpp"
+#include "lang/eval.hpp"
+#include "lang/parser.hpp"
+#include "vm/interpreter.hpp"
+
+namespace tlr::lang::test {
+
+/// Empty string on success, otherwise a one-line description of the
+/// first divergence (suitable for a gtest failure message).
+inline std::string diff_against_oracle(const std::string& source,
+                                       const ParseParams& params = {}) {
+  CompileOptions options;
+  options.name = "diff";
+  options.stream = false;
+  Diag diag;
+  const auto compiled = compile_source(source, params, options, &diag);
+  if (!compiled.has_value()) {
+    return "does not compile: " + diag.to_string(options.name);
+  }
+
+  const auto unit = parse(source, params, &diag);
+  if (!unit.has_value()) return "reparse failed: " + diag.to_string("diff");
+  const EvalResult expected = evaluate(*unit);
+  if (!expected.ok) return "reference evaluator failed: " + expected.error;
+
+  vm::RunLimits limits;
+  limits.max_executed = u64{1} << 26;
+  vm::Interpreter interp(compiled->program);
+  const vm::RunResult run =
+      interp.run(limits, [](const isa::DynInst&) { return true; });
+  if (!run.halted) return "compiled program did not halt";
+
+  const i64 got = static_cast<i64>(interp.state().load(compiled->result_addr));
+  if (got != expected.return_value) {
+    return "result mismatch: compiled " + std::to_string(got) +
+           ", evaluator " + std::to_string(expected.return_value);
+  }
+  for (const GlobalSlot& slot : compiled->globals) {
+    if (slot.array_len == 0) {
+      const i64 word = static_cast<i64>(interp.state().load(slot.addr));
+      const i64 want = expected.globals.at(slot.name);
+      if (word != want) {
+        return "global '" + slot.name + "' mismatch: compiled " +
+               std::to_string(word) + ", evaluator " + std::to_string(want);
+      }
+      continue;
+    }
+    const auto& want = expected.arrays.at(slot.name);
+    for (u32 i = 0; i < slot.array_len; ++i) {
+      const i64 word =
+          static_cast<i64>(interp.state().load(slot.addr + 8 * i));
+      if (word != want[i]) {
+        return "array '" + slot.name + "[" + std::to_string(i) +
+               "]' mismatch: compiled " + std::to_string(word) +
+               ", evaluator " + std::to_string(want[i]);
+      }
+    }
+  }
+  return {};
+}
+
+/// Convenience for semantics tests: the value `main` returns according
+/// to the oracle, after asserting compiled execution agrees.
+inline i64 oracle_result(const std::string& source,
+                         const ParseParams& params = {}) {
+  Diag diag;
+  const auto unit = parse(source, params, &diag);
+  if (!unit.has_value()) return 0;
+  return evaluate(*unit).return_value;
+}
+
+}  // namespace tlr::lang::test

@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -49,6 +50,9 @@ using namespace tlr;
 struct CliOptions {
   std::string profile = "laptop";
   std::vector<std::string> workloads;
+  // TLC sources (--workload-file): compiled, registered under their
+  // file stem, and appended to `workloads`.
+  std::vector<std::string> workload_files;
   bool run_series = true;  // figures 3-8
   bool run_fig9 = true;
   // Fig 10 (speculative reuse) is opt-in: it is additive to the report
@@ -90,6 +94,12 @@ void print_usage(std::ostream& os) {
         "                     (default laptop)\n"
         "  --workload NAME    analyze only NAME (repeatable; default:\n"
         "                     the full 14-benchmark suite)\n"
+        "  --workload-file P  compile the TLC program at P (docs/tlc.md)\n"
+        "                     and analyze it alongside any --workload\n"
+        "                     selections; the workload is named after\n"
+        "                     the file stem (repeatable). Unreadable or\n"
+        "                     malformed sources exit 2 with a one-line\n"
+        "                     file:line:col diagnostic\n"
         "  --figure SPEC      figures to include: 3..10, all, none\n"
         "                     (repeatable; default all = 3..9). Figures\n"
         "                     3-8 derive from one suite pass; 9 runs\n"
@@ -216,10 +226,43 @@ int fail_usage(const std::string& message) {
 }
 
 bool known_workload(const std::string& name) {
-  for (const std::string_view known : workloads::workload_names()) {
-    if (known == name) return true;
+  // Built-in analogs plus any --workload-file registrations.
+  return workloads::is_known_workload(name);
+}
+
+/// Reads, compiles, and registers one --workload-file source; appends
+/// its stem name to the run's workload selection. Returns 0 or, on any
+/// failure, 2 after a one-line diagnostic plus usage — malformed input
+/// must produce a comparison-grade failure, never an assert.
+int load_workload_file(CliOptions& options, const std::string& path) {
+  const auto fail = [&](const std::string& message) {
+    std::cerr << "reuse_study: " << message << "\n\n";
+    print_usage(std::cerr);
+    return 2;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fail("cannot read workload file '" + path + "'");
   }
-  return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  const std::string name = std::filesystem::path(path).stem().string();
+  if (name.empty()) {
+    return fail("workload file '" + path + "' has no usable stem name");
+  }
+  // Compile with the path in diagnostics so errors point at the file,
+  // then register under the stem so the engine can build it by name.
+  std::string error;
+  if (!workloads::make_from_source(path, source, {}, &error).has_value()) {
+    return fail(error);
+  }
+  if (!workloads::register_source(name, source, &error)) {
+    return fail(error);
+  }
+  options.workloads.push_back(name);
+  return 0;
 }
 
 /// Resolves --profile/--skip/--length/--seed into the effective
@@ -740,6 +783,8 @@ int main(int argc, char** argv) {
         return fail_usage("unknown workload '" + name + "'");
       }
       options.workloads.push_back(name);
+    } else if (arg == "--workload-file") {
+      options.workload_files.push_back(next_value(i, "--workload-file"));
     } else if (arg == "--figure") {
       const std::string spec = next_value(i, "--figure");
       if (!apply_figure_spec(options, spec, first_figure_spec)) {
@@ -853,6 +898,12 @@ int main(int argc, char** argv) {
       options.quiet = true;
     } else {
       return fail_usage("unknown option '" + arg + "'");
+    }
+  }
+
+  for (const std::string& path : options.workload_files) {
+    if (const int code = load_workload_file(options, path); code != 0) {
+      return code;
     }
   }
 

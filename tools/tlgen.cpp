@@ -1,0 +1,289 @@
+// tlgen: seeded TLC program generator + differential fuzz harness.
+//
+//   tlgen --seed 7                          print one program
+//   tlgen --seed 1 --count 50 --out-dir d/  write d/gen-1.tlc .. gen-50.tlc
+//   tlgen --seed 1 --count 50 --check       fuzz: every program must
+//                                           compile deterministically and
+//                                           agree with the AST evaluator
+//   ... --check --fail-dir failures/        also write failing sources
+//
+// --check is the CI fuzz-smoke entry point (.github/workflows/ci.yml):
+// for each seed it verifies (1) generation is bit-deterministic,
+// (2) recompilation yields an identical program, (3) the compiled
+// program halts and its final state — main's result, every global
+// scalar, every array element — matches the reference evaluator, and
+// (4) a second interpreter run reproduces the same executed-instruction
+// count. Failing seeds are reported with their source; exit 1.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "lang/compile.hpp"
+#include "lang/eval.hpp"
+#include "lang/gen/generator.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace tlr;
+
+struct CliOptions {
+  u64 seed = 1;
+  u64 count = 1;
+  std::optional<u32> size;  // default: varies per seed
+  std::string out_dir;
+  std::string fail_dir;
+  bool check = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: tlgen [options]\n"
+        "\n"
+        "Generates seeded random TLC programs (docs/tlc.md). Without\n"
+        "--out-dir or --check the sources go to stdout.\n"
+        "\n"
+        "options:\n"
+        "  --seed N      first seed (default 1); program i uses seed+i\n"
+        "  --count N     number of programs (default 1)\n"
+        "  --size N      size knob 0..4 for every program (default:\n"
+        "                varies with the seed)\n"
+        "  --out-dir D   write each program to D/gen-<seed>.tlc\n"
+        "  --check       differential + determinism check each program\n"
+        "                against the AST evaluator; exit 1 on failure\n"
+        "  --fail-dir D  with --check: write failing sources to\n"
+        "                D/fail-<seed>.tlc\n"
+        "  --help        this text\n";
+}
+
+int fail_usage(const std::string& message) {
+  std::cerr << "tlgen: " << message << "\n\n";
+  print_usage(std::cerr);
+  return 1;
+}
+
+bool parse_u64(const char* text, u64& out) {
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool write_file(const std::string& dir, const std::string& name,
+                const std::string& text) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) {
+    std::cerr << "tlgen: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool same_program(const vm::Program& a, const vm::Program& b) {
+  if (a.entry() != b.entry() || a.size() != b.size() ||
+      a.initial_data().size() != b.initial_data().size()) {
+    return false;
+  }
+  for (usize i = 0; i < a.size(); ++i) {
+    const isa::Instruction& x = a.code()[i];
+    const isa::Instruction& y = b.code()[i];
+    if (x.op != y.op || x.ra != y.ra || x.rb != y.rb || x.rc != y.rc ||
+        x.imm != y.imm || x.use_imm != y.use_imm) {
+      return false;
+    }
+  }
+  for (usize i = 0; i < a.initial_data().size(); ++i) {
+    if (a.initial_data()[i].addr != b.initial_data()[i].addr ||
+        a.initial_data()[i].value != b.initial_data()[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Differential oracle + determinism for one seed; returns an error
+/// description or empty on success.
+std::string check_program(const lang::gen::GenConfig& config,
+                          const std::string& source) {
+  if (lang::gen::generate_program(config) != source) {
+    return "generation is not deterministic";
+  }
+
+  lang::ParseParams parse_params;  // default SEED/SCALE, as the study uses
+  lang::CompileOptions options;
+  options.name = "gen-" + std::to_string(config.seed);
+  options.stream = false;
+  lang::Diag diag;
+  const auto compiled =
+      lang::compile_source(source, parse_params, options, &diag);
+  if (!compiled.has_value()) {
+    return "does not compile: " + diag.to_string(options.name);
+  }
+  const auto again =
+      lang::compile_source(source, parse_params, options, &diag);
+  if (!again.has_value() ||
+      !same_program(compiled->program, again->program)) {
+    return "recompilation produced a different program";
+  }
+
+  const lang::EvalResult expected = lang::evaluate(
+      *lang::parse(source, parse_params, &diag));
+  if (!expected.ok) {
+    return "reference evaluator failed: " + expected.error;
+  }
+
+  vm::RunLimits limits;
+  limits.max_executed = u64{1} << 26;
+  vm::Interpreter interp(compiled->program);
+  const vm::RunResult run =
+      interp.run(limits, [](const isa::DynInst&) { return true; });
+  if (!run.halted) {
+    return "compiled program did not halt within " +
+           std::to_string(limits.max_executed) + " instructions";
+  }
+
+  const i64 got = static_cast<i64>(interp.state().load(compiled->result_addr));
+  if (got != expected.return_value) {
+    return "result mismatch: compiled " + std::to_string(got) +
+           ", evaluator " + std::to_string(expected.return_value);
+  }
+  for (const lang::GlobalSlot& slot : compiled->globals) {
+    if (slot.array_len == 0) {
+      const i64 word = static_cast<i64>(interp.state().load(slot.addr));
+      const i64 want = expected.globals.at(slot.name);
+      if (word != want) {
+        return "global '" + slot.name + "' mismatch: compiled " +
+               std::to_string(word) + ", evaluator " + std::to_string(want);
+      }
+      continue;
+    }
+    const std::vector<i64>& want = expected.arrays.at(slot.name);
+    for (u32 i = 0; i < slot.array_len; ++i) {
+      const i64 word = static_cast<i64>(interp.state().load(slot.addr + 8 * i));
+      if (word != want[i]) {
+        return "array '" + slot.name + "[" + std::to_string(i) +
+               "]' mismatch: compiled " + std::to_string(word) +
+               ", evaluator " + std::to_string(want[i]);
+      }
+    }
+  }
+
+  // Re-run determinism: identical executed count and result.
+  vm::Interpreter rerun(again->program);
+  const vm::RunResult second =
+      rerun.run(limits, [](const isa::DynInst&) { return true; });
+  if (second.executed != run.executed ||
+      static_cast<i64>(rerun.state().load(again->result_addr)) != got) {
+    return "re-run diverged: " + std::to_string(run.executed) + " vs " +
+           std::to_string(second.executed) + " instructions";
+  }
+
+  // The streaming wrapper must also build (the study-engine entry).
+  lang::CompileOptions stream_options = options;
+  stream_options.stream = true;
+  if (!lang::compile_source(source, parse_params, stream_options, &diag)
+           .has_value()) {
+    return "streaming compile failed: " + diag.to_string(options.name);
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tlgen: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--seed") {
+      if (!parse_u64(next_value("--seed"), options.seed)) {
+        return fail_usage("bad --seed value");
+      }
+    } else if (arg == "--count") {
+      if (!parse_u64(next_value("--count"), options.count) ||
+          options.count == 0) {
+        return fail_usage("bad --count value");
+      }
+    } else if (arg == "--size") {
+      u64 value = 0;
+      if (!parse_u64(next_value("--size"), value) || value > 4) {
+        return fail_usage("bad --size value (want 0..4)");
+      }
+      options.size = static_cast<u32>(value);
+    } else if (arg == "--out-dir") {
+      options.out_dir = next_value("--out-dir");
+    } else if (arg == "--fail-dir") {
+      options.fail_dir = next_value("--fail-dir");
+    } else if (arg == "--check") {
+      options.check = true;
+    } else {
+      return fail_usage("unknown option '" + arg + "'");
+    }
+  }
+  if (!options.fail_dir.empty() && !options.check) {
+    return fail_usage("--fail-dir only applies with --check");
+  }
+
+  u64 failures = 0;
+  for (u64 i = 0; i < options.count; ++i) {
+    lang::gen::GenConfig config;
+    config.seed = options.seed + i;
+    config.size = options.size.has_value()
+                      ? *options.size
+                      : static_cast<u32>(config.seed % 5);
+    const std::string source = lang::gen::generate_program(config);
+    const std::string file_name = "gen-" + std::to_string(config.seed) +
+                                  ".tlc";
+
+    if (!options.out_dir.empty() &&
+        !write_file(options.out_dir, file_name, source)) {
+      return 1;
+    }
+    if (options.check) {
+      const std::string error = check_program(config, source);
+      if (!error.empty()) {
+        ++failures;
+        std::cerr << "tlgen: seed " << config.seed << " FAILED: " << error
+                  << "\n--- source (seed " << config.seed << ", size "
+                  << config.size << ") ---\n"
+                  << source << "---\n";
+        if (!options.fail_dir.empty()) {
+          write_file(options.fail_dir,
+                     "fail-" + std::to_string(config.seed) + ".tlc", source);
+        }
+      }
+    } else if (options.out_dir.empty()) {
+      std::cout << source;
+      if (options.count > 1) std::cout << "\n";
+    }
+  }
+
+  if (options.check) {
+    if (failures != 0) {
+      std::cerr << "tlgen: " << failures << " of " << options.count
+                << " seed(s) failed\n";
+      return 1;
+    }
+    std::cerr << "tlgen: " << options.count << " seed(s) OK\n";
+  }
+  return 0;
+}
